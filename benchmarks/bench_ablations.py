@@ -1,0 +1,43 @@
+"""Ablations for the design choices DESIGN.md §6 calls out."""
+
+from repro.bench.experiments import (
+    ablation_ci_delta,
+    ablation_early_return,
+    ablation_metrics,
+    ablation_phases,
+)
+
+
+def test_ablation_metrics(benchmark):
+    table = benchmark.pedantic(ablation_metrics, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    overlaps = {r["metric"]: r["overlap_with_emd"] for r in table.rows}
+    assert overlaps["emd"] == 1.0
+    # The paper: "using other distance functions gives comparable results".
+    assert all(v >= 0.5 for v in overlaps.values()), overlaps
+
+
+def test_ablation_phases(benchmark):
+    table = benchmark.pedantic(ablation_phases, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    assert all(r["accuracy"] >= 0.4 for r in table.rows)
+
+
+def test_ablation_ci_delta(benchmark):
+    table = benchmark.pedantic(ablation_ci_delta, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    by_delta = {r["delta"]: r for r in table.rows}
+    # Looser delta prunes at least as hard (fewer or equal survivors).
+    assert by_delta[0.5]["final_active"] <= by_delta[0.01]["final_active"]
+
+
+def test_ablation_early_return(benchmark):
+    table = benchmark.pedantic(ablation_early_return, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    rows = {r["strategy"]: r for r in table.rows}
+    assert rows["COMB_EARLY"]["modeled_latency_s"] <= rows["COMB"]["modeled_latency_s"] + 1e-9
+    assert rows["COMB_EARLY"]["utility_distance"] < 0.05

@@ -1,0 +1,30 @@
+"""Paper Figure 10: distribution of true view utilities for BANK and DIAB.
+
+Expected shapes: BANK's top-1/2 stand clear of a near-tie cluster; DIAB's
+top-10 utilities are closely clustered (small delta_k), sparser below.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig10_utility_distribution
+
+
+@pytest.mark.parametrize("dataset", ["bank", "diab"])
+def test_fig10_utility_distribution(benchmark, dataset):
+    table = benchmark.pedantic(
+        fig10_utility_distribution, args=(dataset,), rounds=1, iterations=1
+    )
+    print()
+    print(table.to_text())
+    cutoffs = {row["k"]: row["cutoff_utility"] for row in table.rows}
+    assert all(
+        cutoffs[a] >= cutoffs[b]
+        for a, b in zip(sorted(cutoffs), sorted(cutoffs)[1:])
+    ), "cutoffs must be non-increasing in k"
+    gaps = {row["k"]: row["delta_k"] for row in table.rows}
+    # Top-1 clearly separated from the field (both datasets).
+    assert gaps[1] > gaps[5]
+    # A near-tie cluster exists in the upper mid-pack: consecutive gaps
+    # there are far smaller than the top-1 separation.
+    cluster = [gaps[k] for k in (3, 4, 5, 6, 7, 8, 9)]
+    assert sum(cluster) / len(cluster) < gaps[1] / 3

@@ -1,0 +1,26 @@
+"""Paper Figure 11: BANK pruning result quality (accuracy & utility distance).
+
+Expected shape: CI and MAB accuracy well above RANDOM with near-zero utility
+distance; NO_PRU perfect by construction.
+"""
+
+from repro.bench.experiments import quality_vs_k
+
+
+def test_fig11_bank_quality(benchmark):
+    table = benchmark.pedantic(quality_vs_k, args=("bank",), rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    rows = table.rows
+    for pruner in ("CI", "MAB"):
+        mine = [r for r in rows if r["pruner"] == pruner]
+        random_rows = {r["k"]: r for r in rows if r["pruner"] == "RANDOM"}
+        mean_acc = sum(r["accuracy"] for r in mine) / len(mine)
+        mean_rand = sum(r["accuracy"] for r in random_rows.values()) / len(random_rows)
+        assert mean_acc > mean_rand + 0.2, f"{pruner} must clearly beat RANDOM"
+        assert all(r["utility_distance"] < 0.05 for r in mine), (
+            f"{pruner}: utility distance must stay near zero"
+        )
+    no_pru = [r for r in rows if r["pruner"] == "NONE"]
+    assert all(r["accuracy"] == 1.0 for r in no_pru)
+    assert all(abs(r["utility_distance"]) < 1e-9 for r in no_pru)

@@ -1,0 +1,25 @@
+"""Paper Figure 12: DIAB pruning result quality.
+
+DIAB's top-10 utilities are closely clustered (Fig. 10b), so accuracy at
+small k dips while utility distance stays small — the paper's core argument
+for reporting both metrics.
+"""
+
+from repro.bench.experiments import quality_vs_k
+
+
+def test_fig12_diab_quality(benchmark):
+    table = benchmark.pedantic(quality_vs_k, args=("diab",), rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    rows = table.rows
+    for pruner in ("CI", "MAB"):
+        mine = [r for r in rows if r["pruner"] == pruner]
+        assert all(r["utility_distance"] < 0.05 for r in mine), (
+            f"{pruner}: near-ties must cost almost no utility"
+        )
+    rand = [r for r in rows if r["pruner"] == "RANDOM"]
+    ci = [r for r in rows if r["pruner"] == "CI"]
+    assert sum(r["utility_distance"] for r in rand) > sum(
+        r["utility_distance"] for r in ci
+    ), "RANDOM must lose far more utility than CI"

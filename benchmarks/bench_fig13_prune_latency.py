@@ -1,0 +1,31 @@
+"""Paper Figure 13: latency reduction from pruning vs k (BANK and DIAB).
+
+Expected shape: both pruners cut latency relative to NO_PRU, more at small
+k; CI prunes at least as aggressively as MAB on average.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig13_latency_vs_k
+
+
+@pytest.mark.parametrize("dataset", ["bank", "diab"])
+def test_fig13_latency(benchmark, dataset):
+    table = benchmark.pedantic(
+        fig13_latency_vs_k, args=(dataset,), rounds=1, iterations=1
+    )
+    print()
+    print(table.to_text())
+    rows = table.rows
+    small_k = min(r["k"] for r in rows)
+    large_k = max(r["k"] for r in rows)
+    ci_small = next(r for r in rows if r["pruner"] == "CI" and r["k"] == small_k)
+    ci_large = next(r for r in rows if r["pruner"] == "CI" and r["k"] == large_k)
+    # CI cuts latency hard at small k and less as k grows (fewer prunable views).
+    assert ci_small["reduction_pct"] > 25, "CI should cut latency clearly at small k"
+    assert ci_small["reduction_pct"] > ci_large["reduction_pct"]
+    # Neither pruner may cost latency; CI is the more aggressive one (§5.4).
+    assert all(r["reduction_pct"] > -1e-6 for r in rows)
+    ci_mean = sum(r["reduction_pct"] for r in rows if r["pruner"] == "CI")
+    mab_mean = sum(r["reduction_pct"] for r in rows if r["pruner"] == "MAB")
+    assert ci_mean >= mab_mean - 10, "CI is the more aggressive pruner (paper §5.4)"

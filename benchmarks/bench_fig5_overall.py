@@ -1,0 +1,27 @@
+"""Paper Figure 5: overall gains from all optimizations, ROW and COL.
+
+Expected shape: NO_OPT slowest by a wide margin; SHARING gives tens-x on
+ROW / several-x on COL; COMB(+CI) and COMB_EARLY compound further on large
+datasets, with COMB_EARLY the fastest approximate option.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig5_overall
+
+
+@pytest.mark.parametrize("store", ["row", "col"])
+def test_fig5_overall(benchmark, store):
+    table = benchmark.pedantic(fig5_overall, args=(store,), rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    for dataset in {row["dataset"] for row in table.rows}:
+        rows = {r["strategy"]: r for r in table.rows if r["dataset"] == dataset}
+        assert rows["SHARING"]["modeled_latency_s"] < rows["NO_OPT"]["modeled_latency_s"]
+        assert rows["COMB"]["modeled_latency_s"] < rows["NO_OPT"]["modeled_latency_s"]
+        assert (
+            rows["COMB_EARLY"]["modeled_latency_s"]
+            <= rows["COMB"]["modeled_latency_s"] + 1e-9
+        )
+        # The headline claim: orders-of-magnitude over NO_OPT somewhere.
+        assert rows["SHARING"]["speedup"] > 5

@@ -1,0 +1,29 @@
+"""Paper Figure 6: basic-framework latency scales linearly in rows and views;
+COL is several times faster than ROW."""
+
+from repro.bench.experiments import fig6_baseline
+
+
+def test_fig6_baseline(benchmark):
+    table = benchmark.pedantic(fig6_baseline, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    rows_sweep = [r for r in table.rows if r["sweep"] == "rows" and r["store"] == "ROW"]
+    latencies = [r["modeled_latency_s"] for r in rows_sweep]
+    assert latencies == sorted(latencies), "latency must grow with rows"
+    views_sweep = [r for r in table.rows if r["sweep"] == "views" and r["store"] == "ROW"]
+    latencies = [r["modeled_latency_s"] for r in views_sweep]
+    assert latencies == sorted(latencies), "latency must grow with views"
+    # COL faster than ROW at matching points.
+    for row in table.rows:
+        if row["store"] != "ROW":
+            continue
+        twin = next(
+            r
+            for r in table.rows
+            if r["store"] == "COL"
+            and r["sweep"] == row["sweep"]
+            and r["n_rows"] == row["n_rows"]
+            and r["n_views"] == row["n_views"]
+        )
+        assert twin["modeled_latency_s"] < row["modeled_latency_s"]

@@ -1,0 +1,15 @@
+"""Paper Figure 7a: combining aggregates cuts latency 3-4x, sub-linearly."""
+
+from repro.bench.experiments import fig7a_aggregates
+
+
+def test_fig7a_aggregates(benchmark):
+    table = benchmark.pedantic(fig7a_aggregates, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    for store in ("ROW", "COL"):
+        rows = [r for r in table.rows if r["store"] == store]
+        first, last = rows[0], rows[-1]
+        assert last["modeled_latency_s"] < first["modeled_latency_s"]
+        speedup = first["modeled_latency_s"] / last["modeled_latency_s"]
+        assert speedup > 1.5, f"{store}: expected a clear gain, got {speedup:.2f}x"

@@ -1,0 +1,14 @@
+"""Paper Figure 7b: latency vs parallel queries is U-shaped, optimum ~#cores."""
+
+from repro.bench.experiments import fig7b_parallelism
+
+
+def test_fig7b_parallelism(benchmark):
+    table = benchmark.pedantic(fig7b_parallelism, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    latencies = {r["n_parallel"]: r["modeled_latency_s"] for r in table.rows}
+    best = min(latencies, key=latencies.get)
+    assert best == 16, f"optimum parallelism should be ~n_cores (16), got {best}"
+    assert latencies[64] > latencies[16], "contention must degrade high parallelism"
+    assert latencies[1] > latencies[16], "serial must be slower than parallel"

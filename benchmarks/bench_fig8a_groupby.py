@@ -1,0 +1,28 @@
+"""Paper Figure 8a: group-by combining helps until the memory budget, then
+latency cliffs (ROW budget ~10^4 distinct groups, COL ~10^2)."""
+
+from repro.bench.experiments import fig8a_groupby
+
+
+def test_fig8a_groupby(benchmark):
+    table = benchmark.pedantic(fig8a_groupby, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    # SYN*-10 on ROW: (10^p x 2 flag values) crosses the 10^4 budget between
+    # p=3 (2,000 estimated groups) and p=5 (no spill before, spill after).
+    row10 = [r for r in table.rows if r["dataset"] == "syn_star_10" and r["store"] == "ROW"]
+    below = [r for r in row10 if r["n_gb"] <= 3]
+    above = [r for r in row10 if r["n_gb"] >= 5]
+    assert all(r["spill_passes"] == 0 for r in below), "no spill inside the budget"
+    assert any(r["spill_passes"] > 0 for r in above), "spill expected past the budget"
+    # The latency cliff: past-budget latency clearly exceeds the in-budget best.
+    assert min(r["modeled_latency_s"] for r in above) > min(
+        r["modeled_latency_s"] for r in below
+    )
+    # Combining 2 group-bys beats 1 (fewer queries) while inside the budget.
+    assert row10[1]["modeled_latency_s"] < row10[0]["modeled_latency_s"]
+    # COL's budget (10^2) is crossed immediately at n_gb=2 on SYN*-100.
+    col100 = [
+        r for r in table.rows if r["dataset"] == "syn_star_100" and r["store"] == "COL"
+    ]
+    assert any(r["spill_passes"] > 0 for r in col100 if r["n_gb"] >= 2)

@@ -1,0 +1,19 @@
+"""Paper Figure 9: all sharing optimizations combined on SYN.
+
+Expected shape: speedups grow with dataset size; ROW gains exceed COL gains
+(reduced table scans matter most where whole rows are read).
+"""
+
+from repro.bench.experiments import fig9_sharing_all
+
+
+def test_fig9_sharing_all(benchmark):
+    table = benchmark.pedantic(fig9_sharing_all, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    for store in ("ROW", "COL"):
+        rows = [r for r in table.rows if r["store"] == store]
+        assert all(r["speedup"] > 2 for r in rows), f"{store}: sharing must win clearly"
+    row_speedups = [r["speedup"] for r in table.rows if r["store"] == "ROW"]
+    col_speedups = [r["speedup"] for r in table.rows if r["store"] == "COL"]
+    assert max(row_speedups) > max(col_speedups), "ROW benefits more than COL"

@@ -1,0 +1,18 @@
+"""Paper Table 1: dataset inventory (rows, |A|, |M|, views, size)."""
+
+from repro.bench.experiments import table1_datasets
+
+
+def test_table1_inventory(benchmark):
+    table = benchmark.pedantic(table1_datasets, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    by_name = {row["name"]: row for row in table.rows}
+    # Shape checks against the paper's Table 1.
+    assert by_name["BANK"]["views"] == 77
+    assert by_name["DIAB"]["views"] == 88
+    assert by_name["AIR"]["views"] == 108
+    assert by_name["CENSUS"]["views"] == 40
+    assert by_name["HOUSING"]["views"] == 40
+    assert by_name["MOVIES"]["views"] == 64
+    assert by_name["SYN"]["views"] == 1000

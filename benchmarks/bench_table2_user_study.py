@@ -1,0 +1,18 @@
+"""Paper Table 2: SEEDB vs MANUAL bookmarking behaviour (simulated study).
+
+Expected shape: SEEDB sessions examine more charts, bookmark ~3x more and at
+~3x the rate; tool effect significant, dataset effect not.
+"""
+
+from repro.bench.experiments import table2_user_study
+
+
+def test_table2_user_study(benchmark):
+    table = benchmark.pedantic(table2_user_study, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    rows = {r["tool"]: r for r in table.rows}
+    manual_rate = float(str(rows["MANUAL"]["bookmark_rate"]).split(" ")[0])
+    seedb_rate = float(str(rows["SEEDB"]["bookmark_rate"]).split(" ")[0])
+    assert seedb_rate > manual_rate * 1.7, "SEEDB rate should be ~3x MANUAL"
+    assert "p=" in table.notes

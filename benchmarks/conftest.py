@@ -1,0 +1,10 @@
+"""Benchmark defaults.
+
+``pytest benchmarks/ --benchmark-only`` should finish in minutes, so the
+default scale here is ``smoke``; export SEEDB_SCALE=small or =full before
+invoking pytest (or use benchmarks/run_all.py) for paper-scale sweeps.
+"""
+
+import os
+
+os.environ.setdefault("SEEDB_SCALE", "smoke")

@@ -1,0 +1,58 @@
+"""Extending SeeDB: a custom utility metric (paper §7).
+
+The paper argues the engine is agnostic to the interestingness definition.
+This example registers a new distance function — "surprise", weighting
+per-group deviations by how rare the reference group is — and runs the full
+optimized engine with it, comparing its ranking to the EMD default.
+
+Run:  python examples/custom_metric.py
+"""
+
+import numpy as np
+
+from repro import SeeDB
+from repro.data import build_info
+from repro.metrics import DistanceFunction, register_metric
+
+
+class SurpriseDistance(DistanceFunction):
+    """Rarity-weighted absolute deviation, bounded in [0, 1].
+
+    A deviation inside a tiny reference group is more "surprising" than the
+    same deviation in a dominant group: weights are inverse reference mass,
+    normalized so the value stays in the unit interval.
+    """
+
+    name = "surprise"
+    bounded = True
+
+    def compute(self, p: np.ndarray, q: np.ndarray) -> float:
+        rarity = 1.0 / np.sqrt(q + 1e-6)
+        rarity = rarity / rarity.max()
+        return float(np.max(np.abs(p - q) * rarity))
+
+
+def main() -> None:
+    register_metric(SurpriseDistance())
+
+    table, spec = build_info("movies", scale="smoke", seed=2)
+    target = spec.target_predicate()
+    print(f"dataset: {table}; target: WHERE {target.to_sql()}\n")
+
+    for metric in ("emd", "surprise"):
+        seedb = SeeDB.over_table(table, store="col", metric=metric)
+        result = seedb.recommend(target, k=5, strategy="comb", pruner="ci")
+        print(f"top-5 by {metric}:")
+        for rec in result:
+            print(f"  #{rec.rank} U={rec.utility:.4f}  {rec.view.describe()}")
+        print()
+
+    print(
+        "The sharing and pruning machinery ran unchanged under the custom"
+        "\nmetric — only the distance function differs, exactly the"
+        "\ngeneralized-utility extension the paper sketches in Section 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

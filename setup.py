@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package and no network, so PEP 517
+editable installs (which build an editable wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e .`` take the classic ``setup.py develop``
+path, which needs only setuptools.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

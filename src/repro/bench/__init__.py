@@ -1,0 +1,12 @@
+"""Benchmark harness: one function per paper table/figure.
+
+:mod:`repro.bench.experiments` contains the experiment implementations; the
+``benchmarks/`` directory wraps them as pytest-benchmark targets, and
+``benchmarks/run_all.py`` regenerates every series and writes
+EXPERIMENTS.md.
+"""
+
+from repro.bench.tables import ResultTable
+from repro.bench.harness import BenchContext, scaled_buffer_pool
+
+__all__ = ["BenchContext", "ResultTable", "scaled_buffer_pool"]

@@ -1,0 +1,636 @@
+"""One function per paper table/figure (the per-experiment index of DESIGN.md).
+
+Every function returns a :class:`~repro.bench.tables.ResultTable` whose rows
+are the series the corresponding figure plots.  ``SEEDB_SCALE`` controls
+dataset sizes and repetition counts (smoke/small/full); the *shapes* —
+orderings, speedup factors, crossovers — are scale-stable, which is what
+EXPERIMENTS.md compares against the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import BenchContext, scaled_buffer_pool
+from repro.bench.tables import ResultTable
+from repro.config import EngineConfig
+from repro.core.recommender import SeeDB, tuned_config
+from repro.core.result import accuracy, utility_distance
+from repro.data import registry, synthetic
+from repro.data.registry import current_scale
+from repro.db.expressions import eq
+from repro.study import (
+    ExpertPanel,
+    consensus_labels,
+    roc_curve,
+    run_user_study,
+)
+
+# --------------------------------------------------------------------------- #
+# scale knobs
+# --------------------------------------------------------------------------- #
+
+
+def _runs_for_quality() -> int:
+    """Shuffled repetitions for the §5.4 quality experiments (paper: 20)."""
+    return {"smoke": 3, "small": 5, "full": 20}[current_scale()]
+
+
+def _quality_ks() -> list[int]:
+    return {
+        "smoke": [1, 5, 10],
+        "small": [1, 2, 3, 5, 7, 10, 15, 20, 25],
+        "full": list(range(1, 26)),
+    }[current_scale()]
+
+
+def _syn_rows() -> list[int]:
+    return {
+        "smoke": [2_000, 5_000, 10_000],
+        "small": [25_000, 50_000, 100_000],
+        "full": [100_000, 250_000, 500_000, 1_000_000],
+    }[current_scale()]
+
+
+def _syn_views() -> list[int]:
+    return {"smoke": [20, 50], "small": [50, 100, 250], "full": [50, 100, 150, 200, 250]}[
+        current_scale()
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Table 1 — dataset inventory
+# --------------------------------------------------------------------------- #
+
+
+def table1_datasets(scale: str | None = None) -> ResultTable:
+    table = ResultTable(
+        "Table 1: datasets (surrogates; paper_rows = published row count)",
+        notes="|A| x |M| = view count; sizes are logical bytes at the built scale",
+    )
+    for row in registry.table_one_inventory(scale=scale):
+        table.add(**row)
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5 — overall speedups on real datasets
+# --------------------------------------------------------------------------- #
+
+_FIG5_STRATEGIES = (
+    ("no_opt", "none"),
+    ("sharing", "none"),
+    ("comb", "ci"),
+    ("comb_early", "ci"),
+)
+
+
+def fig5_overall(store: str = "row", datasets: tuple[str, ...] | None = None, k: int = 10) -> ResultTable:
+    """NO_OPT vs SHARING vs COMB vs COMB_EARLY, CI pruning, k=10 (Fig. 5a/5b)."""
+    if datasets is None:
+        datasets = ("bank", "diab", "air") if current_scale() != "full" else (
+            "bank", "diab", "air", "air10"
+        )
+    table = ResultTable(
+        f"Figure 5 ({store.upper()}): latency by strategy, k={k}, CI pruning",
+        notes="speedup is modeled latency relative to NO_OPT on the same store",
+    )
+    for dataset in datasets:
+        ctx = BenchContext.for_dataset(dataset, store=store)  # type: ignore[arg-type]
+        base_latency = None
+        for strategy, pruner in _FIG5_STRATEGIES:
+            run = ctx.cold_run(k=k, strategy=strategy, pruner=pruner)
+            if base_latency is None:
+                base_latency = run.modeled_latency
+            table.add(
+                dataset=dataset.upper(),
+                strategy=strategy.upper(),
+                modeled_latency_s=run.modeled_latency,
+                wall_s=run.wall_seconds,
+                queries=run.stats.queries_issued,
+                phases=run.phases_executed,
+                speedup=base_latency / max(run.modeled_latency, 1e-12),
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6 — baseline latency vs rows and vs views
+# --------------------------------------------------------------------------- #
+
+
+def fig6_baseline(store_kinds: tuple[str, ...] = ("row", "col")) -> ResultTable:
+    """NO_OPT latency vs dataset size (6a) and number of views (6b) on SYN."""
+    table = ResultTable(
+        "Figure 6: basic framework (NO_OPT) latency scaling on SYN",
+        notes="linear in rows and views; COL ~5x faster than ROW",
+    )
+    views_fixed = min(_syn_views()[-1], 100)
+    for n_rows in _syn_rows():
+        syn = synthetic.make_syn(n_rows=n_rows, n_dimensions=10, n_measures=5)
+        for store in store_kinds:
+            seedb = SeeDB.over_table(
+                syn, store=store, buffer_pool=scaled_buffer_pool(syn)  # type: ignore[arg-type]
+            )
+            space = list(seedb.view_space())[: views_fixed]
+            run = seedb.run_engine(
+                eq(synthetic.SPLIT_COLUMN, synthetic.TARGET_VALUE),
+                k=10,
+                strategy="no_opt",
+                pruner="none",
+                views=space,
+            )
+            table.add(
+                sweep="rows",
+                store=store.upper(),
+                n_rows=n_rows,
+                n_views=len(space),
+                modeled_latency_s=run.modeled_latency,
+                queries=run.stats.queries_issued,
+            )
+    rows_fixed = _syn_rows()[0]
+    syn = synthetic.make_syn(n_rows=rows_fixed, n_dimensions=25, n_measures=10)
+    for n_views in _syn_views():
+        for store in store_kinds:
+            seedb = SeeDB.over_table(
+                syn, store=store, buffer_pool=scaled_buffer_pool(syn)  # type: ignore[arg-type]
+            )
+            space = list(seedb.view_space())[:n_views]
+            run = seedb.run_engine(
+                eq(synthetic.SPLIT_COLUMN, synthetic.TARGET_VALUE),
+                k=10,
+                strategy="no_opt",
+                pruner="none",
+                views=space,
+            )
+            table.add(
+                sweep="views",
+                store=store.upper(),
+                n_rows=rows_fixed,
+                n_views=n_views,
+                modeled_latency_s=run.modeled_latency,
+                queries=run.stats.queries_issued,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7a — combine multiple aggregates
+# --------------------------------------------------------------------------- #
+
+
+def fig7a_aggregates(store_kinds: tuple[str, ...] = ("row", "col")) -> ResultTable:
+    """Latency vs max aggregates per query, n_agg in 1..20 (Fig. 7a)."""
+    table = ResultTable(
+        "Figure 7a: effect of combining multiple aggregates (SYN)",
+        notes="latency falls with n_agg, sub-linearly; 3-4x total",
+    )
+    n_rows = _syn_rows()[0]
+    syn = synthetic.make_syn(n_rows=n_rows, n_dimensions=5, n_measures=20)
+    n_aggs = [1, 2, 5, 10, 20] if current_scale() != "smoke" else [1, 5, 20]
+    for store in store_kinds:
+        for n_agg in n_aggs:
+            config = tuned_config(store).with_(  # type: ignore[arg-type]
+                max_aggregates_per_query=n_agg,
+                use_binpacking=False,
+                max_group_bys_per_query=1,
+            )
+            seedb = SeeDB.over_table(
+                syn, store=store, config=config, buffer_pool=scaled_buffer_pool(syn)  # type: ignore[arg-type]
+            )
+            run = seedb.run_engine(
+                eq(synthetic.SPLIT_COLUMN, synthetic.TARGET_VALUE),
+                k=10,
+                strategy="sharing",
+                pruner="none",
+            )
+            table.add(
+                store=store.upper(),
+                n_agg=n_agg,
+                modeled_latency_s=run.modeled_latency,
+                queries=run.stats.queries_issued,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7b — parallel query execution
+# --------------------------------------------------------------------------- #
+
+
+def fig7b_parallelism(store: str = "row") -> ResultTable:
+    """Latency vs number of parallel queries; optimum near n_cores (Fig. 7b)."""
+    table = ResultTable(
+        "Figure 7b: effect of parallelism (SYN)",
+        notes="U-shape with optimum at ~16 (the modeled core count)",
+    )
+    n_rows = _syn_rows()[0]
+    syn = synthetic.make_syn(n_rows=n_rows, n_dimensions=20, n_measures=10)
+    for n_parallel in (1, 2, 4, 8, 16, 24, 32, 48, 64):
+        config = tuned_config(store).with_(  # type: ignore[arg-type]
+            n_parallel_queries=n_parallel,
+            use_binpacking=False,
+            max_group_bys_per_query=1,
+            max_aggregates_per_query=1,
+        )
+        seedb = SeeDB.over_table(
+            syn, store=store, config=config, buffer_pool=scaled_buffer_pool(syn)  # type: ignore[arg-type]
+        )
+        run = seedb.run_engine(
+            eq(synthetic.SPLIT_COLUMN, synthetic.TARGET_VALUE),
+            k=10,
+            strategy="sharing",
+            pruner="none",
+        )
+        table.add(
+            store=store.upper(),
+            n_parallel=n_parallel,
+            modeled_latency_s=run.modeled_latency,
+            queries=run.stats.queries_issued,
+        )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8a — combine multiple group-bys vs memory budget
+# --------------------------------------------------------------------------- #
+
+
+def fig8a_groupby(datasets: tuple[str, ...] = ("syn_star_10", "syn_star_100")) -> ResultTable:
+    """Latency vs n_gb on SYN*-10 / SYN*-100; cliff past the budget (Fig. 8a)."""
+    table = ResultTable(
+        "Figure 8a: effect of combining group-bys (SYN*)",
+        notes="ROW budget 10^4 groups, COL budget 10^2; latency cliffs once "
+        "the estimated group count 10^p (or 100^p) crosses it",
+    )
+    # The group-count estimate is min(prod |a_i|, n_rows), so exposing the
+    # row store's 10^4-group cliff requires more rows than the budget.
+    min_rows = 120_000
+    for dataset in datasets:
+        spec = registry.spec(dataset)
+        n_rows = max(spec.rows_by_scale[current_scale()], min_rows)
+        dataset_table = registry.build(dataset, n_rows=n_rows)
+        for store in ("row", "col"):
+            for n_gb in range(1, 11):
+                config = tuned_config(store).with_(  # type: ignore[arg-type]
+                    use_binpacking=False, max_group_bys_per_query=n_gb
+                )
+                seedb = SeeDB.over_table(
+                    dataset_table,
+                    store=store,  # type: ignore[arg-type]
+                    config=config,
+                    buffer_pool=scaled_buffer_pool(dataset_table),
+                )
+                run = seedb.run_engine(
+                    eq(synthetic.SPLIT_COLUMN, synthetic.TARGET_VALUE),
+                    k=5,
+                    strategy="sharing",
+                    pruner="none",
+                )
+                table.add(
+                    dataset=dataset,
+                    store=store.upper(),
+                    n_gb=n_gb,
+                    modeled_latency_s=run.modeled_latency,
+                    spill_passes=run.stats.spill_passes,
+                    queries=run.stats.queries_issued,
+                )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8b — MAX_GB vs bin packing
+# --------------------------------------------------------------------------- #
+
+
+def fig8b_binpack(store_kinds: tuple[str, ...] = ("row", "col")) -> ResultTable:
+    """Naive n_gb limits vs bin-packed grouping on SYN (Fig. 8b)."""
+    table = ResultTable(
+        "Figure 8b: MAX_GB vs BP bin packing (SYN)",
+        notes="BP respects the memory budget, so it avoids MAX_GB's spill cliffs",
+    )
+    n_rows = _syn_rows()[0]
+    syn = synthetic.make_syn(n_rows=n_rows, n_dimensions=20, n_measures=5)
+    target = eq(synthetic.SPLIT_COLUMN, synthetic.TARGET_VALUE)
+    max_gbs = [1, 2, 3, 5, 10, 20] if current_scale() != "smoke" else [1, 3, 10]
+    for store in store_kinds:
+        for n_gb in max_gbs:
+            config = tuned_config(store).with_(  # type: ignore[arg-type]
+                use_binpacking=False, max_group_bys_per_query=n_gb
+            )
+            seedb = SeeDB.over_table(
+                syn, store=store, config=config, buffer_pool=scaled_buffer_pool(syn)  # type: ignore[arg-type]
+            )
+            run = seedb.run_engine(target, k=10, strategy="sharing", pruner="none")
+            table.add(
+                store=store.upper(),
+                method=f"MAX_GB({n_gb})",
+                modeled_latency_s=run.modeled_latency,
+                spill_passes=run.stats.spill_passes,
+            )
+        config = tuned_config(store).with_(use_binpacking=True)  # type: ignore[arg-type]
+        seedb = SeeDB.over_table(
+            syn, store=store, config=config, buffer_pool=scaled_buffer_pool(syn)  # type: ignore[arg-type]
+        )
+        run = seedb.run_engine(target, k=10, strategy="sharing", pruner="none")
+        table.add(
+            store=store.upper(),
+            method="BP",
+            modeled_latency_s=run.modeled_latency,
+            spill_passes=run.stats.spill_passes,
+        )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Figure 9 — all sharing optimizations
+# --------------------------------------------------------------------------- #
+
+
+def fig9_sharing_all(store_kinds: tuple[str, ...] = ("row", "col")) -> ResultTable:
+    """Speedup of SHARING over NO_OPT vs size and view count (Fig. 9a/9b)."""
+    table = ResultTable(
+        "Figure 9: all sharing optimizations (SYN)",
+        notes="speedups up to ~40x ROW / ~6x COL, growing with size and views",
+    )
+    for n_rows in _syn_rows():
+        syn = synthetic.make_syn(n_rows=n_rows, n_dimensions=20, n_measures=10)
+        target = eq(synthetic.SPLIT_COLUMN, synthetic.TARGET_VALUE)
+        for store in store_kinds:
+            seedb = SeeDB.over_table(
+                syn, store=store, buffer_pool=scaled_buffer_pool(syn)  # type: ignore[arg-type]
+            )
+            seedb.store.buffer_pool.clear()
+            base = seedb.run_engine(target, k=10, strategy="no_opt", pruner="none")
+            seedb.store.buffer_pool.clear()
+            shared = seedb.run_engine(target, k=10, strategy="sharing", pruner="none")
+            table.add(
+                store=store.upper(),
+                n_rows=n_rows,
+                n_views=len(seedb.view_space()),
+                no_opt_s=base.modeled_latency,
+                sharing_s=shared.modeled_latency,
+                speedup=base.modeled_latency / max(shared.modeled_latency, 1e-12),
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10 — utility distributions
+# --------------------------------------------------------------------------- #
+
+
+def fig10_utility_distribution(dataset: str) -> ResultTable:
+    """Sorted true utilities with top-k cutoffs (Fig. 10a BANK / 10b DIAB)."""
+    ctx = BenchContext.for_dataset(dataset, store="col", scale_pool=False)
+    run = ctx.seedb.true_top_k(ctx.target, k=25)
+    utilities = sorted(run.utilities.values(), reverse=True)
+    table = ResultTable(
+        f"Figure 10 ({dataset.upper()}): distribution of true view utilities",
+        notes="cutoff_k = utility of the k-th best view (the vertical lines)",
+    )
+    for k in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 20, 25]:
+        if k <= len(utilities):
+            gap = utilities[k - 1] - utilities[k] if k < len(utilities) else 0.0
+            table.add(k=k, cutoff_utility=utilities[k - 1], delta_k=gap)
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Figures 11/12 — pruning result quality; Figure 13 — pruning latency
+# --------------------------------------------------------------------------- #
+
+
+def quality_vs_k(dataset: str, store: str = "col") -> ResultTable:
+    """Accuracy and utility distance vs k for CI/MAB/NO_PRU/RANDOM.
+
+    Reproduces Figures 11a/11b (BANK) and 12a/12b (DIAB): averages over
+    shuffled runs, exactly the paper's protocol.
+    """
+    n_runs = _runs_for_quality()
+    ks = _quality_ks()
+    table = ResultTable(
+        f"Figures 11/12 ({dataset.upper()}): pruning result quality",
+        notes=f"averaged over {n_runs} shuffled runs; utility distance uses true utilities",
+    )
+    truth_ctx = BenchContext.for_dataset(dataset, store=store, scale_pool=False)  # type: ignore[arg-type]
+    max_k = max(ks)
+    truth_run = truth_ctx.seedb.true_top_k(truth_ctx.target, k=max_k)
+    ranked_truth = [key for key, _ in sorted(truth_run.utilities.items(), key=lambda kv: -kv[1])]
+    for k in ks:
+        truth_keys = ranked_truth[:k]
+        for pruner in ("ci", "mab", "none", "random"):
+            accs, dists = [], []
+            for run_index in range(n_runs):
+                ctx = BenchContext.for_dataset(
+                    dataset, store=store, shuffle_seed=run_index + 1  # type: ignore[arg-type]
+                )
+                run = ctx.cold_run(k=k, strategy="comb", pruner=pruner)
+                accs.append(accuracy(run.selected, truth_keys))
+                dists.append(
+                    utility_distance(run.selected, truth_keys, truth_run.utilities)
+                )
+            table.add(
+                k=k,
+                pruner=pruner.upper(),
+                accuracy=float(np.mean(accs)),
+                utility_distance=float(np.mean(dists)),
+            )
+    return table
+
+
+def fig13_latency_vs_k(dataset: str, store: str = "col") -> ResultTable:
+    """% latency reduction of CI/MAB relative to NO_PRU, vs k (Fig. 13).
+
+    Queries run serially within each phase here: with deep parallel batches
+    a phase's latency is its single slowest query, which hides the
+    query-count savings pruning delivers.  The paper likewise isolates
+    pruning by reporting *relative* improvements, noting absolute latencies
+    "depend closely on the exact DBMS execution techniques" (§5.4).
+    """
+    ks = _quality_ks()
+    table = ResultTable(
+        f"Figure 13 ({dataset.upper()}): pruning latency reduction vs k",
+        notes="reduction relative to NO_PRU within the phased framework; "
+        "serial query execution isolates the pruning effect",
+    )
+    config = tuned_config(store).with_(n_parallel_queries=1)  # type: ignore[arg-type]
+    ctx = BenchContext.for_dataset(dataset, store=store, config=config)  # type: ignore[arg-type]
+    for k in ks:
+        base = ctx.cold_run(k=k, strategy="comb", pruner="none").modeled_latency
+        for pruner in ("ci", "mab"):
+            run = ctx.cold_run(k=k, strategy="comb", pruner=pruner)
+            reduction = 100.0 * (1.0 - run.modeled_latency / max(base, 1e-12))
+            table.add(
+                k=k,
+                pruner=pruner.upper(),
+                no_pru_s=base,
+                latency_s=run.modeled_latency,
+                reduction_pct=reduction,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Figure 15 — deviation metric vs expert ground truth
+# --------------------------------------------------------------------------- #
+
+
+def fig15_user_metric(seed: int = 3) -> ResultTable:
+    """Expert heatmap ordering + ROC/AUROC on CENSUS (Fig. 15a/15b)."""
+    ctx = BenchContext.for_dataset("census", store="col", scale_pool=False)
+    run = ctx.seedb.true_top_k(ctx.target, k=10)
+    panel = ExpertPanel.default(seed=seed)
+    votes = panel.label_all(run.utilities)
+    labels = consensus_labels(votes)
+    ranking = [key for key, _ in sorted(run.utilities.items(), key=lambda kv: -kv[1])]
+    curve = roc_curve(ranking, labels)
+    table = ResultTable(
+        "Figure 15 (CENSUS): deviation metric vs simulated expert ground truth",
+        notes=f"AUROC={curve.auroc:.3f} (paper: 0.903); "
+        f"{sum(labels.values())} of {len(labels)} views interesting (paper: 6 of 48)",
+    )
+    for rank, key in enumerate(ranking, start=1):
+        fpr, tpr = curve.point_at_k(rank)
+        table.add(
+            rank=rank,
+            view=f"{key[2]}({key[1]}) BY {key[0]}",
+            utility=run.utilities[key],
+            expert_votes=sum(votes[key]),
+            interesting=labels[key],
+            tpr_at_k=tpr,
+            fpr_at_k=fpr,
+        )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Table 2 — SEEDB vs MANUAL user study
+# --------------------------------------------------------------------------- #
+
+
+def table2_user_study(seed: int = 1) -> ResultTable:
+    """Simulated 16-participant study on HOUSING and MOVIES (Table 2)."""
+    rankings, utils = {}, {}
+    for dataset in ("housing", "movies"):
+        ctx = BenchContext.for_dataset(dataset, store="col", scale_pool=False)
+        run = ctx.seedb.true_top_k(ctx.target, k=10)
+        utils[dataset] = run.utilities
+        rankings[dataset] = [
+            key for key, _ in sorted(run.utilities.items(), key=lambda kv: -kv[1])
+        ]
+    study = run_user_study(rankings, utils, seed=seed)
+    anova_marks = study.anova_bookmarks()
+    anova_rate = study.anova_rate()
+    table = ResultTable(
+        "Table 2: bookmarking behaviour, SEEDB vs MANUAL (simulated study)",
+        notes=(
+            f"tool effect on bookmarks F={anova_marks.factor_a.f_statistic:.2f} "
+            f"p={anova_marks.factor_a.p_value:.4f} (paper 18.609, p<0.001); "
+            f"dataset effect F={anova_marks.factor_b.f_statistic:.2f} "
+            f"p={anova_marks.factor_b.p_value:.3f} (paper: not significant); "
+            f"tool effect on rate F={anova_rate.factor_a.f_statistic:.2f} "
+            f"p={anova_rate.factor_a.p_value:.4f} (paper 10.034, p<0.01)"
+        ),
+    )
+    for tool in ("manual", "seedb"):
+        row = study.table2_row(tool)
+        table.add(
+            tool=row["tool"],
+            total_viz=row["total_viz"],
+            num_bookmarks=row["num_bookmarks"],
+            bookmark_rate=row["bookmark_rate"],
+        )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Ablations (DESIGN.md §6)
+# --------------------------------------------------------------------------- #
+
+
+def ablation_metrics(dataset: str = "bank") -> ResultTable:
+    """Top-k overlap between EMD and the other metrics (§4.2 consistency)."""
+    ctx = BenchContext.for_dataset(dataset, store="col", scale_pool=False)
+    table = ResultTable(
+        f"Ablation: distance functions on {dataset.upper()}",
+        notes="overlap@10 of each metric's top-10 with EMD's top-10",
+    )
+    baseline: list | None = None
+    for metric in ("emd", "euclidean", "js", "maxdiff", "kl"):
+        seedb = SeeDB.over_table(ctx.table, store="col", metric=metric)
+        run = seedb.true_top_k(ctx.target, k=10)
+        if baseline is None:
+            baseline = run.selected
+        overlap = len(set(run.selected) & set(baseline)) / len(baseline)
+        table.add(
+            metric=metric,
+            top1=f"{run.selected[0][2]}({run.selected[0][1]}) BY {run.selected[0][0]}",
+            overlap_with_emd=overlap,
+        )
+    return table
+
+
+def ablation_phases(dataset: str = "bank", ks: tuple[int, ...] = (5, 10)) -> ResultTable:
+    """Pruning accuracy/latency vs the number of phases."""
+    table = ResultTable(
+        f"Ablation: phase count on {dataset.upper()} (CI pruning)",
+        notes="more phases prune earlier but pay per-phase query overhead",
+    )
+    truth_ctx = BenchContext.for_dataset(dataset, store="col", scale_pool=False)
+    truth = truth_ctx.seedb.true_top_k(truth_ctx.target, k=max(ks))
+    ranked = [key for key, _ in sorted(truth.utilities.items(), key=lambda kv: -kv[1])]
+    for n_phases in (5, 10, 20, 40):
+        config = tuned_config("col").with_(n_phases=n_phases)
+        for k in ks:
+            ctx = BenchContext.for_dataset(dataset, store="col", config=config)
+            run = ctx.cold_run(k=k, strategy="comb", pruner="ci")
+            table.add(
+                n_phases=n_phases,
+                k=k,
+                accuracy=accuracy(run.selected, ranked[:k]),
+                modeled_latency_s=run.modeled_latency,
+            )
+    return table
+
+
+def ablation_ci_delta(dataset: str = "bank", k: int = 10) -> ResultTable:
+    """CI confidence parameter delta: aggressiveness vs accuracy."""
+    table = ResultTable(
+        f"Ablation: CI delta on {dataset.upper()}, k={k}",
+        notes="smaller delta = wider intervals = safer but slower pruning",
+    )
+    truth_ctx = BenchContext.for_dataset(dataset, store="col", scale_pool=False)
+    truth = truth_ctx.seedb.true_top_k(truth_ctx.target, k=k)
+    for delta in (0.01, 0.05, 0.2, 0.5):
+        config = tuned_config("col").with_(ci_delta=delta)
+        ctx = BenchContext.for_dataset(dataset, store="col", config=config)
+        run = ctx.cold_run(k=k, strategy="comb", pruner="ci")
+        table.add(
+            delta=delta,
+            accuracy=accuracy(run.selected, truth.selected),
+            modeled_latency_s=run.modeled_latency,
+            final_active=run.active_per_phase[-1],
+        )
+    return table
+
+
+def ablation_early_return(dataset: str = "diab", k: int = 10) -> ResultTable:
+    """COMB vs COMB_EARLY: approximation error of the returned distributions."""
+    table = ResultTable(
+        f"Ablation: early result return on {dataset.upper()}, k={k}",
+        notes="utility_distance measures quality loss from returning partial results",
+    )
+    truth_ctx = BenchContext.for_dataset(dataset, store="col", scale_pool=False)
+    truth = truth_ctx.seedb.true_top_k(truth_ctx.target, k=k)
+    for strategy in ("comb", "comb_early"):
+        ctx = BenchContext.for_dataset(dataset, store="col")
+        run = ctx.cold_run(k=k, strategy=strategy, pruner="ci")
+        table.add(
+            strategy=strategy.upper(),
+            modeled_latency_s=run.modeled_latency,
+            phases=run.phases_executed,
+            accuracy=accuracy(run.selected, truth.selected),
+            utility_distance=utility_distance(run.selected, truth.selected, truth.utilities),
+        )
+    return table

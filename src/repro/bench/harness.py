@@ -1,0 +1,75 @@
+"""Shared benchmark plumbing: scaled setups and run helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.config import EngineConfig, StoreKind
+from repro.core.recommender import SeeDB, tuned_config
+from repro.data.registry import build_info, current_scale
+from repro.db.buffer import BufferPool
+from repro.db.expressions import Expression
+from repro.db.table import Table
+
+#: The paper's testbed keeps large tables out of memory (974MB AIR vs a
+#: few-hundred-MB buffer cache).  To preserve that table:memory ratio at
+#: reduced dataset scales, benchmark buffer pools are sized as a fraction
+#: of the table.
+POOL_FRACTION_OF_TABLE = 1 / 8
+
+
+def scaled_buffer_pool(table: Table, fraction: float = POOL_FRACTION_OF_TABLE) -> BufferPool:
+    """Buffer pool sized relative to the table (min 1 MB)."""
+    return BufferPool(max(int(table.logical_size_bytes() * fraction), 1 << 20))
+
+
+@dataclass
+class BenchContext:
+    """One dataset wired up for benchmarking on one store."""
+
+    table: Table
+    target: Expression
+    seedb: SeeDB
+    dataset: str
+    store: StoreKind
+
+    @classmethod
+    def for_dataset(
+        cls,
+        dataset: str,
+        store: StoreKind = "row",
+        scale: str | None = None,
+        seed: int = 0,
+        config: EngineConfig | None = None,
+        scale_pool: bool = True,
+        shuffle_seed: int | None = None,
+    ) -> "BenchContext":
+        table, spec = _cached_dataset(dataset, scale or current_scale(), seed)
+        if shuffle_seed is not None:
+            table = table.shuffled(shuffle_seed)
+        pool = scaled_buffer_pool(table) if scale_pool else None
+        seedb = SeeDB.over_table(
+            table,
+            store=store,
+            config=config or tuned_config(store),
+            buffer_pool=pool,
+        )
+        return cls(
+            table=table,
+            target=spec.target_predicate(),
+            seedb=seedb,
+            dataset=dataset,
+            store=store,
+        )
+
+    def cold_run(self, **kwargs: object):
+        """Clear the buffer pool, then run the engine (cold-cache run)."""
+        self.seedb.store.buffer_pool.clear()
+        return self.seedb.run_engine(self.target, **kwargs)  # type: ignore[arg-type]
+
+
+@lru_cache(maxsize=8)
+def _cached_dataset(dataset: str, scale: str, seed: int):
+    """Dataset construction is expensive at full scale; cache per-process."""
+    return build_info(dataset, seed=seed, scale=scale)

@@ -1,0 +1,81 @@
+"""Result tables: the rows each benchmark prints.
+
+Plain list-of-dicts with aligned-text and markdown rendering — the same
+rows the paper's figures plot, in a form that diffing and EXPERIMENTS.md
+can both consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A titled table of result rows."""
+
+    title: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row: object) -> None:
+        self.rows.append(row)
+
+    @property
+    def columns(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def column(self, name: str) -> list[object]:
+        return [row.get(name) for row in self.rows]
+
+    def to_text(self) -> str:
+        """Aligned fixed-width text rendering."""
+        cols = self.columns
+        if not cols:
+            return f"== {self.title} ==\n(no rows)"
+        rendered = [[_format(row.get(c, "")) for c in cols] for row in self.rows]
+        widths = [
+            max(len(c), *(len(r[i]) for r in rendered)) if rendered else len(c)
+            for i, c in enumerate(cols)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in rendered:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        cols = self.columns
+        if not cols:
+            return f"### {self.title}\n\n(no rows)\n"
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(cols) + " |")
+        lines.append("|" + "|".join("---" for _ in cols) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(_format(row.get(c, "")) for c in cols) + " |"
+            )
+        if self.notes:
+            lines.append("")
+            lines.append(f"*{self.notes}*")
+        lines.append("")
+        return "\n".join(lines)

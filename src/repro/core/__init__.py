@@ -1,0 +1,33 @@
+"""SeeDB core: the paper's contribution.
+
+* :mod:`repro.core.view` — aggregate views (a, m, f) and view-space
+  enumeration.
+* :mod:`repro.core.difference` — deviation-based utility (paper §2).
+* :mod:`repro.core.sharing` — sharing optimizations (§4.1): combine
+  aggregates, combine group-bys (bin-packed under a memory budget), combine
+  target+reference, parallel batches.
+* :mod:`repro.core.pruning` — pruning optimizations (§4.2): CI
+  (Hoeffding–Serfling) and MAB (successive accepts/rejects), plus NO_PRU and
+  RANDOM baselines.
+* :mod:`repro.core.engine` — the phased execution framework combining both
+  (§3), with NO_OPT / SHARING / COMB / COMB_EARLY strategies.
+* :mod:`repro.core.recommender` — the :class:`SeeDB` facade.
+"""
+
+from repro.core.view import AggregateView, ViewSpace
+from repro.core.engine import EngineRun, ExecutionEngine, Strategy
+from repro.core.recommender import SeeDB
+from repro.core.result import Recommendation, RecommendationSet, accuracy, utility_distance
+
+__all__ = [
+    "AggregateView",
+    "EngineRun",
+    "ExecutionEngine",
+    "Recommendation",
+    "RecommendationSet",
+    "SeeDB",
+    "Strategy",
+    "ViewSpace",
+    "accuracy",
+    "utility_distance",
+]

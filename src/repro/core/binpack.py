@@ -1,0 +1,70 @@
+"""First-fit bin packing for the group-by combining optimization.
+
+Paper §4.1 (Problem 4.1, Optimal Grouping): partition the dimension
+attributes into groups so that any single query grouping by one group keeps
+its estimated distinct-group count — the product of the attributes'
+cardinalities — under the memory budget.  Taking logs turns the product
+constraint into a sum constraint, i.e. classical bin packing with item
+weight ``log |a_i|`` and bin size ``log budget``; the paper uses the
+standard first-fit algorithm, as do we.
+
+Attributes whose single-attribute cardinality already exceeds the budget
+get singleton bins: the query must run regardless, and pairing it with
+anything else only makes the overflow worse.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import QueryError
+
+
+def first_fit(weights: list[float], capacity: float) -> list[list[int]]:
+    """Classic first-fit: place each item into the first bin it fits.
+
+    Returns bins as lists of item indices (insertion order preserved).
+    Items heavier than the capacity get their own bin.
+    """
+    if capacity <= 0:
+        raise QueryError(f"bin capacity must be positive, got {capacity}")
+    bins: list[list[int]] = []
+    loads: list[float] = []
+    for index, weight in enumerate(weights):
+        if weight > capacity:
+            bins.append([index])
+            loads.append(weight)
+            continue
+        for b, load in enumerate(loads):
+            if load + weight <= capacity and loads[b] + weight <= capacity:
+                bins[b].append(index)
+                loads[b] += weight
+                break
+        else:
+            bins.append([index])
+            loads.append(weight)
+    return bins
+
+
+def pack_dimensions(
+    dimensions: list[str], distinct_counts: dict[str, int], budget: int
+) -> list[list[str]]:
+    """Group dimension attributes under a distinct-group memory budget.
+
+    ``budget <= 1`` degenerates to singleton groups (no combining), which is
+    how the column store is configured in the paper's tuned setup.
+    """
+    if budget <= 1:
+        return [[d] for d in dimensions]
+    capacity = math.log(budget)
+    weights = [math.log(max(distinct_counts.get(d, 1), 1)) for d in dimensions]
+    bins = first_fit(weights, capacity)
+    return [[dimensions[i] for i in bin_indices] for bin_indices in bins]
+
+
+def estimated_groups(dimensions: list[str], distinct_counts: dict[str, int]) -> int:
+    """Upper bound on distinct groups for a combined group-by."""
+    product = 1
+    for d in dimensions:
+        product *= max(distinct_counts.get(d, 1), 1)
+    return product

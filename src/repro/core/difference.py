@@ -1,0 +1,50 @@
+"""Deviation-based utility (paper §2).
+
+``U(V) = S(P[V(D_Q)], P[V(D_R)])``: align the target and reference
+per-group summaries on their union of groups, normalize each into a
+probability distribution, and measure the distance ``S`` between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.base import DistanceFunction
+from repro.metrics.normalize import align_distributions
+
+
+@dataclass(frozen=True)
+class ViewDistributions:
+    """Aligned, normalized target/reference distributions for one view."""
+
+    keys: tuple[object, ...]
+    target: np.ndarray
+    reference: np.ndarray
+
+    def as_rows(self) -> list[dict[str, object]]:
+        return [
+            {"group": key, "target": float(p), "reference": float(q)}
+            for key, p, q in zip(self.keys, self.target, self.reference)
+        ]
+
+
+def compute_utility(
+    metric: DistanceFunction,
+    target_summary: dict[object, float],
+    reference_summary: dict[object, float],
+) -> tuple[float, ViewDistributions]:
+    """Utility of a view given its two finalized per-group summaries.
+
+    A view with an empty target or reference summary (the selection matched
+    no rows yet — possible in early phases) gets utility 0: there is no
+    evidence of deviation.
+    """
+    if not target_summary or not reference_summary:
+        keys = tuple(sorted(set(target_summary) | set(reference_summary), key=repr))
+        n = max(len(keys), 1)
+        flat = np.full(n, 1.0 / n)
+        return 0.0, ViewDistributions(keys or ("?",), flat, flat.copy())
+    keys, p, q = align_distributions(target_summary, reference_summary)
+    return metric(p, q), ViewDistributions(tuple(keys), p, q)

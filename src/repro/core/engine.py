@@ -1,0 +1,347 @@
+"""The SeeDB execution engine: NO_OPT / SHARING / COMB / COMB_EARLY.
+
+This is the phase-based framework of paper §3 combining both optimization
+families:
+
+* **NO_OPT** — two serial SQL queries per view over the full data; the
+  paper's basic framework (Figures 5, 6).
+* **SHARING** — one full pass with all sharing optimizations (§4.1), no
+  pruning (Figures 5, 7–9).
+* **COMB** — sharing + phased execution + a pruning strategy (§4.2); the
+  view set shrinks across phases (Figures 5, 11–13).
+* **COMB_EARLY** — COMB that stops as soon as the top-k is identified and
+  returns approximate results from the partials accumulated so far
+  (Figure 5's COMB_EARLY bars).
+
+Every run returns an :class:`EngineRun` carrying the ranked views, their
+distributions, full execution accounting, and the cost model's latency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.config import EngineConfig, ExecutionStats
+from repro.core.difference import ViewDistributions
+from repro.core.phases import phase_ranges
+from repro.core.pruning import Pruner, make_pruner
+from repro.core.sharing import (
+    PlannedQuery,
+    ReferenceMode,
+    SharingPlan,
+    plan_queries,
+)
+from repro.core.state import ViewState
+from repro.core.view import AggregateView, ViewKey
+from repro.db.catalog import TableMeta
+from repro.db.cost import CostModel
+from repro.db.executor import QueryExecutor
+from repro.db.expressions import Expression
+from repro.db.query import QueryResult
+from repro.db.sql import generate_sql
+from repro.db.storage import StorageEngine
+from repro.exceptions import RecommendationError
+from repro.metrics.base import DistanceFunction
+
+Strategy = Literal["no_opt", "sharing", "comb", "comb_early"]
+
+#: How many generated SQL strings to retain on a run (introspection only).
+_MAX_RECORDED_SQL = 64
+
+
+@dataclass
+class EngineRun:
+    """Everything a strategy run produced."""
+
+    strategy: Strategy
+    pruner_name: str
+    k: int
+    #: View keys ranked by (estimated) utility, best first — length k.
+    selected: list[ViewKey]
+    #: Final utility estimate per view that survived to the end.
+    utilities: dict[ViewKey, float]
+    #: Aligned target/reference distributions per surviving view.
+    distributions: dict[ViewKey, ViewDistributions]
+    stats: ExecutionStats
+    modeled_latency: float
+    wall_seconds: float
+    phases_executed: int
+    #: Number of views still active entering each phase.
+    active_per_phase: list[int]
+    sql: list[str] = field(default_factory=list)
+
+    def top(self, n: int | None = None) -> list[tuple[ViewKey, float]]:
+        ranked = sorted(self.utilities.items(), key=lambda kv: -kv[1])
+        return ranked[: n or self.k]
+
+
+class ExecutionEngine:
+    """Runs one strategy over one table's view space."""
+
+    def __init__(
+        self,
+        store: StorageEngine,
+        metric: DistanceFunction,
+        config: EngineConfig,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.store = store
+        self.metric = metric
+        self.config = config
+        self.cost_model = cost_model or CostModel()
+        self.executor = QueryExecutor(store)
+        self.meta = TableMeta.of(store.table)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        views: Sequence[AggregateView],
+        target_predicate: Expression,
+        k: int,
+        strategy: Strategy = "comb",
+        pruner: str | Pruner = "ci",
+        reference_mode: ReferenceMode = "all",
+        reference_predicate: Expression | None = None,
+    ) -> EngineRun:
+        """Execute ``strategy`` and return the top-``k`` views."""
+        if k <= 0:
+            raise RecommendationError(f"k must be positive, got {k}")
+        if not views:
+            raise RecommendationError("no candidate views to evaluate")
+        started = time.perf_counter()
+
+        config = self._strategy_config(strategy)
+        use_phases = strategy in ("comb", "comb_early")
+        early = strategy == "comb_early" or config.early_return
+        ranges = (
+            phase_ranges(self.store.nrows, config.n_phases)
+            if use_phases
+            else [(0, self.store.nrows)]
+        )
+
+        pruner_obj: Pruner
+        if use_phases:
+            pruner_obj = pruner if isinstance(pruner, Pruner) else self._make_pruner(pruner)
+        else:
+            pruner_obj = make_pruner("none")
+        pruner_obj.initialize([v.key for v in views], k, len(ranges))
+
+        states: dict[ViewKey, ViewState] = {
+            v.key: ViewState(v, self.store.table.dictionary(v.dimension)[1])
+            for v in views
+        }
+        active: dict[ViewKey, AggregateView] = {v.key: v for v in views}
+        run_stats = ExecutionStats()
+        sql_log: list[str] = []
+        active_per_phase: list[int] = []
+        phases_executed = 0
+
+        total_rows = max(self.store.nrows, 1)
+        previous_top_k: frozenset[ViewKey] = frozenset()
+        stable_phases = 0
+        for phase_index, (start, stop) in enumerate(ranges):
+            active_per_phase.append(len(active))
+            plan = plan_queries(
+                list(active.values()),
+                self.meta,
+                config,
+                target_predicate,
+                reference_mode,
+                reference_predicate,
+            )
+            self._execute_plan(
+                plan, (start, stop), config, states, run_stats, sql_log, reference_mode
+            )
+            phases_executed += 1
+
+            if use_phases:
+                estimates = {
+                    key: states[key].record_estimate(self.metric) for key in active
+                }
+                decision = pruner_obj.observe(
+                    phase_index,
+                    estimates,
+                    rows_seen=max(stop, 1),
+                    total_rows=total_rows,
+                )
+                for key in decision.pruned:
+                    active.pop(key, None)
+                if early:
+                    current_top_k = frozenset(
+                        sorted(estimates, key=lambda key: -estimates[key])[:k]
+                    )
+                    stable_phases = (
+                        stable_phases + 1 if current_top_k == previous_top_k else 0
+                    )
+                    previous_top_k = current_top_k
+                    if self._top_k_identified(
+                        pruner_obj, active, k, stable_phases, config
+                    ):
+                        break
+
+        selected, utilities, distributions = self._finalize(
+            states, active, pruner_obj, k
+        )
+        run_stats.wall_seconds = time.perf_counter() - started
+        return EngineRun(
+            strategy=strategy,
+            pruner_name=pruner_obj.name,
+            k=k,
+            selected=selected,
+            utilities=utilities,
+            distributions=distributions,
+            stats=run_stats,
+            modeled_latency=self.cost_model.latency_seconds(run_stats),
+            wall_seconds=run_stats.wall_seconds,
+            phases_executed=phases_executed,
+            active_per_phase=active_per_phase,
+            sql=sql_log,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _make_pruner(self, name: str) -> Pruner:
+        if name.lower() == "ci":
+            return make_pruner("ci", delta=self.config.ci_delta)
+        if name.lower() == "random":
+            return make_pruner("random", seed=self.config.seed)
+        return make_pruner(name)
+
+    def _strategy_config(self, strategy: Strategy) -> EngineConfig:
+        """Per-strategy engine knobs, derived from the base config."""
+        if strategy == "no_opt":
+            return self.config.with_(
+                max_aggregates_per_query=1,
+                max_group_bys_per_query=1,
+                use_binpacking=False,
+                combine_target_reference=False,
+                n_parallel_queries=1,
+            )
+        if strategy in ("sharing", "comb", "comb_early"):
+            return self.config
+        raise RecommendationError(f"unknown strategy {strategy!r}")
+
+    def _execute_plan(
+        self,
+        plan: SharingPlan,
+        row_range: tuple[int, int],
+        config: EngineConfig,
+        states: dict[ViewKey, ViewState],
+        run_stats: ExecutionStats,
+        sql_log: list[str],
+        reference_mode: ReferenceMode,
+    ) -> None:
+        """Run a phase's queries in parallel batches and route the results."""
+        start, stop = row_range
+        batch_size = max(config.n_parallel_queries, 1)
+        queries = list(plan.queries)
+        for i in range(0, len(queries), batch_size):
+            batch = queries[i : i + batch_size]
+            batch_costs: list[float] = []
+            for planned in batch:
+                query = planned.query.with_range(start, stop)
+                if len(sql_log) < _MAX_RECORDED_SQL:
+                    sql_log.append(generate_sql(query))
+                result, query_stats = self.executor.execute(query)
+                batch_costs.append(self.cost_model.query_seconds(query_stats))
+                run_stats.merge(query_stats)
+                self._route_result(planned, result, states, reference_mode)
+            run_stats.batch_costs.append(batch_costs)
+
+    def _route_result(
+        self,
+        planned: PlannedQuery,
+        result: QueryResult,
+        states: dict[ViewKey, ViewState],
+        reference_mode: ReferenceMode,
+    ) -> None:
+        """Feed one query result into every view it serves."""
+        counts = np.asarray(result.values["__group_count__"])
+        if planned.flag_alias is not None:
+            flags = np.asarray(result.groups[planned.flag_alias]).astype(np.int64)
+            if planned.flag_kind == "two_bit":
+                target_mask = flags >= 2
+                reference_mask = (flags % 2) == 1
+            else:
+                target_mask = flags == 1
+                reference_mask = (
+                    np.ones_like(target_mask)
+                    if reference_mode == "all"
+                    else flags == 0
+                )
+        else:
+            target_mask = reference_mask = None
+
+        for route in planned.routes:
+            state = states.get(route.view.key)
+            if state is None:
+                continue
+            keys = np.asarray(result.groups[route.dim_column])
+            agg = np.asarray(result.values[route.agg_alias])
+            if route.side == "target":
+                state.update_target(keys, agg, counts)
+            elif route.side == "reference":
+                state.update_reference(keys, agg, counts)
+            else:
+                assert target_mask is not None and reference_mask is not None
+                state.update_target(
+                    keys[target_mask], agg[target_mask], counts[target_mask]
+                )
+                state.update_reference(
+                    keys[reference_mask], agg[reference_mask], counts[reference_mask]
+                )
+
+    @staticmethod
+    def _top_k_identified(
+        pruner: Pruner,
+        active: dict[ViewKey, AggregateView],
+        k: int,
+        stable_phases: int,
+        config: EngineConfig,
+    ) -> bool:
+        """Early-return condition (COMB_EARLY): top-k already determined.
+
+        Any of: the pruner formally certifies a top-k set (CI interval
+        separation, or k MAB accepts); only k candidates remain active; or
+        the estimate-ranked top-k has been stable for
+        ``early_stability_phases`` consecutive boundaries.
+        """
+        if pruner.top_k_set() is not None:
+            return True
+        if len(active) <= k:
+            return True
+        return stable_phases >= max(config.early_stability_phases, 1)
+
+    def _finalize(
+        self,
+        states: dict[ViewKey, ViewState],
+        active: dict[ViewKey, AggregateView],
+        pruner: Pruner,
+        k: int,
+    ) -> tuple[list[ViewKey], dict[ViewKey, float], dict[ViewKey, ViewDistributions]]:
+        candidates = set(active) | set(pruner.accepted)
+        utilities: dict[ViewKey, float] = {}
+        distributions: dict[ViewKey, ViewDistributions] = {}
+        for key in candidates:
+            value, dists = states[key].utility(self.metric)
+            utilities[key] = value
+            distributions[key] = dists
+        if pruner.name == "random":
+            selected = sorted(
+                pruner.accepted, key=lambda key: -utilities.get(key, 0.0)
+            )[:k]
+        else:
+            selected = [
+                key
+                for key, _ in sorted(utilities.items(), key=lambda kv: -kv[1])[:k]
+            ]
+        return selected, utilities, distributions

@@ -1,0 +1,31 @@
+"""Phase partitioning for the phased execution framework (paper §3).
+
+"Each phase operates on a subset of the dataset.  Phase i of n operates on
+the ith of n equally-sized partitions" — contiguous row ranges here, with
+any remainder rows folded into the final phase.  For the pruning statistics
+to behave like random sampling, benchmarks shuffle the table first
+(``Table.shuffled``), matching the paper's randomization between runs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError
+
+
+def phase_ranges(n_rows: int, n_phases: int) -> list[tuple[int, int]]:
+    """Split ``[0, n_rows)`` into ``n_phases`` near-equal contiguous ranges."""
+    if n_rows < 0:
+        raise QueryError(f"n_rows must be nonnegative, got {n_rows}")
+    if n_phases <= 0:
+        raise QueryError(f"n_phases must be positive, got {n_phases}")
+    if n_rows == 0:
+        return [(0, 0)]
+    n_phases = min(n_phases, n_rows)
+    base = n_rows // n_phases
+    ranges = []
+    start = 0
+    for i in range(n_phases):
+        stop = start + base + (1 if i < n_rows % n_phases else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges

@@ -1,0 +1,27 @@
+"""Pruning-based optimizations (paper §4.2).
+
+At the end of each execution phase the engine feeds every active view's
+current utility estimate to a pruner, which may *discard* views (certainly
+not top-k) and, for MAB, *accept* views (certainly top-k).  Strategies:
+
+* ``ci`` — worst-case Hoeffding–Serfling confidence intervals,
+* ``mab`` — multi-armed-bandit successive accepts and rejects,
+* ``none`` — NO_PRU baseline (process everything),
+* ``random`` — RANDOM baseline (pick k views blindly).
+"""
+
+from repro.core.pruning.base import PruneDecision, Pruner, make_pruner
+from repro.core.pruning.ci import ConfidenceIntervalPruner
+from repro.core.pruning.mab import MultiArmedBanditPruner
+from repro.core.pruning.none import NoPruner
+from repro.core.pruning.random_ import RandomPruner
+
+__all__ = [
+    "ConfidenceIntervalPruner",
+    "MultiArmedBanditPruner",
+    "NoPruner",
+    "PruneDecision",
+    "Pruner",
+    "RandomPruner",
+    "make_pruner",
+]

@@ -1,0 +1,138 @@
+"""Pruner protocol shared by all pruning strategies."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.view import ViewKey
+from repro.exceptions import PruningError
+
+
+@dataclass(frozen=True)
+class PruneDecision:
+    """What a pruner decided at the end of one phase."""
+
+    pruned: frozenset[ViewKey] = frozenset()
+    accepted: frozenset[ViewKey] = frozenset()
+
+    @property
+    def empty(self) -> bool:
+        return not self.pruned and not self.accepted
+
+
+@dataclass
+class Pruner(abc.ABC):
+    """Observe per-phase utility estimates; decide prunes/accepts.
+
+    Lifecycle: :meth:`initialize` once, then :meth:`observe` after each
+    phase with the estimates of all *active* (not yet pruned) views —
+    including already-accepted ones, whose estimates keep refining but which
+    the pruner must not prune.
+    """
+
+    name: str = field(init=False, default="")
+
+    def __post_init__(self) -> None:
+        self._k = 0
+        self._n_phases = 0
+        self._accepted: set[ViewKey] = set()
+        self._initialized = False
+
+    def initialize(self, view_keys: Sequence[ViewKey], k: int, n_phases: int) -> None:
+        if k <= 0:
+            raise PruningError(f"k must be positive, got {k}")
+        if n_phases <= 0:
+            raise PruningError(f"n_phases must be positive, got {n_phases}")
+        self._k = min(k, len(view_keys))
+        self._n_phases = n_phases
+        self._accepted = set()
+        self._initialized = True
+
+    def observe(
+        self,
+        phase_index: int,
+        utilities: Mapping[ViewKey, float],
+        rows_seen: int | None = None,
+        total_rows: int | None = None,
+    ) -> PruneDecision:
+        """Feed one phase's estimates; get prune/accept decisions.
+
+        ``rows_seen``/``total_rows`` give the sampling progress CI pruning
+        needs for its without-replacement confidence intervals; when omitted
+        they default to phase counts.
+        """
+        if not self._initialized:
+            raise PruningError(f"{type(self).__name__}.observe before initialize")
+        if phase_index < 0 or phase_index >= self._n_phases:
+            raise PruningError(
+                f"phase index {phase_index} out of range [0, {self._n_phases})"
+            )
+        if rows_seen is None:
+            rows_seen = phase_index + 1
+        if total_rows is None:
+            total_rows = self._n_phases
+        if rows_seen <= 0 or total_rows < rows_seen:
+            raise PruningError(
+                f"bad sampling progress: rows_seen={rows_seen}, total={total_rows}"
+            )
+        decision = self._decide(phase_index, utilities, rows_seen, total_rows)
+        self._accepted |= decision.accepted
+        return decision
+
+    @abc.abstractmethod
+    def _decide(
+        self,
+        phase_index: int,
+        utilities: Mapping[ViewKey, float],
+        rows_seen: int,
+        total_rows: int,
+    ) -> PruneDecision:
+        """Strategy-specific decision; see subclass docs."""
+
+    def top_k_set(self) -> frozenset[ViewKey] | None:
+        """The identified top-k set, or None if not yet determined.
+
+        Drives COMB_EARLY: once a pruner can certify the top-k, the engine
+        may return approximate results immediately (paper §5.1).  The base
+        implementation certifies only when k views have been accepted.
+        """
+        if len(self._accepted) >= self._k:
+            return frozenset(self._accepted)
+        return None
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def n_phases(self) -> int:
+        return self._n_phases
+
+    @property
+    def accepted(self) -> frozenset[ViewKey]:
+        return frozenset(self._accepted)
+
+
+def make_pruner(name: str, **kwargs: object) -> Pruner:
+    """Factory for the four strategies: ci / mab / none / random."""
+    from repro.core.pruning.ci import ConfidenceIntervalPruner
+    from repro.core.pruning.mab import MultiArmedBanditPruner
+    from repro.core.pruning.none import NoPruner
+    from repro.core.pruning.random_ import RandomPruner
+
+    registry = {
+        "ci": ConfidenceIntervalPruner,
+        "mab": MultiArmedBanditPruner,
+        "none": NoPruner,
+        "no_pru": NoPruner,
+        "random": RandomPruner,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise PruningError(
+            f"unknown pruner {name!r}; available: {sorted(registry)}"
+        ) from None
+    return cls(**kwargs)  # type: ignore[arg-type]

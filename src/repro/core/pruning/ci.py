@@ -1,0 +1,124 @@
+"""Confidence-interval pruning via the Hoeffding–Serfling inequality.
+
+Paper §4.2: the engine draws rows without replacement, and after seeing
+``m`` of ``N`` rows every view has a running utility estimate.  The
+Hoeffding–Serfling inequality for sampling without replacement (Serfling
+1974; anytime form by Bardenet & Maillard) bounds how far the running mean
+of [0, 1]-valued draws can sit from the true mean, uniformly over ``m``,
+with probability ``1 - delta``:
+
+    eps_m = sqrt( (1 - (m-1)/N) * (2 ln ln(m+1) + ln(pi^2 / 3 delta)) / (2m) )
+
+Each view keeps ``mean(estimates so far) ± eps_m``.  The prune rule (the
+paper's Figure 4): discard view ``V_i`` as soon as its upper bound falls
+below the lower bound of at least ``k`` active views — then ``V_i`` cannot
+be in the top-k with high probability.
+
+Crucially ``m`` counts *rows*, not phases: the interval tightens as data is
+consumed, which is what lets CI prune aggressively after only a phase or
+two on clearly-separated views.  Utilities must be bounded in [0, 1] for
+the inequality to hold — true for EMD/Euclidean/JS/MAX_DIFF, heuristic for
+KL, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.pruning.base import PruneDecision, Pruner
+from repro.core.view import ViewKey
+from repro.exceptions import PruningError
+
+
+def hoeffding_serfling_epsilon(m: int, n_total: int, delta: float) -> float:
+    """Anytime confidence half-width after ``m`` of ``n_total`` draws."""
+    if m < 1:
+        raise PruningError(f"need at least one draw, got m={m}")
+    if not 0.0 < delta < 1.0:
+        raise PruningError(f"delta must be in (0,1), got {delta}")
+    n = max(n_total, m)
+    shrink = 1.0 - (m - 1) / n
+    confidence = 2.0 * math.log(math.log(m + 1)) + math.log(math.pi**2 / (3.0 * delta))
+    return math.sqrt(max(shrink * confidence, 0.0) / (2.0 * m))
+
+
+@dataclass
+class ConfidenceIntervalPruner(Pruner):
+    """The paper's CI scheme: worst-case intervals, aggressive pruning."""
+
+    delta: float = 0.05
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "ci"
+        self._history: dict[ViewKey, list[float]] = {}
+        self._last_epsilon = math.inf
+
+    def _decide(
+        self,
+        phase_index: int,
+        utilities: Mapping[ViewKey, float],
+        rows_seen: int,
+        total_rows: int,
+    ) -> PruneDecision:
+        for key, value in utilities.items():
+            self._history.setdefault(key, []).append(value)
+
+        epsilon = hoeffding_serfling_epsilon(rows_seen, total_rows, self.delta)
+        self._last_epsilon = epsilon
+        intervals: dict[ViewKey, tuple[float, float]] = {}
+        for key in utilities:
+            history = self._history[key]
+            mean = sum(history) / len(history)
+            intervals[key] = (mean - epsilon, mean + epsilon)
+
+        # Prune views whose upper bound is beaten by >= k lower bounds.
+        lower_bounds = sorted((lb for lb, _ in intervals.values()), reverse=True)
+        if len(lower_bounds) <= self.k:
+            return PruneDecision()
+        kth_lower = lower_bounds[self.k - 1]
+        pruned = set(key for key, (_, ub) in intervals.items() if ub < kth_lower)
+        # Never prune below k survivors (possible only with exact ties on
+        # the boundary); keep the highest upper bounds.
+        max_prunable = len(utilities) - self.k
+        if len(pruned) > max_prunable:
+            ranked = sorted(pruned, key=lambda key: -intervals[key][1])
+            pruned = set(ranked[len(pruned) - max_prunable :])
+        return PruneDecision(pruned=frozenset(pruned))
+
+    def top_k_set(self) -> frozenset[ViewKey] | None:
+        """Certify the top-k when its lower bounds clear everyone's upper bounds.
+
+        With the current half-width ``eps``, the candidate top-k by running
+        mean is certainly the true top-k (whp) when the k-th candidate's
+        lower bound is at least the best upper bound among the rest.
+        """
+        if not self._history or not math.isfinite(self._last_epsilon):
+            return None
+        means = {
+            key: sum(history) / len(history)
+            for key, history in self._history.items()
+        }
+        ranked = sorted(means, key=lambda key: -means[key])
+        if len(ranked) <= self.k:
+            return frozenset(ranked)
+        kth_lower = means[ranked[self.k - 1]] - self._last_epsilon
+        best_rest_upper = means[ranked[self.k]] + self._last_epsilon
+        if kth_lower >= best_rest_upper:
+            return frozenset(ranked[: self.k])
+        return None
+
+    @property
+    def last_epsilon(self) -> float:
+        """Half-width used at the most recent phase (introspection)."""
+        return self._last_epsilon
+
+    def interval(self, key: ViewKey) -> tuple[float, float]:
+        """Current confidence interval of a view (introspection helper)."""
+        history = self._history.get(key)
+        if not history:
+            raise PruningError(f"no observations for view {key!r}")
+        mean = sum(history) / len(history)
+        return (mean - self._last_epsilon, mean + self._last_epsilon)

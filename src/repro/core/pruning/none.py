@@ -1,0 +1,30 @@
+"""NO_PRU baseline: process every view on the full data.
+
+Upper bound on latency and accuracy, lower bound on utility distance
+(paper §5.4 "Techniques")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.pruning.base import PruneDecision, Pruner
+from repro.core.view import ViewKey
+
+
+@dataclass
+class NoPruner(Pruner):
+    """Never prunes, never accepts early."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "none"
+
+    def _decide(
+        self,
+        phase_index: int,
+        utilities: Mapping[ViewKey, float],
+        rows_seen: int,
+        total_rows: int,
+    ) -> PruneDecision:
+        return PruneDecision()

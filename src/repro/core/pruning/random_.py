@@ -1,0 +1,45 @@
+"""RANDOM baseline: return k arbitrary views.
+
+Lower bound on accuracy and upper bound on utility distance — "for any
+technique to be useful, it must do significantly better than RANDOM"
+(paper §5.4).  Implemented as a pruner that, at the first phase boundary,
+accepts k uniformly random views and discards everything else, so its
+latency is roughly one phase.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.pruning.base import PruneDecision, Pruner
+from repro.core.view import ViewKey
+
+
+@dataclass
+class RandomPruner(Pruner):
+    """Pick k views uniformly at random, ignore utilities entirely."""
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "random"
+
+    def _decide(
+        self,
+        phase_index: int,
+        utilities: Mapping[ViewKey, float],
+        rows_seen: int,
+        total_rows: int,
+    ) -> PruneDecision:
+        if self.accepted:
+            return PruneDecision()
+        rng = random.Random(self.seed)
+        keys = sorted(utilities)
+        chosen = frozenset(rng.sample(keys, min(self.k, len(keys))))
+        return PruneDecision(
+            pruned=frozenset(key for key in keys if key not in chosen),
+            accepted=chosen,
+        )

@@ -1,0 +1,195 @@
+"""The SeeDB facade — the library's main entry point.
+
+Wraps a database table in the full middleware stack (storage engine, cost
+model, view generator, execution engine) and exposes
+:meth:`SeeDB.recommend`, mirroring the paper's problem statement: given
+query Q (a target predicate), reference D_R, utility metric, and k, return
+the k aggregate views with the largest deviation-based utility.
+
+Example::
+
+    from repro import SeeDB
+    from repro.data import build
+    from repro.db.expressions import eq
+
+    seedb = SeeDB.over_table(build("census"))
+    result = seedb.recommend(target=eq("marital_status", "Unmarried"), k=5)
+    print(result.describe())
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import EngineConfig, StoreKind
+from repro.core.engine import EngineRun, ExecutionEngine, Strategy
+from repro.core.result import Recommendation, RecommendationSet
+from repro.core.sharing import ReferenceMode
+from repro.core.view import AggregateView, ViewSpace
+from repro.db.buffer import BufferPool
+from repro.db.catalog import TableMeta
+from repro.db.cost import CostModel
+from repro.db.database import Database
+from repro.db.expressions import Expression
+from repro.db.query import AggregateFunction
+from repro.db.storage import make_store
+from repro.db.table import Table
+from repro.exceptions import RecommendationError
+from repro.metrics.base import DistanceFunction, get_metric
+
+
+def tuned_config(store: StoreKind) -> EngineConfig:
+    """The paper's tuned sharing settings (§5.3 "All Sharing Optimizations").
+
+    ROW: combine all aggregates, bin-pack group-bys under the 10^4 budget,
+    16 parallel queries.  COL: combine all aggregates, *no* group-by
+    combining (their column store saw little gain), 16 parallel queries.
+    """
+    if store == "row":
+        return EngineConfig(store="row", use_binpacking=True)
+    return EngineConfig(store="col", use_binpacking=False, max_group_bys_per_query=1)
+
+
+class SeeDB:
+    """Visualization recommendation middleware over one table."""
+
+    def __init__(
+        self,
+        database: Database,
+        table_name: str,
+        store: StoreKind = "col",
+        config: EngineConfig | None = None,
+        metric: str | DistanceFunction = "emd",
+        funcs: Sequence[AggregateFunction] = (AggregateFunction.AVG,),
+        buffer_pool: BufferPool | None = None,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.database = database
+        self.table = database.table(table_name)
+        self.config = config or tuned_config(store)
+        if self.config.store != store:
+            self.config = self.config.with_(store=store)
+        self.metric = get_metric(metric) if isinstance(metric, str) else metric
+        self.funcs = tuple(funcs)
+        self.store = make_store(store, self.table, buffer_pool)
+        self.cost_model = cost_model or CostModel.for_store(store)
+        self.engine = ExecutionEngine(self.store, self.metric, self.config, self.cost_model)
+        self.meta = TableMeta.of(self.table)
+
+    @classmethod
+    def over_table(cls, table: Table, **kwargs: object) -> "SeeDB":
+        """Convenience constructor: register ``table`` in a fresh database."""
+        database = Database()
+        database.register(table)
+        return cls(database, table.name, **kwargs)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------ #
+    # view space
+    # ------------------------------------------------------------------ #
+
+    def view_space(
+        self,
+        dimensions: Sequence[str] | None = None,
+        measures: Sequence[str] | None = None,
+    ) -> ViewSpace:
+        """Candidate views (A x M x F), optionally analyst-restricted."""
+        return ViewSpace.enumerate(self.meta, self.funcs, dimensions, measures)
+
+    # ------------------------------------------------------------------ #
+    # recommendation
+    # ------------------------------------------------------------------ #
+
+    def recommend(
+        self,
+        target: Expression,
+        k: int = 10,
+        reference: ReferenceMode = "all",
+        reference_predicate: Expression | None = None,
+        strategy: Strategy = "comb",
+        pruner: str = "ci",
+        dimensions: Sequence[str] | None = None,
+        measures: Sequence[str] | None = None,
+    ) -> RecommendationSet:
+        """Recommend the top-``k`` visualizations for target query ``target``."""
+        run = self.run_engine(
+            target,
+            k,
+            reference=reference,
+            reference_predicate=reference_predicate,
+            strategy=strategy,
+            pruner=pruner,
+            dimensions=dimensions,
+            measures=measures,
+        )
+        return self._to_recommendations(run)
+
+    def run_engine(
+        self,
+        target: Expression,
+        k: int = 10,
+        reference: ReferenceMode = "all",
+        reference_predicate: Expression | None = None,
+        strategy: Strategy = "comb",
+        pruner: str = "ci",
+        dimensions: Sequence[str] | None = None,
+        measures: Sequence[str] | None = None,
+        views: Sequence[AggregateView] | None = None,
+    ) -> EngineRun:
+        """Lower-level entry point returning the raw :class:`EngineRun`."""
+        space = list(views) if views is not None else list(self.view_space(dimensions, measures))
+        if not space:
+            raise RecommendationError("empty view space")
+        return self.engine.run(
+            space,
+            target,
+            k=k,
+            strategy=strategy,
+            pruner=pruner,
+            reference_mode=reference,
+            reference_predicate=reference_predicate,
+        )
+
+    def true_top_k(
+        self,
+        target: Expression,
+        k: int,
+        reference: ReferenceMode = "all",
+        reference_predicate: Expression | None = None,
+        dimensions: Sequence[str] | None = None,
+        measures: Sequence[str] | None = None,
+    ) -> EngineRun:
+        """Exact top-k via a full, unpruned pass (ground truth for §5.4)."""
+        return self.run_engine(
+            target,
+            k,
+            reference=reference,
+            reference_predicate=reference_predicate,
+            strategy="sharing",
+            pruner="none",
+            dimensions=dimensions,
+            measures=measures,
+        )
+
+    def _to_recommendations(self, run: EngineRun) -> RecommendationSet:
+        space = {v.key: v for v in self.view_space()}
+        recommendations = []
+        for rank, key in enumerate(run.selected, start=1):
+            recommendations.append(
+                Recommendation(
+                    view=space.get(key) or AggregateView(key[0], key[1]),
+                    utility=run.utilities[key],
+                    distributions=run.distributions[key],
+                    rank=rank,
+                )
+            )
+        return RecommendationSet(
+            recommendations=tuple(recommendations),
+            k=run.k,
+            strategy=run.strategy,
+            pruner=run.pruner_name,
+            metric=self.metric.name,
+            modeled_latency=run.modeled_latency,
+            wall_seconds=run.wall_seconds,
+            queries_issued=run.stats.queries_issued,
+            phases_executed=run.phases_executed,
+        )

@@ -1,0 +1,93 @@
+"""Recommendation results and the result-quality metrics of paper §5.4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.difference import ViewDistributions
+from repro.core.view import AggregateView, ViewKey
+from repro.exceptions import RecommendationError
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended visualization."""
+
+    view: AggregateView
+    utility: float
+    distributions: ViewDistributions
+    rank: int
+
+    def chart_spec(self) -> dict:
+        """Bar-chart spec for this recommendation (see :mod:`repro.viz`)."""
+        from repro.viz.spec import recommendation_spec
+
+        return recommendation_spec(self)
+
+
+@dataclass(frozen=True)
+class RecommendationSet:
+    """The ranked top-k recommendations of one SeeDB invocation."""
+
+    recommendations: tuple[Recommendation, ...]
+    k: int
+    strategy: str
+    pruner: str
+    metric: str
+    modeled_latency: float
+    wall_seconds: float
+    queries_issued: int
+    phases_executed: int
+
+    def __iter__(self) -> Iterator[Recommendation]:
+        return iter(self.recommendations)
+
+    def __len__(self) -> int:
+        return len(self.recommendations)
+
+    def __getitem__(self, index: int) -> Recommendation:
+        return self.recommendations[index]
+
+    @property
+    def keys(self) -> list[ViewKey]:
+        return [rec.view.key for rec in self.recommendations]
+
+    def describe(self) -> str:
+        lines = [
+            f"top-{self.k} views ({self.strategy}/{self.pruner}, metric={self.metric}, "
+            f"latency={self.modeled_latency:.3f}s modeled / {self.wall_seconds:.3f}s wall, "
+            f"{self.queries_issued} queries)"
+        ]
+        for rec in self.recommendations:
+            lines.append(f"  #{rec.rank:<2} U={rec.utility:.4f}  {rec.view.describe()}")
+        return "\n".join(lines)
+
+
+def accuracy(selected: Sequence[ViewKey], truth: Sequence[ViewKey]) -> float:
+    """Fraction of the true top-k present in the returned set (paper §5.4).
+
+    ``accuracy = |{v_T} ∩ {v_S}| / |{v_T}|``.
+    """
+    if not truth:
+        raise RecommendationError("true top-k is empty")
+    truth_set = set(truth)
+    return len(truth_set & set(selected)) / len(truth_set)
+
+
+def utility_distance(
+    selected: Sequence[ViewKey],
+    truth: Sequence[ViewKey],
+    true_utilities: Mapping[ViewKey, float],
+) -> float:
+    """Mean true utility of the true top-k minus that of the returned set.
+
+    Uses *true* utilities for both sides, so near-ties at the top-k boundary
+    cost almost nothing even when accuracy drops — the paper's argument for
+    reporting both metrics together.
+    """
+    if not truth or not selected:
+        raise RecommendationError("utility_distance needs non-empty view sets")
+    true_avg = sum(true_utilities[key] for key in truth) / len(truth)
+    selected_avg = sum(true_utilities.get(key, 0.0) for key in selected) / len(selected)
+    return true_avg - selected_avg

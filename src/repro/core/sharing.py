@@ -1,0 +1,273 @@
+"""Sharing-based optimizations (paper §4.1): the query planner.
+
+Given the set of views still alive, the planner emits the smallest set of
+logical queries that serves them all, applying — each independently
+switchable through :class:`~repro.config.EngineConfig` — the paper's four
+sharing optimizations:
+
+1. **Combine multiple aggregates**: all views sharing a group-by attribute
+   merge their ``f(m)`` expressions into one query (chunked by the
+   ``max_aggregates_per_query`` limit of Figure 7a's sweep).
+2. **Combine multiple GROUP BYs**: dimension attributes are grouped —
+   either naively in chunks of ``max_group_bys_per_query`` (the MAX_GB
+   baseline of Figure 8b) or by first-fit bin packing under the store's
+   memory budget (BP) — and one query groups by the whole set; the
+   middleware later marginalizes each view's dimension back out, which is
+   sound because COUNT/SUM/AVG/MIN/MAX are all decomposable.
+3. **Combine target and reference**: instead of two predicated queries, one
+   query adds a derived flag column (``CASE WHEN <target> THEN 1 ELSE 0
+   END``) and groups by it.
+4. **Parallelism** is not planned here — the engine batches the emitted
+   queries ``n_parallel_queries`` at a time.
+
+Each emitted :class:`PlannedQuery` carries routes telling the engine which
+result columns feed which view's target/reference partial state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.config import EngineConfig
+from repro.core.binpack import pack_dimensions
+from repro.core.view import AggregateView
+from repro.db.catalog import TableMeta
+from repro.db.expressions import Arithmetic, CaseWhen, Expression, Lit, Not, Or
+from repro.db.query import (
+    AggregateFunction,
+    AggregateQuery,
+    AggregateSpec,
+    DerivedColumn,
+)
+from repro.exceptions import RecommendationError
+
+#: Name of the derived target/reference flag column in combined queries.
+FLAG_ALIAS = "seedb_flag"
+
+ReferenceMode = Literal["all", "complement", "query"]
+Side = Literal["both", "target", "reference"]
+
+
+@dataclass(frozen=True)
+class ViewRoute:
+    """How one view reads its numbers out of one query's result."""
+
+    view: AggregateView
+    dim_column: str
+    agg_alias: str
+    side: Side
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """One logical query plus the views it serves."""
+
+    query: AggregateQuery
+    routes: tuple[ViewRoute, ...]
+    #: Present when target and reference are combined via a flag column.
+    flag_alias: str | None
+    #: "one_bit" flag (1 = target row) or "two_bit" (2*target + reference).
+    flag_kind: str | None
+
+
+@dataclass(frozen=True)
+class SharingPlan:
+    """The full set of queries for one phase."""
+
+    queries: tuple[PlannedQuery, ...]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def plan_queries(
+    views: Sequence[AggregateView],
+    meta: TableMeta,
+    config: EngineConfig,
+    target_predicate: Expression,
+    reference_mode: ReferenceMode = "all",
+    reference_predicate: Expression | None = None,
+) -> SharingPlan:
+    """Plan the query set serving ``views`` under ``config``.
+
+    ``reference_mode`` selects the paper's three reference options: the
+    whole dataset ("all", the default D_R = D), the complement
+    ("complement", D - D_Q), or an arbitrary query ("query", D_Q' — needs
+    ``reference_predicate``).
+    """
+    if not views:
+        return SharingPlan(())
+    if reference_mode == "query" and reference_predicate is None:
+        raise RecommendationError("reference_mode='query' requires reference_predicate")
+
+    views_by_dim: dict[str, list[AggregateView]] = {}
+    for view in views:
+        views_by_dim.setdefault(view.dimension, []).append(view)
+    dimensions = list(views_by_dim)
+
+    dim_groups = _group_dimensions(dimensions, meta, config)
+    budget = config.group_budget()
+
+    planned: list[PlannedQuery] = []
+    for dim_group in dim_groups:
+        group_views = [v for d in dim_group for v in views_by_dim[d]]
+        for chunk in _chunk_aggregates(group_views, config.max_aggregates_per_query):
+            planned.extend(
+                _plan_one(
+                    chunk,
+                    dim_group,
+                    meta.name,
+                    budget,
+                    config,
+                    target_predicate,
+                    reference_mode,
+                    reference_predicate,
+                )
+            )
+    return SharingPlan(tuple(planned))
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+
+
+def _group_dimensions(
+    dimensions: list[str], meta: TableMeta, config: EngineConfig
+) -> list[list[str]]:
+    if config.use_binpacking:
+        return pack_dimensions(dimensions, meta.distinct_counts, config.group_budget())
+    size = max(config.max_group_bys_per_query, 1)
+    return [dimensions[i : i + size] for i in range(0, len(dimensions), size)]
+
+
+def _chunk_aggregates(
+    group_views: list[AggregateView], max_aggregates: int | None
+) -> list[list[AggregateView]]:
+    """Split a dimension group's views by the aggregates-per-query limit.
+
+    Views are keyed by their (func, measure) aggregate; several views (one
+    per dimension in the group) may share one aggregate, so the limit
+    applies to *distinct* aggregates, not views.
+    """
+    agg_order: dict[str, list[AggregateView]] = {}
+    for view in group_views:
+        agg_order.setdefault(view.agg_alias, []).append(view)
+    aliases = list(agg_order)
+    if max_aggregates is None or max_aggregates <= 0:
+        return [group_views]
+    chunks = []
+    for i in range(0, len(aliases), max_aggregates):
+        chunk_aliases = aliases[i : i + max_aggregates]
+        chunks.append([v for alias in chunk_aliases for v in agg_order[alias]])
+    return chunks
+
+
+def _aggregate_specs(chunk_views: list[AggregateView]) -> tuple[AggregateSpec, ...]:
+    """Distinct aggregate output columns needed by the chunk's views."""
+    specs: dict[str, AggregateSpec] = {}
+    for view in chunk_views:
+        if view.agg_alias in specs:
+            continue
+        if view.func is AggregateFunction.COUNT:
+            specs[view.agg_alias] = AggregateSpec(AggregateFunction.COUNT, None, view.agg_alias)
+        else:
+            specs[view.agg_alias] = AggregateSpec(view.func, view.measure, view.agg_alias)
+    return tuple(specs.values())
+
+
+def _plan_one(
+    chunk_views: list[AggregateView],
+    dim_group: list[str],
+    table_name: str,
+    budget: int,
+    config: EngineConfig,
+    target_predicate: Expression,
+    reference_mode: ReferenceMode,
+    reference_predicate: Expression | None,
+) -> list[PlannedQuery]:
+    aggregates = _aggregate_specs(chunk_views)
+
+    if config.combine_target_reference:
+        derived, predicate, flag_kind = _combined_flag(
+            target_predicate, reference_mode, reference_predicate
+        )
+        query = AggregateQuery(
+            table=table_name,
+            group_by=tuple(dim_group) + (FLAG_ALIAS,),
+            aggregates=aggregates,
+            predicate=predicate,
+            derived=(derived,),
+            group_budget=budget,
+        )
+        routes = tuple(
+            ViewRoute(view, view.dimension, view.agg_alias, "both")
+            for view in chunk_views
+        )
+        return [PlannedQuery(query, routes, FLAG_ALIAS, flag_kind)]
+
+    target_query = AggregateQuery(
+        table=table_name,
+        group_by=tuple(dim_group),
+        aggregates=aggregates,
+        predicate=target_predicate,
+        group_budget=budget,
+    )
+    reference_query = AggregateQuery(
+        table=table_name,
+        group_by=tuple(dim_group),
+        aggregates=aggregates,
+        predicate=_reference_only_predicate(
+            target_predicate, reference_mode, reference_predicate
+        ),
+        group_budget=budget,
+    )
+    t_routes = tuple(
+        ViewRoute(view, view.dimension, view.agg_alias, "target") for view in chunk_views
+    )
+    r_routes = tuple(
+        ViewRoute(view, view.dimension, view.agg_alias, "reference")
+        for view in chunk_views
+    )
+    return [
+        PlannedQuery(target_query, t_routes, None, None),
+        PlannedQuery(reference_query, r_routes, None, None),
+    ]
+
+
+def _combined_flag(
+    target_predicate: Expression,
+    reference_mode: ReferenceMode,
+    reference_predicate: Expression | None,
+) -> tuple[DerivedColumn, Expression | None, str]:
+    """Derived flag column + row filter for a combined query.
+
+    * "all"/"complement": one bit — 1 marks target rows; the engine reads
+      reference mass from both flag groups ("all") or flag 0 only
+      ("complement").  No WHERE clause: every row contributes somewhere.
+    * "query": two bits — ``2*[target] + [reference]``; rows matching
+      neither predicate are filtered out by WHERE.
+    """
+    target_bit = CaseWhen(target_predicate, Lit(1), Lit(0))
+    if reference_mode in ("all", "complement"):
+        return DerivedColumn(FLAG_ALIAS, target_bit), None, "one_bit"
+    assert reference_predicate is not None
+    reference_bit = CaseWhen(reference_predicate, Lit(1), Lit(0))
+    two_bit = Arithmetic(
+        "+", Arithmetic("*", Lit(2), target_bit), reference_bit
+    )
+    where = Or((target_predicate, reference_predicate))
+    return DerivedColumn(FLAG_ALIAS, two_bit), where, "two_bit"
+
+
+def _reference_only_predicate(
+    target_predicate: Expression,
+    reference_mode: ReferenceMode,
+    reference_predicate: Expression | None,
+) -> Expression | None:
+    if reference_mode == "all":
+        return None
+    if reference_mode == "complement":
+        return Not(target_predicate)
+    return reference_predicate

@@ -1,0 +1,30 @@
+"""Dataset substrate: seeded surrogates for every dataset in Table 1.
+
+The paper evaluates on synthetic tables (SYN, SYN*-10, SYN*-100) and real
+datasets (BANK, DIAB, AIR, AIR10, CENSUS, HOUSING, MOVIES).  The real files
+are not redistributable, so this package generates surrogates with the same
+shape — row counts, dimension/measure counts, and therefore view counts —
+and *planted deviations* so that a controlled subset of views genuinely
+deviates between target and reference slices (DESIGN.md §2 documents the
+substitution).
+
+Use :func:`repro.data.registry.build` (re-exported here) to construct any
+dataset by name.
+"""
+
+from repro.data.planting import PlantedView
+from repro.data.registry import DATASETS, DatasetSpec, build, build_info, table_one_inventory
+from repro.data.synthetic import SyntheticConfig, make_synthetic, make_syn, make_syn_star
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "PlantedView",
+    "SyntheticConfig",
+    "build",
+    "build_info",
+    "make_syn",
+    "make_syn_star",
+    "make_synthetic",
+    "table_one_inventory",
+]

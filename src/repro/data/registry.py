@@ -1,0 +1,232 @@
+"""Dataset registry: build any Table-1 dataset by name.
+
+Row counts are scale-controllable via the ``SEEDB_SCALE`` environment
+variable or an explicit ``scale=`` argument:
+
+* ``smoke`` — tiny tables for fast CI runs,
+* ``small`` — laptop-friendly defaults (AIR scaled to 300K rows),
+* ``full``  — the paper's published row counts (AIR = 6M; AIR10 is capped at
+  12M rather than 60M because a 60M-row in-memory table exceeds laptop RAM —
+  the 10x-scaling *trend* of Figure 5 is preserved by the AIR→AIR10 ratio).
+
+The inventory report (:func:`table_one_inventory`) regenerates paper
+Table 1's rows.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data import real, synthetic
+from repro.db.expressions import Comparison, Expression, eq
+from repro.db.table import Table
+from repro.exceptions import DatasetError
+
+Scale = str
+_VALID_SCALES = ("smoke", "small", "full")
+
+
+def current_scale(default: Scale = "small") -> Scale:
+    """Scale from ``SEEDB_SCALE`` env var, else ``default``."""
+    scale = os.environ.get("SEEDB_SCALE", default).lower()
+    if scale not in _VALID_SCALES:
+        raise DatasetError(
+            f"SEEDB_SCALE must be one of {_VALID_SCALES}, got {scale!r}"
+        )
+    return scale
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry: how to build a dataset and how to query it."""
+
+    name: str
+    description: str
+    builder: Callable[[int, int], Table]  # (n_rows, seed) -> Table
+    rows_by_scale: dict[Scale, int]
+    split_column: str
+    target_value: str
+    other_value: str
+    #: Row count the paper reports (for the Table 1 inventory).
+    paper_rows: int
+
+    def build(self, seed: int = 0, scale: Scale | None = None, n_rows: int | None = None) -> Table:
+        rows = n_rows if n_rows is not None else self.rows_by_scale[scale or current_scale()]
+        return self.builder(rows, seed)
+
+    def target_predicate(self) -> Expression:
+        """The analyst's query Q selecting the target slice D_Q."""
+        return eq(self.split_column, self.target_value)
+
+    def complement_predicate(self) -> Comparison:
+        """Selects D - D_Q (the paper's complement reference option)."""
+        return eq(self.split_column, self.other_value)
+
+
+def _real_builder(recipe: real.RealRecipe) -> Callable[[int, int], Table]:
+    def build(n_rows: int, seed: int) -> Table:
+        return real.build_real(recipe, seed=seed, n_rows=n_rows)
+
+    return build
+
+
+def _syn_builder(n_rows: int, seed: int) -> Table:
+    return synthetic.make_syn(n_rows=n_rows, seed=seed)
+
+
+def _syn_star_builder(distinct: int) -> Callable[[int, int], Table]:
+    def build(n_rows: int, seed: int) -> Table:
+        return synthetic.make_syn_star(distinct, n_rows=n_rows, seed=seed)
+
+    return build
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "syn": DatasetSpec(
+        name="syn",
+        description="Randomly distributed, varying # distinct values",
+        builder=_syn_builder,
+        rows_by_scale={"smoke": 5_000, "small": 100_000, "full": 1_000_000},
+        split_column=synthetic.SPLIT_COLUMN,
+        target_value=synthetic.TARGET_VALUE,
+        other_value=synthetic.REFERENCE_VALUE,
+        paper_rows=1_000_000,
+    ),
+    "syn_star_10": DatasetSpec(
+        name="syn_star_10",
+        description="Randomly distributed, 10 distinct values/dim",
+        builder=_syn_star_builder(10),
+        rows_by_scale={"smoke": 5_000, "small": 100_000, "full": 1_000_000},
+        split_column=synthetic.SPLIT_COLUMN,
+        target_value=synthetic.TARGET_VALUE,
+        other_value=synthetic.REFERENCE_VALUE,
+        paper_rows=1_000_000,
+    ),
+    "syn_star_100": DatasetSpec(
+        name="syn_star_100",
+        description="Randomly distributed, 100 distinct values/dim",
+        builder=_syn_star_builder(100),
+        rows_by_scale={"smoke": 5_000, "small": 100_000, "full": 1_000_000},
+        split_column=synthetic.SPLIT_COLUMN,
+        target_value=synthetic.TARGET_VALUE,
+        other_value=synthetic.REFERENCE_VALUE,
+        paper_rows=1_000_000,
+    ),
+    "bank": DatasetSpec(
+        name="bank",
+        description="Customer loan dataset",
+        builder=_real_builder(real.BANK_RECIPE),
+        rows_by_scale={"smoke": 4_000, "small": 40_000, "full": 40_000},
+        split_column=real.BANK_RECIPE.split_column,
+        target_value=real.BANK_RECIPE.target_value,
+        other_value=real.BANK_RECIPE.other_value,
+        paper_rows=40_000,
+    ),
+    "diab": DatasetSpec(
+        name="diab",
+        description="Hospital data about diabetic patients",
+        builder=_real_builder(real.DIAB_RECIPE),
+        rows_by_scale={"smoke": 5_000, "small": 100_000, "full": 100_000},
+        split_column=real.DIAB_RECIPE.split_column,
+        target_value=real.DIAB_RECIPE.target_value,
+        other_value=real.DIAB_RECIPE.other_value,
+        paper_rows=100_000,
+    ),
+    "air": DatasetSpec(
+        name="air",
+        description="Airline delays dataset",
+        builder=_real_builder(real.AIR_RECIPE),
+        rows_by_scale={"smoke": 20_000, "small": 300_000, "full": 6_000_000},
+        split_column=real.AIR_RECIPE.split_column,
+        target_value=real.AIR_RECIPE.target_value,
+        other_value=real.AIR_RECIPE.other_value,
+        paper_rows=6_000_000,
+    ),
+    "air10": DatasetSpec(
+        name="air10",
+        description="Airline dataset scaled 10X",
+        builder=_real_builder(real.AIR_RECIPE),
+        rows_by_scale={"smoke": 200_000, "small": 3_000_000, "full": 12_000_000},
+        split_column=real.AIR_RECIPE.split_column,
+        target_value=real.AIR_RECIPE.target_value,
+        other_value=real.AIR_RECIPE.other_value,
+        paper_rows=60_000_000,
+    ),
+    "census": DatasetSpec(
+        name="census",
+        description="Census data",
+        builder=_real_builder(real.CENSUS_RECIPE),
+        rows_by_scale={"smoke": 3_000, "small": 21_000, "full": 21_000},
+        split_column=real.CENSUS_RECIPE.split_column,
+        target_value=real.CENSUS_RECIPE.target_value,
+        other_value=real.CENSUS_RECIPE.other_value,
+        paper_rows=21_000,
+    ),
+    "housing": DatasetSpec(
+        name="housing",
+        description="Housing prices",
+        builder=_real_builder(real.HOUSING_RECIPE),
+        rows_by_scale={"smoke": 500, "small": 500, "full": 500},
+        split_column=real.HOUSING_RECIPE.split_column,
+        target_value=real.HOUSING_RECIPE.target_value,
+        other_value=real.HOUSING_RECIPE.other_value,
+        paper_rows=500,
+    ),
+    "movies": DatasetSpec(
+        name="movies",
+        description="Movie sales",
+        builder=_real_builder(real.MOVIES_RECIPE),
+        rows_by_scale={"smoke": 1_000, "small": 1_000, "full": 1_000},
+        split_column=real.MOVIES_RECIPE.split_column,
+        target_value=real.MOVIES_RECIPE.target_value,
+        other_value=real.MOVIES_RECIPE.other_value,
+        paper_rows=1_000,
+    ),
+}
+
+
+def spec(name: str) -> DatasetSpec:
+    try:
+        return DATASETS[name.lower()]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+
+
+def build(name: str, seed: int = 0, scale: Scale | None = None, n_rows: int | None = None) -> Table:
+    """Build a registered dataset by name."""
+    return spec(name).build(seed=seed, scale=scale, n_rows=n_rows)
+
+
+def build_info(
+    name: str, seed: int = 0, scale: Scale | None = None, n_rows: int | None = None
+) -> tuple[Table, DatasetSpec]:
+    """Build a dataset and return it together with its registry spec."""
+    dataset_spec = spec(name)
+    return dataset_spec.build(seed=seed, scale=scale, n_rows=n_rows), dataset_spec
+
+
+def table_one_inventory(scale: Scale | None = None, seed: int = 0) -> list[dict[str, object]]:
+    """Regenerate the paper's Table 1 rows for the built datasets."""
+    from repro.db.catalog import TableMeta
+
+    rows = []
+    for name, dataset_spec in DATASETS.items():
+        table = dataset_spec.build(seed=seed, scale=scale)
+        meta = TableMeta.of(table)
+        rows.append(
+            {
+                "name": name.upper(),
+                "description": dataset_spec.description,
+                "rows": meta.n_rows,
+                "paper_rows": dataset_spec.paper_rows,
+                "|A|": meta.n_dimensions,
+                "|M|": meta.n_measures,
+                "views": meta.n_views(),
+                "size_mb": round(meta.size_mb, 2),
+            }
+        )
+    return rows

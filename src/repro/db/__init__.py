@@ -1,0 +1,44 @@
+"""In-memory DBMS substrate.
+
+SeeDB is middleware over "any SQL-compliant DBMS"; this subpackage supplies
+that DBMS: typed tables (:mod:`repro.db.table`), two physical storage engines
+with paged I/O accounting (:mod:`repro.db.storage`), a buffer pool
+(:mod:`repro.db.buffer`), vectorized expression evaluation
+(:mod:`repro.db.expressions`), hash aggregation with a memory budget and
+multi-pass spill (:mod:`repro.db.groupby`), a query executor
+(:mod:`repro.db.executor`), a SQL subset front end (:mod:`repro.db.sql`), and
+a deterministic cost model (:mod:`repro.db.cost`) that converts I/O and CPU
+accounting into simulated latencies.
+"""
+
+from repro.db.types import ColumnRole, ColumnType, Column, Schema
+from repro.db.table import Table
+from repro.db.buffer import BufferPool
+from repro.db.storage import ColumnStore, RowStore, StorageEngine, make_store
+from repro.db.query import AggregateFunction, AggregateQuery, AggregateSpec
+from repro.db.executor import QueryExecutor, QueryResult
+from repro.db.database import Database, SnowflakeJoin
+from repro.db.catalog import TableMeta
+from repro.db.cost import CostModel
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateQuery",
+    "AggregateSpec",
+    "BufferPool",
+    "Column",
+    "ColumnRole",
+    "ColumnStore",
+    "ColumnType",
+    "CostModel",
+    "Database",
+    "QueryExecutor",
+    "QueryResult",
+    "RowStore",
+    "Schema",
+    "SnowflakeJoin",
+    "StorageEngine",
+    "Table",
+    "TableMeta",
+    "make_store",
+]

@@ -1,0 +1,73 @@
+"""Deterministic cost model: accounting → simulated latency.
+
+The paper reports wall-clock seconds on Postgres (ROW) and a commercial
+column store (COL) running on a 16-core Xeon.  We substitute a deterministic
+model over the executor's accounting (DESIGN.md §2): bytes read at miss/hit
+rates, per-query overhead, per-(row × aggregate) CPU, per-group hash-table
+cost, and batch-level parallelism with contention beyond ``n_cores``.
+
+The model is intentionally simple and fully inspectable; every figure in the
+benchmark harness reports both the modeled latency (deterministic, used for
+the paper-shape comparisons) and the real wall time of the in-memory engine.
+"""
+
+from __future__ import annotations
+
+from repro.config import CostModelConfig, ExecutionStats
+
+
+class CostModel:
+    """Convert :class:`~repro.config.ExecutionStats` into seconds.
+
+    ``store`` selects the per-(row x aggregate) CPU rate: row stores pay
+    tuple-at-a-time iteration, column stores run vectorized (~5x cheaper).
+    """
+
+    def __init__(
+        self, config: CostModelConfig | None = None, store: str = "row"
+    ) -> None:
+        self.config = config or CostModelConfig()
+        self.store = store
+        self._agg_row_rate = (
+            self.config.col_seconds_per_agg_row
+            if store == "col"
+            else self.config.row_seconds_per_agg_row
+        )
+
+    @classmethod
+    def for_store(cls, store: str, config: CostModelConfig | None = None) -> "CostModel":
+        return cls(config=config, store=store)
+
+    def query_seconds(self, stats: ExecutionStats) -> float:
+        """Serial cost of the work recorded in ``stats`` (one query's worth)."""
+        c = self.config
+        return (
+            stats.bytes_scanned_miss * c.seconds_per_byte_miss
+            + stats.bytes_scanned_hit * c.seconds_per_byte_hit
+            + stats.agg_rows_processed * self._agg_row_rate
+            + stats.groups_maintained * c.seconds_per_group
+            + stats.queries_issued * c.seconds_per_query
+        )
+
+    def batch_seconds(self, per_query_costs: list[float]) -> float:
+        """Latency of one batch of queries run concurrently.
+
+        With ``p`` queries in flight the batch finishes no faster than the
+        work divided by the effective parallelism, and no faster than its
+        single most expensive member.
+        """
+        if not per_query_costs:
+            return 0.0
+        p_eff = self.config.effective_parallelism(len(per_query_costs))
+        return max(sum(per_query_costs) / p_eff, max(per_query_costs))
+
+    def latency_seconds(self, stats: ExecutionStats) -> float:
+        """End-to-end modeled latency for a whole engine run.
+
+        If the engine recorded per-batch query costs, batches are summed
+        (batches run one after another; members of a batch run in parallel).
+        Otherwise all recorded work is charged serially.
+        """
+        if stats.batch_costs:
+            return sum(self.batch_seconds(batch) for batch in stats.batch_costs)
+        return self.query_seconds(stats)

@@ -1,0 +1,126 @@
+"""The database: a table registry with snowflake-schema flattening.
+
+The paper assumes a snowflake schema and treats the analyst's query ``Q`` as
+a selection over the join of all tables (§2).  :class:`Database` registers
+tables, serves catalog metadata, and — via :class:`SnowflakeJoin` —
+materializes that flattened join once so every view query is a simple
+selection + aggregation over one wide table, exactly the setting of the
+paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.catalog import TableMeta
+from repro.db.table import Table
+from repro.db.types import ColumnRole
+from repro.exceptions import QueryError, SchemaError
+
+
+@dataclass(frozen=True)
+class DimensionJoin:
+    """One fact→dimension edge: ``fact.fk_column = dim_table.pk_column``."""
+
+    fk_column: str
+    dim_table: str
+    pk_column: str
+
+
+@dataclass
+class SnowflakeJoin:
+    """A star/snowflake join specification rooted at a fact table."""
+
+    fact_table: str
+    joins: list[DimensionJoin] = field(default_factory=list)
+
+
+class Database:
+    """Named-table registry; the "DBMS" SeeDB's middleware talks to."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def register(self, table: Table) -> Table:
+        """Add (or replace) a table; returns it for chaining."""
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"no such table: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    def meta(self, name: str) -> TableMeta:
+        return TableMeta.of(self.table(name))
+
+    # ------------------------------------------------------------------ #
+    # snowflake flattening
+    # ------------------------------------------------------------------ #
+
+    def flatten(self, spec: SnowflakeJoin, result_name: str | None = None) -> Table:
+        """Materialize the join of the fact table with all its dimensions.
+
+        Each join is a key-equality lookup: every fact row's foreign key must
+        match exactly one dimension primary key (we validate uniqueness and
+        coverage and raise :class:`SchemaError` otherwise).  Joined-in
+        dimension attributes keep their declared roles; the join key columns
+        themselves are dropped from the output, matching how an analyst
+        would query the denormalized view.
+        """
+        fact = self.table(spec.fact_table)
+        data: dict[str, np.ndarray] = {
+            name: fact.column(name) for name in fact.column_names
+        }
+        roles: dict[str, ColumnRole] = {c.name: c.role for c in fact.schema}
+        dropped_keys: set[str] = set()
+
+        for join in spec.joins:
+            dim = self.table(join.dim_table)
+            pk_values = dim.column(join.pk_column)
+            order = np.argsort(pk_values, kind="stable")
+            sorted_pk = pk_values[order]
+            if len(sorted_pk) > 1 and (sorted_pk[1:] == sorted_pk[:-1]).any():
+                raise SchemaError(
+                    f"{join.dim_table}.{join.pk_column} is not unique; cannot join"
+                )
+            fk_values = data.get(join.fk_column)
+            if fk_values is None:
+                raise SchemaError(
+                    f"fact table has no column {join.fk_column!r} to join on"
+                )
+            positions = np.searchsorted(sorted_pk, fk_values)
+            positions = np.clip(positions, 0, len(sorted_pk) - 1)
+            matched = sorted_pk[positions] == fk_values
+            if not matched.all():
+                missing = np.asarray(fk_values)[~matched][:3]
+                raise SchemaError(
+                    f"foreign key values missing from {join.dim_table}: {missing!r}"
+                )
+            dim_rows = order[positions]
+            for col in dim.schema:
+                if col.name == join.pk_column:
+                    continue
+                out_name = col.name
+                if out_name in data:
+                    out_name = f"{join.dim_table}_{col.name}"
+                data[out_name] = dim.column(col.name)[dim_rows]
+                roles[out_name] = col.role
+            dropped_keys.add(join.fk_column)
+
+        for key in dropped_keys:
+            data.pop(key, None)
+            roles.pop(key, None)
+        name = result_name or f"{spec.fact_table}_flat"
+        flat = Table(name, data, roles=roles)
+        self.register(flat)
+        return flat

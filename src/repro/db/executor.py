@@ -1,0 +1,169 @@
+"""The query executor: scan → derive → filter → group → aggregate.
+
+One :class:`QueryExecutor` wraps one storage engine.  Each
+:meth:`~QueryExecutor.execute` call runs a single logical
+:class:`~repro.db.query.AggregateQuery` and returns the result together with
+a fresh :class:`~repro.config.ExecutionStats` describing exactly the work
+that query did — callers (the SeeDB engine) merge those into run-level stats
+and group them into parallel batches for the cost model.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.config import ExecutionStats
+from repro.db.groupby import GroupKeyColumn, GroupResult, group_aggregate
+from repro.db.query import AggregateQuery, QueryResult
+from repro.db.storage import StorageEngine
+from repro.exceptions import QueryError
+
+
+class QueryExecutor:
+    """Executes logical aggregate queries against one storage engine."""
+
+    def __init__(self, store: StorageEngine) -> None:
+        self.store = store
+
+    @property
+    def table_name(self) -> str:
+        return self.store.table.name
+
+    def execute(self, query: AggregateQuery) -> tuple[QueryResult, ExecutionStats]:
+        """Run ``query``; return its result and per-query accounting."""
+        if query.table != self.store.table.name:
+            raise QueryError(
+                f"query targets table {query.table!r} but executor holds "
+                f"{self.store.table.name!r}"
+            )
+        stats = ExecutionStats()
+        started = time.perf_counter()
+
+        start, stop = query.row_range or (0, self.store.nrows)
+        base_columns = sorted(query.base_columns_needed())
+        arrays = dict(self.store.scan(base_columns, start, stop, stats))
+
+        for derived in query.derived:
+            arrays[derived.alias] = np.asarray(derived.expression.evaluate(arrays))
+
+        if query.predicate is not None:
+            mask = query.predicate.evaluate(arrays).astype(bool)
+            selector = np.flatnonzero(mask)
+        else:
+            selector = None
+
+        key_columns = self._group_key_columns(query, arrays, start, stop, selector)
+        aggregate_inputs = self._aggregate_inputs(query, arrays, selector)
+
+        result = group_aggregate(key_columns, aggregate_inputs, query.group_budget)
+        n_filtered = len(selector) if selector is not None else (stop - start)
+
+        stats.queries_issued += 1
+        stats.agg_rows_processed += n_filtered * len(query.aggregates)
+        stats.groups_maintained += result.n_groups
+        stats.spill_passes += result.spill_passes
+        if result.spill_passes:
+            stats.bytes_scanned_miss += self._spill_bytes(query, n_filtered, result)
+        stats.wall_seconds = time.perf_counter() - started
+
+        groups = {name: values for name, values in result.key_values.items()}
+        values = {
+            spec.alias: result.aggregate_values[i]
+            for i, spec in enumerate(query.aggregates)
+        }
+        values["__group_count__"] = result.group_counts
+        return (
+            QueryResult(
+                groups=groups,
+                values=values,
+                n_groups=result.n_groups,
+                input_rows=n_filtered,
+            ),
+            stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _group_key_columns(
+        self,
+        query: AggregateQuery,
+        arrays: dict[str, np.ndarray],
+        start: int,
+        stop: int,
+        selector: np.ndarray | None,
+    ) -> list[GroupKeyColumn]:
+        """Dictionary-encoded key columns, filtered to selected rows.
+
+        Physical dimension columns reuse the table's cached global
+        dictionary (codes are stable across phases, so partial results merge
+        on category values); derived columns are factorized on the fly.
+        """
+        key_columns: list[GroupKeyColumn] = []
+        for name in query.group_by:
+            if name in query.derived_aliases:
+                values = arrays[name]
+                if selector is not None:
+                    values = values[selector]
+                categories, codes = np.unique(values, return_inverse=True)
+                key_columns.append(
+                    GroupKeyColumn(name, codes.astype(np.int32), categories)
+                )
+            else:
+                codes, categories = self.store.table.dictionary(name)
+                sliced = codes[start:stop]
+                if selector is not None:
+                    sliced = sliced[selector]
+                key_columns.append(GroupKeyColumn(name, sliced, categories))
+        if not key_columns:
+            # Global aggregate: a single synthetic group.
+            n = len(selector) if selector is not None else (stop - start)
+            key_columns.append(
+                GroupKeyColumn(
+                    "__all__",
+                    np.zeros(n, dtype=np.int32),
+                    np.asarray(["all"]),
+                )
+            )
+        return key_columns
+
+    @staticmethod
+    def _aggregate_inputs(
+        query: AggregateQuery,
+        arrays: dict[str, np.ndarray],
+        selector: np.ndarray | None,
+    ):
+        inputs = []
+        for spec in query.aggregates:
+            if spec.argument is None:
+                values = None
+            elif isinstance(spec.argument, str):
+                values = arrays[spec.argument]
+            else:
+                values = np.asarray(spec.argument.evaluate(arrays), dtype=np.float64)
+            if values is not None and selector is not None:
+                values = values[selector]
+            inputs.append((spec.func, values))
+        return inputs
+
+    def _spill_bytes(
+        self, query: AggregateQuery, n_filtered: int, result: GroupResult
+    ) -> int:
+        """Bytes charged for re-reading spilled partitions.
+
+        Each extra pass re-reads the filtered rows' group-by and aggregate
+        columns once (spill files bypass the buffer pool, so these are
+        charged at miss rate).
+        """
+        schema = self.store.table.schema
+        width = 0
+        for name in query.group_by:
+            width += schema[name].byte_width if name in schema else 4
+        for spec in query.aggregates:
+            for col in spec.referenced_columns():
+                if col in schema:
+                    width += schema[col].byte_width
+        return result.spill_passes * n_filtered * max(width, 1)

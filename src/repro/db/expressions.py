@@ -1,0 +1,317 @@
+"""Typed expression trees with vectorized evaluation.
+
+Expressions power WHERE predicates and the CASE arms of combined
+target/reference queries.  Every node can
+
+* evaluate itself over a mapping of column name → numpy array,
+* report the columns it references (so the executor scans only those), and
+* print itself as SQL text (so the generator can ship it to a real DBMS).
+
+The tree is deliberately small: column/literal leaves, comparisons, boolean
+connectives, IN, arithmetic, and CASE WHEN.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+
+ColumnValues = Mapping[str, np.ndarray]
+
+_COMPARISON_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITHMETIC_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+def _sql_literal(value: object) -> str:
+    """Render a Python value as a SQL literal."""
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return repr(value if not isinstance(value, (np.integer, np.floating)) else value.item())
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+class Expression(abc.ABC):
+    """Base class for all expression nodes."""
+
+    @abc.abstractmethod
+    def evaluate(self, columns: ColumnValues) -> np.ndarray:
+        """Vectorized evaluation over column arrays."""
+
+    @abc.abstractmethod
+    def referenced_columns(self) -> frozenset[str]:
+        """Names of all columns this expression reads."""
+
+    @abc.abstractmethod
+    def to_sql(self) -> str:
+        """SQL text rendering of this expression."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.to_sql()})"
+
+    # Convenience combinators -------------------------------------------------
+
+    def and_(self, other: "Expression") -> "Expression":
+        return And((self, other))
+
+    def or_(self, other: "Expression") -> "Expression":
+        return Or((self, other))
+
+    def not_(self) -> "Expression":
+        return Not(self)
+
+
+@dataclass(frozen=True, repr=False)
+class Col(Expression):
+    """A column reference."""
+
+    name: str
+
+    def evaluate(self, columns: ColumnValues) -> np.ndarray:
+        try:
+            return columns[self.name]
+        except KeyError:
+            raise QueryError(f"expression references missing column {self.name!r}") from None
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def to_sql(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class Lit(Expression):
+    """A literal constant."""
+
+    value: object
+
+    def evaluate(self, columns: ColumnValues) -> np.ndarray:
+        return np.asarray(self.value)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def to_sql(self) -> str:
+        return _sql_literal(self.value)
+
+
+@dataclass(frozen=True, repr=False)
+class Comparison(Expression):
+    """Binary comparison producing a boolean array."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, columns: ColumnValues) -> np.ndarray:
+        result = _COMPARISON_OPS[self.op](
+            self.left.evaluate(columns), self.right.evaluate(columns)
+        )
+        return np.asarray(result, dtype=bool)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+
+@dataclass(frozen=True, repr=False)
+class Arithmetic(Expression):
+    """Binary arithmetic over numeric expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC_OPS:
+            raise QueryError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, columns: ColumnValues) -> np.ndarray:
+        return _ARITHMETIC_OPS[self.op](
+            self.left.evaluate(columns), self.right.evaluate(columns)
+        )
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True, repr=False)
+class And(Expression):
+    """N-ary conjunction."""
+
+    operands: tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise QueryError("AND requires at least two operands")
+
+    def evaluate(self, columns: ColumnValues) -> np.ndarray:
+        result = self.operands[0].evaluate(columns).astype(bool)
+        for operand in self.operands[1:]:
+            result = result & operand.evaluate(columns)
+        return result
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset().union(*(o.referenced_columns() for o in self.operands))
+
+    def to_sql(self) -> str:
+        return "(" + " AND ".join(o.to_sql() for o in self.operands) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class Or(Expression):
+    """N-ary disjunction."""
+
+    operands: tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise QueryError("OR requires at least two operands")
+
+    def evaluate(self, columns: ColumnValues) -> np.ndarray:
+        result = self.operands[0].evaluate(columns).astype(bool)
+        for operand in self.operands[1:]:
+            result = result | operand.evaluate(columns)
+        return result
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset().union(*(o.referenced_columns() for o in self.operands))
+
+    def to_sql(self) -> str:
+        return "(" + " OR ".join(o.to_sql() for o in self.operands) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class Not(Expression):
+    """Boolean negation."""
+
+    operand: Expression
+
+    def evaluate(self, columns: ColumnValues) -> np.ndarray:
+        return ~self.operand.evaluate(columns).astype(bool)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.operand.to_sql()})"
+
+
+@dataclass(frozen=True, repr=False)
+class In(Expression):
+    """Membership test against a literal value list."""
+
+    operand: Expression
+    values: tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise QueryError("IN requires at least one value")
+
+    def evaluate(self, columns: ColumnValues) -> np.ndarray:
+        arr = self.operand.evaluate(columns)
+        return np.isin(arr, np.asarray(self.values))
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(_sql_literal(v) for v in self.values)
+        return f"{self.operand.to_sql()} IN ({rendered})"
+
+
+@dataclass(frozen=True, repr=False)
+class CaseWhen(Expression):
+    """``CASE WHEN cond THEN a ELSE b END`` (single arm).
+
+    Used by the sharing optimizer to fold target and reference into one
+    query, e.g. ``SUM(CASE WHEN <target predicate> THEN m ELSE 0 END)``.
+    """
+
+    condition: Expression
+    then: Expression
+    otherwise: Expression
+
+    def evaluate(self, columns: ColumnValues) -> np.ndarray:
+        cond = self.condition.evaluate(columns).astype(bool)
+        return np.where(cond, self.then.evaluate(columns), self.otherwise.evaluate(columns))
+
+    def referenced_columns(self) -> frozenset[str]:
+        return (
+            self.condition.referenced_columns()
+            | self.then.referenced_columns()
+            | self.otherwise.referenced_columns()
+        )
+
+    def to_sql(self) -> str:
+        return (
+            f"CASE WHEN {self.condition.to_sql()} THEN {self.then.to_sql()} "
+            f"ELSE {self.otherwise.to_sql()} END"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# convenience constructors
+# --------------------------------------------------------------------------- #
+
+
+def col(name: str) -> Col:
+    return Col(name)
+
+
+def lit(value: object) -> Lit:
+    return Lit(value)
+
+
+def eq(column: str, value: object) -> Comparison:
+    """``column = value`` — the most common SeeDB target-selection shape."""
+    return Comparison("=", Col(column), Lit(value))
+
+
+def neq(column: str, value: object) -> Comparison:
+    return Comparison("!=", Col(column), Lit(value))
+
+
+def between(column: str, low: object, high: object) -> Expression:
+    """``low <= column AND column <= high``."""
+    return And(
+        (Comparison("<=", Lit(low), Col(column)), Comparison("<=", Col(column), Lit(high)))
+    )
+
+
+def isin(column: str, values: Sequence[object]) -> In:
+    return In(Col(column), tuple(values))
+
+
+def true() -> Expression:
+    """A predicate that keeps every row (SQL renders as ``1 = 1``)."""
+    return Comparison("=", Lit(1), Lit(1))

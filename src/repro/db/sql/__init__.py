@@ -1,0 +1,21 @@
+"""SQL subset front end.
+
+SeeDB is middleware that ships SQL text to the underlying DBMS.  This
+package closes that loop inside the substrate: the generator renders every
+logical :class:`~repro.db.query.AggregateQuery` as SQL (the exact strings a
+deployment would send to Postgres), and the lexer/parser/planner turn such
+text back into logical queries, so tests can verify the round trip
+``logical → SQL → logical → identical results``.
+"""
+
+from repro.db.sql.generator import generate_sql
+from repro.db.sql.lexer import tokenize
+from repro.db.sql.parser import parse_select
+from repro.db.sql.planner import plan_select
+
+__all__ = ["generate_sql", "parse_select", "plan_select", "tokenize"]
+
+
+def sql_to_query(text: str, catalog_table):
+    """Parse and plan SQL text against a table in one call."""
+    return plan_select(parse_select(text), catalog_table)

@@ -1,0 +1,80 @@
+"""AST for the SQL subset.
+
+These nodes are deliberately independent of the engine's expression tree
+(:mod:`repro.db.expressions`): the parser builds ASTs, the planner lowers
+them.  Keeping the layers separate means the parser needs no catalog and the
+engine needs no SQL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+class Expr(Node):
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Identifier(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """The ``*`` inside ``COUNT(*)``."""
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # "NOT" or "-"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    values: tuple[object, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    argument: Expr
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    condition: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    expression: Expr
+    alias: str | None
+
+
+@dataclass(frozen=True)
+class SelectStatement(Node):
+    items: tuple[SelectItem, ...]
+    table: str
+    where: Expr | None
+    group_by: tuple[str, ...]

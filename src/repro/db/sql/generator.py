@@ -1,0 +1,33 @@
+"""Logical query → SQL text.
+
+This is the string a SeeDB deployment would ship to the underlying DBMS.
+Derived group-by columns (the target/reference flag of the combined query)
+are rendered as CASE expressions in the select list and referenced by alias
+in GROUP BY (accepted by Postgres, MySQL, and this package's own parser).
+"""
+
+from __future__ import annotations
+
+from repro.db.query import AggregateQuery
+
+
+def generate_sql(query: AggregateQuery) -> str:
+    """Render ``query`` as a single-line SQL SELECT statement."""
+    derived_by_alias = {d.alias: d for d in query.derived}
+    select_parts: list[str] = []
+    group_parts: list[str] = []
+    for name in query.group_by:
+        if name in derived_by_alias:
+            select_parts.append(derived_by_alias[name].to_sql())
+            group_parts.append(name)
+        else:
+            select_parts.append(name)
+            group_parts.append(name)
+    for spec in query.aggregates:
+        select_parts.append(spec.to_sql())
+    sql = f"SELECT {', '.join(select_parts)} FROM {query.table}"
+    if query.predicate is not None:
+        sql += f" WHERE {query.predicate.to_sql()}"
+    if group_parts:
+        sql += f" GROUP BY {', '.join(group_parts)}"
+    return sql

@@ -1,0 +1,110 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import SQLLexError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT", "IN",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "TRUE", "FALSE", "ORDER", "ASC",
+    "DESC", "LIMIT", "NULL",
+}
+
+SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", "=", "<", ">", "+", "-", "*", "/", ";")
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text in symbols
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens; raises :class:`SQLLexError` on garbage."""
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            chunks: list[str] = []
+            while True:
+                if j >= n:
+                    raise SQLLexError(f"unterminated string literal at {i}")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        chunks.append("'")
+                        j += 2
+                        continue
+                    break
+                chunks.append(text[j])
+                j += 1
+            tokens.append(Token(TokenKind.STRING, "".join(chunks), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                cj = text[j]
+                if cj.isdigit():
+                    j += 1
+                elif cj == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif cj in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token(TokenKind.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, i))
+            i = j
+            continue
+        matched = False
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token(TokenKind.SYMBOL, "!=" if sym == "<>" else sym, i))
+                i += len(sym)
+                matched = True
+                break
+        if not matched:
+            raise SQLLexError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

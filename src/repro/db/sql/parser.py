@@ -1,0 +1,239 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (precedence low → high): OR, AND, NOT, comparison / IN, additive,
+multiplicative, unary minus, primary (literal, identifier, function call,
+CASE, parenthesized expression).
+"""
+
+from __future__ import annotations
+
+from repro.db.sql import ast
+from repro.db.sql.lexer import Token, TokenKind, tokenize
+from repro.exceptions import SQLParseError
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ---- token plumbing ------------------------------------------------ #
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(*names):
+            raise SQLParseError(
+                f"expected {'/'.join(names)} at position {token.position}, got {token.text!r}"
+            )
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.peek()
+        if not token.is_symbol(symbol):
+            raise SQLParseError(
+                f"expected {symbol!r} at position {token.position}, got {token.text!r}"
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        token = self.peek()
+        if token.kind is not TokenKind.IDENT:
+            raise SQLParseError(
+                f"expected identifier at position {token.position}, got {token.text!r}"
+            )
+        return self.advance()
+
+    # ---- statement ------------------------------------------------------ #
+
+    def parse_select(self) -> ast.SelectStatement:
+        self.expect_keyword("SELECT")
+        items = [self._select_item()]
+        while self.peek().is_symbol(","):
+            self.advance()
+            items.append(self._select_item())
+        self.expect_keyword("FROM")
+        table = self.expect_ident().text
+        where = None
+        if self.peek().is_keyword("WHERE"):
+            self.advance()
+            where = self._expression()
+        group_by: list[str] = []
+        if self.peek().is_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            group_by.append(self.expect_ident().text)
+            while self.peek().is_symbol(","):
+                self.advance()
+                group_by.append(self.expect_ident().text)
+        if self.peek().is_symbol(";"):
+            self.advance()
+        tail = self.peek()
+        if tail.kind is not TokenKind.EOF:
+            raise SQLParseError(
+                f"unexpected trailing input at position {tail.position}: {tail.text!r}"
+            )
+        return ast.SelectStatement(
+            items=tuple(items), table=table, where=where, group_by=tuple(group_by)
+        )
+
+    def _select_item(self) -> ast.SelectItem:
+        expr = self._expression()
+        alias = None
+        if self.peek().is_keyword("AS"):
+            self.advance()
+            alias = self.expect_ident().text
+        elif self.peek().kind is TokenKind.IDENT:
+            alias = self.advance().text
+        return ast.SelectItem(expression=expr, alias=alias)
+
+    # ---- expressions ---------------------------------------------------- #
+
+    def _expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self.peek().is_keyword("OR"):
+            self.advance()
+            left = ast.BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self.peek().is_keyword("AND"):
+            self.advance()
+            left = ast.BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self.peek().is_keyword("NOT"):
+            self.advance()
+            return ast.UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        token = self.peek()
+        if token.is_symbol("=", "!=", "<", "<=", ">", ">="):
+            op = self.advance().text
+            return ast.BinaryOp(op, left, self._additive())
+        negated = False
+        if token.is_keyword("NOT"):
+            # "x NOT IN (...)": lookahead for IN.
+            nxt = self.tokens[self.pos + 1]
+            if nxt.is_keyword("IN"):
+                self.advance()
+                negated = True
+                token = self.peek()
+        if token.is_keyword("IN"):
+            self.advance()
+            self.expect_symbol("(")
+            values = [self._literal_value()]
+            while self.peek().is_symbol(","):
+                self.advance()
+                values.append(self._literal_value())
+            self.expect_symbol(")")
+            return ast.InList(left, tuple(values), negated=negated)
+        return left
+
+    def _literal_value(self) -> object:
+        token = self.advance()
+        if token.kind is TokenKind.NUMBER:
+            return _number(token.text)
+        if token.kind is TokenKind.STRING:
+            return token.text
+        if token.is_keyword("TRUE"):
+            return True
+        if token.is_keyword("FALSE"):
+            return False
+        raise SQLParseError(
+            f"expected literal at position {token.position}, got {token.text!r}"
+        )
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while self.peek().is_symbol("+", "-"):
+            op = self.advance().text
+            left = ast.BinaryOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while self.peek().is_symbol("*", "/"):
+            op = self.advance().text
+            left = ast.BinaryOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> ast.Expr:
+        if self.peek().is_symbol("-"):
+            self.advance()
+            return ast.UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.is_symbol("("):
+            self.advance()
+            expr = self._expression()
+            self.expect_symbol(")")
+            return expr
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return ast.Literal(_number(token.text))
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return ast.Literal(token.text)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("CASE"):
+            return self._case()
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            if self.peek().is_symbol("("):
+                self.advance()
+                if self.peek().is_symbol("*"):
+                    self.advance()
+                    argument: ast.Expr = ast.Star()
+                else:
+                    argument = self._expression()
+                self.expect_symbol(")")
+                return ast.FuncCall(token.text.upper(), argument)
+            return ast.Identifier(token.text)
+        raise SQLParseError(
+            f"unexpected token {token.text!r} at position {token.position}"
+        )
+
+    def _case(self) -> ast.Expr:
+        self.expect_keyword("CASE")
+        self.expect_keyword("WHEN")
+        condition = self._expression()
+        self.expect_keyword("THEN")
+        then = self._expression()
+        self.expect_keyword("ELSE")
+        otherwise = self._expression()
+        self.expect_keyword("END")
+        return ast.CaseWhen(condition, then, otherwise)
+
+
+def _number(text: str) -> object:
+    if any(c in text for c in ".eE"):
+        return float(text)
+    return int(text)
+
+
+def parse_select(text: str) -> ast.SelectStatement:
+    """Parse a ``SELECT`` statement; raises :class:`SQLParseError` on error."""
+    return _Parser(tokenize(text)).parse_select()

@@ -1,0 +1,164 @@
+"""AST → logical query lowering.
+
+The planner validates a parsed ``SELECT`` against a table's schema and
+produces the :class:`~repro.db.query.AggregateQuery` the executor runs:
+
+* aggregate function calls become :class:`AggregateSpec`s;
+* non-aggregate select items must appear in GROUP BY — plain identifiers
+  must be table columns, and expression items (e.g. the combined query's
+  CASE flag) become :class:`DerivedColumn`s;
+* GROUP BY entries may name either table columns, select-item aliases, or
+  expressions that textually match a select item.
+"""
+
+from __future__ import annotations
+
+from repro.db import expressions as E
+from repro.db.query import (
+    AggregateFunction,
+    AggregateQuery,
+    AggregateSpec,
+    DerivedColumn,
+)
+from repro.db.sql import ast
+from repro.db.table import Table
+from repro.exceptions import SQLPlanError
+
+_AGGREGATE_NAMES = {f.value for f in AggregateFunction}
+
+
+def _lower_expr(node: ast.Expr, table: Table) -> E.Expression:
+    """Lower an AST expression to an engine expression, checking columns."""
+    if isinstance(node, ast.Identifier):
+        if node.name not in table.schema:
+            raise SQLPlanError(f"unknown column {node.name!r} in table {table.name!r}")
+        return E.Col(node.name)
+    if isinstance(node, ast.Literal):
+        return E.Lit(node.value)
+    if isinstance(node, ast.UnaryOp):
+        if node.op == "NOT":
+            return E.Not(_lower_expr(node.operand, table))
+        if node.op == "-":
+            operand = _lower_expr(node.operand, table)
+            if isinstance(operand, E.Lit) and isinstance(operand.value, (int, float)):
+                return E.Lit(-operand.value)
+            return E.Arithmetic("-", E.Lit(0), operand)
+        raise SQLPlanError(f"unsupported unary operator {node.op!r}")
+    if isinstance(node, ast.BinaryOp):
+        if node.op in ("AND", "OR"):
+            left = _lower_expr(node.left, table)
+            right = _lower_expr(node.right, table)
+            return E.And((left, right)) if node.op == "AND" else E.Or((left, right))
+        if node.op in ("=", "!=", "<", "<=", ">", ">="):
+            return E.Comparison(
+                node.op, _lower_expr(node.left, table), _lower_expr(node.right, table)
+            )
+        if node.op in ("+", "-", "*", "/"):
+            return E.Arithmetic(
+                node.op, _lower_expr(node.left, table), _lower_expr(node.right, table)
+            )
+        raise SQLPlanError(f"unsupported binary operator {node.op!r}")
+    if isinstance(node, ast.InList):
+        inner = E.In(_lower_expr(node.operand, table), node.values)
+        return E.Not(inner) if node.negated else inner
+    if isinstance(node, ast.CaseWhen):
+        return E.CaseWhen(
+            _lower_expr(node.condition, table),
+            _lower_expr(node.then, table),
+            _lower_expr(node.otherwise, table),
+        )
+    if isinstance(node, ast.FuncCall):
+        raise SQLPlanError(
+            f"aggregate {node.name} not allowed in this position (nested aggregate?)"
+        )
+    if isinstance(node, ast.Star):
+        raise SQLPlanError("'*' only allowed inside COUNT(*)")
+    raise SQLPlanError(f"cannot lower AST node {node!r}")
+
+
+def plan_select(stmt: ast.SelectStatement, table: Table) -> AggregateQuery:
+    """Lower a parsed SELECT into an executable aggregate query."""
+    if stmt.table != table.name:
+        raise SQLPlanError(
+            f"statement targets {stmt.table!r}, planner was given {table.name!r}"
+        )
+    aggregates: list[AggregateSpec] = []
+    derived: list[DerivedColumn] = []
+    plain_group_items: dict[str, None] = {}
+    alias_to_item: dict[str, ast.SelectItem] = {}
+
+    for i, item in enumerate(stmt.items):
+        if isinstance(item.expression, ast.FuncCall):
+            func_name = item.expression.name
+            if func_name not in _AGGREGATE_NAMES:
+                raise SQLPlanError(f"unknown function {func_name!r}")
+            func = AggregateFunction.parse(func_name)
+            argument_node = item.expression.argument
+            argument: str | E.Expression | None
+            if isinstance(argument_node, ast.Star):
+                if func is not AggregateFunction.COUNT:
+                    raise SQLPlanError(f"'*' only allowed in COUNT, not {func_name}")
+                argument = None
+            elif isinstance(argument_node, ast.Identifier):
+                if argument_node.name not in table.schema:
+                    raise SQLPlanError(
+                        f"unknown column {argument_node.name!r} in {func_name}"
+                    )
+                argument = argument_node.name
+            else:
+                argument = _lower_expr(argument_node, table)
+            alias = item.alias or _default_agg_alias(func, argument_node, i)
+            aggregates.append(AggregateSpec(func, argument, alias))
+        else:
+            if isinstance(item.expression, ast.Identifier) and item.alias is None:
+                plain_group_items[item.expression.name] = None
+            else:
+                if item.alias is None:
+                    raise SQLPlanError(
+                        "non-aggregate expression in SELECT needs an alias"
+                    )
+                alias_to_item[item.alias] = item
+
+    group_by: list[str] = []
+    for name in stmt.group_by:
+        if name in alias_to_item:
+            item = alias_to_item.pop(name)
+            derived.append(DerivedColumn(name, _lower_expr(item.expression, table)))
+            group_by.append(name)
+        elif name in table.schema:
+            group_by.append(name)
+            plain_group_items.pop(name, None)
+        else:
+            raise SQLPlanError(f"GROUP BY references unknown column/alias {name!r}")
+
+    if plain_group_items:
+        leftover = sorted(plain_group_items)
+        raise SQLPlanError(
+            f"selected columns not in GROUP BY: {leftover}"
+        )
+    if alias_to_item:
+        leftover = sorted(alias_to_item)
+        raise SQLPlanError(
+            f"non-aggregate select aliases not in GROUP BY: {leftover}"
+        )
+
+    where = _lower_expr(stmt.where, table) if stmt.where is not None else None
+    if not aggregates:
+        raise SQLPlanError("SELECT must contain at least one aggregate")
+    return AggregateQuery(
+        table=stmt.table,
+        group_by=tuple(group_by),
+        aggregates=tuple(aggregates),
+        predicate=where,
+        derived=tuple(derived),
+    )
+
+
+def _default_agg_alias(
+    func: AggregateFunction, argument: ast.Expr, position: int
+) -> str:
+    if isinstance(argument, ast.Identifier):
+        return f"{func.value.lower()}_{argument.name}"
+    if isinstance(argument, ast.Star):
+        return "count_all"
+    return f"agg_{position}"

@@ -1,0 +1,219 @@
+"""The logical table: named, schema'd, numpy-column-backed.
+
+A :class:`Table` owns one numpy array per column plus a lazily-built
+dictionary encoding (codes + categories) for dimension columns, which the
+group-by executor uses for fast factorization.  Tables are immutable after
+construction; row subsets are produced as new tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.db.types import Column, ColumnRole, ColumnType, Schema
+from repro.exceptions import SchemaError
+
+#: An integer column with at most this many distinct values is inferred to be
+#: a dimension when roles are not given explicitly.
+_DIMENSION_DISTINCT_THRESHOLD = 12
+
+
+def _coerce_array(name: str, values: object) -> np.ndarray:
+    """Convert ``values`` to a 1-D numpy array of a supported dtype."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise SchemaError(f"column {name!r} must be 1-dimensional, got shape {arr.shape}")
+    ctype = ColumnType.from_numpy(arr.dtype)
+    if ctype is ColumnType.INT:
+        arr = arr.astype(np.int64, copy=False)
+    elif ctype is ColumnType.FLOAT:
+        arr = arr.astype(np.float64, copy=False)
+    elif ctype is ColumnType.STR and arr.dtype.kind == "O":
+        arr = arr.astype(str)
+    return arr
+
+
+def _infer_role(name: str, arr: np.ndarray, ctype: ColumnType) -> ColumnRole:
+    """Heuristic role inference used when the caller does not declare roles."""
+    if ctype in (ColumnType.STR, ColumnType.BOOL):
+        return ColumnRole.DIMENSION
+    if ctype is ColumnType.FLOAT:
+        return ColumnRole.MEASURE
+    distinct = len(np.unique(arr[: min(len(arr), 100_000)]))
+    if distinct <= _DIMENSION_DISTINCT_THRESHOLD:
+        return ColumnRole.DIMENSION
+    return ColumnRole.MEASURE
+
+
+class Table:
+    """An immutable, in-memory relational table.
+
+    Parameters
+    ----------
+    name:
+        Table name used in SQL text and the database catalog.
+    data:
+        Mapping of column name to 1-D array-like.  All columns must have the
+        same length.
+    roles:
+        Optional mapping of column name to :class:`ColumnRole`.  Columns not
+        mentioned get a heuristic role (strings/bools and low-cardinality
+        ints are dimensions; floats and high-cardinality ints are measures).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        data: Mapping[str, object],
+        roles: Mapping[str, ColumnRole] | None = None,
+    ) -> None:
+        if not data:
+            raise SchemaError("table must have at least one column")
+        roles = dict(roles or {})
+        arrays: dict[str, np.ndarray] = {}
+        columns: list[Column] = []
+        nrows: int | None = None
+        for col_name, values in data.items():
+            arr = _coerce_array(col_name, values)
+            if nrows is None:
+                nrows = len(arr)
+            elif len(arr) != nrows:
+                raise SchemaError(
+                    f"column {col_name!r} has {len(arr)} rows, expected {nrows}"
+                )
+            ctype = ColumnType.from_numpy(arr.dtype)
+            role = roles.pop(col_name, None) or _infer_role(col_name, arr, ctype)
+            columns.append(Column(col_name, ctype, role))
+            arrays[col_name] = arr
+        if roles:
+            raise SchemaError(f"roles given for unknown columns: {sorted(roles)}")
+        self.name = name
+        self.schema = Schema.of(columns)
+        self._arrays = arrays
+        self._nrows = int(nrows or 0)
+        self._dictionaries: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nrows(self) -> int:
+        return self._nrows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self.schema.names
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw value array for ``name`` (read-only view)."""
+        if name not in self._arrays:
+            raise SchemaError(f"no such column: {name!r}")
+        return self._arrays[name]
+
+    def columns(self, names: Iterable[str]) -> dict[str, np.ndarray]:
+        return {name: self.column(name) for name in names}
+
+    def dimension_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.schema.dimensions())
+
+    def measure_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.schema.measures())
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self._nrows}, "
+            f"dims={len(self.schema.dimensions())}, "
+            f"measures={len(self.schema.measures())})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # dictionary encoding
+    # ------------------------------------------------------------------ #
+
+    def dictionary(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """Dictionary encoding ``(codes, categories)`` for a column.
+
+        ``codes`` is an int32 array over all rows with values in
+        ``range(len(categories))``; ``categories`` is sorted ascending.  The
+        encoding is computed once and cached — the group-by executor relies
+        on this to factorize dimension columns cheaply per phase.
+        """
+        if name not in self._dictionaries:
+            values = self.column(name)
+            categories, codes = np.unique(values, return_inverse=True)
+            self._dictionaries[name] = (codes.astype(np.int32), categories)
+        return self._dictionaries[name]
+
+    def distinct_count(self, name: str) -> int:
+        """Number of distinct values in a column (via the dictionary)."""
+        return len(self.dictionary(name)[1])
+
+    # ------------------------------------------------------------------ #
+    # derived tables
+    # ------------------------------------------------------------------ #
+
+    def take(self, indices: np.ndarray, name: str | None = None) -> "Table":
+        """New table containing the rows at ``indices`` (in order)."""
+        data = {col: arr[indices] for col, arr in self._arrays.items()}
+        roles = {c.name: c.role for c in self.schema}
+        return Table(name or self.name, data, roles=roles)
+
+    def where(self, mask: np.ndarray, name: str | None = None) -> "Table":
+        """New table containing rows where the boolean ``mask`` is True."""
+        if mask.dtype != bool or len(mask) != self._nrows:
+            raise SchemaError("mask must be a boolean array of table length")
+        return self.take(np.flatnonzero(mask), name=name)
+
+    def slice_rows(self, start: int, stop: int, name: str | None = None) -> "Table":
+        """New table containing rows ``start:stop``."""
+        data = {col: arr[start:stop] for col, arr in self._arrays.items()}
+        roles = {c.name: c.role for c in self.schema}
+        return Table(name or self.name, data, roles=roles)
+
+    def shuffled(self, seed: int, name: str | None = None) -> "Table":
+        """New table with rows in a seeded-random order.
+
+        The paper randomizes data order between pruning runs (§5.4); this is
+        the hook benchmarks use for that.
+        """
+        rng = np.random.default_rng(seed)
+        return self.take(rng.permutation(self._nrows), name=name)
+
+    def head(self, n: int = 5) -> list[dict[str, object]]:
+        """First ``n`` rows as dictionaries (debugging/doc convenience)."""
+        n = min(n, self._nrows)
+        return [
+            {col: self._arrays[col][i].item() if hasattr(self._arrays[col][i], "item")
+             else self._arrays[col][i] for col in self.column_names}
+            for i in range(n)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # sizing
+    # ------------------------------------------------------------------ #
+
+    def logical_size_bytes(self) -> int:
+        """Logical size charged by the cost model (Table 1's "Size (MB)")."""
+        return self._nrows * self.schema.row_byte_width()
+
+    @staticmethod
+    def concat(name: str, tables: Sequence["Table"]) -> "Table":
+        """Row-concatenate tables with identical schemas."""
+        if not tables:
+            raise SchemaError("concat of zero tables")
+        first = tables[0]
+        for other in tables[1:]:
+            if other.schema.names != first.schema.names:
+                raise SchemaError("concat requires identical column names")
+        data = {
+            col: np.concatenate([t.column(col) for t in tables])
+            for col in first.column_names
+        }
+        roles = {c.name: c.role for c in first.schema}
+        return Table(name, data, roles=roles)

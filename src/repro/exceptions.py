@@ -1,0 +1,57 @@
+"""Error hierarchy for the SeeDB reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Sub-hierarchies mirror the package layout: schema/storage errors
+from the DBMS substrate, SQL front-end errors, and recommendation errors from
+the SeeDB core.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed or a referenced column does not exist."""
+
+
+class StorageError(ReproError):
+    """A physical storage engine was asked to do something it cannot."""
+
+
+class QueryError(ReproError):
+    """A logical query is invalid (bad aggregate, bad group-by, type error)."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SQLLexError(SQLError):
+    """The SQL tokenizer hit an unrecognized character sequence."""
+
+
+class SQLParseError(SQLError):
+    """The SQL parser found a syntax error."""
+
+
+class SQLPlanError(SQLError):
+    """A parsed statement cannot be planned against the catalog."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator was misconfigured or a dataset name is unknown."""
+
+
+class MetricError(ReproError):
+    """A distance function was misused (bad distribution, unknown name)."""
+
+
+class RecommendationError(ReproError):
+    """The recommendation engine was misconfigured (bad k, empty view space)."""
+
+
+class PruningError(ReproError):
+    """A pruning strategy was misconfigured or driven out of protocol."""

@@ -1,0 +1,34 @@
+"""Distance functions over probability distributions (paper §2).
+
+SeeDB scores a view by the distance between the target and reference
+aggregate summaries after normalizing each into a probability distribution.
+The paper's default is Earth Mover's Distance; Euclidean, Kullback–Leibler,
+Jensen–Shannon, and MAX_DIFF are also supported (§2, §4.2 "Consistent
+Distance Functions").
+
+All metrics are registered by name; ``get_metric("emd")`` is what the
+recommender uses.  Every bounded metric returns values in [0, 1], which is
+what the Hoeffding–Serfling confidence intervals of CI pruning assume.
+"""
+
+from repro.metrics.base import DistanceFunction, get_metric, list_metrics, register_metric
+from repro.metrics.emd import EarthMoversDistance
+from repro.metrics.euclidean import EuclideanDistance
+from repro.metrics.js import JensenShannonDistance
+from repro.metrics.kl import KullbackLeiblerDivergence
+from repro.metrics.maxdiff import MaxDifference
+from repro.metrics.normalize import align_distributions, normalize_distribution
+
+__all__ = [
+    "DistanceFunction",
+    "EarthMoversDistance",
+    "EuclideanDistance",
+    "JensenShannonDistance",
+    "KullbackLeiblerDivergence",
+    "MaxDifference",
+    "align_distributions",
+    "get_metric",
+    "list_metrics",
+    "normalize_distribution",
+    "register_metric",
+]

@@ -1,0 +1,63 @@
+"""Distance-function protocol and registry."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import MetricError
+
+_REGISTRY: dict[str, "DistanceFunction"] = {}
+
+
+class DistanceFunction(abc.ABC):
+    """Distance between two aligned probability distributions.
+
+    Subclasses set ``name`` (registry key) and ``bounded`` (True when the
+    value is guaranteed in [0, 1], which CI pruning's Hoeffding–Serfling
+    intervals assume).
+    """
+
+    name: str = ""
+    bounded: bool = True
+
+    def __call__(self, p: np.ndarray, q: np.ndarray) -> float:
+        p = np.asarray(p, dtype=np.float64)
+        q = np.asarray(q, dtype=np.float64)
+        if p.shape != q.shape:
+            raise MetricError(f"shape mismatch: {p.shape} vs {q.shape}")
+        if p.size == 0:
+            raise MetricError("empty distributions")
+        if not (np.all(p >= -1e-12) and np.all(q >= -1e-12)):
+            raise MetricError("distributions must be nonnegative")
+        return float(self.compute(p, q))
+
+    @abc.abstractmethod
+    def compute(self, p: np.ndarray, q: np.ndarray) -> float:
+        """Distance between validated, same-shape distributions."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def register_metric(metric: DistanceFunction) -> DistanceFunction:
+    """Add a metric instance to the global registry (by its ``name``)."""
+    if not metric.name:
+        raise MetricError("metric must define a non-empty name")
+    _REGISTRY[metric.name] = metric
+    return metric
+
+
+def get_metric(name: str) -> DistanceFunction:
+    """Look up a metric by registry name (e.g. ``"emd"``)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise MetricError(
+            f"unknown metric {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_metrics() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,33 @@
+"""Jensen–Shannon distance.
+
+The square root of the Jensen–Shannon divergence computed with base-2
+logarithms is a metric bounded in [0, 1] — the "Jenson-Shannon Distance" the
+paper lists among its supported functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import DistanceFunction, register_metric
+
+_EPSILON = 1e-12
+
+
+class JensenShannonDistance(DistanceFunction):
+    """``sqrt(JSD_base2(p, q))`` in [0, 1]."""
+
+    name = "js"
+    bounded = True
+
+    def compute(self, p: np.ndarray, q: np.ndarray) -> float:
+        p_s = (p + _EPSILON) / (p + _EPSILON).sum()
+        q_s = (q + _EPSILON) / (q + _EPSILON).sum()
+        mid = 0.5 * (p_s + q_s)
+        divergence = 0.5 * np.sum(p_s * np.log2(p_s / mid)) + 0.5 * np.sum(
+            q_s * np.log2(q_s / mid)
+        )
+        return float(np.sqrt(max(divergence, 0.0)))
+
+
+register_metric(JensenShannonDistance())

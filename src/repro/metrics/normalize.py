@@ -1,0 +1,54 @@
+"""Turning aggregate summaries into comparable probability distributions.
+
+The paper (§2): "To ensure that all aggregate summaries have the same scale,
+we normalize each summary into a probability distribution (i.e. the values
+of f(m) sum to 1)."  Negative aggregate values (possible for SUM/AVG of a
+signed measure) are clipped to zero before normalizing — a distribution
+cannot carry negative mass; the clip is documented behaviour, and callers
+with signed measures should shift them first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MetricError
+
+
+def normalize_distribution(values: np.ndarray) -> np.ndarray:
+    """Normalize a nonnegative vector to sum to 1.
+
+    NaNs (empty groups) and negative values are treated as zero mass.  If
+    every entry is zero the result is uniform — two all-zero summaries are
+    indistinguishable, and uniform keeps every metric finite.
+    """
+    arr = np.asarray(values, dtype=np.float64).copy()
+    if arr.ndim != 1:
+        raise MetricError(f"distribution must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise MetricError("cannot normalize an empty summary")
+    arr[~np.isfinite(arr)] = 0.0
+    np.clip(arr, 0.0, None, out=arr)
+    total = arr.sum()
+    if total <= 0.0:
+        return np.full(arr.shape, 1.0 / arr.size)
+    return arr / total
+
+
+def align_distributions(
+    target: dict[object, float], reference: dict[object, float]
+) -> tuple[list[object], np.ndarray, np.ndarray]:
+    """Align two per-group summaries on the union of their group keys.
+
+    Groups missing from one side get zero mass there (the paper's target and
+    reference views may see different group sets when the selection removes
+    some groups entirely).  Keys are sorted so EMD's ground distance over
+    category positions is deterministic.  Returns ``(keys, p, q)`` with both
+    vectors normalized.
+    """
+    keys = sorted(set(target) | set(reference), key=repr)
+    if not keys:
+        raise MetricError("cannot align two empty summaries")
+    p_raw = np.asarray([target.get(key, 0.0) for key in keys], dtype=np.float64)
+    q_raw = np.asarray([reference.get(key, 0.0) for key in keys], dtype=np.float64)
+    return keys, normalize_distribution(p_raw), normalize_distribution(q_raw)

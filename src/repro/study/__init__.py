@@ -1,0 +1,33 @@
+"""User-study substrate (paper §6).
+
+The paper validates its deviation metric with 5 human experts labeling
+census visualizations (§6.1, Figure 15) and compares SeeDB against a manual
+charting tool with 16 participants (§6.2, Table 2).  Humans are not
+redistributable either, so this package simulates them: expert labelers
+whose probability of calling a visualization "interesting" rises with its
+true deviation (plus personal bias and noise), and analysis sessions where
+a simulated participant bookmarks views they perceive as interesting —
+drawn from SeeDB recommendations or from manual exploration order.
+
+The quantitative artifacts — ROC/AUROC against expert consensus, bookmark
+counts/rates, and the two-factor ANOVA — are computed exactly as in the
+paper.
+"""
+
+from repro.study.anova import TwoFactorAnova, two_factor_anova
+from repro.study.experts import ExpertPanel, SimulatedExpert, consensus_labels
+from repro.study.roc import RocCurve, roc_curve
+from repro.study.sessions import SessionOutcome, StudyResult, run_user_study
+
+__all__ = [
+    "ExpertPanel",
+    "RocCurve",
+    "SessionOutcome",
+    "SimulatedExpert",
+    "StudyResult",
+    "TwoFactorAnova",
+    "consensus_labels",
+    "roc_curve",
+    "run_user_study",
+    "two_factor_anova",
+]

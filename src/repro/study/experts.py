@@ -1,0 +1,99 @@
+"""Simulated expert labelers and ground-truth consensus (paper §6.1).
+
+Each expert sees a visualization's *true* deviation utility but judges it
+through a personal lens: a sigmoid over ``(utility - threshold)`` with an
+individual threshold, temperature, and seeded noise.  This captures the
+paper's observations that deviation mostly — but not perfectly — predicts
+perceived interestingness (their Figures 14c/14d: one high-deviation view
+was deemed boring, one low-deviation view interesting).
+
+Ground truth is the paper's rule: a view is interesting when a majority of
+the panel says so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.view import ViewKey
+
+
+def _sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+@dataclass(frozen=True)
+class SimulatedExpert:
+    """One expert: labels a view interesting with utility-driven probability."""
+
+    threshold: float = 0.05
+    temperature: float = 0.02
+    #: Standard deviation of per-view perception noise in utility units.
+    perception_noise: float = 0.01
+    seed: int = 0
+
+    def label(self, utilities: Mapping[ViewKey, float]) -> dict[ViewKey, bool]:
+        """Label every view; deterministic given the seed."""
+        rng = np.random.default_rng(self.seed)
+        labels: dict[ViewKey, bool] = {}
+        for key in sorted(utilities):
+            perceived = utilities[key] + rng.normal(0.0, self.perception_noise)
+            p = float(_sigmoid((perceived - self.threshold) / self.temperature))
+            labels[key] = bool(rng.random() < p)
+        return labels
+
+
+@dataclass(frozen=True)
+class ExpertPanel:
+    """A panel of experts with spread thresholds (default: 5, as in §6.1)."""
+
+    experts: tuple[SimulatedExpert, ...]
+
+    @classmethod
+    def default(
+        cls,
+        n_experts: int = 5,
+        base_threshold: float = 0.05,
+        threshold_spread: float = 0.02,
+        seed: int = 0,
+    ) -> "ExpertPanel":
+        rng = np.random.default_rng(seed)
+        experts = tuple(
+            SimulatedExpert(
+                threshold=float(base_threshold + rng.normal(0.0, threshold_spread)),
+                temperature=0.02,
+                perception_noise=0.01,
+                seed=seed * 1000 + i,
+            )
+            for i in range(n_experts)
+        )
+        return cls(experts)
+
+    def label_all(
+        self, utilities: Mapping[ViewKey, float]
+    ) -> dict[ViewKey, list[bool]]:
+        """Each view's per-expert labels (aligned with ``self.experts``)."""
+        per_expert = [expert.label(utilities) for expert in self.experts]
+        return {
+            key: [labels[key] for labels in per_expert] for key in sorted(utilities)
+        }
+
+    def interest_counts(self, utilities: Mapping[ViewKey, float]) -> dict[ViewKey, int]:
+        """How many experts found each view interesting (Figure 15a data)."""
+        return {
+            key: sum(votes) for key, votes in self.label_all(utilities).items()
+        }
+
+
+def consensus_labels(
+    votes: Mapping[ViewKey, Sequence[bool]], majority: int | None = None
+) -> dict[ViewKey, bool]:
+    """Majority-vote ground truth (the paper's consensus rule)."""
+    labels: dict[ViewKey, bool] = {}
+    for key, view_votes in votes.items():
+        needed = majority if majority is not None else (len(view_votes) // 2 + 1)
+        labels[key] = sum(view_votes) >= needed
+    return labels

@@ -1,0 +1,64 @@
+"""ROC curves and AUROC for recommendation quality (paper Figure 15b).
+
+SeeDB ranks all views by utility; sweeping the recommendation cutoff k from
+0 to the full view count traces TPR (recall of interesting views) against
+FPR (fraction of uninteresting views recommended).  The paper reports
+AUROC = 0.903 on the census task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.view import ViewKey
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """One ROC curve: aligned FPR/TPR arrays, one point per cutoff k."""
+
+    fpr: np.ndarray
+    tpr: np.ndarray
+    ks: np.ndarray
+
+    @property
+    def auroc(self) -> float:
+        """Area under the curve by trapezoidal rule."""
+        return float(np.trapezoid(self.tpr, self.fpr))
+
+    def point_at_k(self, k: int) -> tuple[float, float]:
+        idx = int(np.searchsorted(self.ks, k))
+        idx = min(idx, len(self.ks) - 1)
+        return float(self.fpr[idx]), float(self.tpr[idx])
+
+
+def roc_curve(
+    ranking: Sequence[ViewKey], interesting: Mapping[ViewKey, bool]
+) -> RocCurve:
+    """ROC of a utility ranking against ground-truth interest labels.
+
+    ``ranking`` must contain every labeled view exactly once, best first.
+    """
+    if set(ranking) != set(interesting):
+        raise ReproError("ranking and labels must cover the same views")
+    n_pos = sum(1 for flag in interesting.values() if flag)
+    n_neg = len(interesting) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ReproError("need at least one interesting and one boring view")
+    tprs = [0.0]
+    fprs = [0.0]
+    tp = fp = 0
+    for key in ranking:
+        if interesting[key]:
+            tp += 1
+        else:
+            fp += 1
+        tprs.append(tp / n_pos)
+        fprs.append(fp / n_neg)
+    return RocCurve(
+        fpr=np.asarray(fprs), tpr=np.asarray(tprs), ks=np.arange(len(ranking) + 1)
+    )

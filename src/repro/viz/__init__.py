@@ -1,0 +1,21 @@
+"""Visualization output: chart specs and terminal rendering.
+
+SeeDB's front end renders recommended views as bar charts (paper §3,
+Figure 2).  With no browser in this reproduction, each recommendation can be
+exported as a JSON chart spec (vega-lite-flavoured, consumable by any
+plotting stack) or rendered as a side-by-side target/reference ASCII bar
+chart for terminals.
+"""
+
+from repro.viz.ascii import render_bar_chart, render_recommendation
+from repro.viz.export import export_recommendations, recommendations_to_json
+from repro.viz.spec import BarChartSpec, recommendation_spec
+
+__all__ = [
+    "BarChartSpec",
+    "export_recommendations",
+    "recommendation_spec",
+    "recommendations_to_json",
+    "render_bar_chart",
+    "render_recommendation",
+]

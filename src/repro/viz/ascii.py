@@ -1,0 +1,52 @@
+"""Terminal bar-chart rendering.
+
+Renders a view's target/reference distributions as paired horizontal bars —
+enough to eyeball the deviation SeeDB is scoring, with no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.result import Recommendation
+
+_BAR_CHAR_TARGET = "█"
+_BAR_CHAR_REFERENCE = "░"
+
+
+def render_bar_chart(
+    groups: Sequence[object],
+    target: Sequence[float],
+    reference: Sequence[float],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Paired horizontal bars, one target row and one reference row per group."""
+    if not (len(groups) == len(target) == len(reference)):
+        raise ValueError("groups/target/reference must be the same length")
+    peak = max([*target, *reference, 1e-12])
+    label_width = max((len(str(g)) for g in groups), default=1)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for group, p, q in zip(groups, target, reference):
+        bar_t = _BAR_CHAR_TARGET * max(int(round(width * p / peak)), 1 if p > 0 else 0)
+        bar_r = _BAR_CHAR_REFERENCE * max(int(round(width * q / peak)), 1 if q > 0 else 0)
+        lines.append(f"{str(group):>{label_width}} | {bar_t:<{width}} {p:6.3f}  target")
+        lines.append(f"{'':>{label_width}} | {bar_r:<{width}} {q:6.3f}  reference")
+    return "\n".join(lines)
+
+
+def render_recommendation(recommendation: "Recommendation", width: int = 40) -> str:
+    """ASCII chart for one recommendation, titled with rank and utility."""
+    dists = recommendation.distributions
+    title = (
+        f"#{recommendation.rank} {recommendation.view.describe()} "
+        f"(utility={recommendation.utility:.4f})"
+    )
+    return render_bar_chart(
+        dists.keys, dists.target.tolist(), dists.reference.tolist(), width, title
+    )

@@ -1,0 +1,42 @@
+"""Exporting recommendations as JSON."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.result import RecommendationSet
+
+
+def recommendations_to_json(result: "RecommendationSet", indent: int = 2) -> str:
+    """Serialize a recommendation set (ranking + chart specs) to JSON text."""
+    payload = {
+        "k": result.k,
+        "strategy": result.strategy,
+        "pruner": result.pruner,
+        "metric": result.metric,
+        "modeled_latency_seconds": result.modeled_latency,
+        "queries_issued": result.queries_issued,
+        "recommendations": [
+            {
+                "rank": rec.rank,
+                "view": rec.view.describe(),
+                "dimension": rec.view.dimension,
+                "measure": rec.view.measure,
+                "func": rec.view.func.value,
+                "utility": rec.utility,
+                "chart": rec.chart_spec(),
+            }
+            for rec in result
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def export_recommendations(result: "RecommendationSet", path: str | Path) -> Path:
+    """Write :func:`recommendations_to_json` output to ``path``."""
+    out = Path(path)
+    out.write_text(recommendations_to_json(result))
+    return out

@@ -1,0 +1,70 @@
+"""Chart specifications (JSON-serializable, vega-lite-flavoured).
+
+A :class:`BarChartSpec` describes a grouped bar chart comparing a view's
+target and reference distributions — the visualization SeeDB's front end
+shows for each recommendation (e.g. paper Figure 1a, average capital gain
+by sex for unmarried vs. married adults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.result import Recommendation
+
+
+@dataclass(frozen=True)
+class BarChartSpec:
+    """A grouped bar chart over categorical groups."""
+
+    title: str
+    x_field: str
+    y_field: str
+    series: tuple[str, ...]
+    #: rows: {x_field: group, "series": name, y_field: value}
+    data: tuple[dict, ...]
+    mark: str = "bar"
+    metadata: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Vega-lite-flavoured dictionary (stable field order)."""
+        return {
+            "$schema": "https://vega.github.io/schema/vega-lite/v5.json",
+            "title": self.title,
+            "mark": self.mark,
+            "data": {"values": [dict(row) for row in self.data]},
+            "encoding": {
+                "x": {"field": self.x_field, "type": "nominal"},
+                "y": {"field": self.y_field, "type": "quantitative"},
+                "xOffset": {"field": "series"},
+                "color": {"field": "series"},
+            },
+            "usermeta": dict(self.metadata),
+        }
+
+
+def recommendation_spec(recommendation: "Recommendation") -> dict:
+    """Chart spec for one recommendation (target vs reference bars)."""
+    view = recommendation.view
+    dists = recommendation.distributions
+    rows: list[dict] = []
+    for key, p, q in zip(dists.keys, dists.target, dists.reference):
+        rows.append({"group": str(key), "series": "target", "value": float(p)})
+        rows.append({"group": str(key), "series": "reference", "value": float(q)})
+    spec = BarChartSpec(
+        title=view.describe(),
+        x_field="group",
+        y_field="value",
+        series=("target", "reference"),
+        data=tuple(rows),
+        metadata={
+            "dimension": view.dimension,
+            "measure": view.measure,
+            "func": view.func.value,
+            "utility": recommendation.utility,
+            "rank": recommendation.rank,
+        },
+    )
+    return spec.to_dict()

@@ -1,0 +1,62 @@
+"""Shared fixtures: small deterministic tables used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.table import Table
+from repro.db.types import ColumnRole
+
+
+@pytest.fixture(scope="session")
+def tiny_table() -> Table:
+    """Six rows, fully enumerable by hand in assertions."""
+    return Table(
+        "tiny",
+        {
+            "color": ["red", "blue", "red", "blue", "red", "green"],
+            "size": ["S", "L", "L", "S", "S", "S"],
+            "price": [10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+            "weight": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        },
+        roles={
+            "color": ColumnRole.DIMENSION,
+            "size": ColumnRole.DIMENSION,
+            "price": ColumnRole.MEASURE,
+            "weight": ColumnRole.MEASURE,
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def census_like() -> Table:
+    """A 20K-row census-style table with one planted deviation.
+
+    ``capital`` deviates by ``sex`` for unmarried rows only; ``age`` is
+    independent of everything — the paper's Figure 1 situation.
+    """
+    rng = np.random.default_rng(42)
+    n = 20_000
+    sex = rng.choice(["F", "M"], n)
+    marital = rng.choice(["Married", "Unmarried"], n)
+    capital = rng.gamma(2.0, 500.0, n)
+    unmarried_f = (marital == "Unmarried") & (sex == "F")
+    capital[unmarried_f] *= 2.0
+    return Table(
+        "census_like",
+        {
+            "sex": sex,
+            "marital": marital,
+            "race": rng.choice(["A", "B", "C", "D"], n),
+            "capital": capital,
+            "age": rng.uniform(18, 80, n),
+        },
+        roles={
+            "sex": ColumnRole.DIMENSION,
+            "marital": ColumnRole.OTHER,
+            "race": ColumnRole.DIMENSION,
+            "capital": ColumnRole.MEASURE,
+            "age": ColumnRole.MEASURE,
+        },
+    )

@@ -1,0 +1,85 @@
+"""Tests for first-fit bin packing (Problem 4.1, Optimal Grouping)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.binpack import estimated_groups, first_fit, pack_dimensions
+from repro.exceptions import QueryError
+
+
+class TestFirstFit:
+    def test_simple_packing(self):
+        bins = first_fit([0.5, 0.5, 0.5, 0.5], capacity=1.0)
+        assert bins == [[0, 1], [2, 3]]
+
+    def test_oversize_items_get_own_bin(self):
+        bins = first_fit([2.0, 0.5], capacity=1.0)
+        assert bins == [[0], [1]]
+
+    def test_first_fit_order_dependence(self):
+        # Classic first-fit places each item in the first bin with room:
+        # 0.6 -> bin0; 0.3 -> bin0 (0.9); 0.6 -> bin1; 0.3 -> bin1 (0.9).
+        bins = first_fit([0.6, 0.3, 0.6, 0.3], capacity=1.0)
+        assert bins == [[0, 1], [2, 3]]
+        # A later small item can still land in an earlier bin.
+        bins = first_fit([0.9, 0.6, 0.1], capacity=1.0)
+        assert bins == [[0, 2], [1]]
+
+    def test_empty_input(self):
+        assert first_fit([], capacity=1.0) == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(QueryError):
+            first_fit([1.0], capacity=0.0)
+
+
+class TestPackDimensions:
+    COUNTS = {"a": 10, "b": 10, "c": 100, "d": 1000, "e": 2}
+
+    def test_groups_respect_budget(self):
+        groups = pack_dimensions(list(self.COUNTS), self.COUNTS, budget=10_000)
+        for group in groups:
+            if len(group) > 1:
+                assert estimated_groups(group, self.COUNTS) <= 10_000
+
+    def test_covers_all_dimensions_exactly_once(self):
+        groups = pack_dimensions(list(self.COUNTS), self.COUNTS, budget=10_000)
+        flat = [d for g in groups for d in g]
+        assert sorted(flat) == sorted(self.COUNTS)
+
+    def test_budget_one_gives_singletons(self):
+        groups = pack_dimensions(list(self.COUNTS), self.COUNTS, budget=1)
+        assert groups == [[d] for d in self.COUNTS]
+
+    def test_generous_budget_merges_more(self):
+        tight = pack_dimensions(list(self.COUNTS), self.COUNTS, budget=100)
+        loose = pack_dimensions(list(self.COUNTS), self.COUNTS, budget=10_000_000)
+        assert len(loose) <= len(tight)
+
+    def test_estimated_groups(self):
+        assert estimated_groups(["a", "b"], self.COUNTS) == 100
+        assert estimated_groups([], self.COUNTS) == 1
+
+
+@given(
+    counts=st.lists(st.integers(1, 500), min_size=1, max_size=15),
+    budget=st.integers(2, 100_000),
+)
+def test_property_multi_dim_groups_fit_budget(counts, budget):
+    """Property: every multi-attribute group's cardinality product fits.
+
+    Singleton groups may exceed the budget (an oversize attribute has to run
+    somewhere), but any *combination* the packer chose must fit — this is
+    exactly the guarantee Problem 4.1 asks for.
+    """
+    names = [f"d{i}" for i in range(len(counts))]
+    distinct = dict(zip(names, counts))
+    groups = pack_dimensions(names, distinct, budget)
+    flat = sorted(d for g in groups for d in g)
+    assert flat == sorted(names)
+    for group in groups:
+        if len(group) > 1:
+            product = math.prod(distinct[d] for d in group)
+            assert product <= budget

@@ -1,0 +1,211 @@
+"""Tests for the execution engine: strategies, phases, routing, reference modes."""
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.engine import ExecutionEngine
+from repro.core.phases import phase_ranges
+from repro.core.view import AggregateView, ViewSpace
+from repro.db.catalog import TableMeta
+from repro.db.cost import CostModel
+from repro.db.expressions import eq
+from repro.db.query import AggregateFunction
+from repro.db.storage import make_store
+from repro.exceptions import QueryError, RecommendationError
+from repro.metrics import get_metric
+
+TARGET = eq("marital", "Unmarried")
+
+
+@pytest.fixture()
+def engine(census_like):
+    store = make_store("col", census_like)
+    return ExecutionEngine(
+        store, get_metric("emd"), EngineConfig(store="col"), CostModel.for_store("col")
+    )
+
+
+@pytest.fixture()
+def views(census_like):
+    meta = TableMeta.of(census_like)
+    return list(ViewSpace.enumerate(meta))
+
+
+class TestPhaseRanges:
+    def test_exact_partition(self):
+        ranges = phase_ranges(100, 10)
+        assert ranges[0] == (0, 10)
+        assert ranges[-1] == (90, 100)
+        assert sum(hi - lo for lo, hi in ranges) == 100
+
+    def test_remainder_spread(self):
+        ranges = phase_ranges(103, 10)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sum(sizes) == 103
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_fewer_rows_than_phases(self):
+        ranges = phase_ranges(3, 10)
+        assert len(ranges) == 3
+
+    def test_zero_rows(self):
+        assert phase_ranges(0, 10) == [(0, 0)]
+
+    def test_invalid(self):
+        with pytest.raises(QueryError):
+            phase_ranges(10, 0)
+        with pytest.raises(QueryError):
+            phase_ranges(-1, 2)
+
+
+class TestStrategyEquivalence:
+    def test_no_opt_and_sharing_agree_exactly(self, engine, views):
+        base = engine.run(views, TARGET, k=4, strategy="no_opt", pruner="none")
+        shared = engine.run(views, TARGET, k=4, strategy="sharing", pruner="none")
+        assert base.selected == shared.selected
+        for key in base.utilities:
+            assert base.utilities[key] == pytest.approx(shared.utilities[key])
+
+    def test_comb_without_pruning_matches_sharing(self, engine, views):
+        shared = engine.run(views, TARGET, k=4, strategy="sharing", pruner="none")
+        phased = engine.run(views, TARGET, k=4, strategy="comb", pruner="none")
+        assert phased.selected == shared.selected
+        for key in shared.utilities:
+            assert phased.utilities[key] == pytest.approx(
+                shared.utilities[key], rel=1e-9
+            )
+
+    def test_planted_view_wins(self, engine, views):
+        run = engine.run(views, TARGET, k=1, strategy="sharing", pruner="none")
+        assert run.selected[0] == ("sex", "capital", "AVG")
+
+    def test_row_and_col_engines_agree(self, census_like, views):
+        results = []
+        for store_kind in ("row", "col"):
+            store = make_store(store_kind, census_like)
+            engine = ExecutionEngine(
+                store,
+                get_metric("emd"),
+                EngineConfig(store=store_kind),
+                CostModel.for_store(store_kind),
+            )
+            results.append(
+                engine.run(views, TARGET, k=4, strategy="sharing", pruner="none")
+            )
+        assert results[0].selected == results[1].selected
+
+
+class TestReferenceModes:
+    def test_complement_differs_from_all(self, engine, views):
+        run_all = engine.run(views, TARGET, k=2, strategy="sharing", pruner="none")
+        run_complement = engine.run(
+            views, TARGET, k=2, strategy="sharing", pruner="none",
+            reference_mode="complement",
+        )
+        key = ("sex", "capital", "AVG")
+        # Complement reference removes the target rows from the reference,
+        # so the deviation grows.
+        assert run_complement.utilities[key] > run_all.utilities[key]
+
+    def test_query_reference_equals_complement_when_predicates_mirror(
+        self, engine, views
+    ):
+        run_complement = engine.run(
+            views, TARGET, k=3, strategy="sharing", pruner="none",
+            reference_mode="complement",
+        )
+        run_query = engine.run(
+            views, TARGET, k=3, strategy="sharing", pruner="none",
+            reference_mode="query", reference_predicate=eq("marital", "Married"),
+        )
+        for key in run_complement.utilities:
+            assert run_query.utilities[key] == pytest.approx(
+                run_complement.utilities[key], rel=1e-9
+            )
+
+    def test_query_reference_requires_predicate(self, engine, views):
+        with pytest.raises(RecommendationError):
+            engine.run(
+                views, TARGET, k=2, strategy="sharing", pruner="none",
+                reference_mode="query",
+            )
+
+    def test_uncombined_engine_matches_combined(self, census_like, views):
+        store = make_store("col", census_like)
+        config = EngineConfig(store="col", combine_target_reference=False)
+        engine = ExecutionEngine(store, get_metric("emd"), config, CostModel())
+        split = engine.run(views, TARGET, k=3, strategy="sharing", pruner="none")
+        combined_engine = ExecutionEngine(
+            make_store("col", census_like),
+            get_metric("emd"),
+            EngineConfig(store="col"),
+            CostModel(),
+        )
+        combined = combined_engine.run(
+            views, TARGET, k=3, strategy="sharing", pruner="none"
+        )
+        for key in split.utilities:
+            assert split.utilities[key] == pytest.approx(
+                combined.utilities[key], rel=1e-9
+            )
+
+
+class TestPruningIntegration:
+    def test_ci_pruning_shrinks_active_set(self, engine, views):
+        # k=1: the planted view's utility gap is wide enough for CI's
+        # worst-case intervals to separate it from everything else.
+        run = engine.run(views, TARGET, k=1, strategy="comb", pruner="ci")
+        assert run.active_per_phase[0] == len(views)
+        assert run.active_per_phase[-1] < len(views)
+        assert len(run.selected) == 1
+
+    def test_early_return_stops_before_all_phases(self, engine, views):
+        run = engine.run(views, TARGET, k=1, strategy="comb_early", pruner="ci")
+        assert run.phases_executed <= engine.config.n_phases
+        assert run.selected[0] == ("sex", "capital", "AVG")
+
+    def test_random_pruner_selects_k(self, engine, views):
+        run = engine.run(views, TARGET, k=3, strategy="comb", pruner="random")
+        assert len(run.selected) == 3
+
+    def test_stats_and_sql_populated(self, engine, views):
+        run = engine.run(views, TARGET, k=2, strategy="sharing", pruner="none")
+        assert run.stats.queries_issued == len(run.stats.batch_costs[0]) * len(
+            run.stats.batch_costs
+        ) or run.stats.queries_issued > 0
+        assert run.modeled_latency > 0
+        assert run.sql
+        assert all(sql.startswith("SELECT") for sql in run.sql)
+
+    def test_invalid_k_rejected(self, engine, views):
+        with pytest.raises(RecommendationError):
+            engine.run(views, TARGET, k=0)
+
+    def test_empty_views_rejected(self, engine):
+        with pytest.raises(RecommendationError):
+            engine.run([], TARGET, k=1)
+
+    def test_unknown_strategy_rejected(self, engine, views):
+        with pytest.raises(RecommendationError):
+            engine.run(views, TARGET, k=1, strategy="warp")  # type: ignore[arg-type]
+
+
+class TestAggregateFunctions:
+    @pytest.mark.parametrize(
+        "func",
+        [
+            AggregateFunction.COUNT,
+            AggregateFunction.SUM,
+            AggregateFunction.MIN,
+            AggregateFunction.MAX,
+        ],
+    )
+    def test_phased_equals_unphased_for_every_function(self, engine, func):
+        views = [AggregateView("sex", "capital", func), AggregateView("race", "age", func)]
+        shared = engine.run(views, TARGET, k=2, strategy="sharing", pruner="none")
+        phased = engine.run(views, TARGET, k=2, strategy="comb", pruner="none")
+        for key in shared.utilities:
+            assert phased.utilities[key] == pytest.approx(
+                shared.utilities[key], rel=1e-9, abs=1e-12
+            )

@@ -1,0 +1,201 @@
+"""Tests for the pruning strategies (paper §4.2)."""
+
+import math
+
+import pytest
+
+from repro.core.pruning import (
+    ConfidenceIntervalPruner,
+    MultiArmedBanditPruner,
+    NoPruner,
+    RandomPruner,
+    make_pruner,
+)
+from repro.core.pruning.ci import hoeffding_serfling_epsilon
+from repro.exceptions import PruningError
+
+KEYS = [(f"d{i}", "m", "AVG") for i in range(6)]
+
+
+def _utilities(values):
+    return dict(zip(KEYS, values))
+
+
+class TestHoeffdingSerfling:
+    def test_epsilon_shrinks_with_samples(self):
+        eps = [hoeffding_serfling_epsilon(m, 10_000, 0.05) for m in (10, 100, 1000, 9000)]
+        assert eps == sorted(eps, reverse=True)
+
+    def test_epsilon_vanishes_at_census(self):
+        # m = N - small: sampling without replacement nearly exhausts N.
+        assert hoeffding_serfling_epsilon(9_999, 10_000, 0.05) < 0.01
+
+    def test_smaller_delta_widens_interval(self):
+        tight = hoeffding_serfling_epsilon(100, 1000, 0.5)
+        loose = hoeffding_serfling_epsilon(100, 1000, 0.01)
+        assert loose > tight
+
+    def test_invalid_arguments(self):
+        with pytest.raises(PruningError):
+            hoeffding_serfling_epsilon(0, 10, 0.05)
+        with pytest.raises(PruningError):
+            hoeffding_serfling_epsilon(5, 10, 1.5)
+
+
+class TestConfidenceIntervalPruner:
+    def test_prunes_clearly_dominated_views(self):
+        pruner = ConfidenceIntervalPruner(delta=0.05)
+        pruner.initialize(KEYS, k=2, n_phases=10)
+        # Huge sample -> tiny epsilon -> clear separation prunes the tail.
+        decision = pruner.observe(
+            0,
+            _utilities([0.9, 0.8, 0.1, 0.05, 0.04, 0.03]),
+            rows_seen=500_000,
+            total_rows=1_000_000,
+        )
+        assert len(decision.pruned) == 4
+        assert KEYS[0] not in decision.pruned
+        assert KEYS[1] not in decision.pruned
+
+    def test_no_pruning_with_wide_intervals(self):
+        pruner = ConfidenceIntervalPruner(delta=0.05)
+        pruner.initialize(KEYS, k=2, n_phases=10)
+        decision = pruner.observe(
+            0, _utilities([0.9, 0.8, 0.1, 0.05, 0.04, 0.03]), rows_seen=5, total_rows=100
+        )
+        assert decision.empty
+
+    def test_never_prunes_below_k(self):
+        pruner = ConfidenceIntervalPruner(delta=0.05)
+        pruner.initialize(KEYS[:3], k=2, n_phases=10)
+        decision = pruner.observe(
+            0,
+            dict(zip(KEYS[:3], [0.5, 0.5, 0.5])),
+            rows_seen=900_000,
+            total_rows=1_000_000,
+        )
+        assert 3 - len(decision.pruned) >= 2
+
+    def test_top_k_set_certification(self):
+        pruner = ConfidenceIntervalPruner(delta=0.05)
+        pruner.initialize(KEYS, k=2, n_phases=10)
+        pruner.observe(
+            0,
+            _utilities([0.9, 0.8, 0.1, 0.05, 0.04, 0.03]),
+            rows_seen=900_000,
+            total_rows=1_000_000,
+        )
+        assert pruner.top_k_set() == frozenset(KEYS[:2])
+
+    def test_top_k_not_certified_on_ties(self):
+        pruner = ConfidenceIntervalPruner(delta=0.05)
+        pruner.initialize(KEYS, k=2, n_phases=10)
+        pruner.observe(
+            0, _utilities([0.5, 0.5, 0.5, 0.5, 0.5, 0.5]), rows_seen=50, total_rows=1000
+        )
+        assert pruner.top_k_set() is None
+
+    def test_observe_before_initialize_rejected(self):
+        with pytest.raises(PruningError):
+            ConfidenceIntervalPruner().observe(0, _utilities([1] * 6))
+
+
+class TestMultiArmedBandit:
+    def test_warmup_makes_no_decisions(self):
+        pruner = MultiArmedBanditPruner()
+        pruner.initialize(KEYS, k=2, n_phases=10)
+        assert pruner.observe(0, _utilities([0.9, 0.8, 0.1, 0.05, 0.04, 0.03])).empty
+
+    def test_accepts_clear_winner(self):
+        pruner = MultiArmedBanditPruner()
+        pruner.initialize(KEYS, k=2, n_phases=4)
+        pruner.observe(0, _utilities([0.9, 0.3, 0.28, 0.26, 0.24, 0.22]))
+        decision = pruner.observe(1, _utilities([0.9, 0.3, 0.28, 0.26, 0.24, 0.22]))
+        # Delta-top (0.9 - 0.28) dominates delta-bottom (0.3 - 0.22).
+        assert KEYS[0] in decision.accepted
+
+    def test_rejects_clear_loser(self):
+        pruner = MultiArmedBanditPruner()
+        pruner.initialize(KEYS, k=2, n_phases=4)
+        values = [0.5, 0.48, 0.46, 0.44, 0.42, 0.05]
+        pruner.observe(0, _utilities(values))
+        decision = pruner.observe(1, _utilities(values))
+        assert KEYS[5] in decision.pruned
+
+    def test_schedule_resolves_everything_by_final_phase(self):
+        pruner = MultiArmedBanditPruner()
+        n_phases = 5
+        pruner.initialize(KEYS, k=2, n_phases=n_phases)
+        active = dict(_utilities([0.9, 0.7, 0.5, 0.3, 0.2, 0.1]))
+        for phase in range(n_phases):
+            decision = pruner.observe(phase, active)
+            for key in decision.pruned:
+                active.pop(key)
+        undecided = [k for k in active if k not in pruner.accepted]
+        assert len(undecided) + len(pruner.accepted) <= max(2, len(pruner.accepted) + 2)
+
+    def test_accepted_views_never_pruned(self):
+        pruner = MultiArmedBanditPruner()
+        pruner.initialize(KEYS, k=2, n_phases=6)
+        values = _utilities([0.9, 0.85, 0.2, 0.15, 0.1, 0.05])
+        all_pruned: set = set()
+        for phase in range(6):
+            decision = pruner.observe(phase, values)
+            all_pruned |= decision.pruned
+        assert not (pruner.accepted & all_pruned)
+
+
+class TestBaselines:
+    def test_no_pruner_never_acts(self):
+        pruner = NoPruner()
+        pruner.initialize(KEYS, k=2, n_phases=3)
+        for phase in range(3):
+            assert pruner.observe(phase, _utilities([1, 2, 3, 4, 5, 6])).empty
+
+    def test_random_picks_k_immediately(self):
+        pruner = RandomPruner(seed=1)
+        pruner.initialize(KEYS, k=2, n_phases=5)
+        decision = pruner.observe(0, _utilities([1, 2, 3, 4, 5, 6]))
+        assert len(decision.accepted) == 2
+        assert len(decision.pruned) == 4
+        assert pruner.observe(1, _utilities([1, 2])).empty
+
+    def test_random_is_deterministic_per_seed(self):
+        picks = []
+        for _ in range(2):
+            pruner = RandomPruner(seed=9)
+            pruner.initialize(KEYS, k=3, n_phases=2)
+            picks.append(pruner.observe(0, _utilities([1, 2, 3, 4, 5, 6])).accepted)
+        assert picks[0] == picks[1]
+
+
+class TestFactoryAndProtocol:
+    def test_factory_names(self):
+        assert make_pruner("ci").name == "ci"
+        assert make_pruner("mab").name == "mab"
+        assert make_pruner("none").name == "none"
+        assert make_pruner("no_pru").name == "none"
+        assert make_pruner("random").name == "random"
+
+    def test_unknown_name(self):
+        with pytest.raises(PruningError):
+            make_pruner("oracle")
+
+    def test_bad_initialize_arguments(self):
+        pruner = NoPruner()
+        with pytest.raises(PruningError):
+            pruner.initialize(KEYS, k=0, n_phases=5)
+        with pytest.raises(PruningError):
+            pruner.initialize(KEYS, k=2, n_phases=0)
+
+    def test_bad_phase_index(self):
+        pruner = NoPruner()
+        pruner.initialize(KEYS, k=1, n_phases=2)
+        with pytest.raises(PruningError):
+            pruner.observe(5, _utilities([1] * 6))
+
+    def test_bad_sampling_progress(self):
+        pruner = NoPruner()
+        pruner.initialize(KEYS, k=1, n_phases=2)
+        with pytest.raises(PruningError):
+            pruner.observe(0, _utilities([1] * 6), rows_seen=10, total_rows=5)

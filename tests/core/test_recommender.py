@@ -1,0 +1,114 @@
+"""Tests for the SeeDB facade and recommendation results."""
+
+import json
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.recommender import SeeDB, tuned_config
+from repro.core.result import accuracy, utility_distance
+from repro.db.database import Database
+from repro.db.expressions import eq
+from repro.exceptions import RecommendationError
+from repro.viz import recommendations_to_json, render_recommendation
+
+TARGET = eq("marital", "Unmarried")
+
+
+@pytest.fixture()
+def seedb(census_like):
+    return SeeDB.over_table(census_like, store="col")
+
+
+class TestFacade:
+    def test_over_table_registers(self, census_like):
+        seedb = SeeDB.over_table(census_like)
+        assert seedb.database.table("census_like") is census_like
+
+    def test_recommend_returns_ranked_set(self, seedb):
+        result = seedb.recommend(TARGET, k=3)
+        assert len(result) == 3
+        assert result[0].rank == 1
+        assert result[0].utility >= result[1].utility >= result[2].utility
+        assert result[0].view.key == ("sex", "capital", "AVG")
+
+    def test_view_space_size(self, seedb):
+        assert len(seedb.view_space()) == 2 * 2  # 2 dims x 2 measures x AVG
+
+    def test_restricted_dimensions(self, seedb):
+        result = seedb.recommend(TARGET, k=2, dimensions=["race"])
+        assert all(rec.view.dimension == "race" for rec in result)
+
+    def test_true_top_k_is_exact(self, seedb):
+        truth = seedb.true_top_k(TARGET, k=2)
+        comb = seedb.recommend(TARGET, k=2, strategy="comb", pruner="ci")
+        assert accuracy(comb.keys, truth.selected) == 1.0
+
+    def test_describe_renders(self, seedb):
+        text = seedb.recommend(TARGET, k=2).describe()
+        assert "top-2" in text
+        assert "AVG(capital) BY sex" in text
+
+    def test_tuned_config_row_vs_col(self):
+        assert tuned_config("row").use_binpacking is True
+        assert tuned_config("col").use_binpacking is False
+
+    def test_store_mismatch_corrected(self, census_like):
+        seedb = SeeDB.over_table(
+            census_like, store="col", config=EngineConfig(store="row")
+        )
+        assert seedb.config.store == "col"
+
+    def test_unknown_table(self):
+        with pytest.raises(Exception):
+            SeeDB(Database(), "ghost")
+
+
+class TestResultMetrics:
+    def test_accuracy(self):
+        truth = [("a", "m", "AVG"), ("b", "m", "AVG")]
+        assert accuracy([("a", "m", "AVG"), ("x", "m", "AVG")], truth) == 0.5
+        assert accuracy(truth, truth) == 1.0
+        with pytest.raises(RecommendationError):
+            accuracy([("a", "m", "AVG")], [])
+
+    def test_utility_distance(self):
+        utilities = {
+            ("a", "m", "AVG"): 0.9,
+            ("b", "m", "AVG"): 0.8,
+            ("c", "m", "AVG"): 0.2,
+        }
+        truth = [("a", "m", "AVG"), ("b", "m", "AVG")]
+        picked = [("a", "m", "AVG"), ("c", "m", "AVG")]
+        assert utility_distance(picked, truth, utilities) == pytest.approx(0.3)
+        assert utility_distance(truth, truth, utilities) == 0.0
+
+    def test_utility_distance_empty_rejected(self):
+        with pytest.raises(RecommendationError):
+            utility_distance([], [("a", "m", "AVG")], {})
+
+
+class TestVisualizationOutput:
+    def test_chart_spec_structure(self, seedb):
+        result = seedb.recommend(TARGET, k=1)
+        spec = result[0].chart_spec()
+        assert spec["mark"] == "bar"
+        assert spec["usermeta"]["dimension"] == "sex"
+        values = spec["data"]["values"]
+        assert {row["series"] for row in values} == {"target", "reference"}
+
+    def test_ascii_render(self, seedb):
+        result = seedb.recommend(TARGET, k=1)
+        art = render_recommendation(result[0])
+        assert "AVG(capital) BY sex" in art
+        assert "target" in art and "reference" in art
+
+    def test_json_export_round_trips(self, seedb, tmp_path):
+        result = seedb.recommend(TARGET, k=2)
+        payload = json.loads(recommendations_to_json(result))
+        assert payload["k"] == 2
+        assert len(payload["recommendations"]) == 2
+        from repro.viz import export_recommendations
+
+        path = export_recommendations(result, tmp_path / "recs.json")
+        assert json.loads(path.read_text())["k"] == 2

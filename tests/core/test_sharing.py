@@ -1,0 +1,143 @@
+"""Tests for the sharing optimizer / query planner."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.sharing import FLAG_ALIAS, plan_queries
+from repro.core.view import AggregateView
+from repro.db.catalog import TableMeta
+from repro.db.expressions import eq
+from repro.db.query import AggregateFunction
+from repro.exceptions import RecommendationError
+
+
+@pytest.fixture()
+def meta(census_like):
+    return TableMeta.of(census_like)
+
+
+@pytest.fixture()
+def views(census_like):
+    meta = TableMeta.of(census_like)
+    return [
+        AggregateView(a, m, AggregateFunction.AVG)
+        for a in meta.dimensions
+        for m in meta.measures
+    ]
+
+
+TARGET = eq("marital", "Unmarried")
+
+
+class TestCombineAggregates:
+    def test_unlimited_aggregates_one_query_per_dim(self, meta, views):
+        config = EngineConfig(
+            max_aggregates_per_query=None,
+            use_binpacking=False,
+            max_group_bys_per_query=1,
+            combine_target_reference=True,
+        )
+        plan = plan_queries(views, meta, config, TARGET)
+        # 2 dims (sex, race), all measures combined -> 2 queries.
+        assert len(plan) == 2
+        for planned in plan.queries:
+            assert len(planned.query.aggregates) == 2  # capital, age
+
+    def test_aggregate_limit_chunks_queries(self, meta, views):
+        config = EngineConfig(
+            max_aggregates_per_query=1,
+            use_binpacking=False,
+            max_group_bys_per_query=1,
+        )
+        plan = plan_queries(views, meta, config, TARGET)
+        assert len(plan) == 4  # 2 dims x 2 single-aggregate chunks
+        for planned in plan.queries:
+            assert len(planned.query.aggregates) == 1
+
+
+class TestCombineGroupBys:
+    def test_max_gb_groups_dimensions(self, meta, views):
+        config = EngineConfig(
+            use_binpacking=False, max_group_bys_per_query=2
+        )
+        plan = plan_queries(views, meta, config, TARGET)
+        assert len(plan) == 1
+        query = plan.queries[0].query
+        assert set(query.group_by) == {"sex", "race", FLAG_ALIAS}
+
+    def test_binpacking_respects_budget(self, meta, views):
+        config = EngineConfig(store="row", use_binpacking=True)
+        plan = plan_queries(views, meta, config, TARGET)
+        # sex(2) x race(4) = 8 well under 10^4: one combined query.
+        assert len(plan) == 1
+
+    def test_routes_cover_every_view(self, meta, views):
+        config = EngineConfig(store="row", use_binpacking=True)
+        plan = plan_queries(views, meta, config, TARGET)
+        routed = {route.view.key for q in plan.queries for route in q.routes}
+        assert routed == {v.key for v in views}
+
+
+class TestCombineTargetReference:
+    def test_combined_query_has_flag(self, meta, views):
+        config = EngineConfig(combine_target_reference=True, use_binpacking=False)
+        plan = plan_queries(views[:2], meta, config, TARGET)
+        planned = plan.queries[0]
+        assert planned.flag_alias == FLAG_ALIAS
+        assert planned.flag_kind == "one_bit"
+        assert FLAG_ALIAS in planned.query.group_by
+        assert planned.query.predicate is None
+
+    def test_split_queries_without_combining(self, meta, views):
+        config = EngineConfig(combine_target_reference=False, use_binpacking=False)
+        plan = plan_queries(views[:2], meta, config, TARGET, reference_mode="all")
+        assert len(plan) == 2
+        target_q = next(q for q in plan.queries if q.routes[0].side == "target")
+        reference_q = next(q for q in plan.queries if q.routes[0].side == "reference")
+        assert target_q.query.predicate is not None
+        assert reference_q.query.predicate is None  # reference = whole dataset
+
+    def test_complement_reference_predicate(self, meta, views):
+        config = EngineConfig(combine_target_reference=False, use_binpacking=False)
+        plan = plan_queries(
+            views[:2], meta, config, TARGET, reference_mode="complement"
+        )
+        reference_q = next(q for q in plan.queries if q.routes[0].side == "reference")
+        assert "NOT" in reference_q.query.predicate.to_sql()
+
+    def test_query_reference_two_bit_flag(self, meta, views):
+        config = EngineConfig(combine_target_reference=True, use_binpacking=False)
+        plan = plan_queries(
+            views[:2],
+            meta,
+            config,
+            TARGET,
+            reference_mode="query",
+            reference_predicate=eq("marital", "Married"),
+        )
+        planned = plan.queries[0]
+        assert planned.flag_kind == "two_bit"
+        assert planned.query.predicate is not None  # WHERE t OR r
+
+    def test_query_reference_requires_predicate(self, meta, views):
+        config = EngineConfig()
+        with pytest.raises(RecommendationError):
+            plan_queries(views[:2], meta, config, TARGET, reference_mode="query")
+
+
+class TestPlanShape:
+    def test_empty_views_empty_plan(self, meta):
+        assert len(plan_queries([], meta, EngineConfig(), TARGET)) == 0
+
+    def test_group_budget_propagates(self, meta, views):
+        config = EngineConfig(store="col")
+        plan = plan_queries(views, meta, config, TARGET)
+        for planned in plan.queries:
+            assert planned.query.group_budget == 100
+
+    def test_count_views_use_count_star(self, meta):
+        views = [AggregateView("sex", "capital", AggregateFunction.COUNT)]
+        plan = plan_queries(views, meta, EngineConfig(use_binpacking=False), TARGET)
+        spec = plan.queries[0].query.aggregates[0]
+        assert spec.func is AggregateFunction.COUNT
+        assert spec.argument is None

@@ -1,0 +1,72 @@
+"""Tests for aggregate views and view-space enumeration."""
+
+import pytest
+
+from repro.core.view import AggregateView, ViewSpace
+from repro.db.catalog import TableMeta
+from repro.db.query import AggregateFunction
+from repro.exceptions import RecommendationError
+
+
+class TestAggregateView:
+    def test_key_and_alias(self):
+        view = AggregateView("sex", "capital", AggregateFunction.AVG)
+        assert view.key == ("sex", "capital", "AVG")
+        assert view.agg_alias == "avg__capital"
+
+    def test_describe(self):
+        view = AggregateView("sex", "capital")
+        assert view.describe() == "AVG(capital) BY sex"
+
+
+class TestViewSpace:
+    def test_enumeration_is_cross_product(self, tiny_table):
+        meta = TableMeta.of(tiny_table)
+        space = ViewSpace.enumerate(
+            meta, funcs=(AggregateFunction.AVG, AggregateFunction.SUM)
+        )
+        assert len(space) == 2 * 2 * 2  # dims x measures x funcs
+
+    def test_restriction(self, tiny_table):
+        meta = TableMeta.of(tiny_table)
+        space = ViewSpace.enumerate(meta, dimensions=["color"], measures=["price"])
+        assert len(space) == 1
+        assert space.views[0].key == ("color", "price", "AVG")
+
+    def test_unknown_dimension_rejected(self, tiny_table):
+        meta = TableMeta.of(tiny_table)
+        with pytest.raises(RecommendationError):
+            ViewSpace.enumerate(meta, dimensions=["price"])  # a measure, not a dim
+
+    def test_unknown_measure_rejected(self, tiny_table):
+        meta = TableMeta.of(tiny_table)
+        with pytest.raises(RecommendationError):
+            ViewSpace.enumerate(meta, measures=["color"])
+
+    def test_empty_funcs_rejected(self, tiny_table):
+        meta = TableMeta.of(tiny_table)
+        with pytest.raises(RecommendationError):
+            ViewSpace.enumerate(meta, funcs=())
+
+    def test_lookup_and_membership(self, tiny_table):
+        meta = TableMeta.of(tiny_table)
+        space = ViewSpace.enumerate(meta)
+        key = ("color", "price", "AVG")
+        assert key in space
+        assert space.get(key).dimension == "color"
+        with pytest.raises(RecommendationError):
+            space.get(("nope", "price", "AVG"))
+
+    def test_dimensions_preserve_order(self, tiny_table):
+        meta = TableMeta.of(tiny_table)
+        space = ViewSpace.enumerate(meta)
+        assert space.dimensions() == ("color", "size")
+
+    def test_duplicate_views_rejected(self):
+        view = AggregateView("a", "m")
+        with pytest.raises(RecommendationError):
+            ViewSpace([view, view])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(RecommendationError):
+            ViewSpace([])

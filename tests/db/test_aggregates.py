@@ -1,0 +1,157 @@
+"""Tests for per-group aggregate computation and mergeable partials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.aggregates import PartialAggregate, compute_group_aggregate
+from repro.db.query import AggregateFunction
+from repro.exceptions import QueryError
+
+IDS = np.array([0, 1, 0, 2, 1, 0])
+VALS = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+
+
+class TestComputeGroupAggregate:
+    def test_count_star(self):
+        out = compute_group_aggregate(AggregateFunction.COUNT, IDS, 3, None)
+        assert out.tolist() == [3, 2, 1]
+
+    def test_sum(self):
+        out = compute_group_aggregate(AggregateFunction.SUM, IDS, 3, VALS)
+        assert out.tolist() == [10.0, 7.0, 4.0]
+
+    def test_avg(self):
+        out = compute_group_aggregate(AggregateFunction.AVG, IDS, 3, VALS)
+        np.testing.assert_allclose(out, [10 / 3, 3.5, 4.0])
+
+    def test_min_max(self):
+        mn = compute_group_aggregate(AggregateFunction.MIN, IDS, 3, VALS)
+        mx = compute_group_aggregate(AggregateFunction.MAX, IDS, 3, VALS)
+        assert mn.tolist() == [1.0, 2.0, 4.0]
+        assert mx.tolist() == [6.0, 5.0, 4.0]
+
+    def test_empty_groups_get_nan_or_zero(self):
+        ids = np.array([0, 0])
+        vals = np.array([1.0, 2.0])
+        counts = compute_group_aggregate(AggregateFunction.COUNT, ids, 3, vals)
+        assert counts.tolist() == [2, 0, 0]
+        avgs = compute_group_aggregate(AggregateFunction.AVG, ids, 3, vals)
+        assert np.isnan(avgs[1]) and np.isnan(avgs[2])
+        mins = compute_group_aggregate(AggregateFunction.MIN, ids, 3, vals)
+        assert np.isnan(mins[2])
+
+    def test_sum_requires_values(self):
+        with pytest.raises(QueryError):
+            compute_group_aggregate(AggregateFunction.SUM, IDS, 3, None)
+
+
+class TestPartialAggregate:
+    def _split_merge(self, func: AggregateFunction) -> tuple[dict, dict]:
+        """Aggregate in one shot vs. two phase-chunks merged."""
+        keys = np.array(["a", "b", "a", "c", "b", "a"])
+        whole = PartialAggregate.empty(func)
+        w_ids, w_vals = IDS, VALS
+        agg = compute_group_aggregate(func, w_ids, 3, w_vals if func.needs_argument else None)
+        counts = compute_group_aggregate(AggregateFunction.COUNT, w_ids, 3, None)
+        whole.update(np.array(["a", "b", "c"]), agg, counts)
+
+        merged = PartialAggregate.empty(func)
+        for lo, hi in ((0, 3), (3, 6)):
+            ids, vals = w_ids[lo:hi], w_vals[lo:hi]
+            remap = {old: new for new, old in enumerate(sorted(set(ids)))}
+            dense = np.array([remap[i] for i in ids])
+            labels = np.array(["abc"[i] for i in sorted(set(ids))])
+            part_agg = compute_group_aggregate(
+                func, dense, len(remap), vals if func.needs_argument else None
+            )
+            part_counts = compute_group_aggregate(
+                AggregateFunction.COUNT, dense, len(remap), None
+            )
+            merged.update(labels, part_agg, part_counts)
+        del keys
+        return whole.finalize(), merged.finalize()
+
+    @pytest.mark.parametrize(
+        "func",
+        [
+            AggregateFunction.COUNT,
+            AggregateFunction.SUM,
+            AggregateFunction.AVG,
+            AggregateFunction.MIN,
+            AggregateFunction.MAX,
+        ],
+    )
+    def test_phased_merge_equals_single_pass(self, func):
+        whole, merged = self._split_merge(func)
+        assert set(whole) == set(merged)
+        for key in whole:
+            assert whole[key] == pytest.approx(merged[key])
+
+    def test_merge_two_partials(self):
+        a = PartialAggregate.empty(AggregateFunction.SUM)
+        b = PartialAggregate.empty(AggregateFunction.SUM)
+        a.update(np.array(["x"]), np.array([5.0]), np.array([2]))
+        b.update(np.array(["x", "y"]), np.array([3.0, 1.0]), np.array([1, 1]))
+        a.merge(b)
+        assert a.finalize() == {"x": 8.0, "y": 1.0}
+        assert a.total_rows() == 4
+
+    def test_merge_function_mismatch(self):
+        a = PartialAggregate.empty(AggregateFunction.SUM)
+        b = PartialAggregate.empty(AggregateFunction.MIN)
+        with pytest.raises(QueryError):
+            a.merge(b)
+
+    def test_min_merge_takes_minimum(self):
+        a = PartialAggregate.empty(AggregateFunction.MIN)
+        b = PartialAggregate.empty(AggregateFunction.MIN)
+        a.update(np.array(["x"]), np.array([5.0]), np.array([1]))
+        b.update(np.array(["x"]), np.array([3.0]), np.array([1]))
+        a.merge(b)
+        assert a.finalize() == {"x": 3.0}
+
+
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 4), st.floats(0, 100, allow_nan=False)),
+        min_size=1,
+        max_size=60,
+    ),
+    split=st.integers(0, 60),
+)
+@pytest.mark.parametrize(
+    "func", [AggregateFunction.SUM, AggregateFunction.AVG, AggregateFunction.MAX]
+)
+def test_property_split_invariance(func, data, split):
+    """Property: aggregating chunk-by-chunk equals aggregating everything.
+
+    This is the invariant the phased execution framework depends on.
+    """
+    split = min(split, len(data))
+    chunks = [data[:split], data[split:]]
+    merged = PartialAggregate.empty(func)
+    for chunk in chunks:
+        if not chunk:
+            continue
+        ids = np.array([g for g, _ in chunk])
+        vals = np.array([v for _, v in chunk])
+        uniq = sorted(set(ids))
+        remap = {g: i for i, g in enumerate(uniq)}
+        dense = np.array([remap[g] for g in ids])
+        agg = compute_group_aggregate(func, dense, len(uniq), vals)
+        counts = compute_group_aggregate(AggregateFunction.COUNT, dense, len(uniq), None)
+        merged.update(np.array(uniq), agg, counts)
+
+    ids = np.array([g for g, _ in data])
+    vals = np.array([v for _, v in data])
+    uniq = sorted(set(ids))
+    remap = {g: i for i, g in enumerate(uniq)}
+    dense = np.array([remap[g] for g in ids])
+    expected_agg = compute_group_aggregate(func, dense, len(uniq), vals)
+    expected = dict(zip(uniq, expected_agg.tolist()))
+
+    got = merged.finalize()
+    assert set(got) == set(expected)
+    for key in expected:
+        assert got[key] == pytest.approx(expected[key], rel=1e-9, abs=1e-9)

@@ -1,0 +1,169 @@
+"""Tests for the database registry, snowflake flattening, catalog, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.config import CostModelConfig, ExecutionStats
+from repro.db.catalog import TableMeta
+from repro.db.cost import CostModel
+from repro.db.database import Database, DimensionJoin, SnowflakeJoin
+from repro.db.table import Table
+from repro.db.types import ColumnRole
+from repro.exceptions import QueryError, SchemaError
+
+
+def _star_db():
+    db = Database()
+    db.register(
+        Table(
+            "sales",
+            {
+                "product_id": [1, 2, 1, 3],
+                "store_id": [10, 10, 20, 20],
+                "amount": [100.0, 200.0, 300.0, 400.0],
+            },
+            roles={"amount": ColumnRole.MEASURE},
+        )
+    )
+    db.register(
+        Table(
+            "products",
+            {
+                "pid": [1, 2, 3],
+                "category": ["food", "toys", "food"],
+            },
+            roles={"category": ColumnRole.DIMENSION},
+        )
+    )
+    db.register(
+        Table(
+            "stores",
+            {"sid": [10, 20], "region": ["north", "south"]},
+            roles={"region": ColumnRole.DIMENSION},
+        )
+    )
+    return db
+
+
+class TestDatabase:
+    def test_register_and_lookup(self, tiny_table):
+        db = Database()
+        db.register(tiny_table)
+        assert "tiny" in db
+        assert db.table("tiny") is tiny_table
+        assert db.table_names() == ("tiny",)
+
+    def test_missing_table(self):
+        with pytest.raises(QueryError):
+            Database().table("ghost")
+
+    def test_meta(self, tiny_table):
+        meta = Database().register(tiny_table) and TableMeta.of(tiny_table)
+        assert meta.n_dimensions == 2
+        assert meta.n_measures == 2
+        assert meta.n_views() == 4
+        assert meta.distinct_counts == {"color": 3, "size": 2}
+
+
+class TestSnowflakeFlatten:
+    def test_flatten_joins_dimensions(self):
+        db = _star_db()
+        flat = db.flatten(
+            SnowflakeJoin(
+                "sales",
+                [
+                    DimensionJoin("product_id", "products", "pid"),
+                    DimensionJoin("store_id", "stores", "sid"),
+                ],
+            )
+        )
+        assert flat.nrows == 4
+        assert flat.column("category").tolist() == ["food", "toys", "food", "food"]
+        assert flat.column("region").tolist() == ["north", "north", "south", "south"]
+        # Join keys are dropped; the flat table is registered.
+        assert "product_id" not in flat.schema
+        assert "sales_flat" in db
+
+    def test_roles_propagate_from_dimension_tables(self):
+        flat = _star_db().flatten(
+            SnowflakeJoin("sales", [DimensionJoin("product_id", "products", "pid")])
+        )
+        assert "category" in flat.dimension_names()
+        assert "amount" in flat.measure_names()
+
+    def test_missing_fk_value_raises(self):
+        db = _star_db()
+        db.register(
+            Table("bad_sales", {"product_id": [1, 99], "amount": [1.0, 2.0]})
+        )
+        with pytest.raises(SchemaError):
+            db.flatten(
+                SnowflakeJoin("bad_sales", [DimensionJoin("product_id", "products", "pid")])
+            )
+
+    def test_duplicate_pk_raises(self):
+        db = _star_db()
+        db.register(Table("dup", {"pid": [1, 1], "category": ["a", "b"]}))
+        with pytest.raises(SchemaError):
+            db.flatten(
+                SnowflakeJoin("sales", [DimensionJoin("product_id", "dup", "pid")])
+            )
+
+    def test_missing_fk_column_raises(self):
+        db = _star_db()
+        with pytest.raises(SchemaError):
+            db.flatten(
+                SnowflakeJoin("sales", [DimensionJoin("ghost_fk", "products", "pid")])
+            )
+
+    def test_name_collision_prefixes_dim_table(self):
+        db = Database()
+        db.register(Table("fact", {"k": [1], "value": [2.0]}))
+        db.register(Table("dim", {"pk": [1], "value": [9.0]}))
+        flat = db.flatten(SnowflakeJoin("fact", [DimensionJoin("k", "dim", "pk")]))
+        assert "dim_value" in flat.schema
+
+
+class TestCostModel:
+    def test_query_seconds_composition(self):
+        config = CostModelConfig(
+            seconds_per_byte_miss=1e-6,
+            seconds_per_byte_hit=1e-7,
+            seconds_per_query=0.5,
+            row_seconds_per_agg_row=1e-3,
+            seconds_per_group=1e-2,
+        )
+        model = CostModel(config, store="row")
+        stats = ExecutionStats(
+            queries_issued=2,
+            bytes_scanned_miss=1000,
+            bytes_scanned_hit=1000,
+            agg_rows_processed=10,
+            groups_maintained=5,
+        )
+        expected = 1000 * 1e-6 + 1000 * 1e-7 + 10 * 1e-3 + 5 * 1e-2 + 2 * 0.5
+        assert model.query_seconds(stats) == pytest.approx(expected)
+
+    def test_store_selects_cpu_rate(self):
+        stats = ExecutionStats(agg_rows_processed=1_000_000)
+        row = CostModel.for_store("row").query_seconds(stats)
+        col = CostModel.for_store("col").query_seconds(stats)
+        assert row > col
+
+    def test_batch_seconds_parallelism(self):
+        model = CostModel()
+        serial = model.batch_seconds([1.0]) * 4
+        parallel = model.batch_seconds([1.0, 1.0, 1.0, 1.0])
+        assert parallel < serial
+        assert parallel >= 1.0  # no faster than the slowest member
+
+    def test_latency_prefers_batches_when_present(self):
+        model = CostModel()
+        stats = ExecutionStats(queries_issued=10)
+        serial = model.latency_seconds(stats)
+        stats.batch_costs.append([0.001, 0.001])
+        batched = model.latency_seconds(stats)
+        assert batched != serial
+
+    def test_empty_batch(self):
+        assert CostModel().batch_seconds([]) == 0.0

@@ -1,0 +1,272 @@
+"""Tests for the query executor: results vs. hand-computed truths."""
+
+import numpy as np
+import pytest
+
+from repro.db import expressions as E
+from repro.db.executor import QueryExecutor
+from repro.db.query import (
+    AggregateFunction,
+    AggregateQuery,
+    AggregateSpec,
+    DerivedColumn,
+)
+from repro.db.storage import make_store
+from repro.exceptions import QueryError
+
+
+def _exec(table, query, store="col"):
+    executor = QueryExecutor(make_store(store, table))
+    return executor.execute(query)
+
+
+class TestBasicAggregation:
+    def test_avg_group_by(self, tiny_table):
+        query = AggregateQuery(
+            table="tiny",
+            group_by=("color",),
+            aggregates=(AggregateSpec(AggregateFunction.AVG, "price", "avg_price"),),
+        )
+        result, _ = _exec(tiny_table, query)
+        rows = {r["color"]: r["avg_price"] for r in result.to_rows()}
+        assert rows["red"] == pytest.approx((10 + 30 + 50) / 3)
+        assert rows["blue"] == pytest.approx(30.0)
+        assert rows["green"] == pytest.approx(60.0)
+
+    def test_count_star(self, tiny_table):
+        query = AggregateQuery(
+            table="tiny",
+            group_by=("size",),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+        )
+        result, _ = _exec(tiny_table, query)
+        rows = {r["size"]: r["n"] for r in result.to_rows()}
+        assert rows == {"S": 4, "L": 2}
+
+    def test_multiple_aggregates_one_query(self, tiny_table):
+        query = AggregateQuery(
+            table="tiny",
+            group_by=("color",),
+            aggregates=(
+                AggregateSpec(AggregateFunction.SUM, "price", "total"),
+                AggregateSpec(AggregateFunction.MIN, "weight", "lightest"),
+                AggregateSpec(AggregateFunction.MAX, "weight", "heaviest"),
+            ),
+        )
+        result, _ = _exec(tiny_table, query)
+        red = next(r for r in result.to_rows() if r["color"] == "red")
+        assert red["total"] == 90.0
+        assert red["lightest"] == 1.0
+        assert red["heaviest"] == 5.0
+
+    def test_global_aggregate_without_group_by(self, tiny_table):
+        query = AggregateQuery(
+            table="tiny",
+            group_by=(),
+            aggregates=(AggregateSpec(AggregateFunction.SUM, "price", "total"),),
+        )
+        result, _ = _exec(tiny_table, query)
+        assert result.n_groups == 1
+        assert result.values["total"][0] == pytest.approx(210.0)
+
+
+class TestPredicatesAndDerived:
+    def test_where_filters(self, tiny_table):
+        query = AggregateQuery(
+            table="tiny",
+            group_by=("color",),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+            predicate=E.eq("size", "S"),
+        )
+        result, _ = _exec(tiny_table, query)
+        rows = {r["color"]: r["n"] for r in result.to_rows()}
+        assert rows == {"red": 2, "blue": 1, "green": 1}
+
+    def test_derived_flag_grouping(self, tiny_table):
+        flag = DerivedColumn(
+            "is_small", E.CaseWhen(E.eq("size", "S"), E.lit(1), E.lit(0))
+        )
+        query = AggregateQuery(
+            table="tiny",
+            group_by=("color", "is_small"),
+            aggregates=(AggregateSpec(AggregateFunction.AVG, "price", "avg_p"),),
+            derived=(flag,),
+        )
+        result, _ = _exec(tiny_table, query)
+        rows = {
+            (r["color"], r["is_small"]): r["avg_p"] for r in result.to_rows()
+        }
+        assert rows[("red", 1)] == pytest.approx(30.0)  # prices 10, 50
+        assert rows[("red", 0)] == pytest.approx(30.0)  # price 30
+        assert rows[("blue", 0)] == pytest.approx(20.0)
+        assert rows[("blue", 1)] == pytest.approx(40.0)
+
+    def test_aggregate_over_expression(self, tiny_table):
+        spec = AggregateSpec(
+            AggregateFunction.SUM,
+            E.CaseWhen(E.eq("color", "red"), E.col("price"), E.lit(0.0)),
+            "red_total",
+        )
+        query = AggregateQuery(table="tiny", group_by=("size",), aggregates=(spec,))
+        result, _ = _exec(tiny_table, query)
+        rows = {r["size"]: r["red_total"] for r in result.to_rows()}
+        assert rows["S"] == 60.0  # 10 + 50
+        assert rows["L"] == 30.0
+
+    def test_predicate_matching_nothing(self, tiny_table):
+        query = AggregateQuery(
+            table="tiny",
+            group_by=("color",),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+            predicate=E.eq("size", "XXL"),
+        )
+        result, _ = _exec(tiny_table, query)
+        assert result.n_groups == 0
+
+
+class TestRowRangesAndStats:
+    def test_row_range_limits_input(self, tiny_table):
+        query = AggregateQuery(
+            table="tiny",
+            group_by=("color",),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+            row_range=(0, 2),
+        )
+        result, _ = _exec(tiny_table, query)
+        assert result.input_rows == 2
+        assert sum(result.values["n"]) == 2
+
+    def test_phased_ranges_cover_table(self, census_like):
+        """Sum of per-phase counts equals the full-table counts."""
+        total = {}
+        for lo, hi in ((0, 7000), (7000, 14000), (14000, 20000)):
+            query = AggregateQuery(
+                table="census_like",
+                group_by=("sex",),
+                aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+                row_range=(lo, hi),
+            )
+            result, _ = _exec(census_like, query)
+            for row in result.to_rows():
+                total[row["sex"]] = total.get(row["sex"], 0) + row["n"]
+        full, _ = _exec(
+            census_like,
+            AggregateQuery(
+                table="census_like",
+                group_by=("sex",),
+                aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+            ),
+        )
+        assert total == {r["sex"]: r["n"] for r in full.to_rows()}
+
+    def test_stats_accounting(self, tiny_table):
+        query = AggregateQuery(
+            table="tiny",
+            group_by=("color",),
+            aggregates=(
+                AggregateSpec(AggregateFunction.SUM, "price", "a"),
+                AggregateSpec(AggregateFunction.SUM, "weight", "b"),
+            ),
+        )
+        _, stats = _exec(tiny_table, query)
+        assert stats.queries_issued == 1
+        assert stats.agg_rows_processed == 6 * 2
+        assert stats.groups_maintained == 3
+        assert stats.rows_scanned == 6
+
+    def test_spill_charges_extra_bytes(self, census_like):
+        query = AggregateQuery(
+            table="census_like",
+            group_by=("sex", "race"),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+            group_budget=2,
+        )
+        _, spill_stats = _exec(census_like, query)
+        no_budget = query = AggregateQuery(
+            table="census_like",
+            group_by=("sex", "race"),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+        )
+        _, clean_stats = _exec(census_like, no_budget)
+        assert spill_stats.spill_passes > 0
+        assert spill_stats.bytes_scanned_miss > clean_stats.bytes_scanned_miss
+
+    def test_wrong_table_rejected(self, tiny_table):
+        query = AggregateQuery(
+            table="other",
+            group_by=("color",),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+        )
+        with pytest.raises(QueryError):
+            _exec(tiny_table, query)
+
+
+class TestStoreEquivalence:
+    def test_row_and_col_stores_agree(self, census_like):
+        query = AggregateQuery(
+            table="census_like",
+            group_by=("sex", "race"),
+            aggregates=(
+                AggregateSpec(AggregateFunction.AVG, "capital", "avg_c"),
+                AggregateSpec(AggregateFunction.COUNT, None, "n"),
+            ),
+            predicate=E.eq("marital", "Unmarried"),
+        )
+        row_result, _ = _exec(census_like, query, store="row")
+        col_result, _ = _exec(census_like, query, store="col")
+        assert row_result.to_rows() == col_result.to_rows()
+
+    def test_executor_matches_numpy(self, census_like):
+        """Cross-check the whole pipeline against direct numpy computation."""
+        query = AggregateQuery(
+            table="census_like",
+            group_by=("race",),
+            aggregates=(AggregateSpec(AggregateFunction.AVG, "age", "avg_age"),),
+            predicate=E.eq("sex", "F"),
+        )
+        result, _ = _exec(census_like, query)
+        sex = census_like.column("sex")
+        race = census_like.column("race")
+        age = census_like.column("age")
+        for row in result.to_rows():
+            mask = (sex == "F") & (race == row["race"])
+            assert row["avg_age"] == pytest.approx(age[mask].mean())
+
+
+class TestQueryValidation:
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(
+                table="t",
+                group_by=(),
+                aggregates=(
+                    AggregateSpec(AggregateFunction.COUNT, None, "n"),
+                    AggregateSpec(AggregateFunction.SUM, "x", "n"),
+                ),
+            )
+
+    def test_no_aggregates_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(table="t", group_by=("a",), aggregates=())
+
+    def test_duplicate_group_by_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(
+                table="t",
+                group_by=("a", "a"),
+                aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+            )
+
+    def test_count_needs_no_argument_but_sum_does(self):
+        with pytest.raises(QueryError):
+            AggregateSpec(AggregateFunction.SUM, None, "s")
+
+    def test_with_range(self):
+        query = AggregateQuery(
+            table="t",
+            group_by=("a",),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+        )
+        ranged = query.with_range(5, 10)
+        assert ranged.row_range == (5, 10)
+        assert query.row_range is None

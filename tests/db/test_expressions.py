@@ -1,0 +1,140 @@
+"""Tests for the expression tree: evaluation, SQL text, column tracking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db import expressions as E
+from repro.exceptions import QueryError
+
+COLS = {
+    "a": np.array([1, 2, 3, 4]),
+    "b": np.array([4.0, 3.0, 2.0, 1.0]),
+    "s": np.array(["x", "y", "x", "z"]),
+}
+
+
+class TestLeaves:
+    def test_col_eval(self):
+        np.testing.assert_array_equal(E.col("a").evaluate(COLS), COLS["a"])
+
+    def test_col_missing_raises(self):
+        with pytest.raises(QueryError):
+            E.col("nope").evaluate(COLS)
+
+    def test_lit_eval(self):
+        assert E.lit(5).evaluate(COLS) == 5
+
+    def test_sql_literals(self):
+        assert E.lit(5).to_sql() == "5"
+        assert E.lit(2.5).to_sql() == "2.5"
+        assert E.lit("it's").to_sql() == "'it''s'"
+        assert E.lit(True).to_sql() == "TRUE"
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("=", [False, True, False, False]),
+            ("!=", [True, False, True, True]),
+            ("<", [True, False, False, False]),
+            ("<=", [True, True, False, False]),
+            (">", [False, False, True, True]),
+            (">=", [False, True, True, True]),
+        ],
+    )
+    def test_each_operator(self, op, expected):
+        expr = E.Comparison(op, E.col("a"), E.lit(2))
+        assert expr.evaluate(COLS).tolist() == expected
+
+    def test_string_equality(self):
+        assert E.eq("s", "x").evaluate(COLS).tolist() == [True, False, True, False]
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            E.Comparison("~", E.col("a"), E.lit(1))
+
+    def test_sql_text(self):
+        assert E.eq("s", "x").to_sql() == "s = 'x'"
+
+
+class TestBooleans:
+    def test_and_or_not(self):
+        both = E.eq("s", "x").and_(E.Comparison(">", E.col("a"), E.lit(1)))
+        assert both.evaluate(COLS).tolist() == [False, False, True, False]
+        either = E.eq("s", "x").or_(E.eq("s", "z"))
+        assert either.evaluate(COLS).tolist() == [True, False, True, True]
+        negated = E.eq("s", "x").not_()
+        assert negated.evaluate(COLS).tolist() == [False, True, False, True]
+
+    def test_nary_validation(self):
+        with pytest.raises(QueryError):
+            E.And((E.eq("s", "x"),))
+        with pytest.raises(QueryError):
+            E.Or((E.eq("s", "x"),))
+
+    def test_between(self):
+        expr = E.between("a", 2, 3)
+        assert expr.evaluate(COLS).tolist() == [False, True, True, False]
+
+    def test_isin(self):
+        expr = E.isin("s", ["x", "z"])
+        assert expr.evaluate(COLS).tolist() == [True, False, True, True]
+        with pytest.raises(QueryError):
+            E.In(E.col("s"), ())
+
+    def test_true_predicate(self):
+        assert E.true().evaluate(COLS).tolist() is True or E.true().evaluate(
+            COLS
+        ).all()
+
+
+class TestArithmeticAndCase:
+    def test_arithmetic(self):
+        expr = E.Arithmetic("+", E.col("a"), E.col("b"))
+        assert expr.evaluate(COLS).tolist() == [5.0, 5.0, 5.0, 5.0]
+        with pytest.raises(QueryError):
+            E.Arithmetic("%", E.col("a"), E.col("b"))
+
+    def test_case_when(self):
+        expr = E.CaseWhen(E.eq("s", "x"), E.lit(1), E.lit(0))
+        assert expr.evaluate(COLS).tolist() == [1, 0, 1, 0]
+
+    def test_case_sql(self):
+        expr = E.CaseWhen(E.eq("s", "x"), E.lit(1), E.lit(0))
+        assert expr.to_sql() == "CASE WHEN s = 'x' THEN 1 ELSE 0 END"
+
+
+class TestReferencedColumns:
+    def test_collects_across_tree(self):
+        expr = E.CaseWhen(
+            E.eq("s", "x"), E.col("a"), E.Arithmetic("*", E.col("b"), E.lit(2))
+        )
+        assert expr.referenced_columns() == {"s", "a", "b"}
+
+    def test_literal_references_nothing(self):
+        assert E.lit(1).referenced_columns() == frozenset()
+
+
+@given(
+    values=st.lists(st.integers(-100, 100), min_size=1, max_size=50),
+    threshold=st.integers(-100, 100),
+)
+def test_comparison_matches_numpy_semantics(values, threshold):
+    """Property: expression eval agrees with direct numpy comparison."""
+    cols = {"v": np.asarray(values)}
+    expr = E.Comparison("<", E.col("v"), E.lit(threshold))
+    np.testing.assert_array_equal(expr.evaluate(cols), np.asarray(values) < threshold)
+
+
+@given(
+    values=st.lists(st.integers(0, 10), min_size=1, max_size=50),
+    low=st.integers(0, 10),
+    high=st.integers(0, 10),
+)
+def test_between_is_conjunction_of_bounds(values, low, high):
+    cols = {"v": np.asarray(values)}
+    result = E.between("v", low, high).evaluate(cols)
+    expected = (np.asarray(values) >= low) & (np.asarray(values) <= high)
+    np.testing.assert_array_equal(result, expected)

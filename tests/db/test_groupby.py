@@ -1,0 +1,131 @@
+"""Tests for hash aggregation with memory budget and spill."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.groupby import (
+    GroupKeyColumn,
+    estimate_group_cardinality,
+    group_aggregate,
+    spill_data_passes,
+)
+from repro.db.query import AggregateFunction
+from repro.exceptions import QueryError
+
+
+def _key(name, values):
+    categories, codes = np.unique(values, return_inverse=True)
+    return GroupKeyColumn(name, codes.astype(np.int32), categories)
+
+
+class TestBasicGrouping:
+    def test_single_key_sum(self):
+        key = _key("k", ["a", "b", "a", "c"])
+        result = group_aggregate(
+            [key], [(AggregateFunction.SUM, np.array([1.0, 2.0, 3.0, 4.0]))]
+        )
+        assert result.n_groups == 3
+        assert result.key_values["k"].tolist() == ["a", "b", "c"]
+        assert result.aggregate_values[0].tolist() == [4.0, 2.0, 4.0]
+        assert result.group_counts.tolist() == [2, 1, 1]
+        assert result.spill_passes == 0
+
+    def test_multi_key_grouping(self):
+        k1 = _key("x", ["a", "a", "b", "b"])
+        k2 = _key("y", ["p", "q", "p", "p"])
+        result = group_aggregate(
+            [k1, k2], [(AggregateFunction.COUNT, None)]
+        )
+        assert result.n_groups == 3
+        pairs = list(zip(result.key_values["x"], result.key_values["y"]))
+        assert pairs == [("a", "p"), ("a", "q"), ("b", "p")]
+        assert result.aggregate_values[0].tolist() == [1.0, 1.0, 2.0]
+
+    def test_multiple_aggregates_share_grouping(self):
+        key = _key("k", ["a", "b", "a"])
+        vals = np.array([1.0, 2.0, 5.0])
+        result = group_aggregate(
+            [key],
+            [
+                (AggregateFunction.SUM, vals),
+                (AggregateFunction.MAX, vals),
+                (AggregateFunction.COUNT, None),
+            ],
+        )
+        assert result.aggregate_values[0].tolist() == [6.0, 2.0]
+        assert result.aggregate_values[1].tolist() == [5.0, 2.0]
+        assert result.aggregate_values[2].tolist() == [2.0, 1.0]
+
+    def test_empty_input(self):
+        key = GroupKeyColumn("k", np.array([], dtype=np.int32), np.array(["a"]))
+        result = group_aggregate([key], [(AggregateFunction.COUNT, None)])
+        assert result.n_groups == 0
+        assert result.spill_passes == 0
+
+    def test_misaligned_inputs_rejected(self):
+        key = _key("k", ["a", "b"])
+        with pytest.raises(QueryError):
+            group_aggregate([key], [(AggregateFunction.SUM, np.array([1.0]))])
+
+    def test_no_keys_rejected(self):
+        with pytest.raises(QueryError):
+            group_aggregate([], [(AggregateFunction.COUNT, None)])
+
+
+class TestBudgetAndSpill:
+    def test_spill_preserves_results(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 50, 2000)
+        key = _key("k", values.astype(str))
+        vals = rng.random(2000)
+        unbounded = group_aggregate([key], [(AggregateFunction.SUM, vals)], budget=None)
+        spilled = group_aggregate([key], [(AggregateFunction.SUM, vals)], budget=7)
+        assert spilled.spill_passes > 0
+        assert spilled.n_partitions > 1
+        assert unbounded.key_values["k"].tolist() == spilled.key_values["k"].tolist()
+        np.testing.assert_allclose(
+            unbounded.aggregate_values[0], spilled.aggregate_values[0]
+        )
+
+    def test_no_spill_within_budget(self):
+        key = _key("k", ["a", "b", "c"])
+        result = group_aggregate([key], [(AggregateFunction.COUNT, None)], budget=10)
+        assert result.spill_passes == 0
+        assert result.n_partitions == 1
+
+    def test_estimate_capped_by_rows(self):
+        assert estimate_group_cardinality([1000, 1000], n_rows=500) == 500
+        assert estimate_group_cardinality([3, 4], n_rows=500) == 12
+        assert estimate_group_cardinality([], n_rows=0) == 0
+
+    def test_spill_data_passes_logarithmic(self):
+        assert spill_data_passes(1) == 0
+        assert spill_data_passes(2) == 2
+        assert spill_data_passes(32) == 2
+        assert spill_data_passes(33) == 4
+        assert spill_data_passes(1024) == 4
+        assert spill_data_passes(1025) == 6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 300),
+    n_keys=st.integers(1, 3),
+    budget=st.one_of(st.none(), st.integers(1, 20)),
+    seed=st.integers(0, 1000),
+)
+def test_property_budget_never_changes_results(n, n_keys, budget, seed):
+    """Property: any budget yields the same groups and aggregates."""
+    rng = np.random.default_rng(seed)
+    keys = [
+        _key(f"k{i}", rng.integers(0, 6, n).astype(str)) for i in range(n_keys)
+    ]
+    vals = rng.random(n)
+    base = group_aggregate(keys, [(AggregateFunction.AVG, vals)], budget=None)
+    other = group_aggregate(keys, [(AggregateFunction.AVG, vals)], budget=budget)
+    assert base.n_groups == other.n_groups
+    for name in base.key_values:
+        assert base.key_values[name].tolist() == other.key_values[name].tolist()
+    np.testing.assert_allclose(base.aggregate_values[0], other.aggregate_values[0])
+    np.testing.assert_array_equal(base.group_counts, other.group_counts)

@@ -1,0 +1,104 @@
+"""Tests for page layout and the buffer pool."""
+
+import pytest
+
+from repro.config import ExecutionStats
+from repro.db.buffer import BufferPool
+from repro.db.pages import PageLayout
+from repro.db.types import Column, ColumnRole, ColumnType, Schema
+
+SCHEMA = Schema.of(
+    [
+        Column("d", ColumnType.STR, ColumnRole.DIMENSION),  # 4 bytes
+        Column("m", ColumnType.FLOAT, ColumnRole.MEASURE),  # 8 bytes
+        Column("n", ColumnType.FLOAT, ColumnRole.MEASURE),  # 8 bytes
+    ]
+)
+
+
+class TestPageLayout:
+    def test_row_store_charges_full_rows(self):
+        layout = PageLayout("t", SCHEMA, nrows=1000, columnar=False, page_rows=100)
+        assert layout.scan_bytes(["d"], 0, 1000) == 1000 * 20
+        # Scanning more columns costs the same in a row store.
+        assert layout.scan_bytes(["d", "m", "n"], 0, 1000) == 1000 * 20
+
+    def test_column_store_charges_only_named_columns(self):
+        layout = PageLayout("t", SCHEMA, nrows=1000, columnar=True, page_rows=100)
+        assert layout.scan_bytes(["d"], 0, 1000) == 1000 * 4
+        assert layout.scan_bytes(["d", "m"], 0, 1000) == 1000 * 12
+
+    def test_partial_range_touches_partial_pages(self):
+        layout = PageLayout("t", SCHEMA, nrows=1000, columnar=True, page_rows=100)
+        # Rows 150..250 touch pages 1 and 2 (two full pages of 100 rows).
+        assert layout.scan_bytes(["m"], 150, 250) == 2 * 100 * 8
+
+    def test_last_page_is_short(self):
+        layout = PageLayout("t", SCHEMA, nrows=250, columnar=True, page_rows=100)
+        assert layout.n_pages == 3
+        assert layout.scan_bytes(["m"], 0, 250) == (100 + 100 + 50) * 8
+
+    def test_empty_scan(self):
+        layout = PageLayout("t", SCHEMA, nrows=100, columnar=True, page_rows=100)
+        assert layout.scan_bytes(["m"], 50, 50) == 0
+
+    def test_page_keys_distinguish_columns(self):
+        layout = PageLayout("t", SCHEMA, nrows=100, columnar=True, page_rows=100)
+        ranges = layout.pages_for_scan(["d", "m"], 0, 100)
+        keys = [key for rng in ranges for key, _ in rng]
+        assert ("t", "d", 0) in keys
+        assert ("t", "m", 0) in keys
+
+    def test_invalid_page_rows(self):
+        with pytest.raises(ValueError):
+            PageLayout("t", SCHEMA, nrows=10, columnar=True, page_rows=0)
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(capacity_bytes=1 << 20)
+        stats = ExecutionStats()
+        assert pool.access(("t", "d", 0), 100, stats) is False
+        assert pool.access(("t", "d", 0), 100, stats) is True
+        assert stats.pages_missed == 1
+        assert stats.pages_hit == 1
+        assert stats.bytes_scanned_miss == 100
+        assert stats.bytes_scanned_hit == 100
+
+    def test_lru_eviction_by_bytes(self):
+        pool = BufferPool(capacity_bytes=250)
+        pool.access(("t", "a", 0), 100)
+        pool.access(("t", "b", 0), 100)
+        pool.access(("t", "c", 0), 100)  # evicts ("t","a",0)
+        assert ("t", "a", 0) not in pool
+        assert ("t", "c", 0) in pool
+        assert pool.resident_bytes <= 250 or len(pool) == 1
+
+    def test_access_refreshes_recency(self):
+        pool = BufferPool(capacity_bytes=250)
+        pool.access(("t", "a", 0), 100)
+        pool.access(("t", "b", 0), 100)
+        pool.access(("t", "a", 0), 100)  # refresh a
+        pool.access(("t", "c", 0), 100)  # evicts b, not a
+        assert ("t", "a", 0) in pool
+        assert ("t", "b", 0) not in pool
+
+    def test_clear_resets_pages_but_not_counters(self):
+        pool = BufferPool()
+        pool.access(("t", "a", 0), 10)
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.total_misses == 1
+        pool.reset_counters()
+        assert pool.total_misses == 0
+
+    def test_hit_rate(self):
+        pool = BufferPool()
+        assert pool.hit_rate == 0.0
+        pool.access(("t", "a", 0), 10)
+        pool.access(("t", "a", 0), 10)
+        assert pool.hit_rate == 0.5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(capacity_bytes=0)

@@ -1,0 +1,96 @@
+"""Tests for the column type system and schemas."""
+
+import numpy as np
+import pytest
+
+from repro.db.types import Column, ColumnRole, ColumnType, Schema
+from repro.exceptions import SchemaError
+
+
+class TestColumnType:
+    @pytest.mark.parametrize(
+        "dtype,expected",
+        [
+            (np.int64, ColumnType.INT),
+            (np.int32, ColumnType.INT),
+            (np.uint8, ColumnType.INT),
+            (np.float64, ColumnType.FLOAT),
+            (np.float32, ColumnType.FLOAT),
+            (np.bool_, ColumnType.BOOL),
+            (np.dtype("U5"), ColumnType.STR),
+            (object, ColumnType.STR),
+        ],
+    )
+    def test_from_numpy(self, dtype, expected):
+        assert ColumnType.from_numpy(np.dtype(dtype)) is expected
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(SchemaError):
+            ColumnType.from_numpy(np.dtype("datetime64[s]"))
+
+    def test_byte_widths(self):
+        assert ColumnType.INT.byte_width == 8
+        assert ColumnType.FLOAT.byte_width == 8
+        assert ColumnType.STR.byte_width == 4  # dictionary-encoded
+        assert ColumnType.BOOL.byte_width == 1
+
+
+class TestColumn:
+    def test_measure_must_be_numeric(self):
+        with pytest.raises(SchemaError):
+            Column("label", ColumnType.STR, ColumnRole.MEASURE)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", ColumnType.INT)
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.INT)
+
+    def test_underscored_names_allowed(self):
+        assert Column("a_b_c", ColumnType.INT).name == "a_b_c"
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema.of(
+            [
+                Column("d", ColumnType.STR, ColumnRole.DIMENSION),
+                Column("m", ColumnType.FLOAT, ColumnRole.MEASURE),
+                Column("x", ColumnType.INT, ColumnRole.OTHER),
+            ]
+        )
+
+    def test_lookup_and_contains(self):
+        schema = self._schema()
+        assert "d" in schema
+        assert "nope" not in schema
+        assert schema["m"].ctype is ColumnType.FLOAT
+
+    def test_missing_column_raises(self):
+        with pytest.raises(SchemaError):
+            self._schema()["nope"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of([Column("a", ColumnType.INT), Column("a", ColumnType.INT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of([])
+
+    def test_role_partitions(self):
+        schema = self._schema()
+        assert [c.name for c in schema.dimensions()] == ["d"]
+        assert [c.name for c in schema.measures()] == ["m"]
+
+    def test_row_byte_width_sums_columns(self):
+        assert self._schema().row_byte_width() == 4 + 8 + 8
+
+    def test_validate_columns(self):
+        schema = self._schema()
+        schema.validate_columns(["d", "m"])  # no raise
+        with pytest.raises(SchemaError):
+            schema.validate_columns(["d", "zzz"])
+
+    def test_iteration_preserves_order(self):
+        assert [c.name for c in self._schema()] == ["d", "m", "x"]

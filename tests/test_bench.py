@@ -1,0 +1,97 @@
+"""Tests for the benchmark harness plumbing (tables, contexts, scaling)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BenchContext, scaled_buffer_pool
+from repro.bench.tables import ResultTable
+from repro.data import build
+
+
+class TestResultTable:
+    def test_add_and_columns_preserve_order(self):
+        table = ResultTable("t")
+        table.add(b=1, a=2)
+        table.add(a=3, c=4)
+        assert table.columns == ["b", "a", "c"]
+        assert table.column("a") == [2, 3]
+        assert table.column("c") == [None, 4]
+
+    def test_text_rendering_aligns(self):
+        table = ResultTable("demo", notes="hello")
+        table.add(name="x", value=1.23456)
+        text = table.to_text()
+        assert "== demo ==" in text
+        assert "note: hello" in text
+        assert "1.23" in text
+
+    def test_markdown_rendering(self):
+        table = ResultTable("demo")
+        table.add(name="x", value=10)
+        md = table.to_markdown()
+        assert md.startswith("### demo")
+        assert "| name | value |" in md
+        assert "| x | 10 |" in md
+
+    def test_empty_table(self):
+        table = ResultTable("empty")
+        assert "(no rows)" in table.to_text()
+        assert "(no rows)" in table.to_markdown()
+
+    def test_float_formatting(self):
+        table = ResultTable("fmt")
+        table.add(tiny=0.000123, big=12345.6, mid=3.14159, zero=0.0)
+        text = table.to_text()
+        assert "0.0001" in text
+        assert "12,346" in text
+
+
+class TestBenchContext:
+    def test_for_dataset_builds_seedb(self):
+        ctx = BenchContext.for_dataset("housing", store="col", scale="smoke")
+        assert ctx.dataset == "housing"
+        assert ctx.seedb.table.nrows == 500
+        assert ctx.store == "col"
+
+    def test_cold_run_clears_pool(self):
+        ctx = BenchContext.for_dataset("housing", store="col", scale="smoke")
+        run1 = ctx.cold_run(k=3, strategy="sharing", pruner="none")
+        misses_first = run1.stats.pages_missed
+        run2 = ctx.cold_run(k=3, strategy="sharing", pruner="none")
+        # Cold start every time: same miss pattern, not all-hits.
+        assert run2.stats.pages_missed == misses_first
+        assert misses_first > 0
+
+    def test_shuffle_seed_changes_row_order(self):
+        plain = BenchContext.for_dataset("housing", scale="smoke")
+        shuffled = BenchContext.for_dataset("housing", scale="smoke", shuffle_seed=3)
+        assert plain.table.nrows == shuffled.table.nrows
+        assert not np.array_equal(
+            plain.table.column("price"), shuffled.table.column("price")
+        )
+
+    def test_scaled_buffer_pool_tracks_table_size(self):
+        small = build("housing", scale="smoke")
+        pool = scaled_buffer_pool(small)
+        assert pool.capacity_bytes >= 1 << 20  # floor
+
+
+class TestExperimentShapes:
+    """Fast sanity checks on experiment functions not covered by benchmarks."""
+
+    def test_table1_has_paper_columns(self, monkeypatch):
+        monkeypatch.setenv("SEEDB_SCALE", "smoke")
+        from repro.bench.experiments import table1_datasets
+
+        table = table1_datasets("smoke")
+        assert {"name", "rows", "|A|", "|M|", "views", "size_mb"} <= set(table.columns)
+        assert len(table.rows) == 10
+
+    def test_ablation_metrics_runs(self, monkeypatch):
+        monkeypatch.setenv("SEEDB_SCALE", "smoke")
+        from repro.bench.experiments import ablation_metrics
+
+        table = ablation_metrics("housing")
+        overlaps = {r["metric"]: r["overlap_with_emd"] for r in table.rows}
+        assert overlaps["emd"] == 1.0
+        assert set(overlaps) == {"emd", "euclidean", "js", "maxdiff", "kl"}

@@ -1,0 +1,216 @@
+"""Tests for dataset generators, planting, and the registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.recommender import SeeDB
+from repro.data import build, build_info, registry, synthetic
+from repro.data.distributions import categorical_column, measure_column, zipf_weights
+from repro.data.planting import (
+    PlantedView,
+    apply_planting,
+    apply_plantings,
+    strength_ladder,
+)
+from repro.data.synthetic import SyntheticConfig, make_syn_star, make_synthetic
+from repro.exceptions import DatasetError
+
+
+class TestDistributions:
+    def test_zipf_weights_normalized(self):
+        rng = np.random.default_rng(0)
+        weights = zipf_weights(10, 1.0, rng)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights > 0).all()
+
+    def test_zero_skew_is_uniform(self):
+        rng = np.random.default_rng(0)
+        weights = zipf_weights(5, 0.0, rng)
+        np.testing.assert_allclose(weights, 0.2)
+
+    def test_categorical_column_distinct(self):
+        rng = np.random.default_rng(0)
+        col = categorical_column(10_000, 7, rng, prefix="g")
+        assert len(np.unique(col)) == 7
+
+    def test_measure_kinds_nonnegative(self):
+        rng = np.random.default_rng(0)
+        for kind in ("gamma", "lognormal", "uniform"):
+            values = measure_column(1000, rng, kind=kind, scale=10.0)
+            assert (values >= 0).all()
+
+    def test_unknown_measure_kind(self):
+        with pytest.raises(ValueError):
+            measure_column(10, np.random.default_rng(0), kind="cauchy")
+
+
+class TestPlanting:
+    def test_planting_changes_target_only(self):
+        rng = np.random.default_rng(0)
+        values = np.ones(1000)
+        codes = np.tile([0, 1], 500)
+        in_target = np.arange(1000) < 500
+        planted = apply_planting(values, codes, 2, in_target, 0.5, rng)
+        assert not np.allclose(planted[:500], 1.0)
+        np.testing.assert_allclose(planted[500:], 1.0)
+
+    def test_zero_strength_is_identity(self):
+        rng = np.random.default_rng(0)
+        values = np.ones(10)
+        out = apply_planting(values, np.zeros(10, dtype=int), 1, np.ones(10, bool), 0.0, rng)
+        assert out is values
+
+    def test_apply_plantings_matches_sequential(self):
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        values = np.full(2000, 10.0)
+        codes = np.tile([0, 1, 2, 3], 500)
+        in_target = np.arange(2000) % 2 == 0
+        sequential = apply_planting(values, codes, 4, in_target, 0.4, rng1)
+        batched = apply_plantings(values, [(codes, 4, 0.4)], in_target, rng2)
+        np.testing.assert_allclose(sequential, batched)
+
+    def test_strength_bounds(self):
+        with pytest.raises(ValueError):
+            PlantedView("d", "m", 1.5)
+
+    def test_strength_ladder(self):
+        assert strength_ladder(0) == []
+        assert strength_ladder(1) == [0.8]
+        ladder = strength_ladder(5, top=0.8, bottom=0.2)
+        assert ladder[0] == 0.8 and ladder[-1] == pytest.approx(0.2)
+        assert ladder == sorted(ladder, reverse=True)
+
+    @settings(max_examples=10, deadline=None)
+    @given(strength=st.sampled_from([0.1, 0.3, 0.5, 0.8]))
+    def test_property_utility_grows_with_strength(self, strength):
+        """Stronger planting -> higher measured EMD utility."""
+        config = SyntheticConfig(
+            name="probe",
+            n_rows=20_000,
+            n_dimensions=1,
+            n_measures=1,
+            distinct_values=4,
+            plantings=(PlantedView("d00", "m00", strength),),
+            seed=11,
+        )
+        table = make_synthetic(config)
+        seedb = SeeDB.over_table(table)
+        run = seedb.true_top_k(
+            registry.DATASETS["syn"].target_predicate(), k=1
+        )
+        weak = SeeDB.over_table(
+            make_synthetic(
+                SyntheticConfig(
+                    name="probe",
+                    n_rows=20_000,
+                    n_dimensions=1,
+                    n_measures=1,
+                    distinct_values=4,
+                    plantings=(PlantedView("d00", "m00", strength / 2),),
+                    seed=11,
+                )
+            )
+        ).true_top_k(registry.DATASETS["syn"].target_predicate(), k=1)
+        key = ("d00", "m00", "AVG")
+        assert run.utilities[key] > weak.utilities[key]
+
+
+class TestSynthetic:
+    def test_syn_shape_matches_table1(self):
+        table = synthetic.make_syn(n_rows=2000)
+        assert len(table.dimension_names()) == 50
+        assert len(table.measure_names()) == 20
+        assert synthetic.SPLIT_COLUMN not in table.dimension_names()
+
+    def test_syn_star_distinct_counts(self):
+        table = make_syn_star(10, n_rows=5000)
+        for dim in table.dimension_names():
+            assert table.distinct_count(dim) == 10
+
+    def test_syn_star_invalid_distinct(self):
+        with pytest.raises(DatasetError):
+            make_syn_star(37)
+
+    def test_determinism(self):
+        a = synthetic.make_syn(n_rows=500, seed=5)
+        b = synthetic.make_syn(n_rows=500, seed=5)
+        np.testing.assert_array_equal(a.column("m00"), b.column("m00"))
+        c = synthetic.make_syn(n_rows=500, seed=6)
+        assert not np.array_equal(a.column("m00"), c.column("m00"))
+
+    def test_invalid_config(self):
+        with pytest.raises(DatasetError):
+            SyntheticConfig("bad", n_rows=0, n_dimensions=1, n_measures=1)
+        with pytest.raises(DatasetError):
+            SyntheticConfig("bad", n_rows=10, n_dimensions=1, n_measures=1, target_fraction=1.5)
+
+    def test_unknown_planting_dimension(self):
+        config = SyntheticConfig(
+            "bad",
+            n_rows=10,
+            n_dimensions=1,
+            n_measures=1,
+            plantings=(PlantedView("d99", "m00", 0.5),),
+        )
+        with pytest.raises(DatasetError):
+            make_synthetic(config)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,expected_views",
+        [
+            ("bank", 77), ("diab", 88), ("air", 108),
+            ("census", 40), ("housing", 40), ("movies", 64),
+        ],
+    )
+    def test_table1_view_counts(self, name, expected_views):
+        table, spec = build_info(name, scale="smoke")
+        n_views = len(table.dimension_names()) * len(table.measure_names())
+        assert n_views == expected_views
+        assert spec.split_column not in table.dimension_names()
+
+    def test_target_predicate_selects_rows(self):
+        table, spec = build_info("census", scale="smoke")
+        mask = spec.target_predicate().evaluate(
+            {spec.split_column: table.column(spec.split_column)}
+        )
+        assert 0 < mask.sum() < table.nrows
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            build("mnist")
+
+    def test_scales_change_rows(self):
+        smoke = build("air", scale="smoke")
+        small = build("air", scale="small")
+        assert smoke.nrows < small.nrows
+
+    def test_explicit_rows_override(self):
+        table = build("bank", n_rows=123)
+        assert table.nrows == 123
+
+    def test_bad_scale_env(self, monkeypatch):
+        monkeypatch.setenv("SEEDB_SCALE", "galactic")
+        with pytest.raises(DatasetError):
+            registry.current_scale()
+
+    def test_inventory_covers_all_datasets(self):
+        rows = registry.table_one_inventory(scale="smoke")
+        assert {r["name"] for r in rows} == {
+            "SYN", "SYN_STAR_10", "SYN_STAR_100", "BANK", "DIAB",
+            "AIR", "AIR10", "CENSUS", "HOUSING", "MOVIES",
+        }
+
+    def test_planted_views_dominate_background(self):
+        """The strength ladder puts planted views at the top of the ranking.
+
+        At smoke scale (4K rows) sampling noise can swap neighbours, so the
+        check is membership in the top-5 rather than an exact rank.
+        """
+        table, spec = build_info("bank", scale="smoke")
+        seedb = SeeDB.over_table(table)
+        run = seedb.true_top_k(spec.target_predicate(), k=5)
+        planted = {("job", "balance", "AVG"), ("month", "duration", "AVG")}
+        assert planted & set(run.selected)

@@ -1,0 +1,233 @@
+"""Cross-cutting property-based tests over the whole stack.
+
+These are the heavyweight invariants: randomly generated queries must
+survive the SQL round trip and agree with direct numpy computation; EMD must
+agree with scipy's Wasserstein distance; and the engine's utility estimates
+must converge monotonically in expectation as phases accumulate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.core.engine import ExecutionEngine
+from repro.config import EngineConfig
+from repro.core.view import ViewSpace
+from repro.db import expressions as E
+from repro.db.catalog import TableMeta
+from repro.db.cost import CostModel
+from repro.db.executor import QueryExecutor
+from repro.db.query import AggregateFunction, AggregateQuery, AggregateSpec
+from repro.db.sql import generate_sql, parse_select, plan_select
+from repro.db.storage import make_store
+from repro.db.table import Table
+from repro.db.types import ColumnRole
+from repro.metrics import get_metric, normalize_distribution
+
+
+# --------------------------------------------------------------------------- #
+# random tables and queries
+# --------------------------------------------------------------------------- #
+
+@st.composite
+def _random_table(draw) -> Table:
+    n = draw(st.integers(5, 120))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    n_dims = draw(st.integers(1, 3))
+    n_measures = draw(st.integers(1, 2))
+    data: dict[str, np.ndarray] = {}
+    roles: dict[str, ColumnRole] = {}
+    for i in range(n_dims):
+        cardinality = draw(st.integers(1, 6))
+        data[f"d{i}"] = rng.integers(0, cardinality, n).astype(str)
+        roles[f"d{i}"] = ColumnRole.DIMENSION
+    for j in range(n_measures):
+        data[f"m{j}"] = rng.gamma(2.0, 10.0, n)
+        roles[f"m{j}"] = ColumnRole.MEASURE
+    return Table("rand", data, roles=roles)
+
+
+@st.composite
+def _random_query(draw, table: Table) -> AggregateQuery:
+    dims = list(table.dimension_names())
+    measures = list(table.measure_names())
+    group_by = tuple(
+        draw(
+            st.lists(st.sampled_from(dims), min_size=1, max_size=len(dims), unique=True)
+        )
+    )
+    funcs = draw(
+        st.lists(
+            st.sampled_from(list(AggregateFunction)), min_size=1, max_size=3
+        )
+    )
+    aggregates = []
+    for i, func in enumerate(funcs):
+        argument = None if func is AggregateFunction.COUNT else draw(
+            st.sampled_from(measures)
+        )
+        aggregates.append(AggregateSpec(func, argument, f"agg_{i}"))
+    predicate = None
+    if draw(st.booleans()):
+        dim = draw(st.sampled_from(dims))
+        value = draw(st.sampled_from(sorted(set(table.column(dim).tolist()))))
+        predicate = E.eq(dim, value)
+        if draw(st.booleans()):
+            predicate = E.Not(predicate)
+    return AggregateQuery(
+        table="rand",
+        group_by=group_by,
+        aggregates=tuple(aggregates),
+        predicate=predicate,
+    )
+
+
+@st.composite
+def _table_and_query(draw):
+    table = draw(_random_table())
+    return table, draw(_random_query(table))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_table_and_query())
+def test_property_sql_round_trip_preserves_results(table_and_query):
+    """generate → parse → plan → execute must equal direct execution."""
+    table, query = table_and_query
+    executor = QueryExecutor(make_store("col", table))
+    direct, _ = executor.execute(query)
+    replanned = plan_select(parse_select(generate_sql(query)), table)
+    reparsed, _ = executor.execute(replanned)
+    assert direct.n_groups == reparsed.n_groups
+    for name in direct.groups:
+        assert direct.groups[name].tolist() == reparsed.groups[name].tolist()
+    for spec in query.aggregates:
+        np.testing.assert_allclose(
+            np.asarray(direct.values[spec.alias], dtype=float),
+            np.asarray(reparsed.values[spec.alias], dtype=float),
+            equal_nan=True,
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_table_and_query())
+def test_property_executor_matches_numpy(table_and_query):
+    """The executor must agree with a naive numpy group-by on every query."""
+    table, query = table_and_query
+    executor = QueryExecutor(make_store("row", table))
+    result, _ = executor.execute(query)
+
+    mask = (
+        query.predicate.evaluate(
+            {c: table.column(c) for c in table.column_names}
+        ).astype(bool)
+        if query.predicate is not None
+        else np.ones(table.nrows, dtype=bool)
+    )
+    key_arrays = [table.column(g)[mask] for g in query.group_by]
+    rows = list(zip(*key_arrays)) if key_arrays else []
+    expected_groups = sorted(set(rows))
+    assert result.n_groups == len(expected_groups)
+
+    got_groups = list(
+        zip(*(result.groups[g].tolist() for g in query.group_by))
+    )
+    assert got_groups == expected_groups
+
+    for spec in query.aggregates:
+        values = (
+            table.column(spec.argument)[mask]
+            if isinstance(spec.argument, str)
+            else None
+        )
+        for gi, group in enumerate(expected_groups):
+            member = np.array([r == group for r in rows])
+            if spec.func is AggregateFunction.COUNT:
+                expected = member.sum()
+            else:
+                subset = values[member]
+                expected = {
+                    AggregateFunction.SUM: subset.sum(),
+                    AggregateFunction.AVG: subset.mean(),
+                    AggregateFunction.MIN: subset.min(),
+                    AggregateFunction.MAX: subset.max(),
+                }[spec.func]
+            got = result.values[spec.alias][gi]
+            assert got == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# metric cross-checks
+# --------------------------------------------------------------------------- #
+
+@given(
+    raw_p=st.lists(st.floats(0.01, 100, allow_nan=False), min_size=2, max_size=10),
+    raw_q=st.lists(st.floats(0.01, 100, allow_nan=False), min_size=2, max_size=10),
+)
+def test_property_emd_matches_scipy_wasserstein(raw_p, raw_q):
+    """Our normalized EMD equals scipy's Wasserstein distance / (n-1)."""
+    n = min(len(raw_p), len(raw_q))
+    p = normalize_distribution(np.array(raw_p[:n]))
+    q = normalize_distribution(np.array(raw_q[:n]))
+    positions = np.arange(n, dtype=float)
+    expected = scipy_stats.wasserstein_distance(positions, positions, p, q) / (n - 1)
+    assert get_metric("emd")(p, q) == pytest.approx(expected, abs=1e-9)
+
+
+@given(
+    raw=st.lists(st.floats(0.01, 100, allow_nan=False), min_size=2, max_size=10),
+    shift=st.floats(0.0, 0.5),
+)
+def test_property_euclidean_scales_with_perturbation(raw, shift):
+    """Moving mass monotonically increases Euclidean distance from the start."""
+    p = normalize_distribution(np.array(raw))
+    q = p.copy()
+    q[0] += shift
+    q = q / q.sum()
+    small = get_metric("euclidean")(p, q)
+    q2 = p.copy()
+    q2[0] += 2 * shift
+    q2 = q2 / q2.sum()
+    large = get_metric("euclidean")(p, q2)
+    assert large >= small - 1e-12
+
+
+# --------------------------------------------------------------------------- #
+# engine-level invariants
+# --------------------------------------------------------------------------- #
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 100), n_phases=st.sampled_from([2, 5, 10]))
+def test_property_phase_count_never_changes_final_utilities(seed, n_phases):
+    """Without pruning, phased execution is exact for any phase count."""
+    rng = np.random.default_rng(seed)
+    n = 600
+    table = Table(
+        "rand",
+        {
+            "d": rng.integers(0, 4, n).astype(str),
+            "part": rng.choice(["t", "r"], n),
+            "m": rng.gamma(2.0, 5.0, n),
+        },
+        roles={
+            "d": ColumnRole.DIMENSION,
+            "part": ColumnRole.OTHER,
+            "m": ColumnRole.MEASURE,
+        },
+    )
+    views = list(ViewSpace.enumerate(TableMeta.of(table)))
+    target = E.eq("part", "t")
+
+    def run(config):
+        engine = ExecutionEngine(
+            make_store("col", table), get_metric("emd"), config, CostModel()
+        )
+        return engine.run(views, target, k=1, strategy="comb", pruner="none")
+
+    base = run(EngineConfig(store="col", n_phases=1))
+    phased = run(EngineConfig(store="col", n_phases=n_phases))
+    for key in base.utilities:
+        assert phased.utilities[key] == pytest.approx(base.utilities[key], abs=1e-12)

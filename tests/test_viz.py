@@ -1,0 +1,80 @@
+"""Tests for chart specs and ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.difference import ViewDistributions
+from repro.core.result import Recommendation
+from repro.core.view import AggregateView
+from repro.viz.ascii import render_bar_chart, render_recommendation
+from repro.viz.spec import BarChartSpec, recommendation_spec
+
+
+def _recommendation():
+    dists = ViewDistributions(
+        keys=("F", "M"),
+        target=np.array([0.52, 0.48]),
+        reference=np.array([0.31, 0.69]),
+    )
+    return Recommendation(
+        view=AggregateView("sex", "capital_gain"),
+        utility=0.21,
+        distributions=dists,
+        rank=1,
+    )
+
+
+class TestBarChartSpec:
+    def test_to_dict_structure(self):
+        spec = BarChartSpec(
+            title="t",
+            x_field="group",
+            y_field="value",
+            series=("target", "reference"),
+            data=({"group": "F", "series": "target", "value": 0.5},),
+        )
+        payload = spec.to_dict()
+        assert payload["mark"] == "bar"
+        assert payload["encoding"]["x"]["field"] == "group"
+        assert payload["data"]["values"][0]["group"] == "F"
+
+    def test_recommendation_spec_contains_both_series(self):
+        payload = recommendation_spec(_recommendation())
+        values = payload["data"]["values"]
+        assert len(values) == 4  # 2 groups x 2 series
+        assert payload["usermeta"]["utility"] == 0.21
+        assert payload["usermeta"]["rank"] == 1
+        assert payload["title"] == "AVG(capital_gain) BY sex"
+
+    def test_spec_is_json_serializable(self):
+        import json
+
+        json.dumps(recommendation_spec(_recommendation()))
+
+
+class TestAsciiRendering:
+    def test_renders_all_groups(self):
+        art = render_bar_chart(["a", "b"], [0.9, 0.1], [0.5, 0.5], width=10, title="T")
+        assert "T" in art
+        assert art.count("target") == 2
+        assert art.count("reference") == 2
+
+    def test_bars_scale_with_values(self):
+        art = render_bar_chart(["a"], [1.0], [0.5], width=10)
+        target_line, reference_line = art.splitlines()[0], art.splitlines()[1]
+        assert target_line.count("█") > reference_line.count("░") - 1
+        assert target_line.count("█") == 10
+
+    def test_zero_value_renders_empty_bar(self):
+        art = render_bar_chart(["a"], [0.0], [1.0], width=10)
+        assert "0.000" in art
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0], [0.5, 0.5])
+
+    def test_render_recommendation_includes_metadata(self):
+        art = render_recommendation(_recommendation(), width=20)
+        assert "#1" in art
+        assert "utility=0.2100" in art
+        assert "AVG(capital_gain) BY sex" in art
