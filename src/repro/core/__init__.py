@@ -11,11 +11,14 @@
   RANDOM baselines.
 * :mod:`repro.core.engine` — the phased execution framework combining both
   (§3), with NO_OPT / SHARING / COMB / COMB_EARLY strategies.
+* :mod:`repro.core.parallel` — real thread-pool query execution (§4.1
+  "Parallel Query Execution") with deterministic batch barriers.
 * :mod:`repro.core.recommender` — the :class:`SeeDB` facade.
 """
 
 from repro.core.view import AggregateView, ViewSpace
-from repro.core.engine import EngineRun, ExecutionEngine, Strategy
+from repro.core.engine import EngineRun, ExecutionEngine, Parallelism, Strategy
+from repro.core.parallel import ParallelDispatcher
 from repro.core.recommender import SeeDB
 from repro.core.result import Recommendation, RecommendationSet, accuracy, utility_distance
 
@@ -23,6 +26,8 @@ __all__ = [
     "AggregateView",
     "EngineRun",
     "ExecutionEngine",
+    "ParallelDispatcher",
+    "Parallelism",
     "Recommendation",
     "RecommendationSet",
     "SeeDB",

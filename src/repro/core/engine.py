@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.config import EngineConfig, ExecutionStats
 from repro.core.difference import ViewDistributions
+from repro.core.parallel import ParallelDispatcher, make_dispatcher
 from repro.core.phases import phase_ranges
 from repro.core.pruning import Pruner, make_pruner
 from repro.core.sharing import (
@@ -48,6 +49,10 @@ from repro.exceptions import RecommendationError
 from repro.metrics.base import DistanceFunction
 
 Strategy = Literal["no_opt", "sharing", "comb", "comb_early"]
+#: "modeled" runs queries serially and models parallel speedup in the cost
+#: model only (the historical behaviour); "real" dispatches each batch onto
+#: a thread pool of ``n_parallel_queries`` workers for true concurrency.
+Parallelism = Literal["modeled", "real"]
 
 #: How many generated SQL strings to retain on a run (introspection only).
 _MAX_RECORDED_SQL = 64
@@ -73,6 +78,11 @@ class EngineRun:
     #: Number of views still active entering each phase.
     active_per_phase: list[int]
     sql: list[str] = field(default_factory=list)
+    #: Execution mode the run used ("modeled" = serial queries, parallel
+    #: speedup in the cost model only; "real" = thread-pool execution).
+    parallelism: Parallelism = "modeled"
+    #: Worker threads the dispatcher used (1 in modeled mode).
+    n_workers: int = 1
 
     def top(self, n: int | None = None) -> list[tuple[ViewKey, float]]:
         ranked = sorted(self.utilities.items(), key=lambda kv: -kv[1])
@@ -109,8 +119,16 @@ class ExecutionEngine:
         pruner: str | Pruner = "ci",
         reference_mode: ReferenceMode = "all",
         reference_predicate: Expression | None = None,
+        parallelism: Parallelism = "modeled",
     ) -> EngineRun:
-        """Execute ``strategy`` and return the top-``k`` views."""
+        """Execute ``strategy`` and return the top-``k`` views.
+
+        ``parallelism="real"`` runs each batch of planned queries on a
+        thread pool of ``n_parallel_queries`` workers.  Results are
+        deterministic regardless of worker count: batches are barriered and
+        routed in submission order, so ``selected`` and ``utilities`` match
+        a serial run exactly (see :mod:`repro.core.parallel`).
+        """
         if k <= 0:
             raise RecommendationError(f"k must be positive, got {k}")
         if not views:
@@ -146,45 +164,55 @@ class ExecutionEngine:
         total_rows = max(self.store.nrows, 1)
         previous_top_k: frozenset[ViewKey] = frozenset()
         stable_phases = 0
-        for phase_index, (start, stop) in enumerate(ranges):
-            active_per_phase.append(len(active))
-            plan = plan_queries(
-                list(active.values()),
-                self.meta,
-                config,
-                target_predicate,
-                reference_mode,
-                reference_predicate,
-            )
-            self._execute_plan(
-                plan, (start, stop), config, states, run_stats, sql_log, reference_mode
-            )
-            phases_executed += 1
-
-            if use_phases:
-                estimates = {
-                    key: states[key].record_estimate(self.metric) for key in active
-                }
-                decision = pruner_obj.observe(
-                    phase_index,
-                    estimates,
-                    rows_seen=max(stop, 1),
-                    total_rows=total_rows,
+        with make_dispatcher(
+            self.executor, parallelism, config.n_parallel_queries
+        ) as dispatcher:
+            for phase_index, (start, stop) in enumerate(ranges):
+                active_per_phase.append(len(active))
+                plan = plan_queries(
+                    list(active.values()),
+                    self.meta,
+                    config,
+                    target_predicate,
+                    reference_mode,
+                    reference_predicate,
                 )
-                for key in decision.pruned:
-                    active.pop(key, None)
-                if early:
-                    current_top_k = frozenset(
-                        sorted(estimates, key=lambda key: -estimates[key])[:k]
+                self._execute_plan(
+                    plan,
+                    (start, stop),
+                    config,
+                    states,
+                    run_stats,
+                    sql_log,
+                    reference_mode,
+                    dispatcher,
+                )
+                phases_executed += 1
+
+                if use_phases:
+                    estimates = {
+                        key: states[key].record_estimate(self.metric) for key in active
+                    }
+                    decision = pruner_obj.observe(
+                        phase_index,
+                        estimates,
+                        rows_seen=max(stop, 1),
+                        total_rows=total_rows,
                     )
-                    stable_phases = (
-                        stable_phases + 1 if current_top_k == previous_top_k else 0
-                    )
-                    previous_top_k = current_top_k
-                    if self._top_k_identified(
-                        pruner_obj, active, k, stable_phases, config
-                    ):
-                        break
+                    for key in decision.pruned:
+                        active.pop(key, None)
+                    if early:
+                        current_top_k = frozenset(
+                            sorted(estimates, key=lambda key: -estimates[key])[:k]
+                        )
+                        stable_phases = (
+                            stable_phases + 1 if current_top_k == previous_top_k else 0
+                        )
+                        previous_top_k = current_top_k
+                        if self._top_k_identified(
+                            pruner_obj, active, k, stable_phases, config
+                        ):
+                            break
 
         selected, utilities, distributions = self._finalize(
             states, active, pruner_obj, k
@@ -203,6 +231,8 @@ class ExecutionEngine:
             phases_executed=phases_executed,
             active_per_phase=active_per_phase,
             sql=sql_log,
+            parallelism=parallelism,
+            n_workers=dispatcher.n_workers,
         )
 
     # ------------------------------------------------------------------ #
@@ -239,19 +269,27 @@ class ExecutionEngine:
         run_stats: ExecutionStats,
         sql_log: list[str],
         reference_mode: ReferenceMode,
+        dispatcher: ParallelDispatcher,
     ) -> None:
-        """Run a phase's queries in parallel batches and route the results."""
+        """Run a phase's queries in parallel batches and route the results.
+
+        Each batch is a barrier: the dispatcher returns per-query results in
+        submission order, and stats merging plus per-view routing happen on
+        this thread in that same order — a parallel run therefore performs
+        the exact floating-point accumulation sequence of a serial one.
+        """
         start, stop = row_range
         batch_size = max(config.n_parallel_queries, 1)
         queries = list(plan.queries)
         for i in range(0, len(queries), batch_size):
             batch = queries[i : i + batch_size]
-            batch_costs: list[float] = []
-            for planned in batch:
-                query = planned.query.with_range(start, stop)
+            ranged = [planned.query.with_range(start, stop) for planned in batch]
+            for query in ranged:
                 if len(sql_log) < _MAX_RECORDED_SQL:
                     sql_log.append(generate_sql(query))
-                result, query_stats = self.executor.execute(query)
+            outcomes = dispatcher.run_batch(ranged)
+            batch_costs: list[float] = []
+            for planned, (result, query_stats) in zip(batch, outcomes):
                 batch_costs.append(self.cost_model.query_seconds(query_stats))
                 run_stats.merge(query_stats)
                 self._route_result(planned, result, states, reference_mode)

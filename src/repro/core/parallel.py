@@ -1,0 +1,117 @@
+"""Real parallel batch execution (paper §4.1 "Parallel Query Execution").
+
+The paper finds that issuing view queries concurrently — up to roughly the
+number of cores — is one of the two biggest levers on latency.  The cost
+model has always *modeled* that effect (:meth:`CostModelConfig.
+effective_parallelism`); this module makes it real: a
+:class:`ParallelDispatcher` runs each phase's batch of planned queries on a
+thread pool.  The hot paths (``np.unique``, ``np.argsort``, fancy indexing,
+``np.add.at``) release the GIL, so threads deliver genuine wall-clock
+speedup without the serialization cost a process pool would pay to ship
+column arrays around.
+
+Determinism is a hard requirement: a run with any worker count must produce
+byte-identical ``selected`` views and utilities within 1e-9 of a serial run.
+The dispatcher guarantees this by construction —
+
+* each :meth:`QueryExecutor.execute` call is stateless-per-call and computes
+  its result independently of every other in-flight query;
+* results are gathered **in submission order** at a batch barrier, so the
+  engine routes per-view updates and merges per-query
+  :class:`~repro.config.ExecutionStats` in exactly the serial order, keeping
+  every floating-point accumulation sequence identical;
+* the shared :class:`~repro.db.buffer.BufferPool` is internally locked, so
+  hit/miss bookkeeping stays consistent (totals remain exact; the hit/miss
+  *split* may differ from a serial run once eviction kicks in, which is
+  faithful to a real buffer pool under concurrency).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from types import TracebackType
+from typing import Sequence
+
+from repro.config import ExecutionStats
+from repro.db.executor import QueryExecutor
+from repro.db.query import AggregateQuery, QueryResult
+
+
+class ParallelDispatcher:
+    """Runs batches of logical queries concurrently on a thread pool.
+
+    One dispatcher serves one engine run.  ``n_workers <= 1`` degrades to
+    inline serial execution with no pool at all, so the serial path stays
+    allocation-free.  Use as a context manager (or call :meth:`close`) to
+    release the worker threads.
+    """
+
+    def __init__(self, executor: QueryExecutor, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.executor = executor
+        self.n_workers = n_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "ParallelDispatcher":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="seedb-query"
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run_batch(
+        self, queries: Sequence[AggregateQuery]
+    ) -> list[tuple[QueryResult, ExecutionStats]]:
+        """Execute ``queries`` concurrently; results in submission order.
+
+        The returned list is index-aligned with ``queries`` regardless of
+        completion order — the deterministic barrier the engine relies on.
+        The first worker exception (if any) propagates in submission order.
+        """
+        if self.n_workers <= 1 or len(queries) <= 1:
+            return [self.executor.execute(query) for query in queries]
+        pool = self._ensure_pool()
+        futures = [pool.submit(self.executor.execute, query) for query in queries]
+        return [future.result() for future in futures]
+
+
+def make_dispatcher(
+    executor: QueryExecutor, mode: str, n_workers: int
+) -> ParallelDispatcher:
+    """Dispatcher factory for the engine's ``parallelism`` mode.
+
+    "modeled" pins one worker — queries run inline on the calling thread
+    and parallel speedup exists only inside the cost model, exactly as
+    before this subsystem existed.
+    """
+    if mode == "real":
+        return ParallelDispatcher(executor, max(n_workers, 1))
+    if mode == "modeled":
+        return ParallelDispatcher(executor, 1)
+    raise ValueError(f"unknown parallelism mode {mode!r}")

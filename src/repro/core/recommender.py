@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.config import EngineConfig, StoreKind
-from repro.core.engine import EngineRun, ExecutionEngine, Strategy
+from repro.core.engine import EngineRun, ExecutionEngine, Parallelism, Strategy
 from repro.core.result import Recommendation, RecommendationSet
 from repro.core.sharing import ReferenceMode
 from repro.core.view import AggregateView, ViewSpace
@@ -109,6 +109,7 @@ class SeeDB:
         pruner: str = "ci",
         dimensions: Sequence[str] | None = None,
         measures: Sequence[str] | None = None,
+        parallelism: Parallelism = "modeled",
     ) -> RecommendationSet:
         """Recommend the top-``k`` visualizations for target query ``target``."""
         run = self.run_engine(
@@ -120,6 +121,7 @@ class SeeDB:
             pruner=pruner,
             dimensions=dimensions,
             measures=measures,
+            parallelism=parallelism,
         )
         return self._to_recommendations(run)
 
@@ -134,6 +136,7 @@ class SeeDB:
         dimensions: Sequence[str] | None = None,
         measures: Sequence[str] | None = None,
         views: Sequence[AggregateView] | None = None,
+        parallelism: Parallelism = "modeled",
     ) -> EngineRun:
         """Lower-level entry point returning the raw :class:`EngineRun`."""
         space = list(views) if views is not None else list(self.view_space(dimensions, measures))
@@ -147,6 +150,7 @@ class SeeDB:
             pruner=pruner,
             reference_mode=reference,
             reference_predicate=reference_predicate,
+            parallelism=parallelism,
         )
 
     def true_top_k(

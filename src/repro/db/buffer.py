@@ -10,6 +10,7 @@ many, or when concurrent queries touch the same pages, later accesses hit.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.config import ExecutionStats
@@ -22,7 +23,13 @@ DEFAULT_CAPACITY_BYTES = 128 * 1024 * 1024
 
 
 class BufferPool:
-    """LRU page cache shared by every query against one database."""
+    """LRU page cache shared by every query against one database.
+
+    All bookkeeping is guarded by an internal lock: the parallel execution
+    engine has many worker threads touching the pool concurrently, and both
+    the LRU order and the hit/miss counters must stay consistent (the
+    accounting feeds the cost model).
+    """
 
     def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES) -> None:
         if capacity_bytes <= 0:
@@ -30,6 +37,7 @@ class BufferPool:
         self.capacity_bytes = capacity_bytes
         self._pages: OrderedDict[PageKey, int] = OrderedDict()
         self._resident_bytes = 0
+        self._lock = threading.Lock()
         self.total_hits = 0
         self.total_misses = 0
 
@@ -44,25 +52,28 @@ class BufferPool:
 
         Misses insert the page (evicting LRU pages when over capacity) and
         charge ``nbytes`` at miss rate into ``stats``; hits charge at hit
-        rate.
+        rate.  ``stats`` must not be shared between threads (each executor
+        call owns a fresh record), but the pool itself may be.
         """
-        hit = key in self._pages
-        if hit:
-            self._pages.move_to_end(key)
-            self.total_hits += 1
-            if stats is not None:
+        with self._lock:
+            hit = key in self._pages
+            if hit:
+                self._pages.move_to_end(key)
+                self.total_hits += 1
+            else:
+                self._pages[key] = nbytes
+                self._resident_bytes += nbytes
+                self.total_misses += 1
+                while self._resident_bytes > self.capacity_bytes and len(self._pages) > 1:
+                    _, evicted = self._pages.popitem(last=False)
+                    self._resident_bytes -= evicted
+        if stats is not None:
+            if hit:
                 stats.pages_hit += 1
                 stats.bytes_scanned_hit += nbytes
-        else:
-            self._pages[key] = nbytes
-            self._resident_bytes += nbytes
-            self.total_misses += 1
-            if stats is not None:
+            else:
                 stats.pages_missed += 1
                 stats.bytes_scanned_miss += nbytes
-            while self._resident_bytes > self.capacity_bytes and len(self._pages) > 1:
-                _, evicted = self._pages.popitem(last=False)
-                self._resident_bytes -= evicted
         return hit
 
     @property
@@ -71,12 +82,14 @@ class BufferPool:
 
     def clear(self) -> None:
         """Drop every cached page (used between benchmark repetitions)."""
-        self._pages.clear()
-        self._resident_bytes = 0
+        with self._lock:
+            self._pages.clear()
+            self._resident_bytes = 0
 
     def reset_counters(self) -> None:
-        self.total_hits = 0
-        self.total_misses = 0
+        with self._lock:
+            self.total_hits = 0
+            self.total_misses = 0
 
     @property
     def hit_rate(self) -> float:

@@ -6,6 +6,13 @@ One :class:`QueryExecutor` wraps one storage engine.  Each
 a fresh :class:`~repro.config.ExecutionStats` describing exactly the work
 that query did — callers (the SeeDB engine) merge those into run-level stats
 and group them into parallel batches for the cost model.
+
+``execute`` is **stateless per call**: it keeps no mutable state on the
+instance, allocates its working arrays and stats record locally, and only
+touches shared structures that are themselves thread-safe (the storage
+engine's locked buffer pool and the table's locked dictionary cache).  The
+parallel dispatcher (:mod:`repro.core.parallel`) relies on this to run many
+``execute`` calls concurrently against one executor.
 """
 
 from __future__ import annotations
@@ -22,7 +29,11 @@ from repro.exceptions import QueryError
 
 
 class QueryExecutor:
-    """Executes logical aggregate queries against one storage engine."""
+    """Executes logical aggregate queries against one storage engine.
+
+    Safe for concurrent use from multiple threads: every call works on
+    locals only (see module docstring).
+    """
 
     def __init__(self, store: StorageEngine) -> None:
         self.store = store

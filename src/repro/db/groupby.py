@@ -106,13 +106,9 @@ def _encode_composite(key_columns: list[GroupKeyColumn]) -> np.ndarray:
             composite += kc.codes
         return composite
     composite = key_columns[0].codes.astype(np.int64)
-    current_card = key_columns[0].n_categories
     for kc in key_columns[1:]:
         paired = composite * max(kc.n_categories, 1) + kc.codes
-        uniq, composite = np.unique(paired, return_inverse=True)
-        composite = composite.astype(np.int64)
-        current_card = len(uniq)
-    del current_card
+        composite = np.unique(paired, return_inverse=True)[1].astype(np.int64)
     return composite
 
 

@@ -12,7 +12,7 @@ parser/planner produces it back from text.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.db.expressions import Expression
 from repro.exceptions import QueryError

@@ -8,6 +8,7 @@ construction; row subsets are produced as new tables.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -94,6 +95,7 @@ class Table:
         self._arrays = arrays
         self._nrows = int(nrows or 0)
         self._dictionaries: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._dictionary_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -142,13 +144,20 @@ class Table:
         ``codes`` is an int32 array over all rows with values in
         ``range(len(categories))``; ``categories`` is sorted ascending.  The
         encoding is computed once and cached — the group-by executor relies
-        on this to factorize dimension columns cheaply per phase.
+        on this to factorize dimension columns cheaply per phase.  The cache
+        fill is locked so concurrent query workers share one encoding.
         """
-        if name not in self._dictionaries:
-            values = self.column(name)
-            categories, codes = np.unique(values, return_inverse=True)
-            self._dictionaries[name] = (codes.astype(np.int32), categories)
-        return self._dictionaries[name]
+        cached = self._dictionaries.get(name)
+        if cached is not None:
+            return cached
+        with self._dictionary_lock:
+            cached = self._dictionaries.get(name)
+            if cached is None:
+                values = self.column(name)
+                categories, codes = np.unique(values, return_inverse=True)
+                cached = (codes.astype(np.int32), categories)
+                self._dictionaries[name] = cached
+        return cached
 
     def distinct_count(self, name: str) -> int:
         """Number of distinct values in a column (via the dictionary)."""

@@ -1,6 +1,5 @@
 """Tests for the execution engine: strategies, phases, routing, reference modes."""
 
-import numpy as np
 import pytest
 
 from repro.config import EngineConfig

@@ -1,6 +1,5 @@
 """Tests for the pruning strategies (paper §4.2)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the database registry, snowflake flattening, catalog, cost model."""
 
-import numpy as np
 import pytest
 
 from repro.config import CostModelConfig, ExecutionStats

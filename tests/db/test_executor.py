@@ -233,6 +233,137 @@ class TestStoreEquivalence:
             assert row["avg_age"] == pytest.approx(age[mask].mean())
 
 
+class TestSpillPath:
+    """Budget-forced multi-pass partitioning through the whole executor."""
+
+    def _grouped_query(self, budget=None):
+        return AggregateQuery(
+            table="census_like",
+            group_by=("sex", "race"),
+            aggregates=(
+                AggregateSpec(AggregateFunction.AVG, "capital", "avg_c"),
+                AggregateSpec(AggregateFunction.SUM, "age", "age_sum"),
+                AggregateSpec(AggregateFunction.COUNT, None, "n"),
+            ),
+            group_budget=budget,
+        )
+
+    def test_spilled_and_in_core_results_identical(self, census_like):
+        in_core, core_stats = _exec(census_like, self._grouped_query(budget=None))
+        spilled, spill_stats = _exec(census_like, self._grouped_query(budget=2))
+        assert core_stats.spill_passes == 0
+        assert spill_stats.spill_passes > 0
+        assert spilled.n_groups == in_core.n_groups
+        core_rows = in_core.to_rows()
+        spill_rows = spilled.to_rows()
+        assert [(r["sex"], r["race"]) for r in spill_rows] == [
+            (r["sex"], r["race"]) for r in core_rows
+        ]
+        for cr, sr in zip(core_rows, spill_rows):
+            assert sr["avg_c"] == pytest.approx(cr["avg_c"])
+            assert sr["age_sum"] == pytest.approx(cr["age_sum"])
+            assert sr["n"] == cr["n"]
+
+    def test_spill_with_predicate_matches_in_core(self, census_like):
+        def build(budget):
+            return AggregateQuery(
+                table="census_like",
+                group_by=("sex", "race"),
+                aggregates=self._grouped_query().aggregates,
+                predicate=E.eq("marital", "Unmarried"),
+                group_budget=budget,
+            )
+
+        in_core, _ = _exec(census_like, build(None))
+        spilled, stats = _exec(census_like, build(3))
+        assert stats.spill_passes > 0
+        assert spilled.n_groups == in_core.n_groups
+        for cr, sr in zip(in_core.to_rows(), spilled.to_rows()):
+            assert cr["sex"] == sr["sex"] and cr["race"] == sr["race"]
+            assert sr["avg_c"] == pytest.approx(cr["avg_c"])
+            assert sr["n"] == cr["n"]
+
+    def test_spill_budget_one_extreme(self, census_like):
+        """budget=1 forces one partition per estimated group; still exact."""
+        in_core, _ = _exec(census_like, self._grouped_query(budget=None))
+        spilled, stats = _exec(census_like, self._grouped_query(budget=1))
+        assert stats.spill_passes > 0
+        assert spilled.n_groups == in_core.n_groups
+        np.testing.assert_allclose(
+            spilled.values["avg_c"], in_core.values["avg_c"]
+        )
+        np.testing.assert_array_equal(spilled.values["n"], in_core.values["n"])
+
+
+class TestDerivedGroupKeys:
+    """Derived (computed) columns used as GROUP BY keys."""
+
+    @staticmethod
+    def _age_bucket():
+        return DerivedColumn(
+            "age_bucket",
+            E.CaseWhen(E.between("age", 18, 40), E.lit("young"), E.lit("older")),
+        )
+
+    def test_derived_key_matches_numpy(self, census_like):
+        query = AggregateQuery(
+            table="census_like",
+            group_by=("age_bucket",),
+            aggregates=(AggregateSpec(AggregateFunction.AVG, "capital", "avg_c"),),
+            derived=(self._age_bucket(),),
+        )
+        result, _ = _exec(census_like, query)
+        age = census_like.column("age")
+        capital = census_like.column("capital")
+        young = (age >= 18) & (age <= 40)
+        rows = {r["age_bucket"]: r["avg_c"] for r in result.to_rows()}
+        assert rows["young"] == pytest.approx(capital[young].mean())
+        assert rows["older"] == pytest.approx(capital[~young].mean())
+
+    def test_derived_key_with_predicate(self, census_like):
+        query = AggregateQuery(
+            table="census_like",
+            group_by=("age_bucket",),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "n"),),
+            derived=(self._age_bucket(),),
+            predicate=E.eq("sex", "F"),
+        )
+        result, _ = _exec(census_like, query)
+        age = census_like.column("age")
+        sex = census_like.column("sex")
+        young = (age >= 18) & (age <= 40) & (sex == "F")
+        rows = {r["age_bucket"]: r["n"] for r in result.to_rows()}
+        assert rows["young"] == young.sum()
+        assert rows["older"] == (sex == "F").sum() - young.sum()
+
+    def test_derived_key_mixed_with_physical_and_spill(self, census_like):
+        """Derived + physical key, in-core vs budget-forced spill: identical."""
+        def build(budget):
+            return AggregateQuery(
+                table="census_like",
+                group_by=("race", "age_bucket"),
+                aggregates=(
+                    AggregateSpec(AggregateFunction.SUM, "capital", "total"),
+                    AggregateSpec(AggregateFunction.COUNT, None, "n"),
+                ),
+                derived=(self._age_bucket(),),
+                group_budget=budget,
+            )
+
+        in_core, core_stats = _exec(census_like, build(None))
+        spilled, spill_stats = _exec(census_like, build(2))
+        assert core_stats.spill_passes == 0
+        assert spill_stats.spill_passes > 0
+        assert in_core.n_groups == 8  # 4 races x 2 buckets
+        assert spilled.n_groups == in_core.n_groups
+        core_rows = in_core.to_rows()
+        spill_rows = spilled.to_rows()
+        for cr, sr in zip(core_rows, spill_rows):
+            assert (cr["race"], cr["age_bucket"]) == (sr["race"], sr["age_bucket"])
+            assert sr["total"] == pytest.approx(cr["total"])
+            assert sr["n"] == cr["n"]
+
+
 class TestQueryValidation:
     def test_duplicate_aliases_rejected(self):
         with pytest.raises(QueryError):

@@ -1,7 +1,6 @@
 """Tests for the benchmark harness plumbing (tables, contexts, scaling)."""
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import BenchContext, scaled_buffer_pool
 from repro.bench.tables import ResultTable
