@@ -10,6 +10,7 @@ EXPERIMENTS.md compares against the paper.
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 
@@ -738,4 +739,66 @@ def ablation_early_return(dataset: str = "diab", k: int = 10) -> ResultTable:
             accuracy=accuracy(run.selected, truth.selected),
             utility_distance=utility_distance(run.selected, truth.selected, truth.utilities),
         )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Execution backends — native numpy engine vs the sqlite differential oracle
+# --------------------------------------------------------------------------- #
+
+
+def _backend_rows(scale: str | None = None) -> int:
+    return {"smoke": 5_000, "small": 50_000, "full": 500_000}[scale or current_scale()]
+
+
+def bench_backends_compare(
+    n_rows: int | None = None, strategy: str = "sharing"
+) -> ResultTable:
+    """Measured latency of the same SeeDB workload on each execution backend.
+
+    Runs one engine invocation per registered in-tree backend over an
+    identical SYN table and reports setup time (the sqlite backend pays a
+    one-off materialization), engine wall seconds, and speedup relative to
+    sqlite.  The runs double as a bench-scale differential check: every
+    backend must select the same top-k or this raises.
+    """
+    from repro.config import EngineConfig
+
+    n_rows = n_rows or _backend_rows()
+    table = ResultTable(
+        f"Execution backends: native vs sqlite on SYN, {n_rows:,} rows "
+        f"({strategy.upper()})",
+        notes="speedup relative to the sqlite backend; identical top-k enforced",
+    )
+    syn = synthetic.make_syn(n_rows=n_rows, n_dimensions=5, n_measures=3)
+    target = eq(synthetic.SPLIT_COLUMN, synthetic.TARGET_VALUE)
+    baseline_selected = None
+    wall_by_backend: dict[str, float] = {}
+    rows: list[dict[str, object]] = []
+    for backend in ("sqlite", "native"):
+        config = EngineConfig(store="col", backend=backend, use_binpacking=False)
+        setup_started = time.perf_counter()
+        with SeeDB.over_table(syn, store="col", config=config) as seedb:
+            setup_seconds = time.perf_counter() - setup_started
+            run = seedb.run_engine(target, k=10, strategy=strategy, pruner="none")
+        if baseline_selected is None:
+            baseline_selected = run.selected
+        elif run.selected != baseline_selected:
+            raise AssertionError(
+                f"backend {backend!r} disagreed with baseline top-k"
+            )
+        wall_by_backend[backend] = run.wall_seconds
+        rows.append(
+            dict(
+                backend=backend,
+                setup_s=setup_seconds,
+                run_wall_s=run.wall_seconds,
+                queries=run.stats.queries_issued,
+            )
+        )
+    for row in rows:
+        row["speedup_vs_sqlite"] = wall_by_backend["sqlite"] / max(
+            float(row["run_wall_s"]), 1e-12  # type: ignore[arg-type]
+        )
+        table.add(**row)
     return table

@@ -96,6 +96,11 @@ class EngineConfig:
 
     #: Physical layout the underlying DBMS uses ("row" or "col").
     store: StoreKind = "row"
+    #: Execution backend the engine ships queries to: "native" (the
+    #: in-process numpy executor, with full cost accounting) or "sqlite"
+    #: (an independent SQL engine executing the generated SQL text); see
+    #: :mod:`repro.db.backends` for the registry.
+    backend: str = "native"
     #: Number of equal partitions the phased framework splits the data into.
     n_phases: int = 10
     #: Maximum aggregate expressions merged into one SQL query (Fig. 7a

@@ -38,14 +38,14 @@ from repro.core.sharing import (
 )
 from repro.core.state import ViewState
 from repro.core.view import AggregateView, ViewKey
+from repro.db.backends import Backend, make_backend
 from repro.db.catalog import TableMeta
 from repro.db.cost import CostModel
-from repro.db.executor import QueryExecutor
 from repro.db.expressions import Expression
 from repro.db.query import QueryResult
 from repro.db.sql import generate_sql
 from repro.db.storage import StorageEngine
-from repro.exceptions import RecommendationError
+from repro.exceptions import QueryError, RecommendationError
 from repro.metrics.base import DistanceFunction
 
 Strategy = Literal["no_opt", "sharing", "comb", "comb_early"]
@@ -83,6 +83,8 @@ class EngineRun:
     parallelism: Parallelism = "modeled"
     #: Worker threads the dispatcher used (1 in modeled mode).
     n_workers: int = 1
+    #: Execution backend the queries ran on ("native", "sqlite", ...).
+    backend: str = "native"
 
     def top(self, n: int | None = None) -> list[tuple[ViewKey, float]]:
         ranked = sorted(self.utilities.items(), key=lambda kv: -kv[1])
@@ -90,7 +92,15 @@ class EngineRun:
 
 
 class ExecutionEngine:
-    """Runs one strategy over one table's view space."""
+    """Runs one strategy over one table's view space.
+
+    The engine is backend-agnostic middleware: it plans logical queries,
+    ships them to the :class:`~repro.db.backends.Backend` selected by
+    ``EngineConfig.backend`` ("native" numpy executor by default, "sqlite"
+    for an independent SQL engine), and routes the per-group results into
+    view state.  All four strategies and both parallelism modes produce
+    identical ``selected``/utilities on any conforming backend.
+    """
 
     def __init__(
         self,
@@ -103,12 +113,27 @@ class ExecutionEngine:
         self.metric = metric
         self.config = config
         self.cost_model = cost_model or CostModel()
-        self.executor = QueryExecutor(store)
+        self.backend: Backend = make_backend(config.backend, store)
         self.meta = TableMeta.of(store.table)
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release the backend's resources (sqlite connections).  Idempotent.
+
+        The native backend holds nothing, so calling this is only required
+        for engines on external backends — use the engine as a context
+        manager when in doubt.
+        """
+        self.backend.close()
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def run(
         self,
@@ -164,9 +189,15 @@ class ExecutionEngine:
         total_rows = max(self.store.nrows, 1)
         previous_top_k: frozenset[ViewKey] = frozenset()
         stable_phases = 0
-        with make_dispatcher(
-            self.executor, parallelism, config.n_parallel_queries
-        ) as dispatcher:
+        # A backend that declares itself unsafe for concurrent execute()
+        # calls is driven serially even in "real" mode — results are
+        # identical by the dispatcher's determinism contract, just slower.
+        n_workers = (
+            config.n_parallel_queries
+            if self.backend.capabilities().parallel_safe
+            else 1
+        )
+        with make_dispatcher(self.backend, parallelism, n_workers) as dispatcher:
             for phase_index, (start, stop) in enumerate(ranges):
                 active_per_phase.append(len(active))
                 plan = plan_queries(
@@ -233,6 +264,7 @@ class ExecutionEngine:
             sql=sql_log,
             parallelism=parallelism,
             n_workers=dispatcher.n_workers,
+            backend=self.backend.name,
         )
 
     # ------------------------------------------------------------------ #
@@ -286,7 +318,14 @@ class ExecutionEngine:
             ranged = [planned.query.with_range(start, stop) for planned in batch]
             for query in ranged:
                 if len(sql_log) < _MAX_RECORDED_SQL:
-                    sql_log.append(generate_sql(query))
+                    # The log is introspection only: a query the generator
+                    # cannot print (e.g. a non-finite literal in a
+                    # predicate) must not abort a backend that never ships
+                    # SQL text.
+                    try:
+                        sql_log.append(generate_sql(query))
+                    except QueryError as exc:
+                        sql_log.append(f"-- unrenderable query: {exc}")
             outcomes = dispatcher.run_batch(ranged)
             batch_costs: list[float] = []
             for planned, (result, query_stats) in zip(batch, outcomes):

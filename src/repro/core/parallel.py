@@ -5,36 +5,46 @@ number of cores — is one of the two biggest levers on latency.  The cost
 model has always *modeled* that effect (:meth:`CostModelConfig.
 effective_parallelism`); this module makes it real: a
 :class:`ParallelDispatcher` runs each phase's batch of planned queries on a
-thread pool.  The hot paths (``np.unique``, ``np.argsort``, fancy indexing,
-``np.add.at``) release the GIL, so threads deliver genuine wall-clock
-speedup without the serialization cost a process pool would pay to ship
-column arrays around.
+thread pool.  Dispatch is backend-agnostic — anything satisfying the
+:class:`~repro.db.backends.Backend` execute contract works, including a bare
+:class:`~repro.db.executor.QueryExecutor`.  On the native backend the hot
+paths (``np.unique``, ``np.argsort``, fancy indexing, ``np.add.at``)
+release the GIL; the sqlite backend opens one connection per worker thread,
+so both deliver genuine concurrency.
 
 Determinism is a hard requirement: a run with any worker count must produce
 byte-identical ``selected`` views and utilities within 1e-9 of a serial run.
 The dispatcher guarantees this by construction —
 
-* each :meth:`QueryExecutor.execute` call is stateless-per-call and computes
-  its result independently of every other in-flight query;
+* each backend ``execute`` call is stateless-per-call and computes its
+  result independently of every other in-flight query (sqlite workers use
+  per-thread connections to one read-only shared-cache database);
 * results are gathered **in submission order** at a batch barrier, so the
   engine routes per-view updates and merges per-query
   :class:`~repro.config.ExecutionStats` in exactly the serial order, keeping
   every floating-point accumulation sequence identical;
-* the shared :class:`~repro.db.buffer.BufferPool` is internally locked, so
-  hit/miss bookkeeping stays consistent (totals remain exact; the hit/miss
-  *split* may differ from a serial run once eviction kicks in, which is
-  faithful to a real buffer pool under concurrency).
+* the native backend's shared :class:`~repro.db.buffer.BufferPool` is
+  internally locked, so hit/miss bookkeeping stays consistent (totals remain
+  exact; the hit/miss *split* may differ from a serial run once eviction
+  kicks in, which is faithful to a real buffer pool under concurrency).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from types import TracebackType
-from typing import Sequence
+from typing import Protocol, Sequence
 
 from repro.config import ExecutionStats
-from repro.db.executor import QueryExecutor
 from repro.db.query import AggregateQuery, QueryResult
+
+
+class ExecutesQueries(Protocol):
+    """Structural type the dispatcher drives: one execute() per query."""
+
+    def execute(
+        self, query: AggregateQuery
+    ) -> tuple[QueryResult, ExecutionStats]: ...
 
 
 class ParallelDispatcher:
@@ -46,7 +56,7 @@ class ParallelDispatcher:
     release the worker threads.
     """
 
-    def __init__(self, executor: QueryExecutor, n_workers: int) -> None:
+    def __init__(self, executor: ExecutesQueries, n_workers: int) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.executor = executor
@@ -102,7 +112,7 @@ class ParallelDispatcher:
 
 
 def make_dispatcher(
-    executor: QueryExecutor, mode: str, n_workers: int
+    executor: ExecutesQueries, mode: str, n_workers: int
 ) -> ParallelDispatcher:
     """Dispatcher factory for the engine's ``parallelism`` mode.
 

@@ -83,6 +83,16 @@ class SeeDB:
         database.register(table)
         return cls(database, table.name, **kwargs)  # type: ignore[arg-type]
 
+    def close(self) -> None:
+        """Release engine/backend resources (sqlite connections).  Idempotent."""
+        self.engine.close()
+
+    def __enter__(self) -> "SeeDB":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # view space
     # ------------------------------------------------------------------ #

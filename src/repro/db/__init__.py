@@ -6,9 +6,11 @@ with paged I/O accounting (:mod:`repro.db.storage`), a buffer pool
 (:mod:`repro.db.buffer`), vectorized expression evaluation
 (:mod:`repro.db.expressions`), hash aggregation with a memory budget and
 multi-pass spill (:mod:`repro.db.groupby`), a query executor
-(:mod:`repro.db.executor`), a SQL subset front end (:mod:`repro.db.sql`), and
-a deterministic cost model (:mod:`repro.db.cost`) that converts I/O and CPU
-accounting into simulated latencies.
+(:mod:`repro.db.executor`), a SQL subset front end (:mod:`repro.db.sql`),
+pluggable execution backends including a real second SQL engine
+(:mod:`repro.db.backends`), and a deterministic cost model
+(:mod:`repro.db.cost`) that converts I/O and CPU accounting into simulated
+latencies.
 """
 
 from repro.db.types import ColumnRole, ColumnType, Column, Schema
@@ -20,11 +22,22 @@ from repro.db.executor import QueryExecutor, QueryResult
 from repro.db.database import Database, SnowflakeJoin
 from repro.db.catalog import TableMeta
 from repro.db.cost import CostModel
+from repro.db.backends import (
+    Backend,
+    BackendCapabilities,
+    NativeBackend,
+    SQLiteBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 
 __all__ = [
     "AggregateFunction",
     "AggregateQuery",
     "AggregateSpec",
+    "Backend",
+    "BackendCapabilities",
     "BufferPool",
     "Column",
     "ColumnRole",
@@ -32,13 +45,18 @@ __all__ = [
     "ColumnType",
     "CostModel",
     "Database",
+    "NativeBackend",
     "QueryExecutor",
     "QueryResult",
     "RowStore",
+    "SQLiteBackend",
     "Schema",
     "SnowflakeJoin",
     "StorageEngine",
     "Table",
     "TableMeta",
+    "available_backends",
+    "make_backend",
     "make_store",
+    "register_backend",
 ]

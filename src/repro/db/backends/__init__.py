@@ -1,0 +1,35 @@
+"""Pluggable execution backends behind the SeeDB middleware.
+
+The optimizer emits logical :class:`~repro.db.query.AggregateQuery` objects
+(and the SQL text for them); a :class:`Backend` executes them.  Two ship
+in-tree:
+
+* ``"native"`` — :class:`NativeBackend`, the in-process numpy executor with
+  full buffer-pool / spill / cost accounting;
+* ``"sqlite"`` — :class:`SQLiteBackend`, an independent SQL engine
+  (stdlib ``sqlite3``) that executes the generated SQL text, used as the
+  differential-testing oracle for the whole optimizer stack.
+
+Select one via ``EngineConfig(backend=...)``; register new ones with
+:func:`register_backend` (see README, "Adding a backend").
+"""
+
+from repro.db.backends.base import (
+    Backend,
+    BackendCapabilities,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from repro.db.backends.native import NativeBackend
+from repro.db.backends.sqlite import SQLiteBackend
+
+__all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "NativeBackend",
+    "SQLiteBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+]

@@ -1,0 +1,125 @@
+"""The execution-backend protocol and registry.
+
+SEEDB is middleware: the optimizer plans logical
+:class:`~repro.db.query.AggregateQuery` objects and an underlying engine
+executes them.  A :class:`Backend` is that underlying engine.  The engine
+(:mod:`repro.core.engine`) and the parallel dispatcher
+(:mod:`repro.core.parallel`) only ever see this interface, so every
+strategy (NO_OPT / SHARING / COMB / COMB_EARLY) and both parallelism modes
+run unchanged on any backend.
+
+The contract every backend must honour (what the differential suite
+enforces):
+
+* groups are returned sorted ascending by group value, column by column, in
+  ``group_by`` order — the native executor's composite-key order;
+* ``values`` carries one float64 array per aggregate alias plus the hidden
+  ``"__group_count__"`` per-group row count the phased AVG merge needs;
+* AVG/MIN/MAX over zero qualifying rows produce *no* group (grouped query)
+  or an empty result (global aggregate), never a NULL-ish placeholder row;
+* derived CASE flag columns may appear in ``group_by`` and come back as
+  their computed values.
+
+Backends must be safe for concurrent :meth:`Backend.execute` calls when
+their :class:`BackendCapabilities` say ``parallel_safe`` — the dispatcher
+will call from many threads in ``parallelism="real"`` runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from types import TracebackType
+from typing import TYPE_CHECKING, Callable, ClassVar
+
+from repro.config import ExecutionStats
+from repro.db.query import AggregateQuery, QueryResult
+from repro.exceptions import BackendError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.storage import StorageEngine
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can model, beyond executing queries correctly.
+
+    These are *accounting* capabilities: every backend returns identical
+    query results, but only some can attribute I/O to a buffer pool or
+    simulate the group-by memory cliff the cost model charges for.
+    """
+
+    #: Honors ``AggregateQuery.row_range`` (required by phased execution).
+    supports_row_range: bool = True
+    #: Simulates the distinct-group memory budget (spill passes in stats).
+    supports_group_budget: bool = False
+    #: Fills byte/page counters so the cost model's latency is meaningful.
+    accounts_io: bool = False
+    #: Safe for concurrent execute() calls from the real-parallel dispatcher.
+    parallel_safe: bool = True
+    notes: str = ""
+
+
+class Backend(abc.ABC):
+    """One query-execution engine behind the SeeDB middleware."""
+
+    #: Registry name; also recorded on :class:`~repro.core.engine.EngineRun`.
+    name: ClassVar[str] = "abstract"
+
+    @abc.abstractmethod
+    def execute(self, query: AggregateQuery) -> tuple[QueryResult, ExecutionStats]:
+        """Run one logical query; return its result and per-query accounting."""
+
+    @abc.abstractmethod
+    def capabilities(self) -> BackendCapabilities:
+        """Static description of what this backend models."""
+
+    def cost_hint(self, query: AggregateQuery) -> float | None:
+        """Estimated relative cost of ``query`` (bytes to scan), if known.
+
+        The engine may use this to order or batch queries; ``None`` means
+        "no idea", which every caller must tolerate.
+        """
+        return None
+
+    def close(self) -> None:
+        """Release backend resources (connections, pools).  Idempotent."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+BackendFactory = Callable[["StorageEngine"], Backend]
+
+_REGISTRY: dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a backend factory under ``name`` (see README's how-to guide)."""
+    if not name:
+        raise BackendError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`make_backend` / ``EngineConfig.backend``."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_backend(name: str, store: "StorageEngine") -> Backend:
+    """Build the backend registered under ``name`` over ``store``'s table."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(store)

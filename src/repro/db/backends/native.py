@@ -1,0 +1,49 @@
+"""The native backend: this package's own columnar executor.
+
+A thin :class:`~repro.db.backends.base.Backend` adapter around
+:class:`~repro.db.executor.QueryExecutor` — the storage engine, buffer
+pool, spill simulation, and cost accounting all live below it, so this is
+the only backend whose :class:`ExecutionStats` drive a meaningful modeled
+latency.
+"""
+
+from __future__ import annotations
+
+from repro.config import ExecutionStats
+from repro.db.backends.base import Backend, BackendCapabilities, register_backend
+from repro.db.executor import QueryExecutor
+from repro.db.query import AggregateQuery, QueryResult
+from repro.db.storage import StorageEngine
+
+_CAPABILITIES = BackendCapabilities(
+    supports_row_range=True,
+    supports_group_budget=True,
+    accounts_io=True,
+    parallel_safe=True,
+    notes="in-process numpy executor; stats feed the paper's cost model",
+)
+
+
+class NativeBackend(Backend):
+    """Executes queries with the in-process numpy engine."""
+
+    name = "native"
+
+    def __init__(self, store: StorageEngine) -> None:
+        self.store = store
+        self.executor = QueryExecutor(store)
+
+    def execute(self, query: AggregateQuery) -> tuple[QueryResult, ExecutionStats]:
+        return self.executor.execute(query)
+
+    def capabilities(self) -> BackendCapabilities:
+        return _CAPABILITIES
+
+    def cost_hint(self, query: AggregateQuery) -> float | None:
+        start, stop = query.row_range or (0, self.store.nrows)
+        return float(
+            self.store.scan_bytes(sorted(query.base_columns_needed()), start, stop)
+        )
+
+
+register_backend(NativeBackend.name, NativeBackend)

@@ -14,6 +14,7 @@ connectives, IN, arithmetic, and CASE WHEN.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -41,11 +42,21 @@ _ARITHMETIC_OPS = {
 
 
 def _sql_literal(value: object) -> str:
-    """Render a Python value as a SQL literal."""
-    if isinstance(value, bool):
+    """Render a Python value as a SQL literal.
+
+    Non-finite floats are rejected: ``repr(float("inf"))`` is ``'inf'``,
+    which no SQL dialect accepts as a numeric literal, so shipping it to a
+    real backend would fail far from the source of the bad value.
+    """
+    if isinstance(value, (bool, np.bool_)):
         return "TRUE" if value else "FALSE"
     if isinstance(value, (int, float, np.integer, np.floating)):
-        return repr(value if not isinstance(value, (np.integer, np.floating)) else value.item())
+        number = value if not isinstance(value, (np.integer, np.floating)) else value.item()
+        if isinstance(number, float) and not math.isfinite(number):
+            raise QueryError(
+                f"cannot render non-finite float {number!r} as a SQL literal"
+            )
+        return repr(number)
     escaped = str(value).replace("'", "''")
     return f"'{escaped}'"
 

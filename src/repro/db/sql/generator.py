@@ -3,7 +3,20 @@
 This is the string a SeeDB deployment would ship to the underlying DBMS.
 Derived group-by columns (the target/reference flag of the combined query)
 are rendered as CASE expressions in the select list and referenced by alias
-in GROUP BY (accepted by Postgres, MySQL, and this package's own parser).
+in GROUP BY (accepted by Postgres, MySQL, SQLite, and this package's own
+parser).
+
+Execution backends (:mod:`repro.db.backends`) use two extra rendering
+options that default off so the plain text stays round-trippable through
+our own parser:
+
+* ``row_bounds_column`` — render the query's ``row_range`` (the phased
+  framework's partition) as a WHERE condition on an explicit row-number
+  column the backend materialized; without it the range is silently a
+  property only the native executor honours.
+* ``order_by_groups`` — append ``ORDER BY <group columns>`` so an external
+  engine returns groups in the native executor's order (ascending by
+  group value, column by column), which keeps results byte-comparable.
 """
 
 from __future__ import annotations
@@ -11,7 +24,12 @@ from __future__ import annotations
 from repro.db.query import AggregateQuery
 
 
-def generate_sql(query: AggregateQuery) -> str:
+def generate_sql(
+    query: AggregateQuery,
+    *,
+    row_bounds_column: str | None = None,
+    order_by_groups: bool = False,
+) -> str:
     """Render ``query`` as a single-line SQL SELECT statement."""
     derived_by_alias = {d.alias: d for d in query.derived}
     select_parts: list[str] = []
@@ -26,8 +44,18 @@ def generate_sql(query: AggregateQuery) -> str:
     for spec in query.aggregates:
         select_parts.append(spec.to_sql())
     sql = f"SELECT {', '.join(select_parts)} FROM {query.table}"
+    where_parts: list[str] = []
     if query.predicate is not None:
-        sql += f" WHERE {query.predicate.to_sql()}"
+        where_parts.append(query.predicate.to_sql())
+    if row_bounds_column is not None and query.row_range is not None:
+        start, stop = query.row_range
+        where_parts.append(
+            f"{row_bounds_column} >= {start} AND {row_bounds_column} < {stop}"
+        )
+    if where_parts:
+        sql += f" WHERE {' AND '.join(where_parts)}"
     if group_parts:
         sql += f" GROUP BY {', '.join(group_parts)}"
+        if order_by_groups:
+            sql += f" ORDER BY {', '.join(group_parts)}"
     return sql

@@ -41,6 +41,10 @@ class SQLPlanError(SQLError):
     """A parsed statement cannot be planned against the catalog."""
 
 
+class BackendError(ReproError):
+    """An execution backend cannot serve a table or query faithfully."""
+
+
 class DatasetError(ReproError):
     """A dataset generator was misconfigured or a dataset name is unknown."""
 

@@ -9,6 +9,37 @@ from repro.db.table import Table
 from repro.db.types import ColumnRole
 
 
+def assert_query_results_equal(expected, actual) -> None:
+    """Two backends' QueryResults must match: groups, values, accounting.
+
+    The cross-backend equivalence contract (repro/db/backends/base.py),
+    shared by the unit tests and the hypothesis property suite.
+    """
+    assert actual.n_groups == expected.n_groups
+    assert actual.input_rows == expected.input_rows
+    assert set(actual.groups) == set(expected.groups)
+    for name in expected.groups:
+        assert (
+            np.asarray(actual.groups[name]).tolist()
+            == np.asarray(expected.groups[name]).tolist()
+        )
+    assert set(actual.values) == set(expected.values)
+    for name in expected.values:
+        np.testing.assert_allclose(
+            np.asarray(actual.values[name], dtype=float),
+            np.asarray(expected.values[name], dtype=float),
+            equal_nan=True,
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+
+@pytest.fixture(scope="session")
+def assert_backends_agree():
+    """Fixture handing tests the shared result-equivalence assertion."""
+    return assert_query_results_equal
+
+
 @pytest.fixture(scope="session")
 def tiny_table() -> Table:
     """Six rows, fully enumerable by hand in assertions."""

@@ -31,6 +31,26 @@ class TestLeaves:
         assert E.lit("it's").to_sql() == "'it''s'"
         assert E.lit(True).to_sql() == "TRUE"
 
+    def test_non_finite_float_literals_raise(self):
+        # Regression: repr(inf) / repr(nan) are not valid SQL literals; a
+        # real backend would reject the generated text far from the source
+        # of the bad value, so rendering must fail loudly instead.
+        for bad in (float("inf"), float("-inf"), float("nan"), np.float64("nan")):
+            with pytest.raises(QueryError, match="non-finite"):
+                E.lit(bad).to_sql()
+            with pytest.raises(QueryError, match="non-finite"):
+                E.In(E.col("a"), (1.0, bad)).to_sql()
+
+    def test_numpy_scalar_literals_render_as_plain_numbers(self):
+        assert E.lit(np.int64(3)).to_sql() == "3"
+        assert E.lit(np.float64(2.5)).to_sql() == "2.5"
+
+    def test_numpy_bool_literals_render_as_sql_booleans(self):
+        # Regression: np.bool_ fell through to the string branch and
+        # rendered as 'True' — a quoted string no backend reads as a bool.
+        assert E.lit(np.True_).to_sql() == "TRUE"
+        assert E.lit(np.False_).to_sql() == "FALSE"
+
 
 class TestComparisons:
     @pytest.mark.parametrize(

@@ -1,0 +1,140 @@
+"""Differential testing: the whole optimizer stack vs an independent engine.
+
+Every case builds a seeded random table, runs the full SeeDB engine twice —
+once on the native numpy backend, once on the SQLite backend executing the
+generated SQL text — and requires identical ``selected`` top-k and
+utilities within 1e-9.  A disagreement localizes a bug in the planner, the
+SQL generator, or one of the executors.
+
+Coverage math (the acceptance bar is >= 200 randomized engine runs):
+
+* ``test_differential_engine_run``: |SEEDS| x |STRATEGIES| x |REF_MODES|
+  cases, two engine runs each — 12 x 3 x 3 x 2 = 216 runs.
+* ``test_differential_real_parallelism`` adds 8 x 2 = 16 runs through the
+  thread-pool dispatcher (per-thread sqlite connections).
+* ``test_differential_comb_early`` adds 6 x 2 = 12 early-return runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.engine import ExecutionEngine
+from repro.core.view import ViewSpace
+from repro.db import expressions as E
+from repro.db.catalog import TableMeta
+from repro.db.cost import CostModel
+from repro.db.storage import make_store
+from repro.db.table import Table
+from repro.db.types import ColumnRole
+from repro.metrics import get_metric
+
+SEEDS = range(12)
+STRATEGIES = ("no_opt", "sharing", "comb")
+REF_MODES = ("all", "complement", "query")
+
+CASES = [
+    (seed, strategy, ref_mode)
+    for seed in SEEDS
+    for strategy in STRATEGIES
+    for ref_mode in REF_MODES
+]
+
+
+def test_coverage_floor():
+    """The parametrization below performs >= 200 randomized engine runs."""
+    assert len(CASES) * 2 + 8 * 2 + 6 * 2 >= 200
+
+
+def _random_table(seed: int) -> Table:
+    """A seeded random table with string/quote-y dims and planted skew."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(80, 200))
+    dim_pool = ["a", "b'c", "O'Brien", "d", "e"]
+    n_dims = int(rng.integers(1, 4))
+    n_measures = int(rng.integers(1, 3))
+    data: dict[str, object] = {"part": rng.choice(["t", "r"], n)}
+    roles = {"part": ColumnRole.OTHER}
+    for i in range(n_dims):
+        cardinality = int(rng.integers(2, len(dim_pool) + 1))
+        data[f"d{i}"] = rng.choice(dim_pool[:cardinality], n)
+        roles[f"d{i}"] = ColumnRole.DIMENSION
+    for j in range(n_measures):
+        values = rng.gamma(2.0, 10.0, n)
+        # Plant a deviation so utilities are informative, not uniform noise.
+        values[np.asarray(data["part"]) == "t"] *= 1.0 + 0.5 * j + 0.1 * seed
+        data[f"m{j}"] = values
+        roles[f"m{j}"] = ColumnRole.MEASURE
+    return Table("rand", data, roles=roles)
+
+
+def _run(table: Table, backend: str, strategy: str, ref_mode: str, **overrides):
+    parallelism = overrides.pop("parallelism", "modeled")
+    config = EngineConfig(
+        store="col", n_phases=4, backend=backend, n_parallel_queries=4
+    ).with_(**overrides)
+    views = list(ViewSpace.enumerate(TableMeta.of(table)))
+    pruner = "ci" if strategy.startswith("comb") else "none"
+    with ExecutionEngine(
+        make_store("col", table), get_metric("emd"), config, CostModel()
+    ) as engine:
+        return engine.run(
+            views,
+            E.eq("part", "t"),
+            k=3,
+            strategy=strategy,  # type: ignore[arg-type]
+            pruner=pruner,
+            reference_mode=ref_mode,  # type: ignore[arg-type]
+            reference_predicate=E.eq("part", "r") if ref_mode == "query" else None,
+            parallelism=parallelism,  # type: ignore[arg-type]
+        )
+
+
+def _assert_equivalent(native_run, sqlite_run):
+    assert sqlite_run.selected == native_run.selected
+    assert set(sqlite_run.utilities) == set(native_run.utilities)
+    for key, value in native_run.utilities.items():
+        assert sqlite_run.utilities[key] == pytest.approx(value, rel=1e-9, abs=1e-9)
+    assert sqlite_run.phases_executed == native_run.phases_executed
+    assert sqlite_run.stats.queries_issued == native_run.stats.queries_issued
+
+
+@pytest.mark.parametrize("seed,strategy,ref_mode", CASES)
+def test_differential_engine_run(seed, strategy, ref_mode):
+    table = _random_table(seed)
+    native = _run(table, "native", strategy, ref_mode)
+    sqlite = _run(table, "sqlite", strategy, ref_mode)
+    assert native.backend == "native" and sqlite.backend == "sqlite"
+    _assert_equivalent(native, sqlite)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_differential_real_parallelism(seed):
+    """Thread-pool execution on per-thread sqlite connections stays exact."""
+    table = _random_table(100 + seed)
+    native = _run(table, "native", "sharing", "all", parallelism="modeled")
+    sqlite = _run(table, "sqlite", "sharing", "all", parallelism="real")
+    _assert_equivalent(native, sqlite)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_differential_comb_early(seed):
+    """COMB_EARLY's stop decision depends only on results, so it agrees too."""
+    table = _random_table(200 + seed)
+    native = _run(table, "native", "comb_early", "all")
+    sqlite = _run(table, "sqlite", "comb_early", "all")
+    _assert_equivalent(native, sqlite)
+
+
+def test_differential_with_spilling_group_budget():
+    """Budget-forced multi-pass aggregation (native) changes accounting only."""
+    table = _random_table(7)
+    kwargs = dict(
+        col_group_budget=2, use_binpacking=False, max_group_bys_per_query=2
+    )
+    native = _run(table, "native", "sharing", "all", **kwargs)
+    sqlite = _run(table, "sqlite", "sharing", "all", **kwargs)
+    assert native.stats.spill_passes > 0
+    _assert_equivalent(native, sqlite)
