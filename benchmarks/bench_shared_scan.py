@@ -1,0 +1,49 @@
+"""Shared-scan batch execution: the perf-trajectory ablation benchmark.
+
+Runs the SHARING workload with the shared-scan batch path toggled on/off
+under both dispatch modes, prints the latency table, and writes
+``BENCH_shared_scan.json`` — the durable baseline future PRs diff against
+(CI uploads it as an artifact).  The run asserts identical top-k across
+all configurations, so it doubles as a bench-scale equivalence check.
+"""
+
+import glob
+import json
+import os
+
+from repro.bench.experiments import bench_shared_scan_compare
+
+
+def test_bench_shared_scan(benchmark):
+    table = benchmark.pedantic(bench_shared_scan_compare, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    rows = {(r["parallelism"], bool(r["shared_scan"])): r for r in table.rows}
+    assert set(rows) == {
+        ("modeled", True),
+        ("modeled", False),
+        ("real", True),
+        ("real", False),
+    }
+    assert all(r["wall_s"] > 0 for r in table.rows)
+    assert all(r["queries"] > 0 for r in table.rows)
+    for parallelism in ("modeled", "real"):
+        on, off = rows[(parallelism, True)], rows[(parallelism, False)]
+        # Deterministic wins (the wall-clock speedup is printed, not
+        # asserted, to keep CI smoke robust on loaded runners): the batch
+        # path charges strictly fewer bytes and models strictly lower
+        # latency than per-query dispatch on the identical workload.
+        assert on["bytes_scanned"] < off["bytes_scanned"]
+        assert on["modeled_latency_s"] < off["modeled_latency_s"]
+    # The perf-trajectory entry was written and matches the table.  A run
+    # smaller than an existing committed baseline is diverted to a
+    # scale-suffixed sibling instead of clobbering it.
+    candidates = sorted(
+        glob.glob("BENCH_shared_scan*.json"), key=os.path.getmtime
+    )
+    assert candidates
+    with open(candidates[-1]) as handle:
+        payload = json.load(handle)
+    assert payload["bench"] == "shared_scan"
+    assert len(payload["rows"]) == 4
+    assert payload["n_rows"] == table.rows[0].get("n_rows", payload["n_rows"])

@@ -751,6 +751,131 @@ def _backend_rows(scale: str | None = None) -> int:
     return {"smoke": 5_000, "small": 50_000, "full": 500_000}[scale or current_scale()]
 
 
+# --------------------------------------------------------------------------- #
+# Shared-scan batch execution — the perf trajectory baseline
+# --------------------------------------------------------------------------- #
+
+
+def _shared_scan_rows(scale: str | None = None) -> int:
+    """SYN row count for the shared-scan ablation (1M rows at full scale —
+    the acceptance-criterion table)."""
+    return {"smoke": 20_000, "small": 200_000, "full": 1_000_000}[
+        scale or current_scale()
+    ]
+
+
+def bench_shared_scan_compare(
+    n_rows: int | None = None,
+    out_path: str | None = "BENCH_shared_scan.json",
+) -> ResultTable:
+    """SHARING wall-clock with the shared-scan batch path on vs off.
+
+    Runs the SHARING strategy over an identical SYN table with
+    ``EngineConfig.shared_scan`` toggled, under both dispatch modes
+    (``modeled`` = serial grouping, ``real`` = thread-pool fan-out), and
+    reports best-of-N wall seconds, the deterministic modeled latency, and
+    total bytes charged to the buffer pool.  ``speedup`` is relative to the
+    per-query path in the same dispatch mode.  Identical top-k across all
+    four configurations is asserted, so the benchmark doubles as a
+    bench-scale equivalence check.
+
+    When ``out_path`` is set the measurements are also written as JSON —
+    the durable entry in the repo's perf trajectory (CI uploads it as an
+    artifact so future changes can diff against it).  A smaller run never
+    silently clobbers a bigger committed baseline: when the file at
+    ``out_path`` records more rows than this run, the result is diverted
+    to a scale-suffixed sibling (e.g. ``BENCH_shared_scan.smoke.json``).
+    """
+    import json
+
+    n_rows = n_rows or _shared_scan_rows()
+    repeats = {"smoke": 2, "small": 3, "full": 3}[current_scale()]
+    table = ResultTable(
+        f"Shared-scan batch execution: on vs off on SYN, {n_rows:,} rows (SHARING)",
+        notes="speedup = per-query wall / shared-scan wall within a dispatch "
+        "mode; identical top-k enforced; bytes charge shared pages once",
+    )
+    syn = synthetic.make_syn(n_rows=n_rows, n_dimensions=5, n_measures=3)
+    target = eq(synthetic.SPLIT_COLUMN, synthetic.TARGET_VALUE)
+    baseline_selected = None
+    results: list[dict[str, object]] = []
+    for parallelism in ("modeled", "real"):
+        wall_by_mode: dict[bool, float] = {}
+        for shared in (False, True):
+            config = tuned_config("row").with_(
+                shared_scan=shared,
+                use_binpacking=False,
+                max_group_bys_per_query=1,
+                max_aggregates_per_query=1,
+            )
+            seedb = SeeDB.over_table(
+                syn, store="row", config=config, buffer_pool=scaled_buffer_pool(syn)
+            )
+            best_wall = None
+            for _ in range(repeats):
+                seedb.store.buffer_pool.clear()
+                run = seedb.run_engine(
+                    target,
+                    k=10,
+                    strategy="sharing",
+                    pruner="none",
+                    parallelism=parallelism,  # type: ignore[arg-type]
+                )
+                best_wall = (
+                    run.wall_seconds
+                    if best_wall is None
+                    else min(best_wall, run.wall_seconds)
+                )
+            if baseline_selected is None:
+                baseline_selected = run.selected
+            elif run.selected != baseline_selected:
+                raise AssertionError(
+                    f"shared_scan={shared} ({parallelism}) changed the top-k"
+                )
+            wall_by_mode[shared] = best_wall
+            results.append(
+                dict(
+                    parallelism=parallelism,
+                    shared_scan=shared,
+                    wall_s=best_wall,
+                    modeled_latency_s=run.modeled_latency,
+                    queries=run.stats.queries_issued,
+                    bytes_scanned=run.stats.bytes_scanned_miss
+                    + run.stats.bytes_scanned_hit,
+                )
+            )
+        for row in results:
+            if row["parallelism"] == parallelism and "speedup" not in row:
+                row["speedup"] = wall_by_mode[False] / max(
+                    float(row["wall_s"]), 1e-12  # type: ignore[arg-type]
+                )
+    for row in results:
+        table.add(**row)
+    if out_path:
+        try:
+            with open(out_path) as handle:
+                existing_rows = int(json.load(handle).get("n_rows", 0))
+        except (OSError, ValueError):
+            existing_rows = 0
+        if existing_rows > n_rows:
+            root, ext = os.path.splitext(out_path)
+            out_path = f"{root}.{current_scale()}{ext}"
+        payload = {
+            "bench": "shared_scan",
+            "generated_unix": time.time(),
+            "scale": current_scale(),
+            "n_rows": n_rows,
+            "host_cores": os.cpu_count() or 1,
+            "repeats_best_of": repeats,
+            "strategy": "sharing",
+            "store": "row",
+            "rows": results,
+        }
+        with open(out_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    return table
+
+
 def bench_backends_compare(
     n_rows: int | None = None, strategy: str = "sharing"
 ) -> ResultTable:

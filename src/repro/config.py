@@ -119,6 +119,13 @@ class EngineConfig:
     combine_target_reference: bool = True
     #: Number of view queries issued concurrently (paper finds ~n_cores best).
     n_parallel_queries: int = DEFAULT_N_CORES
+    #: Serve each phase's whole query batch from one shared scan (§4.1 taken
+    #: to the physical layer): distinct base columns scanned once, derived
+    #: flag / predicate expressions evaluated once, buffer-pool pages charged
+    #: once per batch.  Off = per-query dispatch (the ablation baseline).
+    #: The NO_OPT strategy always runs per-query regardless — it *is* the
+    #: no-sharing baseline.
+    shared_scan: bool = True
     #: Confidence parameter for Hoeffding–Serfling intervals (CI pruning).
     ci_delta: float = 0.05
     #: Return approximate results as soon as top-k is identified (COMB_EARLY).

@@ -85,6 +85,9 @@ class EngineRun:
     n_workers: int = 1
     #: Execution backend the queries ran on ("native", "sqlite", ...).
     backend: str = "native"
+    #: Whether phase batches were routed through the backend's shared-scan
+    #: batch path (always False for NO_OPT, the no-sharing baseline).
+    shared_scan: bool = False
 
     def top(self, n: int | None = None) -> list[tuple[ViewKey, float]]:
         ranked = sorted(self.utilities.items(), key=lambda kv: -kv[1])
@@ -197,7 +200,9 @@ class ExecutionEngine:
             if self.backend.capabilities().parallel_safe
             else 1
         )
-        with make_dispatcher(self.backend, parallelism, n_workers) as dispatcher:
+        with make_dispatcher(
+            self.backend, parallelism, n_workers, use_batch=config.shared_scan
+        ) as dispatcher:
             for phase_index, (start, stop) in enumerate(ranges):
                 active_per_phase.append(len(active))
                 plan = plan_queries(
@@ -265,6 +270,7 @@ class ExecutionEngine:
             parallelism=parallelism,
             n_workers=dispatcher.n_workers,
             backend=self.backend.name,
+            shared_scan=config.shared_scan,
         )
 
     # ------------------------------------------------------------------ #
@@ -287,6 +293,7 @@ class ExecutionEngine:
                 use_binpacking=False,
                 combine_target_reference=False,
                 n_parallel_queries=1,
+                shared_scan=False,
             )
         if strategy in ("sharing", "comb", "comb_early"):
             return self.config
@@ -309,26 +316,39 @@ class ExecutionEngine:
         submission order, and stats merging plus per-view routing happen on
         this thread in that same order — a parallel run therefore performs
         the exact floating-point accumulation sequence of a serial one.
+
+        With ``config.shared_scan`` the **whole phase** is one dispatcher
+        batch, so the backend's shared-scan path does exactly one pass over
+        the phase's row range.  The cost model still sees concurrency groups
+        of ``n_parallel_queries`` — the pool's actual width — so the modeled
+        parallel structure is unchanged; only the per-query work (shared
+        pages charged once, to the first query) gets cheaper.
         """
         start, stop = row_range
         batch_size = max(config.n_parallel_queries, 1)
         queries = list(plan.queries)
-        for i in range(0, len(queries), batch_size):
-            batch = queries[i : i + batch_size]
-            ranged = [planned.query.with_range(start, stop) for planned in batch]
-            for query in ranged:
-                if len(sql_log) < _MAX_RECORDED_SQL:
-                    # The log is introspection only: a query the generator
-                    # cannot print (e.g. a non-finite literal in a
-                    # predicate) must not abort a backend that never ships
-                    # SQL text.
-                    try:
-                        sql_log.append(generate_sql(query))
-                    except QueryError as exc:
-                        sql_log.append(f"-- unrenderable query: {exc}")
+        ranged = [planned.query.with_range(start, stop) for planned in queries]
+        for query in ranged:
+            if len(sql_log) < _MAX_RECORDED_SQL:
+                # The log is introspection only: a query the generator
+                # cannot print (e.g. a non-finite literal in a
+                # predicate) must not abort a backend that never ships
+                # SQL text.
+                try:
+                    sql_log.append(generate_sql(query))
+                except QueryError as exc:
+                    sql_log.append(f"-- unrenderable query: {exc}")
+        if config.shared_scan:
             outcomes = dispatcher.run_batch(ranged)
+        else:
+            outcomes = []
+            for i in range(0, len(ranged), batch_size):
+                outcomes.extend(dispatcher.run_batch(ranged[i : i + batch_size]))
+        for i in range(0, len(queries), batch_size):
             batch_costs: list[float] = []
-            for planned, (result, query_stats) in zip(batch, outcomes):
+            for planned, (result, query_stats) in zip(
+                queries[i : i + batch_size], outcomes[i : i + batch_size]
+            ):
                 batch_costs.append(self.cost_model.query_seconds(query_stats))
                 run_stats.merge(query_stats)
                 self._route_result(planned, result, states, reference_mode)

@@ -33,14 +33,21 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from types import TracebackType
-from typing import Protocol, Sequence
+from typing import Callable, Protocol, Sequence
 
 from repro.config import ExecutionStats
 from repro.db.query import AggregateQuery, QueryResult
 
 
 class ExecutesQueries(Protocol):
-    """Structural type the dispatcher drives: one execute() per query."""
+    """Structural type the dispatcher drives: one execute() per query.
+
+    Executors may additionally expose
+    ``execute_batch(queries, fanout=None)`` (the
+    :class:`~repro.db.backends.Backend` batch contract); a dispatcher
+    constructed with ``use_batch=True`` routes whole batches through it so
+    a shared-scan backend can serve the batch from one pass.
+    """
 
     def execute(
         self, query: AggregateQuery
@@ -54,13 +61,26 @@ class ParallelDispatcher:
     inline serial execution with no pool at all, so the serial path stays
     allocation-free.  Use as a context manager (or call :meth:`close`) to
     release the worker threads.
+
+    With ``use_batch=True`` the whole batch is routed to the executor's
+    ``execute_batch`` in one call: the backend does its shared work (the
+    native backend's single scan) on the calling thread and fans the
+    per-query remainder back out through the dispatcher's pool via the
+    ``fanout`` callable.  Submission-order gathering — the determinism
+    barrier — is preserved on both paths.
     """
 
-    def __init__(self, executor: ExecutesQueries, n_workers: int) -> None:
+    def __init__(
+        self,
+        executor: ExecutesQueries,
+        n_workers: int,
+        use_batch: bool = False,
+    ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.executor = executor
         self.n_workers = n_workers
+        self.use_batch = use_batch
         self._pool: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------ #
@@ -104,24 +124,41 @@ class ParallelDispatcher:
         completion order — the deterministic barrier the engine relies on.
         The first worker exception (if any) propagates in submission order.
         """
+        if self.use_batch:
+            execute_batch = getattr(self.executor, "execute_batch", None)
+            if execute_batch is not None:
+                fanout = (
+                    self._fanout
+                    if self.n_workers > 1 and len(queries) > 1
+                    else None
+                )
+                return execute_batch(list(queries), fanout=fanout)
         if self.n_workers <= 1 or len(queries) <= 1:
             return [self.executor.execute(query) for query in queries]
         pool = self._ensure_pool()
         futures = [pool.submit(self.executor.execute, query) for query in queries]
         return [future.result() for future in futures]
 
+    def _fanout(self, fn: Callable, items: Sequence) -> list:
+        """Run ``fn`` over ``items`` on the pool; results in item order."""
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
 
 def make_dispatcher(
-    executor: ExecutesQueries, mode: str, n_workers: int
+    executor: ExecutesQueries, mode: str, n_workers: int, use_batch: bool = False
 ) -> ParallelDispatcher:
     """Dispatcher factory for the engine's ``parallelism`` mode.
 
     "modeled" pins one worker — queries run inline on the calling thread
     and parallel speedup exists only inside the cost model, exactly as
-    before this subsystem existed.
+    before this subsystem existed.  ``use_batch`` (the engine's
+    ``shared_scan`` knob) applies in both modes: a modeled run still shares
+    the scan, it just runs the per-query grouping inline.
     """
     if mode == "real":
-        return ParallelDispatcher(executor, max(n_workers, 1))
+        return ParallelDispatcher(executor, max(n_workers, 1), use_batch=use_batch)
     if mode == "modeled":
-        return ParallelDispatcher(executor, 1)
+        return ParallelDispatcher(executor, 1, use_batch=use_batch)
     raise ValueError(f"unknown parallelism mode {mode!r}")

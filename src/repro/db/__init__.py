@@ -6,7 +6,9 @@ with paged I/O accounting (:mod:`repro.db.storage`), a buffer pool
 (:mod:`repro.db.buffer`), vectorized expression evaluation
 (:mod:`repro.db.expressions`), hash aggregation with a memory budget and
 multi-pass spill (:mod:`repro.db.groupby`), a query executor
-(:mod:`repro.db.executor`), a SQL subset front end (:mod:`repro.db.sql`),
+(:mod:`repro.db.executor`), a shared-scan batch executor serving whole
+phase batches from one pass (:mod:`repro.db.shared_scan`), a SQL subset
+front end (:mod:`repro.db.sql`),
 pluggable execution backends including a real second SQL engine
 (:mod:`repro.db.backends`), and a deterministic cost model
 (:mod:`repro.db.cost`) that converts I/O and CPU accounting into simulated
@@ -19,6 +21,7 @@ from repro.db.buffer import BufferPool
 from repro.db.storage import ColumnStore, RowStore, StorageEngine, make_store
 from repro.db.query import AggregateFunction, AggregateQuery, AggregateSpec
 from repro.db.executor import QueryExecutor, QueryResult
+from repro.db.shared_scan import SharedScanExecutor
 from repro.db.database import Database, SnowflakeJoin
 from repro.db.catalog import TableMeta
 from repro.db.cost import CostModel
@@ -51,6 +54,7 @@ __all__ = [
     "RowStore",
     "SQLiteBackend",
     "Schema",
+    "SharedScanExecutor",
     "SnowflakeJoin",
     "StorageEngine",
     "Table",

@@ -30,13 +30,14 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 from types import TracebackType
-from typing import TYPE_CHECKING, Callable, ClassVar
+from typing import TYPE_CHECKING, Callable, ClassVar, Sequence
 
 from repro.config import ExecutionStats
 from repro.db.query import AggregateQuery, QueryResult
 from repro.exceptions import BackendError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.shared_scan import Fanout
     from repro.db.storage import StorageEngine
 
 
@@ -57,6 +58,9 @@ class BackendCapabilities:
     accounts_io: bool = False
     #: Safe for concurrent execute() calls from the real-parallel dispatcher.
     parallel_safe: bool = True
+    #: ``execute_batch`` genuinely shares work across a batch (one scan
+    #: serving many queries) rather than falling back to a per-query loop.
+    shares_batch_scans: bool = False
     notes: str = ""
 
 
@@ -69,6 +73,29 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def execute(self, query: AggregateQuery) -> tuple[QueryResult, ExecutionStats]:
         """Run one logical query; return its result and per-query accounting."""
+
+    def execute_batch(
+        self,
+        queries: Sequence[AggregateQuery],
+        fanout: "Fanout | None" = None,
+    ) -> list[tuple[QueryResult, ExecutionStats]]:
+        """Run a whole phase batch; results in submission order.
+
+        The default is a per-query loop over :meth:`execute` (fanned out
+        over the dispatcher's pool when ``fanout`` is given), so backends
+        that cannot share work across queries — SQLite ships each statement
+        independently — need not override anything.  Backends that *can*
+        share (the native backend serves the batch from one shared scan,
+        see :mod:`repro.db.shared_scan`) override this and advertise it via
+        ``capabilities().shares_batch_scans``.
+
+        ``fanout(fn, items)`` must run ``fn`` over ``items`` concurrently
+        and return results in item order.
+        """
+        queries = list(queries)
+        if fanout is not None and len(queries) > 1:
+            return fanout(self.execute, queries)  # type: ignore[arg-type]
+        return [self.execute(query) for query in queries]
 
     @abc.abstractmethod
     def capabilities(self) -> BackendCapabilities:

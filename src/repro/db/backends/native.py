@@ -5,14 +5,25 @@ A thin :class:`~repro.db.backends.base.Backend` adapter around
 pool, spill simulation, and cost accounting all live below it, so this is
 the only backend whose :class:`ExecutionStats` drive a meaningful modeled
 latency.
+
+It is also the only backend with a true batch path:
+:meth:`NativeBackend.execute_batch` hands the whole batch to a
+:class:`~repro.db.shared_scan.SharedScanExecutor`, which serves every query
+in it from **one** scan (shared pages charged once, shared expressions
+evaluated once) and fans only the per-query grouping out to the
+dispatcher's pool.  Per-query ``execute`` stays on the classic executor, so
+``EngineConfig(shared_scan=False)`` is an exact ablation baseline.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 from repro.config import ExecutionStats
 from repro.db.backends.base import Backend, BackendCapabilities, register_backend
 from repro.db.executor import QueryExecutor
 from repro.db.query import AggregateQuery, QueryResult
+from repro.db.shared_scan import Fanout, SharedScanExecutor
 from repro.db.storage import StorageEngine
 
 _CAPABILITIES = BackendCapabilities(
@@ -20,6 +31,7 @@ _CAPABILITIES = BackendCapabilities(
     supports_group_budget=True,
     accounts_io=True,
     parallel_safe=True,
+    shares_batch_scans=True,
     notes="in-process numpy executor; stats feed the paper's cost model",
 )
 
@@ -32,9 +44,17 @@ class NativeBackend(Backend):
     def __init__(self, store: StorageEngine) -> None:
         self.store = store
         self.executor = QueryExecutor(store)
+        self.shared_executor = SharedScanExecutor(store)
 
     def execute(self, query: AggregateQuery) -> tuple[QueryResult, ExecutionStats]:
         return self.executor.execute(query)
+
+    def execute_batch(
+        self,
+        queries: Sequence[AggregateQuery],
+        fanout: Fanout | None = None,
+    ) -> list[tuple[QueryResult, ExecutionStats]]:
+        return self.shared_executor.execute_batch(queries, fanout=fanout)
 
     def capabilities(self) -> BackendCapabilities:
         return _CAPABILITIES

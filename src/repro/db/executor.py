@@ -25,7 +25,76 @@ from repro.config import ExecutionStats
 from repro.db.groupby import GroupKeyColumn, GroupResult, group_aggregate
 from repro.db.query import AggregateQuery, QueryResult
 from repro.db.storage import StorageEngine
+from repro.db.types import Schema
 from repro.exceptions import QueryError
+
+
+def spill_bytes(
+    schema: Schema, query: AggregateQuery, n_filtered: int, result: GroupResult
+) -> int:
+    """Bytes charged for re-reading spilled partitions.
+
+    Each extra pass re-reads the filtered rows' group-by and aggregate
+    columns once (spill files bypass the buffer pool, so these are charged
+    at miss rate).  Shared by the per-query and shared-scan executors.
+    """
+    width = 0
+    for name in query.group_by:
+        width += schema[name].byte_width if name in schema else 4
+    for spec in query.aggregates:
+        for col in spec.referenced_columns():
+            if col in schema:
+                width += schema[col].byte_width
+    return result.spill_passes * n_filtered * max(width, 1)
+
+
+def tally_aggregation(
+    stats: ExecutionStats,
+    schema: Schema,
+    query: AggregateQuery,
+    result: GroupResult,
+    n_filtered: int,
+) -> None:
+    """Fold one query's grouping work into its stats record.
+
+    Shared by the per-query and shared-scan executors so the two paths stay
+    in accounting lockstep (the differential oracle compares them).
+    """
+    stats.queries_issued += 1
+    stats.agg_rows_processed += n_filtered * len(query.aggregates)
+    stats.groups_maintained += result.n_groups
+    stats.spill_passes += result.spill_passes
+    if result.spill_passes:
+        stats.bytes_scanned_miss += spill_bytes(schema, query, n_filtered, result)
+
+
+def build_query_result(
+    query: AggregateQuery, result: GroupResult, n_filtered: int
+) -> QueryResult:
+    """Adapt a :class:`GroupResult` into the backend result contract.
+
+    Per-aggregate arrays keyed by alias plus the hidden ``__group_count__``
+    per-group row count the phased AVG merge needs.  Shared by both
+    executors.
+    """
+    values = {
+        spec.alias: result.aggregate_values[i]
+        for i, spec in enumerate(query.aggregates)
+    }
+    values["__group_count__"] = result.group_counts
+    return QueryResult(
+        groups=dict(result.key_values),
+        values=values,
+        n_groups=result.n_groups,
+        input_rows=n_filtered,
+    )
+
+
+def global_group_key(n_rows: int) -> GroupKeyColumn:
+    """The single synthetic group a global (no GROUP BY) aggregate uses."""
+    return GroupKeyColumn(
+        "__all__", np.zeros(n_rows, dtype=np.int32), np.asarray(["all"])
+    )
 
 
 class QueryExecutor:
@@ -71,29 +140,9 @@ class QueryExecutor:
         result = group_aggregate(key_columns, aggregate_inputs, query.group_budget)
         n_filtered = len(selector) if selector is not None else (stop - start)
 
-        stats.queries_issued += 1
-        stats.agg_rows_processed += n_filtered * len(query.aggregates)
-        stats.groups_maintained += result.n_groups
-        stats.spill_passes += result.spill_passes
-        if result.spill_passes:
-            stats.bytes_scanned_miss += self._spill_bytes(query, n_filtered, result)
+        tally_aggregation(stats, self.store.table.schema, query, result, n_filtered)
         stats.wall_seconds = time.perf_counter() - started
-
-        groups = {name: values for name, values in result.key_values.items()}
-        values = {
-            spec.alias: result.aggregate_values[i]
-            for i, spec in enumerate(query.aggregates)
-        }
-        values["__group_count__"] = result.group_counts
-        return (
-            QueryResult(
-                groups=groups,
-                values=values,
-                n_groups=result.n_groups,
-                input_rows=n_filtered,
-            ),
-            stats,
-        )
+        return build_query_result(query, result, n_filtered), stats
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -124,21 +173,14 @@ class QueryExecutor:
                     GroupKeyColumn(name, codes.astype(np.int32), categories)
                 )
             else:
-                codes, categories = self.store.table.dictionary(name)
-                sliced = codes[start:stop]
+                sliced, categories = self.store.dictionary_slice(name, start, stop)
                 if selector is not None:
                     sliced = sliced[selector]
                 key_columns.append(GroupKeyColumn(name, sliced, categories))
         if not key_columns:
             # Global aggregate: a single synthetic group.
             n = len(selector) if selector is not None else (stop - start)
-            key_columns.append(
-                GroupKeyColumn(
-                    "__all__",
-                    np.zeros(n, dtype=np.int32),
-                    np.asarray(["all"]),
-                )
-            )
+            key_columns.append(global_group_key(n))
         return key_columns
 
     @staticmethod
@@ -159,22 +201,3 @@ class QueryExecutor:
                 values = values[selector]
             inputs.append((spec.func, values))
         return inputs
-
-    def _spill_bytes(
-        self, query: AggregateQuery, n_filtered: int, result: GroupResult
-    ) -> int:
-        """Bytes charged for re-reading spilled partitions.
-
-        Each extra pass re-reads the filtered rows' group-by and aggregate
-        columns once (spill files bypass the buffer pool, so these are
-        charged at miss rate).
-        """
-        schema = self.store.table.schema
-        width = 0
-        for name in query.group_by:
-            width += schema[name].byte_width if name in schema else 4
-        for spec in query.aggregates:
-            for col in spec.referenced_columns():
-                if col in schema:
-                    width += schema[col].byte_width
-        return result.spill_passes * n_filtered * max(width, 1)

@@ -32,6 +32,13 @@ _MAX_STRIDE_PRODUCT = 2**62
 #: read charged as two data passes per level).
 _SPILL_FANOUT = 32
 
+#: Cap on the dense-grouping fast path: when the stride-encoded composite
+#: key space has at most this many slots (and fits the group budget), rows
+#: are aggregated with O(n) ``np.bincount`` over the full dense domain
+#: instead of the O(n log n) ``np.unique`` sort.  The low-cardinality
+#: dimensions of the SeeDB view space land here almost always.
+_DENSE_GROUP_LIMIT = 1 << 16
+
 
 def spill_data_passes(n_partitions: int) -> int:
     """Extra input passes charged for a spill into ``n_partitions``.
@@ -98,6 +105,11 @@ def _encode_composite(key_columns: list[GroupKeyColumn]) -> np.ndarray:
     """
     if not key_columns:
         raise QueryError("grouping requires at least one key column")
+    if len(key_columns) == 1:
+        # A single key needs no mixed-radix packing: reuse the dictionary
+        # code slice directly (the int64 copy would only add memory traffic;
+        # every consumer below reads the composite without mutating it).
+        return key_columns[0].codes
     product = math.prod(kc.n_categories or 1 for kc in key_columns)
     if product < _MAX_STRIDE_PRODUCT:
         composite = key_columns[0].codes.astype(np.int64, copy=True)
@@ -112,10 +124,49 @@ def _encode_composite(key_columns: list[GroupKeyColumn]) -> np.ndarray:
     return composite
 
 
+def _dense_group_result(
+    key_columns: list[GroupKeyColumn],
+    aggregate_inputs: list[tuple[AggregateFunction, np.ndarray | None]],
+    composite: np.ndarray,
+    product: int,
+    estimate: int,
+) -> GroupResult:
+    """O(n) dense aggregation over the full stride-encoded key domain.
+
+    Every row's composite code *is* its hash-table slot, so grouping is one
+    ``np.bincount`` instead of a sort; occupied slots come out ascending,
+    which is exactly the composite-key order the sorted path produces, and
+    the per-key codes are recovered arithmetically (mixed-radix decode)
+    rather than via representative-row indexing.
+    """
+    counts_full = np.bincount(composite, minlength=product)
+    occupied = np.flatnonzero(counts_full)
+    key_values: dict[str, np.ndarray] = {}
+    stride = product
+    for kc in key_columns:
+        card = max(kc.n_categories, 1)
+        stride //= card
+        key_values[kc.name] = kc.categories[(occupied // stride) % card]
+    return GroupResult(
+        key_values=key_values,
+        aggregate_values=[
+            compute_group_aggregate(func, composite, product, values)[occupied]
+            for func, values in aggregate_inputs
+        ],
+        group_counts=counts_full[occupied],
+        n_groups=len(occupied),
+        spill_passes=0,
+        n_partitions=1,
+        estimated_groups=estimate,
+    )
+
+
 def group_aggregate(
     key_columns: list[GroupKeyColumn],
     aggregate_inputs: list[tuple[AggregateFunction, np.ndarray | None]],
     budget: int | None = None,
+    *,
+    allow_dense: bool = True,
 ) -> GroupResult:
     """Group rows by the key columns and compute each aggregate per group.
 
@@ -124,6 +175,13 @@ def group_aggregate(
     the estimated cardinality exceeds it, input is processed in
     ``ceil(estimate / budget)`` range partitions of the composite key space,
     and the number of *extra* passes is reported in ``spill_passes``.
+
+    In-core aggregation picks between two equivalent plans: when the
+    stride-encoded composite key space fits the group budget (capped at
+    ``_DENSE_GROUP_LIMIT``) rows are aggregated densely in O(n) with
+    ``np.bincount`` — the common SeeDB case of low-cardinality dimensions —
+    otherwise the sparse ``np.unique`` sort path runs.  ``allow_dense=False``
+    forces the sparse path (regression tests compare the two).
     """
     if not key_columns:
         raise QueryError("grouping requires at least one key column")
@@ -156,18 +214,49 @@ def group_aggregate(
         n_passes = 1
 
     if n_passes == 1:
-        partitions = [np.arange(n_rows)]
-    else:
-        # Range-partition the composite key space so each pass's hash table
-        # stays within budget (real systems hash-partition; range keeps the
-        # final output globally sorted for free).
-        lo, hi = int(composite.min()), int(composite.max())
-        span = hi - lo + 1
-        width = max(1, math.ceil(span / n_passes))
-        bucket = (composite - lo) // width
-        order = np.argsort(bucket, kind="stable")
-        boundaries = np.searchsorted(bucket[order], np.arange(1, n_passes))
-        partitions = [p for p in np.split(order, boundaries) if len(p)]
+        product = math.prod(max(kc.n_categories, 1) for kc in key_columns)
+        dense_cap = (
+            min(budget, _DENSE_GROUP_LIMIT)
+            if budget is not None and budget > 0
+            else _DENSE_GROUP_LIMIT
+        )
+        if allow_dense and product <= dense_cap:
+            return _dense_group_result(
+                key_columns, aggregate_inputs, composite, product, estimate
+            )
+        # Sparse single-partition path: np.unique output is already sorted
+        # by composite key, so the multi-pass argsort + concatenate below
+        # would be an identity permutation — skip it (and the fancy-indexed
+        # copies a one-element partition list would force).
+        uniq, rep_rows, inverse = np.unique(
+            composite, return_index=True, return_inverse=True
+        )
+        n_groups = len(uniq)
+        return GroupResult(
+            key_values={
+                kc.name: kc.categories[kc.codes[rep_rows]] for kc in key_columns
+            },
+            aggregate_values=[
+                compute_group_aggregate(func, inverse, n_groups, values)
+                for func, values in aggregate_inputs
+            ],
+            group_counts=np.bincount(inverse, minlength=n_groups),
+            n_groups=n_groups,
+            spill_passes=0,
+            n_partitions=1,
+            estimated_groups=estimate,
+        )
+
+    # Range-partition the composite key space so each pass's hash table
+    # stays within budget (real systems hash-partition; range keeps the
+    # final output globally sorted for free).
+    lo, hi = int(composite.min()), int(composite.max())
+    span = hi - lo + 1
+    width = max(1, math.ceil(span / n_passes))
+    bucket = (composite - lo) // width
+    order = np.argsort(bucket, kind="stable")
+    boundaries = np.searchsorted(bucket[order], np.arange(1, n_passes))
+    partitions = [p for p in np.split(order, boundaries) if len(p)]
 
     key_value_parts: dict[str, list[np.ndarray]] = {kc.name: [] for kc in key_columns}
     agg_parts: list[list[np.ndarray]] = [[] for _ in aggregate_inputs]

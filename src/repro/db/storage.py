@@ -90,6 +90,19 @@ class StorageEngine(abc.ABC):
         a value scan of the column; the dictionary itself is metadata.
         """
         self.scan([column], start, stop, stats)
+        return self.dictionary_slice(column, start, stop)
+
+    def dictionary_slice(
+        self, column: str, start: int = 0, stop: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(codes[start:stop], categories)`` with **no I/O accounting**.
+
+        For callers that already charged a value scan of ``column`` — both
+        executors scan a query's base columns first and then group on the
+        table's cached global dictionary, so charging the codes again would
+        double-count the page.  Use :meth:`scan_dictionary` when the
+        dictionary read is the only access to the column.
+        """
         stop = self.table.nrows if stop is None else stop
         codes, categories = self.table.dictionary(column)
         return codes[start:stop], categories

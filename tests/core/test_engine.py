@@ -190,6 +190,41 @@ class TestPruningIntegration:
             engine.run(views, TARGET, k=1, strategy="warp")  # type: ignore[arg-type]
 
 
+class TestSharedScan:
+    """The batch path changes accounting only; NO_OPT stays unoptimized."""
+
+    def test_shared_scan_changes_accounting_not_results(self, census_like, views):
+        runs = {}
+        for shared in (True, False):
+            store = make_store("col", census_like)
+            engine = ExecutionEngine(
+                store,
+                get_metric("emd"),
+                EngineConfig(store="col", shared_scan=shared),
+                CostModel.for_store("col"),
+            )
+            runs[shared] = engine.run(
+                views, TARGET, k=3, strategy="sharing", pruner="none"
+            )
+        on, off = runs[True], runs[False]
+        assert on.shared_scan and not off.shared_scan
+        assert on.selected == off.selected
+        for key, value in off.utilities.items():
+            assert on.utilities[key] == pytest.approx(value, rel=1e-9, abs=1e-12)
+        assert on.stats.queries_issued == off.stats.queries_issued
+        # The shared scan never re-touches a page within a phase batch.
+        on_bytes = on.stats.bytes_scanned_miss + on.stats.bytes_scanned_hit
+        off_bytes = off.stats.bytes_scanned_miss + off.stats.bytes_scanned_hit
+        assert on_bytes < off_bytes
+        assert on.modeled_latency < off.modeled_latency
+
+    def test_no_opt_never_uses_shared_scan(self, engine, views):
+        run = engine.run(views, TARGET, k=2, strategy="no_opt", pruner="none")
+        assert run.shared_scan is False
+        run = engine.run(views, TARGET, k=2, strategy="sharing", pruner="none")
+        assert run.shared_scan is True
+
+
 class TestAggregateFunctions:
     @pytest.mark.parametrize(
         "func",

@@ -16,6 +16,7 @@ import pytest
 
 from repro.core.parallel import ParallelDispatcher, make_dispatcher
 from repro.core.recommender import SeeDB, tuned_config
+from repro.db.backends import NativeBackend
 from repro.db.buffer import BufferPool
 from repro.db.executor import QueryExecutor
 from repro.db.query import AggregateFunction, AggregateQuery, AggregateSpec
@@ -81,6 +82,46 @@ class TestDispatcher:
             make_dispatcher(executor, "async", 4)
         with pytest.raises(ValueError):
             ParallelDispatcher(executor, 0)
+
+    def test_batch_mode_routes_through_execute_batch(self, census_like):
+        """use_batch hands the whole batch to the executor's batch method."""
+        backend = NativeBackend(make_store("col", census_like))
+        calls: list[tuple[int, bool]] = []
+        original = backend.execute_batch
+
+        def spying_execute_batch(queries, fanout=None):
+            calls.append((len(queries), fanout is not None))
+            return original(queries, fanout=fanout)
+
+        backend.execute_batch = spying_execute_batch  # type: ignore[method-assign]
+        queries = [_count_query("census_like", "sex", 0, 1000) for _ in range(6)]
+        with ParallelDispatcher(backend, n_workers=3, use_batch=True) as dispatcher:
+            outcomes = dispatcher.run_batch(queries)
+        assert calls == [(6, True)]  # one batch call, fanout provided
+        serial = [backend.execute(q) for q in queries]
+        for (pr, _), (sr, _) in zip(outcomes, serial):
+            assert pr.to_rows() == sr.to_rows()
+
+    def test_batch_mode_falls_back_without_execute_batch(self, tiny_table):
+        """A bare QueryExecutor (no batch method) keeps the per-query path."""
+        executor = QueryExecutor(make_store("col", tiny_table))
+        with ParallelDispatcher(executor, n_workers=2, use_batch=True) as dispatcher:
+            outcomes = dispatcher.run_batch(
+                [_count_query("tiny", "color", 0, 6) for _ in range(3)]
+            )
+        assert len(outcomes) == 3
+        assert all(stats.queries_issued == 1 for _, stats in outcomes)
+
+    def test_batch_mode_single_worker_runs_inline(self, census_like):
+        """Modeled mode + shared scan: batch call, no pool, no fanout."""
+        backend = NativeBackend(make_store("col", census_like))
+        dispatcher = make_dispatcher(backend, "modeled", 8, use_batch=True)
+        outcomes = dispatcher.run_batch(
+            [_count_query("census_like", "race", 0, 2000) for _ in range(4)]
+        )
+        assert len(outcomes) == 4
+        assert dispatcher._pool is None  # never materialized
+        dispatcher.close()
 
 
 def _engine_run(table, target, *, parallelism, n_parallel, strategy, pruner, **cfg):

@@ -108,6 +108,90 @@ class TestBudgetAndSpill:
         assert spill_data_passes(1025) == 6
 
 
+class TestDenseFastPath:
+    """The O(n) bincount path must be indistinguishable from the sort path."""
+
+    def _random_inputs(self, seed, n=2_000, n_keys=2, card=8):
+        rng = np.random.default_rng(seed)
+        keys = [
+            _key(f"k{i}", rng.integers(0, card, n).astype(str))
+            for i in range(n_keys)
+        ]
+        vals = rng.random(n)
+        inputs = [
+            (AggregateFunction.SUM, vals),
+            (AggregateFunction.AVG, vals),
+            (AggregateFunction.MIN, vals),
+            (AggregateFunction.MAX, vals),
+            (AggregateFunction.COUNT, None),
+        ]
+        return keys, inputs
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("n_keys", [1, 2, 3])
+    def test_dense_matches_sparse_exactly(self, seed, n_keys):
+        keys, inputs = self._random_inputs(seed, n_keys=n_keys)
+        dense = group_aggregate(keys, inputs, budget=10_000)
+        sparse = group_aggregate(keys, inputs, budget=10_000, allow_dense=False)
+        assert dense.n_groups == sparse.n_groups
+        assert dense.n_partitions == sparse.n_partitions == 1
+        assert dense.spill_passes == sparse.spill_passes == 0
+        for name in sparse.key_values:
+            assert (
+                dense.key_values[name].tolist() == sparse.key_values[name].tolist()
+            )
+        for d, s in zip(dense.aggregate_values, sparse.aggregate_values):
+            np.testing.assert_array_equal(d, s)  # bitwise, not approx
+        np.testing.assert_array_equal(dense.group_counts, sparse.group_counts)
+
+    def test_dense_skipped_when_key_space_exceeds_budget_cap(self):
+        """product > budget means spill, never a dense table over budget."""
+        rng = np.random.default_rng(0)
+        keys = [_key("k", rng.integers(0, 50, 1_000).astype(str))]
+        result = group_aggregate(keys, [(AggregateFunction.COUNT, None)], budget=10)
+        assert result.n_partitions > 1  # spilled, not densified
+
+    def test_dense_handles_absent_categories(self):
+        """Dictionary categories missing from the slice produce no group."""
+        codes = np.array([0, 2, 2, 0], dtype=np.int32)  # category 1 absent
+        key = GroupKeyColumn("k", codes, np.asarray(["a", "b", "c"]))
+        result = group_aggregate(
+            [key], [(AggregateFunction.SUM, np.array([1.0, 2.0, 3.0, 4.0]))]
+        )
+        assert result.key_values["k"].tolist() == ["a", "c"]
+        assert result.aggregate_values[0].tolist() == [5.0, 5.0]
+
+
+class TestSinglePartitionOrder:
+    """Sparse single-partition results skip the argsort; order must hold."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_single_partition_sorted_by_composite_key(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = [
+            _key("x", rng.integers(0, 5, 500).astype(str)),
+            _key("y", rng.integers(0, 4, 500).astype(str)),
+        ]
+        vals = rng.random(500)
+        result = group_aggregate(
+            keys, [(AggregateFunction.SUM, vals)], allow_dense=False
+        )
+        assert result.n_partitions == 1
+        pairs = list(zip(result.key_values["x"], result.key_values["y"]))
+        assert pairs == sorted(pairs)
+        # And it matches the multi-pass (spilling) path group for group.
+        spilled = group_aggregate(
+            keys, [(AggregateFunction.SUM, vals)], budget=3, allow_dense=False
+        )
+        assert spilled.n_partitions > 1
+        assert pairs == list(
+            zip(spilled.key_values["x"], spilled.key_values["y"])
+        )
+        np.testing.assert_allclose(
+            result.aggregate_values[0], spilled.aggregate_values[0]
+        )
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     n=st.integers(1, 300),

@@ -9,10 +9,15 @@ SQL generator, or one of the executors.
 Coverage math (the acceptance bar is >= 200 randomized engine runs):
 
 * ``test_differential_engine_run``: |SEEDS| x |STRATEGIES| x |REF_MODES|
-  cases, two engine runs each — 12 x 3 x 3 x 2 = 216 runs.
+  cases, two engine runs each — 12 x 3 x 3 x 2 = 216 runs (the native
+  side runs the shared-scan batch path, its default).
 * ``test_differential_real_parallelism`` adds 8 x 2 = 16 runs through the
   thread-pool dispatcher (per-thread sqlite connections).
 * ``test_differential_comb_early`` adds 6 x 2 = 12 early-return runs.
+* ``test_differential_shared_scan_sweep`` adds 5 x 2 x 2 x 3 = 60 runs
+  sweeping shared_scan on/off x batch (modeled/real) dispatch: for each
+  table, native-with-shared-scan, native-per-query, and the sqlite oracle
+  must agree on top-k and utilities within 1e-9.
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ CASES = [
 def test_coverage_floor():
     """The parametrization below performs >= 200 randomized engine runs."""
     assert len(CASES) * 2 + 8 * 2 + 6 * 2 >= 200
+    assert len(SHARED_SCAN_CASES) * 3 >= 48
 
 
 def _random_table(seed: int) -> Table:
@@ -126,6 +132,46 @@ def test_differential_comb_early(seed):
     native = _run(table, "native", "comb_early", "all")
     sqlite = _run(table, "sqlite", "comb_early", "all")
     _assert_equivalent(native, sqlite)
+
+
+SHARED_SCAN_CASES = [
+    (seed, strategy, parallelism)
+    for seed in range(5)
+    for strategy in ("sharing", "comb")
+    for parallelism in ("modeled", "real")
+]
+
+
+@pytest.mark.parametrize("seed,strategy,parallelism", SHARED_SCAN_CASES)
+def test_differential_shared_scan_sweep(seed, strategy, parallelism):
+    """Batch (shared-scan) vs per-query dispatch vs the SQLite oracle.
+
+    Three-way agreement pins the whole batch path: the shared scan must
+    change accounting only, never results, under both dispatch modes.
+    """
+    table = _random_table(300 + seed)
+    batched = _run(
+        table, "native", strategy, "all", shared_scan=True, parallelism=parallelism
+    )
+    per_query = _run(
+        table, "native", strategy, "all", shared_scan=False, parallelism=parallelism
+    )
+    sqlite = _run(
+        table, "sqlite", strategy, "all", shared_scan=True, parallelism=parallelism
+    )
+    assert batched.shared_scan and not per_query.shared_scan
+    _assert_equivalent(batched, per_query)
+    _assert_equivalent(batched, sqlite)
+    # Identical logical work, shared physical work: queries match while the
+    # batch path never re-reads a page the batch already touched.
+    assert batched.stats.queries_issued == per_query.stats.queries_issued
+    total_batched = (
+        batched.stats.bytes_scanned_miss + batched.stats.bytes_scanned_hit
+    )
+    total_loop = (
+        per_query.stats.bytes_scanned_miss + per_query.stats.bytes_scanned_hit
+    )
+    assert total_batched <= total_loop
 
 
 def test_differential_with_spilling_group_budget():
