@@ -1,0 +1,106 @@
+"""A live recommendation-service session: the paper's analyst, served over HTTP.
+
+Starts the SeeDB recommendation service in-process, replays a three-step
+drill-down session over the census dataset (the Figure 1 journalist: start
+from unmarried adults, drill into whatever deviates most), and prints the
+per-step recommendations plus the cross-session cache hit-rate — the same
+session replayed immediately afterwards is served entirely from memory.
+
+Run:  PYTHONPATH=src python examples/service_session.py
+
+Exits non-zero if any request fails or the replayed session does not hit
+the cache (CI runs this as the service smoke check).
+"""
+
+import http.client
+import json
+import sys
+
+from repro.service import AnalystDrillDown, RecommendationService, start_server
+
+
+def call(address, method, path, payload=None):
+    """One JSON request against the service; fails loudly on non-2xx."""
+    connection = http.client.HTTPConnection(*address)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        connection.request(
+            method, path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        data = json.loads(response.read())
+        if response.status >= 400:
+            raise SystemExit(f"{method} {path} -> HTTP {response.status}: {data}")
+        return data
+    finally:
+        connection.close()
+
+
+def run_session(address, label):
+    """Replay the three-step census drill-down; returns total hits/misses."""
+    session = call(address, "POST", "/sessions", {"dataset": "census"})
+    print(f"\n{label}: session {session['session_id']} over census "
+          f"({session['n_rows']:,} rows)")
+    analyst = AnalystDrillDown(
+        [("marital_status", "Unmarried")], k=5, n_steps=3, seed=1
+    )
+    request = analyst.first_request()
+    hits = misses = 0
+    while request is not None:
+        response = call(
+            address, "POST", f"/sessions/{session['session_id']}/recommend", request
+        )
+        stats = response["stats"]
+        hits += stats["cache_hits"]
+        misses += stats["cache_misses"]
+        where = " AND ".join(
+            f"{c['column']} = {c['value']!r}" for c in response["target"]
+        )
+        top = response["views"][0]
+        print(f"  step {response['step'] + 1}: WHERE {where}")
+        print(
+            f"    top view: {top['func']}({top['measure']}) BY {top['dimension']} "
+            f"(U={top['utility']:.4f}, drill group: {top['top_group']!r}) "
+            f"[hits={stats['cache_hits']} misses={stats['cache_misses']} "
+            f"wall={stats['wall_seconds'] * 1000:.1f}ms]"
+        )
+        request = analyst.next_request(response)
+    return hits, misses
+
+
+def main() -> None:
+    # 1. Boot the real HTTP service in-process (ephemeral port).
+    service = RecommendationService(datasets=("census",))
+    server, _ = start_server(service)
+    address = server.server_address[:2]
+    print(f"service listening on http://{address[0]}:{address[1]}")
+    try:
+        # 2. A first analyst explores: every view query is a cache miss.
+        first_hits, first_misses = run_session(address, "analyst #1 (cold)")
+
+        # 3. A second analyst retraces the same steps: served from memory.
+        second_hits, second_misses = run_session(address, "analyst #2 (replay)")
+
+        # 4. The service-wide picture.
+        stats = call(address, "GET", "/stats")
+        cache = stats["cache"]
+        print(
+            f"\nservice: {stats['sessions']} sessions, {stats['requests']} requests; "
+            f"cache hit-rate {cache['hit_rate']:.0%} "
+            f"({cache['hits']} hits / {cache['misses']} misses, "
+            f"{cache['bytes_saved'] / 1e6:.1f} MB of scanning avoided)"
+        )
+        if first_hits != 0 or second_misses != 0 or second_hits == 0:
+            raise SystemExit(
+                "expected the replayed session to be served entirely from the "
+                f"cache (got hits={second_hits}, misses={second_misses})"
+            )
+        print("replayed session was served entirely from the cross-session cache")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ Quickstart::
 """
 
 from repro.config import CostModelConfig, EngineConfig, ExecutionStats
+from repro.core.cache import CacheStats, ViewResultCache
 from repro.core.engine import EngineRun, ExecutionEngine
 from repro.core.recommender import SeeDB, tuned_config
 from repro.core.result import (
@@ -36,6 +37,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregateFunction",
     "AggregateView",
+    "CacheStats",
     "CostModelConfig",
     "Database",
     "DimensionJoin",
@@ -48,6 +50,7 @@ __all__ = [
     "SeeDB",
     "SnowflakeJoin",
     "Table",
+    "ViewResultCache",
     "ViewSpace",
     "accuracy",
     "get_metric",

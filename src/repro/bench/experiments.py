@@ -876,6 +876,206 @@ def bench_shared_scan_compare(
     return table
 
 
+# --------------------------------------------------------------------------- #
+# Service throughput — the serving layer + cross-session result cache
+# --------------------------------------------------------------------------- #
+
+
+def _service_sessions(scale: str | None = None) -> int:
+    return {"smoke": 6, "small": 10, "full": 16}[scale or current_scale()]
+
+
+def _service_concurrency(scale: str | None = None) -> int:
+    return {"smoke": 4, "small": 4, "full": 8}[scale or current_scale()]
+
+
+def _replay_drilldown(
+    address: tuple[str, int], dataset: str, n_steps: int, k: int, seed: int
+) -> list[list[tuple[str, str, str]]]:
+    """Replay one simulated drill-down session over HTTP.
+
+    Uses one persistent keep-alive connection for the whole session (an
+    analyst UI holds its connection open), and returns the per-step ranked
+    view keys so the caller can check that every session — and both cache
+    modes — recommended identical views.
+    """
+    import http.client
+    import json
+
+    from repro.data import registry as data_registry
+    from repro.service.sessions import AnalystDrillDown
+
+    connection = http.client.HTTPConnection(*address)
+
+    def call(method: str, path: str, payload: dict | None = None):
+        # bytes (not str) so http.client coalesces headers+body into one
+        # packet — a str body is a second send() that stalls behind the
+        # server's delayed ACK when Nagle is on.
+        body = json.dumps(payload).encode() if payload is not None else None
+        connection.request(
+            method, path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        data = response.read()
+        if response.status >= 400:
+            raise AssertionError(f"{method} {path} -> {response.status}: {data!r}")
+        return json.loads(data)
+
+    try:
+        spec = data_registry.spec(dataset)
+        session = call("POST", "/sessions", {"dataset": dataset})
+        session_id = session["session_id"]
+        analyst = AnalystDrillDown(
+            [(spec.split_column, spec.target_value)], k=k, n_steps=n_steps, seed=seed
+        )
+        request = analyst.first_request()
+        per_step: list[list[tuple[str, str, str]]] = []
+        while request is not None:
+            response = call("POST", f"/sessions/{session_id}/recommend", request)
+            per_step.append(
+                [(v["dimension"], v["measure"], v["func"]) for v in response["views"]]
+            )
+            request = analyst.next_request(response)
+        return per_step
+    finally:
+        connection.close()
+
+
+def bench_service_throughput(
+    dataset: str = "diab",
+    n_steps: int = 3,
+    k: int = 5,
+    n_sessions: int | None = None,
+    concurrency: int | None = None,
+    out_path: str | None = "BENCH_service.json",
+) -> ResultTable:
+    """Requests/sec of the recommendation service, result cache on vs off.
+
+    The workload is the serving layer's bread and butter: ``n_sessions``
+    analysts concurrently replay the *same* three-step drill-down script
+    (create session, recommend, drill into the top deviation, repeat) over
+    real HTTP against an in-process
+    :class:`~repro.service.server.SeeDBHTTPServer`.  One untimed warm-up
+    session runs first in both modes (it loads the dataset engine and, in
+    cache mode, fills the cache — steady-state throughput is what a
+    serving benchmark measures); the timed phase then counts recommend
+    requests per wall second.  Every session in both modes must recommend
+    identical top-k views at every step, so the speedup is apples-to-
+    apples.
+
+    DIAB is the default dataset — at 100K+ rows (small/full scale) it is
+    the largest scale-stable real dataset, so per-request execution work
+    dominates the HTTP/JSON envelope and the cache's effect is measured
+    cleanly (CENSUS, the examples' demo dataset, is only 21K rows).
+
+    When ``out_path`` is set the measurements land in ``BENCH_service.json``
+    (CI uploads it as an artifact).  Like the shared-scan baseline, a run
+    over fewer rows than an existing committed file diverts to a
+    scale-suffixed sibling instead of clobbering it.
+    """
+    import json
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import RecommendationService, start_server
+
+    n_sessions = n_sessions or _service_sessions()
+    concurrency = concurrency or _service_concurrency()
+    table = ResultTable(
+        f"Service throughput on {dataset.upper()}: cross-session result cache "
+        f"on vs off ({n_sessions} sessions x {n_steps} steps, "
+        f"{concurrency} concurrent)",
+        notes="speedup = recommend requests/sec relative to cache-off; "
+        "identical per-step top-k across sessions and modes enforced",
+    )
+    results: list[dict[str, object]] = []
+    reference_steps: list[list[tuple[str, str, str]]] | None = None
+    n_rows = 0
+    for cache_on in (False, True):
+        service = RecommendationService(
+            datasets=(dataset,), result_cache=cache_on
+        )
+        server, _ = start_server(service)
+        address = server.server_address[:2]
+        try:
+            warm_steps = _replay_drilldown(address, dataset, n_steps, k, seed=1)
+            n_rows = service.engine(
+                dataset, service.default_store, service.default_metric
+            ).table.nrows
+            before = service.cache.snapshot() if service.cache else None
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                futures = [
+                    pool.submit(_replay_drilldown, address, dataset, n_steps, k, 1)
+                    for _ in range(n_sessions)
+                ]
+                sessions_steps = [future.result() for future in futures]
+            wall = time.perf_counter() - started
+            after = service.cache.snapshot() if service.cache else None
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+        for steps in sessions_steps:
+            if steps != warm_steps:
+                raise AssertionError(
+                    f"cache_on={cache_on}: a session diverged from the warm-up"
+                )
+        if reference_steps is None:
+            reference_steps = warm_steps
+        elif warm_steps != reference_steps:
+            raise AssertionError("cache on/off disagreed on recommended views")
+        requests = n_sessions * n_steps
+        hits = (after.hits - before.hits) if after and before else 0
+        misses = (after.misses - before.misses) if after and before else 0
+        lookups = hits + misses
+        results.append(
+            dict(
+                result_cache=cache_on,
+                sessions=n_sessions,
+                steps_per_session=n_steps,
+                requests=requests,
+                wall_s=wall,
+                rps=requests / max(wall, 1e-12),
+                cache_hits=hits,
+                cache_misses=misses,
+                hit_rate=hits / lookups if lookups else 0.0,
+                bytes_saved=(after.bytes_saved - before.bytes_saved)
+                if after and before
+                else 0,
+            )
+        )
+    off_rps = float(results[0]["rps"])  # type: ignore[arg-type]
+    for row in results:
+        row["speedup"] = float(row["rps"]) / max(off_rps, 1e-12)  # type: ignore[arg-type]
+        table.add(**row)
+    if out_path:
+        try:
+            with open(out_path) as handle:
+                existing_rows = int(json.load(handle).get("n_rows", 0))
+        except (OSError, ValueError):
+            existing_rows = 0
+        if existing_rows > n_rows:
+            root, ext = os.path.splitext(out_path)
+            out_path = f"{root}.{current_scale()}{ext}"
+        payload = {
+            "bench": "service_throughput",
+            "generated_unix": time.time(),
+            "scale": current_scale(),
+            "dataset": dataset,
+            "n_rows": n_rows,
+            "n_sessions": n_sessions,
+            "n_steps": n_steps,
+            "k": k,
+            "concurrency": concurrency,
+            "host_cores": os.cpu_count() or 1,
+            "identical_topk": True,
+            "rows": results,
+        }
+        with open(out_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    return table
+
+
 def bench_backends_compare(
     n_rows: int | None = None, strategy: str = "sharing"
 ) -> ResultTable:

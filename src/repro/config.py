@@ -88,10 +88,24 @@ class CostModelConfig:
 class EngineConfig:
     """SeeDB execution-engine configuration.
 
-    Attributes mirror the knobs evaluated in the paper's Section 5: the
+    Attributes mirror the knobs evaluated in the paper's Section 5 — the
     number of execution phases, how many aggregates may be combined into a
     single query, the group-by memory budgets per store, the degree of
-    parallelism, and pruning parameters.
+    parallelism, pruning parameters — plus this reproduction's own levers:
+    ``backend`` (execution engine), ``shared_scan`` (batch physical
+    sharing), and ``result_cache`` (cross-session memoization).
+
+    The dataclass is frozen; derive variants with :meth:`with_`.
+
+    Example::
+
+        from repro import EngineConfig
+
+        config = EngineConfig(store="col", backend="sqlite")
+        ablation = config.with_(shared_scan=False, result_cache=False)
+        assert ablation.group_budget() == config.col_group_budget
+
+    Every knob is documented inline below and in ``docs/api.md``.
     """
 
     #: Physical layout the underlying DBMS uses ("row" or "col").
@@ -126,6 +140,14 @@ class EngineConfig:
     #: The NO_OPT strategy always runs per-query regardless — it *is* the
     #: no-sharing baseline.
     shared_scan: bool = True
+    #: Memoize executed view-query results in a
+    #: :class:`~repro.core.cache.ViewResultCache` keyed by (table
+    #: identity+version, query plan, row range, backend semantics) and
+    #: serve repeats from memory, skipping dispatch entirely.  Default
+    #: **off** so benchmark ablations (Figures 5-9) keep measuring real
+    #: execution; the serving layer (:mod:`repro.service`) turns it on and
+    #: shares one cache across all sessions.
+    result_cache: bool = False
     #: Confidence parameter for Hoeffding–Serfling intervals (CI pruning).
     ci_delta: float = 0.05
     #: Return approximate results as soon as top-k is identified (COMB_EARLY).
@@ -165,6 +187,12 @@ class ExecutionStats:
     spill_passes: int = 0
     rows_scanned: int = 0
     wall_seconds: float = 0.0
+    #: Queries served from the view-result cache instead of being executed
+    #: (their scan/group counters above stay zero — hits are modeled free).
+    cache_hits: int = 0
+    #: Physical bytes the cache hits avoided re-scanning (the sum of the
+    #: byte counters recorded when each hit entry was first executed).
+    cache_bytes_saved: int = 0
     #: Filled in per batch: lists of per-query serial costs, used to model
     #: parallel execution (queries in one batch run concurrently).
     batch_costs: list[list[float]] = field(default_factory=list)
@@ -181,4 +209,6 @@ class ExecutionStats:
         self.spill_passes += other.spill_passes
         self.rows_scanned += other.rows_scanned
         self.wall_seconds += other.wall_seconds
+        self.cache_hits += other.cache_hits
+        self.cache_bytes_saved += other.cache_bytes_saved
         self.batch_costs.extend(other.batch_costs)

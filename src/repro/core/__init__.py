@@ -13,9 +13,12 @@
   (§3), with NO_OPT / SHARING / COMB / COMB_EARLY strategies.
 * :mod:`repro.core.parallel` — real thread-pool query execution (§4.1
   "Parallel Query Execution") with deterministic batch barriers.
+* :mod:`repro.core.cache` — the cross-session view-result cache the
+  serving layer (:mod:`repro.service`) shares across sessions.
 * :mod:`repro.core.recommender` — the :class:`SeeDB` facade.
 """
 
+from repro.core.cache import CacheStats, ViewResultCache
 from repro.core.view import AggregateView, ViewSpace
 from repro.core.engine import EngineRun, ExecutionEngine, Parallelism, Strategy
 from repro.core.parallel import ParallelDispatcher
@@ -24,6 +27,8 @@ from repro.core.result import Recommendation, RecommendationSet, accuracy, utili
 
 __all__ = [
     "AggregateView",
+    "CacheStats",
+    "ViewResultCache",
     "EngineRun",
     "ExecutionEngine",
     "ParallelDispatcher",

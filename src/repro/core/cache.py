@@ -1,0 +1,392 @@
+"""Cross-session view-result cache (the serving-layer memoization tier).
+
+SeeDB is middleware between analysts and the DBMS, and interactive
+exploration is dominated by *repeated* work: consecutive analyst steps —
+and concurrent sessions exploring the same dataset — share almost all of
+their view queries.  A :class:`ViewResultCache` memoizes executed
+per-query results (:class:`~repro.db.query.QueryResult` plus the
+:class:`~repro.config.ExecutionStats` of the execution that produced
+them) keyed by a canonical fingerprint of
+
+* **table identity + version** — a content hash of the backing arrays
+  combined with :attr:`~repro.db.table.Table.version` (bumped by
+  :meth:`~repro.db.table.Table.bump_version` on mutation, which
+  invalidates every cached entry for the old contents);
+* **query plan** — a structural rendering of the full logical
+  :class:`~repro.db.query.AggregateQuery` (group-bys, aggregates,
+  predicate, derived columns, group budget);
+* **row range** — phased execution never confuses partial-range results
+  with full-table ones;
+* **backend semantics** — the backend's registry name, its
+  ``capabilities().result_fingerprint``, and the storage-engine kind, so
+  results (and their accounting) from one engine are never replayed as
+  another's.
+
+The cache is a plain LRU with a byte budget, safe for concurrent use from
+many engine runs (one lock, no I/O under it beyond dict ops).  Lookups are
+wired into :meth:`~repro.core.parallel.ParallelDispatcher.run_batch`:
+cached queries are excluded from dispatch *before* shared-scan batching,
+so a fully-warm phase performs no physical work at all.  Hit / miss /
+bytes-saved accounting is carried per run on
+:class:`~repro.config.ExecutionStats` and surfaced on
+:class:`~repro.core.engine.EngineRun`.
+
+The knob is :attr:`~repro.config.EngineConfig.result_cache` (default
+**off** so the Figure 5-9 benchmark ablations keep measuring real
+execution); the recommendation service (:mod:`repro.service`) turns it on
+and shares one cache across every session and dataset engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.config import ExecutionStats
+from repro.db.query import AggregateQuery, QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.backends.base import Backend
+    from repro.db.storage import StorageEngine
+
+#: Default cache capacity: plenty for thousands of per-phase view results
+#: while staying far below a laptop's memory.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+DEFAULT_MAX_ENTRIES = 16_384
+
+#: Fixed per-entry overhead charged against the byte budget (keys, dict
+#: slots, stats object) so even zero-row results have nonzero weight.
+_ENTRY_OVERHEAD_BYTES = 512
+
+
+# --------------------------------------------------------------------------- #
+# canonical fingerprints
+# --------------------------------------------------------------------------- #
+
+
+def _value_key(value: object) -> str:
+    """Stable structural rendering of one field value.
+
+    ``repr`` alone is not enough: expression nodes render via ``to_sql``,
+    which rejects non-finite float literals the native executor happily
+    evaluates — the fingerprint must never raise on a query the engine can
+    run.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, (tuple, list)):
+        return "[" + ",".join(_value_key(v) for v in value) + "]"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        parts = ",".join(
+            _value_key(getattr(value, f.name)) for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({parts})"
+    if isinstance(value, float):
+        return repr(value)  # covers inf/nan deterministically
+    return repr(value)
+
+
+def query_fingerprint(query: AggregateQuery) -> str:
+    """Canonical fingerprint of one logical query plan, row range included.
+
+    Structural, not textual: two queries get the same fingerprint iff every
+    plan-relevant field (table name, group-bys, aggregate specs, predicate
+    tree, derived columns, row range, group budget) is equal.  Aliases are
+    included because :class:`~repro.db.query.QueryResult` keys its arrays
+    by alias.
+    """
+    aggs = ";".join(
+        f"{spec.func.value}:{_value_key(spec.argument)}:{spec.alias}"
+        for spec in query.aggregates
+    )
+    derived = ";".join(
+        f"{d.alias}={_value_key(d.expression)}" for d in query.derived
+    )
+    return "|".join(
+        (
+            query.table,
+            ",".join(query.group_by),
+            aggs,
+            _value_key(query.predicate),
+            derived,
+            _value_key(query.row_range),
+            _value_key(query.group_budget),
+        )
+    )
+
+
+def execution_fingerprint(store: "StorageEngine", backend: "Backend") -> str:
+    """Fingerprint of the execution context shared by a whole engine run.
+
+    Combines the table's content+version fingerprint, the storage-engine
+    kind (row/col page layouts charge different I/O into the cached
+    stats), and the backend's identity + declared
+    ``capabilities().result_fingerprint``.
+    """
+    caps = backend.capabilities()
+    return "|".join(
+        (
+            store.table.fingerprint(),
+            store.kind,
+            backend.name,
+            caps.result_fingerprint or "unversioned",
+        )
+    )
+
+
+# --------------------------------------------------------------------------- #
+# cache entries and statistics
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One memoized query execution.
+
+    ``stats`` is the accounting of the execution that produced the result;
+    on a hit its byte counters become the run's ``cache_bytes_saved``.
+    ``nbytes`` is the entry's charge against the cache's byte budget.
+    """
+
+    result: QueryResult
+    stats: ExecutionStats
+    nbytes: int
+
+    def bytes_saved(self) -> int:
+        """Bytes of physical scanning a hit on this entry avoids."""
+        return self.stats.bytes_scanned_miss + self.stats.bytes_scanned_hit
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time snapshot of a cache's lifetime counters."""
+
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+    invalidations: int
+    entries: int
+    bytes: int
+    max_bytes: int
+    max_entries: int
+    bytes_saved: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hits / lookups (0.0 when nothing was looked up)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready dict (the service's ``GET /stats`` payload)."""
+        payload: dict[str, object] = dataclasses.asdict(self)
+        payload["hit_rate"] = self.hit_rate
+        return payload
+
+
+def _result_nbytes(result: QueryResult) -> int:
+    """Byte weight of a result's arrays (plus fixed entry overhead)."""
+    total = _ENTRY_OVERHEAD_BYTES
+    for mapping in (result.groups, result.values):
+        for array in mapping.values():
+            arr = np.asarray(array)
+            total += arr.nbytes
+    return total
+
+
+def _freeze(mapping: Mapping[str, object]) -> dict[str, np.ndarray]:
+    """Return the mapping with every array marked read-only.
+
+    Cached arrays are shared by every future hit; a consumer scribbling on
+    one would silently corrupt all later sessions, so numpy is told to
+    refuse.
+    """
+    frozen: dict[str, np.ndarray] = {}
+    for name, array in mapping.items():
+        arr = np.asarray(array)
+        if arr.flags.writeable:
+            try:
+                arr.flags.writeable = False
+            except ValueError:  # pragma: no cover - foreign base array
+                arr = arr.copy()
+                arr.flags.writeable = False
+        frozen[name] = arr
+    return frozen
+
+
+# --------------------------------------------------------------------------- #
+# the cache
+# --------------------------------------------------------------------------- #
+
+
+class ViewResultCache:
+    """Thread-safe LRU + byte-budget cache of executed view-query results.
+
+    One instance is intended to be shared across *sessions* — every
+    engine over every dataset in a serving process can use the same cache
+    because keys embed the full execution fingerprint (see module
+    docstring).  All operations are O(1) dict/linked-list work under one
+    lock.
+
+    Example::
+
+        cache = ViewResultCache(max_bytes=64 << 20)
+        engine = ExecutionEngine(store, metric, config.with_(result_cache=True),
+                                 result_cache=cache)
+        first = engine.run(views, target, k=5, strategy="sharing", pruner="none")
+        again = engine.run(views, target, k=5, strategy="sharing", pruner="none")
+        assert again.selected == first.selected
+        assert again.cache_hits == first.cache_misses  # fully warm
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        """Create an empty cache bounded by ``max_bytes`` and ``max_entries``."""
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._bytes_saved = 0
+
+    # -------------------------------------------------------------- #
+    # core operations
+    # -------------------------------------------------------------- #
+
+    def get(self, key: str) -> CacheEntry | None:
+        """Return the entry for ``key`` (refreshing its LRU position) or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            self._bytes_saved += entry.bytes_saved()
+            return entry
+
+    def put(self, key: str, result: QueryResult, stats: ExecutionStats) -> CacheEntry:
+        """Memoize one executed query; evicts LRU entries past the budgets.
+
+        The result's arrays are marked read-only (they will be shared by
+        every future hit).  Re-putting an existing key refreshes the entry.
+        """
+        frozen = QueryResult(
+            groups=_freeze(result.groups),
+            values=_freeze(result.values),
+            n_groups=result.n_groups,
+            input_rows=result.input_rows,
+        )
+        entry = CacheEntry(
+            result=frozen, stats=stats, nbytes=_result_nbytes(frozen)
+        )
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.nbytes
+            self._entries[key] = entry
+            self._bytes += entry.nbytes
+            self._insertions += 1
+            while self._entries and (
+                self._bytes > self.max_bytes or len(self._entries) > self.max_entries
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._evictions += 1
+        return entry
+
+    # -------------------------------------------------------------- #
+    # invalidation
+    # -------------------------------------------------------------- #
+
+    def invalidate_table(self, table_fingerprint: str) -> int:
+        """Drop every entry whose key was built over ``table_fingerprint``.
+
+        Keys are prefixed by the execution fingerprint, which leads with
+        the table fingerprint — call this after mutating a table in place
+        (pair with :meth:`~repro.db.table.Table.bump_version`, which also
+        reroutes *future* lookups away from the stale entries).  Returns
+        the number of entries dropped.
+        """
+        prefix = table_fingerprint + "|"
+        with self._lock:
+            stale = [key for key in self._entries if key.startswith(prefix)]
+            for key in stale:
+                self._bytes -= self._entries.pop(key).nbytes
+            self._invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (lifetime counters are preserved)."""
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+
+    # -------------------------------------------------------------- #
+    # introspection
+    # -------------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        """Number of live entries."""
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently charged against the budget."""
+        with self._lock:
+            return self._bytes
+
+    def snapshot(self) -> CacheStats:
+        """Consistent point-in-time :class:`CacheStats`."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                entries=len(self._entries),
+                bytes=self._bytes,
+                max_bytes=self.max_bytes,
+                max_entries=self.max_entries,
+                bytes_saved=self._bytes_saved,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Compact one-line summary."""
+        stats = self.snapshot()
+        return (
+            f"ViewResultCache(entries={stats.entries}, bytes={stats.bytes}, "
+            f"hits={stats.hits}, misses={stats.misses})"
+        )
+
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "ViewResultCache",
+    "execution_fingerprint",
+    "query_fingerprint",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_MAX_ENTRIES",
+]

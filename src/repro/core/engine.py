@@ -26,6 +26,11 @@ from typing import Literal, Sequence
 import numpy as np
 
 from repro.config import EngineConfig, ExecutionStats
+from repro.core.cache import (
+    ViewResultCache,
+    execution_fingerprint,
+    query_fingerprint,
+)
 from repro.core.difference import ViewDistributions
 from repro.core.parallel import ParallelDispatcher, make_dispatcher
 from repro.core.phases import phase_ranges
@@ -60,7 +65,23 @@ _MAX_RECORDED_SQL = 64
 
 @dataclass
 class EngineRun:
-    """Everything a strategy run produced."""
+    """Everything a strategy run produced.
+
+    The raw record behind :class:`~repro.core.result.RecommendationSet`:
+    the ranked ``selected`` view keys, per-view ``utilities`` and aligned
+    ``distributions``, full :class:`~repro.config.ExecutionStats`
+    accounting, the cost model's ``modeled_latency``, and how the run
+    executed (``backend``, ``parallelism``, ``shared_scan``,
+    ``result_cache`` and its hit/miss/bytes-saved counters).
+
+    Example::
+
+        run = seedb.run_engine(target, k=5, strategy="sharing", pruner="none")
+        best_key, best_utility = run.top(1)[0]
+        print(run.backend, run.stats.queries_issued, run.cache_hit_rate)
+        for group in run.distributions[best_key].as_rows():
+            print(group["group"], group["target"], group["reference"])
+    """
 
     strategy: Strategy
     pruner_name: str
@@ -88,6 +109,23 @@ class EngineRun:
     #: Whether phase batches were routed through the backend's shared-scan
     #: batch path (always False for NO_OPT, the no-sharing baseline).
     shared_scan: bool = False
+    #: Whether this run consulted a view-result cache
+    #: (``EngineConfig.result_cache``).
+    result_cache: bool = False
+    #: Queries served from the cache instead of being executed.
+    cache_hits: int = 0
+    #: Queries the cache missed and therefore actually dispatched (equals
+    #: ``stats.queries_issued`` on cache-enabled runs; 0 when the cache
+    #: was off).
+    cache_misses: int = 0
+    #: Physical bytes the hits avoided re-scanning.
+    cache_bytes_saved: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits / (hits + misses) for this run; 0.0 when the cache was off."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def top(self, n: int | None = None) -> list[tuple[ViewKey, float]]:
         ranked = sorted(self.utilities.items(), key=lambda kv: -kv[1])
@@ -111,6 +149,7 @@ class ExecutionEngine:
         metric: DistanceFunction,
         config: EngineConfig,
         cost_model: CostModel | None = None,
+        result_cache: ViewResultCache | None = None,
     ) -> None:
         self.store = store
         self.metric = metric
@@ -118,6 +157,15 @@ class ExecutionEngine:
         self.cost_model = cost_model or CostModel()
         self.backend: Backend = make_backend(config.backend, store)
         self.meta = TableMeta.of(store.table)
+        # The cache is consulted iff the config knob is on; passing a
+        # shared ViewResultCache (the serving layer does) makes hits
+        # cross-session, otherwise the engine keeps a private one.
+        if config.result_cache:
+            self.result_cache: ViewResultCache | None = (
+                result_cache if result_cache is not None else ViewResultCache()
+            )
+        else:
+            self.result_cache = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -200,6 +248,15 @@ class ExecutionEngine:
             if self.backend.capabilities().parallel_safe
             else 1
         )
+        # One execution fingerprint per run: recomputed here (not cached on
+        # the engine) so a Table.bump_version() between runs reroutes every
+        # lookup away from stale entries.
+        cache = self.result_cache
+        cache_prefix = (
+            execution_fingerprint(self.store, self.backend)
+            if cache is not None
+            else None
+        )
         with make_dispatcher(
             self.backend, parallelism, n_workers, use_batch=config.shared_scan
         ) as dispatcher:
@@ -222,6 +279,8 @@ class ExecutionEngine:
                     sql_log,
                     reference_mode,
                     dispatcher,
+                    cache,
+                    cache_prefix,
                 )
                 phases_executed += 1
 
@@ -271,6 +330,10 @@ class ExecutionEngine:
             n_workers=dispatcher.n_workers,
             backend=self.backend.name,
             shared_scan=config.shared_scan,
+            result_cache=cache is not None,
+            cache_hits=run_stats.cache_hits,
+            cache_misses=run_stats.queries_issued if cache is not None else 0,
+            cache_bytes_saved=run_stats.cache_bytes_saved,
         )
 
     # ------------------------------------------------------------------ #
@@ -309,6 +372,8 @@ class ExecutionEngine:
         sql_log: list[str],
         reference_mode: ReferenceMode,
         dispatcher: ParallelDispatcher,
+        cache: ViewResultCache | None = None,
+        cache_prefix: str | None = None,
     ) -> None:
         """Run a phase's queries in parallel batches and route the results.
 
@@ -323,11 +388,23 @@ class ExecutionEngine:
         of ``n_parallel_queries`` — the pool's actual width — so the modeled
         parallel structure is unchanged; only the per-query work (shared
         pages charged once, to the first query) gets cheaper.
+
+        With ``cache`` the dispatcher probes the view-result cache first:
+        hits never reach the backend (they are excluded before shared-scan
+        batching), misses execute and are memoized.  Hit outcomes carry the
+        memoized result with zeroed work counters, so routing order — and
+        therefore every downstream floating-point accumulation — is
+        unchanged from an uncached run.
         """
         start, stop = row_range
         batch_size = max(config.n_parallel_queries, 1)
         queries = list(plan.queries)
         ranged = [planned.query.with_range(start, stop) for planned in queries]
+        keys = (
+            [f"{cache_prefix}|{query_fingerprint(query)}" for query in ranged]
+            if cache is not None
+            else None
+        )
         for query in ranged:
             if len(sql_log) < _MAX_RECORDED_SQL:
                 # The log is introspection only: a query the generator
@@ -339,11 +416,17 @@ class ExecutionEngine:
                 except QueryError as exc:
                     sql_log.append(f"-- unrenderable query: {exc}")
         if config.shared_scan:
-            outcomes = dispatcher.run_batch(ranged)
+            outcomes = dispatcher.run_batch(ranged, cache, keys)
         else:
             outcomes = []
             for i in range(0, len(ranged), batch_size):
-                outcomes.extend(dispatcher.run_batch(ranged[i : i + batch_size]))
+                outcomes.extend(
+                    dispatcher.run_batch(
+                        ranged[i : i + batch_size],
+                        cache,
+                        keys[i : i + batch_size] if keys is not None else None,
+                    )
+                )
         for i in range(0, len(queries), batch_size):
             batch_costs: list[float] = []
             for planned, (result, query_stats) in zip(

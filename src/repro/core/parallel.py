@@ -33,10 +33,13 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from types import TracebackType
-from typing import Callable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
 from repro.config import ExecutionStats
 from repro.db.query import AggregateQuery, QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import ViewResultCache
 
 
 class ExecutesQueries(Protocol):
@@ -116,14 +119,71 @@ class ParallelDispatcher:
     # ------------------------------------------------------------------ #
 
     def run_batch(
-        self, queries: Sequence[AggregateQuery]
+        self,
+        queries: Sequence[AggregateQuery],
+        cache: "ViewResultCache | None" = None,
+        cache_keys: Sequence[str] | None = None,
     ) -> list[tuple[QueryResult, ExecutionStats]]:
         """Execute ``queries`` concurrently; results in submission order.
 
         The returned list is index-aligned with ``queries`` regardless of
         completion order — the deterministic barrier the engine relies on.
         The first worker exception (if any) propagates in submission order.
+
+        With ``cache`` (and per-query ``cache_keys``, index-aligned), every
+        query whose key hits the :class:`~repro.core.cache.ViewResultCache`
+        is **excluded from dispatch before shared-scan batching**: only the
+        misses reach the backend (so a shared scan reads just the columns
+        the misses need), their results are inserted into the cache, and
+        hits are spliced back in at their original positions.  A hit's
+        outcome carries the memoized :class:`QueryResult` and a fresh stats
+        record whose only nonzero counters are ``cache_hits=1`` and
+        ``cache_bytes_saved`` — hits cost nothing in the cost model.
         """
+        if cache is not None and cache_keys is not None:
+            return self._run_batch_cached(queries, cache, cache_keys)
+        return self._run_batch_uncached(queries)
+
+    def _run_batch_cached(
+        self,
+        queries: Sequence[AggregateQuery],
+        cache: "ViewResultCache",
+        cache_keys: Sequence[str],
+    ) -> list[tuple[QueryResult, ExecutionStats]]:
+        """Serve hits from ``cache``; dispatch and memoize only the misses."""
+        if len(cache_keys) != len(queries):
+            raise ValueError(
+                f"cache_keys length {len(cache_keys)} != batch size {len(queries)}"
+            )
+        outcomes: list[tuple[QueryResult, ExecutionStats] | None] = [None] * len(queries)
+        miss_indices: list[int] = []
+        miss_queries: list[AggregateQuery] = []
+        for index, (query, key) in enumerate(zip(queries, cache_keys)):
+            entry = cache.get(key)
+            if entry is not None:
+                outcomes[index] = (
+                    entry.result,
+                    ExecutionStats(
+                        cache_hits=1, cache_bytes_saved=entry.bytes_saved()
+                    ),
+                )
+            else:
+                miss_indices.append(index)
+                miss_queries.append(query)
+        if miss_queries:
+            executed = self._run_batch_uncached(miss_queries)
+            for index, outcome in zip(miss_indices, executed):
+                result, stats = outcome
+                entry = cache.put(cache_keys[index], result, stats)
+                # Route the frozen (read-only) arrays so a first run and a
+                # warm rerun hand consumers the exact same objects.
+                outcomes[index] = (entry.result, stats)
+        return outcomes  # type: ignore[return-value]
+
+    def _run_batch_uncached(
+        self, queries: Sequence[AggregateQuery]
+    ) -> list[tuple[QueryResult, ExecutionStats]]:
+        """The pre-cache dispatch path: batch, pool, or inline serial."""
         if self.use_batch:
             execute_batch = getattr(self.executor, "execute_batch", None)
             if execute_batch is not None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.config import EngineConfig, StoreKind
+from repro.core.cache import ViewResultCache
 from repro.core.engine import EngineRun, ExecutionEngine, Parallelism, Strategy
 from repro.core.result import Recommendation, RecommendationSet
 from repro.core.sharing import ReferenceMode
@@ -51,7 +52,35 @@ def tuned_config(store: StoreKind) -> EngineConfig:
 
 
 class SeeDB:
-    """Visualization recommendation middleware over one table."""
+    """Visualization recommendation middleware over one table.
+
+    The library's main entry point: wraps a table in the full stack
+    (storage engine, execution backend, cost model, view generator,
+    execution engine) and answers the paper's problem statement — given a
+    target predicate, reference, metric, and k, return the k aggregate
+    views with the largest deviation-based utility.
+
+    Example::
+
+        from repro import SeeDB
+        from repro.data import build_info
+
+        table, spec = build_info("census", scale="smoke")
+        with SeeDB.over_table(table, store="col") as seedb:
+            result = seedb.recommend(target=spec.target_predicate(), k=5)
+            print(result.describe())          # ranked views + latencies
+            run = seedb.run_engine(spec.target_predicate(), k=5)
+            print(run.cache_hits, run.stats.queries_issued)
+
+    Construction knobs: ``config`` (an :class:`~repro.config.EngineConfig`
+    — backend, sharing, pruning, ``result_cache``), ``metric`` (name or
+    :class:`~repro.metrics.base.DistanceFunction`), ``funcs`` (aggregate
+    set F), ``buffer_pool``/``cost_model`` (I/O accounting), and
+    ``result_cache`` (a shared
+    :class:`~repro.core.cache.ViewResultCache` for cross-session reuse —
+    see :mod:`repro.service`).  ``docs/api.md`` documents the full
+    surface.
+    """
 
     def __init__(
         self,
@@ -63,6 +92,7 @@ class SeeDB:
         funcs: Sequence[AggregateFunction] = (AggregateFunction.AVG,),
         buffer_pool: BufferPool | None = None,
         cost_model: CostModel | None = None,
+        result_cache: ViewResultCache | None = None,
     ) -> None:
         self.database = database
         self.table = database.table(table_name)
@@ -73,7 +103,9 @@ class SeeDB:
         self.funcs = tuple(funcs)
         self.store = make_store(store, self.table, buffer_pool)
         self.cost_model = cost_model or CostModel.for_store(store)
-        self.engine = ExecutionEngine(self.store, self.metric, self.config, self.cost_model)
+        self.engine = ExecutionEngine(
+            self.store, self.metric, self.config, self.cost_model, result_cache
+        )
         self.meta = TableMeta.of(self.table)
 
     @classmethod

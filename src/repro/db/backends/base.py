@@ -61,11 +61,48 @@ class BackendCapabilities:
     #: ``execute_batch`` genuinely shares work across a batch (one scan
     #: serving many queries) rather than falling back to a per-query loop.
     shares_batch_scans: bool = False
+    #: Versioned identity of this backend's result *semantics*, embedded in
+    #: every :class:`~repro.core.cache.ViewResultCache` key: results cached
+    #: under one fingerprint are never replayed for a backend with another.
+    #: Bump the suffix whenever a change could alter result values or the
+    #: accounting stored alongside them.  Empty = "unversioned" (cache keys
+    #: still include the backend name).
+    result_fingerprint: str = ""
     notes: str = ""
 
 
 class Backend(abc.ABC):
-    """One query-execution engine behind the SeeDB middleware."""
+    """One query-execution engine behind the SeeDB middleware.
+
+    Subclasses implement :meth:`execute` (one logical query in, a
+    result-contract-conforming :class:`~repro.db.query.QueryResult` plus
+    per-query :class:`~repro.config.ExecutionStats` out) and
+    :meth:`capabilities`; they may override :meth:`execute_batch` when
+    they can genuinely share work across a phase batch, and
+    :meth:`cost_hint`/:meth:`close` as appropriate.
+
+    Example — registering a custom backend (see also "Adding a backend"
+    in ``docs/architecture.md``)::
+
+        from repro.db.backends import Backend, BackendCapabilities, register_backend
+
+        class EchoBackend(Backend):
+            name = "echo"
+
+            def __init__(self, store):
+                self.inner = NativeBackend(store)
+
+            def execute(self, query):
+                print(generate_sql(query))
+                return self.inner.execute(query)
+
+            def capabilities(self):
+                return BackendCapabilities(result_fingerprint="echo-v1")
+
+        register_backend("echo", EchoBackend)
+        # now reachable via EngineConfig(backend="echo"); run the
+        # differential suite against it before trusting it.
+    """
 
     #: Registry name; also recorded on :class:`~repro.core.engine.EngineRun`.
     name: ClassVar[str] = "abstract"

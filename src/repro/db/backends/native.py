@@ -32,6 +32,7 @@ _CAPABILITIES = BackendCapabilities(
     accounts_io=True,
     parallel_safe=True,
     shares_batch_scans=True,
+    result_fingerprint="native-v1",
     notes="in-process numpy executor; stats feed the paper's cost model",
 )
 

@@ -89,6 +89,7 @@ _CAPABILITIES = BackendCapabilities(
     supports_group_budget=False,
     accounts_io=False,
     parallel_safe=True,
+    result_fingerprint="sqlite-v1",
     notes=(
         "independent SQL engine (stdlib sqlite3, in-memory shared cache); "
         "no buffer-pool/spill accounting; NaN column values rejected; "

@@ -105,6 +105,17 @@ class SharedScanExecutor:
     once (see module docstring).  Safe for one ``execute_batch`` call at a
     time per instance; the per-query jobs it hands to ``fanout`` are
     read-only over shared state and may run concurrently.
+
+    Example::
+
+        executor = SharedScanExecutor(make_store("col", table))
+        outcomes = executor.execute_batch([query_a, query_b])
+        (result_a, stats_a), (result_b, stats_b) = outcomes
+        # stats_a + stats_b charge each page the batch shares exactly once
+
+    Engines normally reach this through
+    ``EngineConfig(shared_scan=True)`` → the dispatcher's batch path →
+    :meth:`NativeBackend.execute_batch`, not directly.
     """
 
     def __init__(self, store: StorageEngine) -> None:

@@ -8,6 +8,7 @@ construction; row subsets are produced as new tables.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from typing import Iterable, Mapping, Sequence
 
@@ -96,6 +97,8 @@ class Table:
         self._nrows = int(nrows or 0)
         self._dictionaries: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         self._dictionary_lock = threading.Lock()
+        self._version = 0
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -133,6 +136,65 @@ class Table:
             f"dims={len(self.schema.dimensions())}, "
             f"measures={len(self.schema.measures())})"
         )
+
+    # ------------------------------------------------------------------ #
+    # identity and versioning (result-cache keys)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter embedded in :meth:`fingerprint`.
+
+        Starts at 0 and only moves via :meth:`bump_version`; two tables
+        with identical contents but different versions fingerprint
+        differently, so version bumps act as cache invalidation tokens.
+        """
+        return self._version
+
+    def bump_version(self) -> int:
+        """Declare the table's contents changed; returns the new version.
+
+        Tables are immutable by convention, but callers that mutate the
+        backing arrays in place (or reload a dataset under the same
+        object) must call this so :meth:`fingerprint` — and therefore
+        every :class:`~repro.core.cache.ViewResultCache` key derived from
+        it — treats the table as new.  Cached dictionary encodings are
+        dropped too, since they were computed over the old contents.
+        """
+        with self._dictionary_lock:
+            self._version += 1
+            self._fingerprint = None
+            self._dictionaries.clear()
+        return self._version
+
+    def fingerprint(self) -> str:
+        """Stable content+version identity used in result-cache keys.
+
+        A blake2b hash over the table name, schema (names, types, roles),
+        current :attr:`version`, and every column's raw bytes.  Computed
+        once per version and cached; cheap relative to even a single scan
+        of the table.  Two distinct Table objects built from equal data
+        share a fingerprint, which is exactly what a cross-session cache
+        wants.
+        """
+        cached = self._fingerprint
+        if cached is not None:
+            return cached
+        with self._dictionary_lock:
+            if self._fingerprint is None:
+                digest = hashlib.blake2b(digest_size=16)
+                digest.update(self.name.encode())
+                digest.update(str(self._version).encode())
+                digest.update(str(self._nrows).encode())
+                for column in self.schema:
+                    arr = self._arrays[column.name]
+                    digest.update(
+                        f"{column.name}:{column.ctype.name}:{column.role.name}:"
+                        f"{arr.dtype.str}".encode()
+                    )
+                    digest.update(np.ascontiguousarray(arr).tobytes())
+                self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------ #
     # dictionary encoding

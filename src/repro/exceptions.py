@@ -59,3 +59,15 @@ class RecommendationError(ReproError):
 
 class PruningError(ReproError):
     """A pruning strategy was misconfigured or driven out of protocol."""
+
+
+class ServiceError(ReproError):
+    """A recommendation-service request is invalid (bad payload, unknown id).
+
+    Carries the HTTP status the JSON API should answer with.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        """Record ``message`` and the HTTP ``status`` to answer with."""
+        super().__init__(message)
+        self.status = status

@@ -1,0 +1,53 @@
+"""The SeeDB serving layer: sessions, HTTP API, cross-session result cache.
+
+SeeDB is middleware between analysts and the DBMS (paper §1); this package
+is the middleware made long-running.  A
+:class:`~repro.service.server.RecommendationService` keeps one engine per
+dataset alive across analyst sessions and routes every view query through
+a shared :class:`~repro.core.cache.ViewResultCache`, so the repeated work
+of interactive drill-down exploration — the dominant workload shape — is
+served from memory.  :func:`~repro.service.server.start_server` wraps it
+in a stdlib ``ThreadingHTTPServer`` JSON API.
+
+Quickstart (in-process)::
+
+    from repro.service import RecommendationService, start_server
+
+    server, thread = start_server(
+        RecommendationService(datasets=("census",), scale="smoke")
+    )
+    port = server.server_address[1]
+    # POST /sessions, POST /sessions/<id>/recommend, GET /datasets, GET /stats
+    server.shutdown()
+
+See ``docs/api.md`` for the endpoint reference and curl examples, and
+``examples/service_session.py`` for a full three-step drill-down session.
+"""
+
+from repro.core.cache import CacheEntry, CacheStats, ViewResultCache
+from repro.service.server import (
+    RecommendationService,
+    SeeDBHTTPServer,
+    start_server,
+)
+from repro.service.sessions import (
+    AnalystDrillDown,
+    Session,
+    SessionStep,
+    SessionStore,
+    clauses_from_payload,
+)
+
+__all__ = [
+    "AnalystDrillDown",
+    "CacheEntry",
+    "CacheStats",
+    "RecommendationService",
+    "SeeDBHTTPServer",
+    "Session",
+    "SessionStep",
+    "SessionStore",
+    "ViewResultCache",
+    "clauses_from_payload",
+    "start_server",
+]

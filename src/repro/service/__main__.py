@@ -1,0 +1,6 @@
+"""Run the recommendation service: ``python -m repro.service``."""
+
+from repro.service.server import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,526 @@
+"""The recommendation service: SeeDB as an actual middleware server.
+
+A :class:`RecommendationService` holds one lazily-built
+:class:`~repro.core.recommender.SeeDB` engine per ``(dataset, store,
+metric)`` combination and one shared cross-session
+:class:`~repro.core.cache.ViewResultCache`, and serves concurrent analyst
+sessions.  :class:`SeeDBHTTPServer` exposes it as a JSON API on a stdlib
+``ThreadingHTTPServer`` (one thread per in-flight request, no third-party
+dependencies):
+
+* ``POST /sessions`` — open a session: ``{"dataset": "census"}`` (optional
+  ``store``, ``metric``).
+* ``POST /sessions/<id>/recommend`` — run one recommendation step:
+  ``{"target": [{"column": ..., "value": ...}], "k": 5}`` (optional
+  ``strategy``, ``pruner``, ``parallelism``, ``dimensions``,
+  ``measures``); the response carries the ranked views, each with its most
+  deviating ``top_group`` (the drill-down handle), plus per-run cache and
+  latency statistics.
+* ``GET /sessions/<id>`` — a session's recorded steps.
+* ``GET /datasets`` — the dataset registry, with schema info for every
+  dataset already loaded.
+* ``GET /stats`` — service-level counters and the shared cache's
+  :class:`~repro.core.cache.CacheStats`.
+
+Run it from the command line::
+
+    PYTHONPATH=src python -m repro.service --port 8080 --datasets census,bank
+
+or in-process (tests, examples, benchmarks)::
+
+    from repro.service import RecommendationService, start_server
+    server, thread = start_server(RecommendationService(datasets=("census",)))
+    port = server.server_address[1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.cache import ViewResultCache
+from repro.core.engine import EngineRun
+from repro.core.recommender import SeeDB, tuned_config
+from repro.data import registry
+from repro.db.expressions import And, Expression, eq
+from repro.exceptions import ReproError, ServiceError
+from repro.service.sessions import (
+    SessionStep,
+    SessionStore,
+    TargetClauses,
+    clauses_from_payload,
+)
+
+_STRATEGIES = ("no_opt", "sharing", "comb", "comb_early")
+_STORES = ("row", "col")
+_PARALLELISM = ("modeled", "real")
+_MAX_K = 100
+
+
+def _json_scalar(value: object) -> object:
+    """Convert numpy scalars to plain Python for JSON serialization."""
+    return value.item() if hasattr(value, "item") else value
+
+
+def _predicate(clauses: TargetClauses) -> Expression:
+    """Conjunction of equality clauses (the API's only predicate shape)."""
+    parts = [eq(column, value) for column, value in clauses]
+    return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+
+def _top_group(run: EngineRun, key: tuple[str, str, str]) -> object:
+    """The view's most deviating group — the analyst's drill-down handle."""
+    dists = run.distributions.get(key)
+    if dists is None or not len(dists.keys):
+        return None
+    index = int(np.argmax(np.abs(dists.target - dists.reference)))
+    return _json_scalar(dists.keys[index])
+
+
+class RecommendationService:
+    """Session-oriented SeeDB serving core (transport-agnostic).
+
+    One instance owns the session store, the per-dataset engines, and the
+    shared view-result cache; the HTTP layer only translates JSON to the
+    methods below, so tests and benchmarks may call them directly.
+
+    Example::
+
+        service = RecommendationService(datasets=("census",), scale="smoke")
+        session = service.create_session({"dataset": "census"})
+        response = service.recommend(session["session_id"], {"k": 5})
+        print(response["views"][0], response["stats"]["cache_hits"])
+    """
+
+    def __init__(
+        self,
+        datasets: Sequence[str] | None = None,
+        scale: str | None = None,
+        default_store: str = "col",
+        default_metric: str = "emd",
+        result_cache: bool = True,
+        cache: ViewResultCache | None = None,
+        seed: int = 0,
+    ) -> None:
+        """Configure the service; engines are built lazily per dataset.
+
+        ``datasets`` restricts what clients may open sessions on (default:
+        the whole registry); ``scale`` pins the dataset build scale
+        (default: ``SEEDB_SCALE``/small); ``result_cache=False`` disables
+        the cross-session cache (the benchmark's ablation leg); ``cache``
+        substitutes a shared externally-owned cache.
+        """
+        known = tuple(sorted(registry.DATASETS))
+        self.datasets_allowed = tuple(datasets) if datasets else known
+        for name in self.datasets_allowed:
+            registry.spec(name)  # fail fast on typos
+        self.scale = scale
+        self.default_store = default_store
+        self.default_metric = default_metric
+        self.seed = seed
+        self.result_cache_enabled = result_cache
+        self.cache = (
+            cache if cache is not None else (ViewResultCache() if result_cache else None)
+        )
+        self.sessions = SessionStore()
+        self._engines: dict[tuple[str, str, str], SeeDB] = {}
+        #: Guards reads/writes of the ``_engines`` dict itself (held only
+        #: for dict operations, never across a dataset build).
+        self._engine_lock = threading.Lock()
+        #: One lock per engine key so a cold multi-second dataset build
+        #: never stalls traffic to engines that are already serving.
+        self._build_locks: dict[tuple[str, str, str], threading.Lock] = {}
+        self._requests = 0
+        self._errors = 0
+        self._counter_lock = threading.Lock()
+        self._started_unix = time.time()
+
+    # -------------------------------------------------------------- #
+    # engine pool
+    # -------------------------------------------------------------- #
+
+    def engine(self, dataset: str, store: str, metric: str) -> SeeDB:
+        """The (lazily built) engine for one dataset/store/metric combo.
+
+        Engines are shared by every session on that combination — the
+        whole point of a serving layer — and wired to the shared cache, so
+        session B's queries hit results session A already paid for.
+        """
+        if dataset not in self.datasets_allowed:
+            raise ServiceError(
+                f"unknown dataset {dataset!r}; available: {list(self.datasets_allowed)}",
+                status=404,
+            )
+        if store not in _STORES:
+            raise ServiceError(f"store must be one of {_STORES}, got {store!r}")
+        key = (dataset, store, metric)
+        with self._engine_lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                return engine
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        # Build outside the global lock: only same-key requests wait.
+        with build_lock:
+            with self._engine_lock:
+                engine = self._engines.get(key)
+            if engine is None:
+                table, _ = registry.build_info(
+                    dataset, seed=self.seed, scale=self.scale
+                )
+                config = tuned_config(store).with_(  # type: ignore[arg-type]
+                    result_cache=self.result_cache_enabled
+                )
+                engine = SeeDB.over_table(
+                    table,
+                    store=store,
+                    config=config,
+                    metric=metric,
+                    result_cache=self.cache,
+                )
+                with self._engine_lock:
+                    self._engines[key] = engine
+        return engine
+
+    # -------------------------------------------------------------- #
+    # API methods (one per endpoint)
+    # -------------------------------------------------------------- #
+
+    def create_session(self, payload: Mapping[str, object]) -> dict[str, object]:
+        """Open a session over one dataset (``POST /sessions``)."""
+        dataset = str(payload.get("dataset", "census"))
+        store = str(payload.get("store", self.default_store))
+        metric = str(payload.get("metric", self.default_metric))
+        engine = self.engine(dataset, store, metric)  # validates + warms build
+        session = self.sessions.create(dataset, store, metric)
+        return {
+            "session_id": session.session_id,
+            "dataset": dataset,
+            "store": store,
+            "metric": metric,
+            "n_rows": engine.table.nrows,
+            "dimensions": list(engine.table.dimension_names()),
+            "measures": list(engine.table.measure_names()),
+        }
+
+    def recommend(
+        self, session_id: str, payload: Mapping[str, object]
+    ) -> dict[str, object]:
+        """Run one recommendation step (``POST /sessions/<id>/recommend``)."""
+        session = self.sessions.get(session_id)
+        engine = self.engine(session.dataset, session.store, session.metric)
+        spec = registry.spec(session.dataset)
+        raw_target = payload.get(
+            "target", [{"column": spec.split_column, "value": spec.target_value}]
+        )
+        clauses = clauses_from_payload(raw_target)
+        for column, _ in clauses:
+            if column not in engine.table.column_names:
+                raise ServiceError(
+                    f"dataset {session.dataset!r} has no column {column!r}"
+                )
+        k = payload.get("k", 5)
+        if not isinstance(k, int) or isinstance(k, bool) or not 1 <= k <= _MAX_K:
+            raise ServiceError(f"k must be an integer in [1, {_MAX_K}], got {k!r}")
+        strategy = str(payload.get("strategy", "sharing"))
+        if strategy not in _STRATEGIES:
+            raise ServiceError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+            )
+        parallelism = str(payload.get("parallelism", "modeled"))
+        if parallelism not in _PARALLELISM:
+            raise ServiceError(
+                f"parallelism must be one of {_PARALLELISM}, got {parallelism!r}"
+            )
+        pruner = str(payload.get("pruner", "ci" if strategy.startswith("comb") else "none"))
+        dimensions = payload.get("dimensions")
+        measures = payload.get("measures")
+        run = engine.run_engine(
+            _predicate(clauses),
+            k=k,
+            strategy=strategy,  # type: ignore[arg-type]
+            pruner=pruner,
+            dimensions=dimensions,  # type: ignore[arg-type]
+            measures=measures,  # type: ignore[arg-type]
+            parallelism=parallelism,  # type: ignore[arg-type]
+        )
+        views = [
+            {
+                "rank": rank,
+                "dimension": key[0],
+                "measure": key[1],
+                "func": key[2],
+                "utility": float(run.utilities[key]),
+                "top_group": _top_group(run, key),
+            }
+            for rank, key in enumerate(run.selected, start=1)
+        ]
+        step = session.record(
+            SessionStep(
+                index=-1,  # stamped by Session.record under its lock
+                target=clauses,
+                k=k,
+                strategy=strategy,
+                selected=tuple(run.selected),
+                cache_hits=run.cache_hits,
+                cache_misses=run.cache_misses,
+                wall_seconds=run.wall_seconds,
+            )
+        )
+        return {
+            "session_id": session.session_id,
+            "step": step.index,
+            "dataset": session.dataset,
+            "k": k,
+            "strategy": strategy,
+            "target": [{"column": c, "value": _json_scalar(v)} for c, v in clauses],
+            "views": views,
+            "stats": {
+                "queries_issued": run.stats.queries_issued,
+                "result_cache": run.result_cache,
+                "cache_hits": run.cache_hits,
+                "cache_misses": run.cache_misses,
+                "cache_hit_rate": run.cache_hit_rate,
+                "cache_bytes_saved": run.cache_bytes_saved,
+                "wall_seconds": run.wall_seconds,
+                "modeled_latency_seconds": run.modeled_latency,
+            },
+        }
+
+    def describe_session(self, session_id: str) -> dict[str, object]:
+        """Return one session's recorded steps (``GET /sessions/<id>``)."""
+        return self.sessions.get(session_id).as_dict()
+
+    def describe_datasets(self) -> dict[str, object]:
+        """Describe the dataset registry (``GET /datasets``)."""
+        with self._engine_lock:
+            engines = dict(self._engines)
+        loaded = {key[0] for key in engines}
+        rows = []
+        for name in self.datasets_allowed:
+            spec = registry.spec(name)
+            entry: dict[str, object] = {
+                "name": name,
+                "description": spec.description,
+                "paper_rows": spec.paper_rows,
+                "loaded": name in loaded,
+            }
+            if name in loaded:
+                engine = next(e for key, e in engines.items() if key[0] == name)
+                entry["n_rows"] = engine.table.nrows
+                entry["dimensions"] = list(engine.table.dimension_names())
+                entry["measures"] = list(engine.table.measure_names())
+            rows.append(entry)
+        return {"datasets": rows}
+
+    def stats(self) -> dict[str, object]:
+        """Return service counters plus the cache snapshot (``GET /stats``)."""
+        with self._counter_lock:
+            requests, errors = self._requests, self._errors
+        with self._engine_lock:
+            engine_keys = list(self._engines)
+        return {
+            "uptime_seconds": time.time() - self._started_unix,
+            "sessions": len(self.sessions),
+            "requests": requests,
+            "errors": errors,
+            "engines_loaded": [list(key) for key in engine_keys],
+            "result_cache_enabled": self.result_cache_enabled,
+            "cache": self.cache.snapshot().as_dict() if self.cache else None,
+        }
+
+    # -------------------------------------------------------------- #
+    # bookkeeping used by the HTTP layer
+    # -------------------------------------------------------------- #
+
+    def count_request(self, ok: bool) -> None:
+        """Tally one handled request (``ok=False`` for 4xx/5xx answers)."""
+        with self._counter_lock:
+            self._requests += 1
+            if not ok:
+                self._errors += 1
+
+    def close(self) -> None:
+        """Release every engine's backend resources.  Idempotent."""
+        with self._engine_lock:
+            for engine in self._engines.values():
+                engine.close()
+            self._engines.clear()
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Translates HTTP requests into :class:`RecommendationService` calls."""
+
+    server: "SeeDBHTTPServer"
+    #: Keep-alive so session replays reuse one TCP connection.
+    protocol_version = "HTTP/1.1"
+    #: The headers and the JSON body go out as separate writes; with Nagle
+    #: on, the body would sit behind the client's delayed ACK (~40ms per
+    #: request on loopback), dwarfing a cache-served recommendation.
+    disable_nagle_algorithm = True
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging unless the server is verbose."""
+        if self.server.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send(self, status: int, payload: Mapping[str, object]) -> None:
+        """Write one JSON response with correct framing."""
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.service.count_request(ok=status < 400)
+
+    def _json_body(self) -> dict[str, object]:
+        """Parse the drained request body as a JSON object ({} when empty)."""
+        if not self._body:
+            return {}
+        try:
+            payload = json.loads(self._body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        """Route one request; errors become JSON with appropriate status."""
+        service = self.server.service
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        self._body = b""
+        try:
+            # Drain the body before any response is written: on a
+            # keep-alive connection, unread body bytes (e.g. a POST to an
+            # unmatched route) would be parsed as the *next* request
+            # line.  A malformed or negative Content-Length is a client
+            # error (read(-1) would block forever), not a crash.
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                if length < 0:
+                    raise ValueError("negative")
+            except ValueError:
+                # Can't know where this request's body ends, so the
+                # connection cannot be reused either.
+                self.close_connection = True
+                raise ServiceError("invalid Content-Length header") from None
+            if length:
+                self._body = self.rfile.read(length)
+            if method == "GET" and parts == ["datasets"]:
+                self._send(200, service.describe_datasets())
+            elif method == "GET" and parts == ["stats"]:
+                self._send(200, service.stats())
+            elif method == "GET" and len(parts) == 2 and parts[0] == "sessions":
+                self._send(200, service.describe_session(parts[1]))
+            elif method == "POST" and parts == ["sessions"]:
+                self._send(201, service.create_session(self._json_body()))
+            elif (
+                method == "POST"
+                and len(parts) == 3
+                and parts[0] == "sessions"
+                and parts[2] == "recommend"
+            ):
+                self._send(200, service.recommend(parts[1], self._json_body()))
+            else:
+                self._send(404, {"error": f"no route for {method} {self.path}"})
+        except ServiceError as exc:
+            self._send(exc.status, {"error": str(exc)})
+        except ReproError as exc:
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - a serving loop must not die
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        """Handle GET requests."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        """Handle POST requests."""
+        self._dispatch("POST")
+
+
+class SeeDBHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server owning one :class:`RecommendationService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: RecommendationService,
+        verbose: bool = False,
+    ) -> None:
+        """Bind to ``address`` and attach ``service``."""
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def start_server(
+    service: RecommendationService | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> tuple[SeeDBHTTPServer, threading.Thread]:
+    """Start a server on a daemon thread; returns ``(server, thread)``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address[1]``.  Call ``server.shutdown()`` (and
+    ``server.server_close()``) to stop.
+    """
+    server = SeeDBHTTPServer((host, port), service or RecommendationService(), verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="seedb-service", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    """Command-line entry point: serve until interrupted."""
+    parser = argparse.ArgumentParser(description="SeeDB recommendation service")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--datasets",
+        default=None,
+        help="comma-separated allowlist (default: every registry dataset)",
+    )
+    parser.add_argument(
+        "--scale", default=None, help="dataset build scale (smoke|small|full)"
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the cross-session view-result cache",
+    )
+    args = parser.parse_args(argv)
+    datasets = (
+        tuple(name.strip() for name in args.datasets.split(",") if name.strip())
+        if args.datasets
+        else None
+    )
+    service = RecommendationService(
+        datasets=datasets, scale=args.scale, result_cache=not args.no_cache
+    )
+    server = SeeDBHTTPServer((args.host, args.port), service, verbose=True)
+    host, port = server.server_address[:2]
+    print(f"SeeDB recommendation service listening on http://{host}:{port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+        service.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -17,7 +17,12 @@ paper.
 from repro.study.anova import TwoFactorAnova, two_factor_anova
 from repro.study.experts import ExpertPanel, SimulatedExpert, consensus_labels
 from repro.study.roc import RocCurve, roc_curve
-from repro.study.sessions import SessionOutcome, StudyResult, run_user_study
+from repro.study.sessions import (
+    SessionOutcome,
+    StudyResult,
+    bookmark_probability,
+    run_user_study,
+)
 
 __all__ = [
     "ExpertPanel",
@@ -26,6 +31,7 @@ __all__ = [
     "SimulatedExpert",
     "StudyResult",
     "TwoFactorAnova",
+    "bookmark_probability",
     "consensus_labels",
     "roc_curve",
     "run_user_study",

@@ -107,6 +107,19 @@ def _sigmoid(x: float) -> float:
     return 1.0 / (1.0 + np.exp(-x))
 
 
+def bookmark_probability(
+    utility: float, threshold: float = 0.05, temperature: float = 0.02
+) -> float:
+    """Probability a participant bookmarks a view of the given utility.
+
+    ``sigmoid((utility - threshold) / temperature)`` — the perception model
+    shared by the expert panel (§6.1), the simulated user study (§6.2), and
+    the serving layer's drill-down analyst
+    (:class:`repro.service.sessions.AnalystDrillDown`).
+    """
+    return float(_sigmoid((utility - threshold) / temperature))
+
+
 def _simulate_session(
     participant: int,
     tool: str,
@@ -127,7 +140,7 @@ def _simulate_session(
     examined = order[: min(n_viz, len(order))]
     bookmarks = 0
     for key in examined:
-        p = _sigmoid((utilities[key] - threshold) / temperature)
+        p = bookmark_probability(utilities[key], threshold, temperature)
         if rng.random() < p:
             bookmarks += 1
     return SessionOutcome(

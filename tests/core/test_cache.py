@@ -1,0 +1,336 @@
+"""The cross-session view-result cache: fingerprints, LRU, engine wiring.
+
+The hard requirements pinned here:
+
+* fingerprints separate everything that must be separated (query plan, row
+  range, table contents *and* version, backend semantics, store kind);
+* LRU + byte-budget eviction and invalidation behave;
+* a warm engine run executes **zero** queries and returns bitwise-identical
+  results to both its own cold run and a cache-off run — including under
+  ``parallelism="real"`` with concurrent sessions sharing one engine.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig, ExecutionStats
+from repro.core.cache import (
+    ViewResultCache,
+    execution_fingerprint,
+    query_fingerprint,
+)
+from repro.core.engine import ExecutionEngine
+from repro.core.view import ViewSpace
+from repro.db import expressions as E
+from repro.db.backends import make_backend
+from repro.db.catalog import TableMeta
+from repro.db.query import AggregateFunction, AggregateQuery, AggregateSpec
+from repro.db.storage import make_store
+from repro.db.table import Table
+from repro.metrics import get_metric
+
+
+def _query(**overrides) -> AggregateQuery:
+    base = dict(
+        table="tiny",
+        group_by=("color",),
+        aggregates=(AggregateSpec(AggregateFunction.AVG, "price", "avg_price"),),
+    )
+    base.update(overrides)
+    return AggregateQuery(**base)
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints
+# --------------------------------------------------------------------------- #
+
+
+class TestFingerprints:
+    def test_equal_queries_equal_fingerprints(self):
+        assert query_fingerprint(_query()) == query_fingerprint(_query())
+
+    def test_row_range_separates(self):
+        assert query_fingerprint(_query()) != query_fingerprint(
+            _query().with_range(0, 3)
+        )
+        assert query_fingerprint(_query().with_range(0, 3)) != query_fingerprint(
+            _query().with_range(3, 6)
+        )
+
+    def test_plan_fields_separate(self):
+        base = query_fingerprint(_query())
+        assert query_fingerprint(_query(group_by=("size",))) != base
+        assert query_fingerprint(_query(predicate=E.eq("size", "S"))) != base
+        assert query_fingerprint(_query(group_budget=4)) != base
+        assert (
+            query_fingerprint(
+                _query(
+                    aggregates=(
+                        AggregateSpec(AggregateFunction.SUM, "price", "avg_price"),
+                    )
+                )
+            )
+            != base
+        )
+
+    def test_alias_separates(self):
+        """QueryResult keys by alias, so aliases are part of the plan."""
+        renamed = _query(
+            aggregates=(AggregateSpec(AggregateFunction.AVG, "price", "other"),)
+        )
+        assert query_fingerprint(renamed) != query_fingerprint(_query())
+
+    def test_non_finite_literals_fingerprint_without_error(self):
+        """to_sql() rejects inf literals; the fingerprint must not."""
+        query = _query(predicate=E.Comparison("<", E.col("price"), E.lit(float("inf"))))
+        assert "inf" in query_fingerprint(query)
+
+    def test_execution_fingerprint_separates_context(self, tiny_table):
+        row = make_store("row", tiny_table)
+        col = make_store("col", tiny_table)
+        native_row = execution_fingerprint(row, make_backend("native", row))
+        native_col = execution_fingerprint(col, make_backend("native", col))
+        assert native_row != native_col  # store kind changes accounting
+        with make_backend("sqlite", col) as sqlite_backend:
+            sqlite_col = execution_fingerprint(col, sqlite_backend)
+        assert sqlite_col != native_col  # backend semantics differ
+
+    def test_table_fingerprint_content_and_version(self):
+        data = {"d": ["a", "b", "a"], "m": [1.0, 2.0, 3.0]}
+        table_a = Table("t", data)
+        table_b = Table("t", data)
+        # Equal contents, distinct objects: same fingerprint (cross-session).
+        assert table_a.fingerprint() == table_b.fingerprint()
+        changed = Table("t", {"d": ["a", "b", "a"], "m": [1.0, 2.0, 9.0]})
+        assert changed.fingerprint() != table_a.fingerprint()
+        # A version bump invalidates without changing contents.
+        before = table_a.fingerprint()
+        assert table_a.version == 0
+        assert table_a.bump_version() == 1
+        assert table_a.fingerprint() != before
+        assert table_b.fingerprint() == before  # other object untouched
+
+
+# --------------------------------------------------------------------------- #
+# LRU / byte budget / invalidation
+# --------------------------------------------------------------------------- #
+
+
+def _entry_payload(n_groups: int = 4):
+    result_groups = {"color": np.arange(n_groups)}
+    result_values = {
+        "avg_price": np.linspace(1.0, 2.0, n_groups),
+        "__group_count__": np.ones(n_groups),
+    }
+    from repro.db.query import QueryResult
+
+    result = QueryResult(
+        groups=result_groups, values=result_values, n_groups=n_groups, input_rows=10
+    )
+    stats = ExecutionStats(
+        queries_issued=1, bytes_scanned_miss=1000, bytes_scanned_hit=24
+    )
+    return result, stats
+
+
+class TestViewResultCache:
+    def test_hit_miss_and_bytes_saved(self):
+        cache = ViewResultCache()
+        assert cache.get("k") is None
+        result, stats = _entry_payload()
+        cache.put("k", result, stats)
+        entry = cache.get("k")
+        assert entry is not None
+        assert entry.bytes_saved() == 1024
+        snapshot = cache.snapshot()
+        assert (snapshot.hits, snapshot.misses) == (1, 1)
+        assert snapshot.bytes_saved == 1024
+        assert snapshot.hit_rate == 0.5
+
+    def test_cached_arrays_are_read_only(self):
+        cache = ViewResultCache()
+        entry = cache.put("k", *_entry_payload())
+        with pytest.raises(ValueError):
+            np.asarray(entry.result.values["avg_price"])[0] = 99.0
+
+    def test_entry_count_eviction_is_lru(self):
+        cache = ViewResultCache(max_entries=2)
+        for name in ("a", "b"):
+            cache.put(name, *_entry_payload())
+        assert cache.get("a") is not None  # refresh "a" -> "b" becomes LRU
+        cache.put("c", *_entry_payload())
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+        assert cache.snapshot().evictions == 1
+
+    def test_byte_budget_eviction(self):
+        result, stats = _entry_payload()
+        entry_bytes = ViewResultCache().put("probe", result, stats).nbytes
+        cache = ViewResultCache(max_bytes=2 * entry_bytes)
+        for name in ("a", "b", "c"):
+            cache.put(name, *_entry_payload())
+        assert len(cache) == 2
+        assert cache.nbytes <= 2 * entry_bytes
+        assert cache.get("a") is None
+
+    def test_invalidate_table_drops_only_that_prefix(self):
+        cache = ViewResultCache()
+        cache.put("fp1|col|native|v1|q1", *_entry_payload())
+        cache.put("fp1|col|native|v1|q2", *_entry_payload())
+        cache.put("fp2|col|native|v1|q1", *_entry_payload())
+        assert cache.invalidate_table("fp1") == 2
+        assert len(cache) == 1
+        assert cache.get("fp2|col|native|v1|q1") is not None
+
+    def test_clear(self):
+        cache = ViewResultCache()
+        cache.put("k", *_entry_payload())
+        cache.clear()
+        assert len(cache) == 0 and cache.nbytes == 0
+
+    def test_rejects_nonpositive_budgets(self):
+        with pytest.raises(ValueError):
+            ViewResultCache(max_bytes=0)
+        with pytest.raises(ValueError):
+            ViewResultCache(max_entries=0)
+
+
+# --------------------------------------------------------------------------- #
+# engine wiring
+# --------------------------------------------------------------------------- #
+
+
+def _engine(table, cache=None, enabled=True, **config_overrides):
+    config = EngineConfig(
+        store="col", n_phases=4, result_cache=enabled, n_parallel_queries=4
+    ).with_(**config_overrides)
+    return ExecutionEngine(
+        make_store("col", table), get_metric("emd"), config, result_cache=cache
+    )
+
+
+def _run(engine, table, **kwargs):
+    views = list(ViewSpace.enumerate(TableMeta.of(table)))
+    kwargs.setdefault("strategy", "sharing")
+    kwargs.setdefault("pruner", "none")
+    return engine.run(views, E.eq("marital", "Unmarried"), k=3, **kwargs)
+
+
+def _assert_bitwise_identical(run_a, run_b):
+    assert run_a.selected == run_b.selected
+    assert set(run_a.utilities) == set(run_b.utilities)
+    for key, value in run_a.utilities.items():
+        assert run_b.utilities[key] == value  # bitwise, not approx
+    for key, dists in run_a.distributions.items():
+        other = run_b.distributions[key]
+        assert dists.keys == other.keys
+        assert np.array_equal(dists.target, other.target)
+        assert np.array_equal(dists.reference, other.reference)
+
+
+class TestEngineWiring:
+    @pytest.mark.parametrize("strategy", ["sharing", "comb"])
+    def test_warm_run_executes_nothing_and_matches(self, census_like, strategy):
+        engine = _engine(census_like)
+        pruner = "ci" if strategy == "comb" else "none"
+        cold = _run(engine, census_like, strategy=strategy, pruner=pruner)
+        warm = _run(engine, census_like, strategy=strategy, pruner=pruner)
+        assert cold.result_cache and warm.result_cache
+        assert cold.cache_hits == 0 and cold.cache_misses > 0
+        assert warm.stats.queries_issued == 0
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == cold.cache_misses
+        assert warm.cache_bytes_saved > 0
+        _assert_bitwise_identical(cold, warm)
+
+    def test_cache_on_matches_cache_off_bitwise(self, census_like):
+        on = _run(_engine(census_like), census_like)
+        off_run = _run(_engine(census_like, enabled=False), census_like)
+        assert not off_run.result_cache and off_run.cache_hits == 0
+        _assert_bitwise_identical(on, off_run)
+
+    def test_shared_cache_crosses_engines(self, census_like):
+        """Two engines (two 'sessions') share hits through one cache."""
+        cache = ViewResultCache()
+        first = _run(_engine(census_like, cache=cache), census_like)
+        second = _run(_engine(census_like, cache=cache), census_like)
+        assert first.cache_hits == 0
+        assert second.cache_hits == first.cache_misses
+        assert second.stats.queries_issued == 0
+        _assert_bitwise_identical(first, second)
+
+    def test_no_opt_and_per_query_paths_cache_too(self, census_like):
+        engine = _engine(census_like, shared_scan=False)
+        cold = _run(engine, census_like, strategy="no_opt")
+        warm = _run(engine, census_like, strategy="no_opt")
+        assert warm.cache_hits == cold.cache_misses > 0
+        assert warm.stats.queries_issued == 0
+        _assert_bitwise_identical(cold, warm)
+
+    def test_version_bump_invalidates(self, census_like):
+        # A private table (session fixtures must not see the bump).
+        table = census_like.slice_rows(0, 4000, name="census_bump")
+        engine = _engine(table)
+        cold = _run(engine, table)
+        table.bump_version()
+        rerun = _run(engine, table)
+        assert rerun.cache_hits == 0  # every key changed with the version
+        assert rerun.cache_misses == cold.cache_misses
+
+    def test_row_ranges_never_cross_phases(self, census_like):
+        """comb's partial-range results must not collide with sharing's."""
+        engine = _engine(census_like)
+        comb = _run(engine, census_like, strategy="comb", pruner="none")
+        sharing = _run(engine, census_like, strategy="sharing")
+        # sharing runs over the full range; comb cached only per-phase
+        # ranges, so the sharing run cannot have hit any of them.  (The
+        # two strategies agree on the ranking but accumulate in different
+        # phase orders, so this is approx, not bitwise.)
+        assert sharing.cache_hits == 0
+        assert sharing.selected == comb.selected
+        for key, value in comb.utilities.items():
+            assert sharing.utilities[key] == pytest.approx(value, rel=1e-9)
+
+    def test_real_parallelism_concurrent_sessions_bitwise_identical(
+        self, census_like
+    ):
+        """Concurrent sessions on one engine: cache on == cache off, bitwise.
+
+        This is the satellite acceptance test: many threads hammer the same
+        engine (shared cache, ``parallelism="real"``) while a cache-off
+        engine provides the reference result.
+        """
+        reference = _run(
+            _engine(census_like, enabled=False), census_like, parallelism="real"
+        )
+        engine = _engine(census_like)
+        cold = _run(engine, census_like, parallelism="real")
+        _assert_bitwise_identical(reference, cold)
+        results: list = [None] * 6
+        errors: list = []
+
+        def session(index: int) -> None:
+            try:
+                results[index] = _run(engine, census_like, parallelism="real")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=session, args=(index,)) for index in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for run in results:
+            assert run is not None
+            _assert_bitwise_identical(reference, run)
+            # The cold run above filled the cache, so every concurrent
+            # session is fully warm: nothing executes, everything hits.
+            assert run.stats.queries_issued == 0
+            assert run.cache_hits == cold.cache_misses

@@ -1,0 +1,368 @@
+"""The recommendation service: core methods, HTTP API, drill-down sessions."""
+
+from __future__ import annotations
+
+import json
+import http.client
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    AnalystDrillDown,
+    RecommendationService,
+    SessionStore,
+    clauses_from_payload,
+    start_server,
+)
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = RecommendationService(datasets=("census",), scale="smoke")
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def http_service():
+    svc = RecommendationService(datasets=("census",), scale="smoke")
+    server, _ = start_server(svc)
+    yield server.server_address[:2]
+    server.shutdown()
+    server.server_close()
+    svc.close()
+
+
+def _call(address, method, path, payload=None):
+    connection = http.client.HTTPConnection(*address)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        connection.request(
+            method, path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+# --------------------------------------------------------------------------- #
+# payload validation
+# --------------------------------------------------------------------------- #
+
+
+class TestClauses:
+    def test_single_object_and_list_forms(self):
+        single = clauses_from_payload({"column": "sex", "value": "F"})
+        listed = clauses_from_payload([{"column": "sex", "value": "F"}])
+        assert single == listed == (("sex", "F"),)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "sex=F",
+            [],
+            [{"column": "sex"}],
+            [{"value": "F"}],
+            [{"column": 3, "value": "F"}],
+            [{"column": "sex", "value": ["F"]}],
+            [{"column": "sex", "value": None}],
+        ],
+    )
+    def test_rejects_bad_shapes(self, bad):
+        with pytest.raises(ServiceError):
+            clauses_from_payload(bad)
+
+
+# --------------------------------------------------------------------------- #
+# the service core (no HTTP)
+# --------------------------------------------------------------------------- #
+
+
+class TestServiceCore:
+    def test_create_session_and_recommend(self, service):
+        session = service.create_session({"dataset": "census"})
+        assert session["dataset"] == "census"
+        assert session["dimensions"] and session["measures"]
+        response = service.recommend(session["session_id"], {"k": 3})
+        assert len(response["views"]) == 3
+        top = response["views"][0]
+        assert set(top) == {
+            "rank", "dimension", "measure", "func", "utility", "top_group",
+        }
+        assert response["stats"]["queries_issued"] > 0 or response["stats"]["cache_hits"] > 0
+        recorded = service.describe_session(session["session_id"])
+        assert len(recorded["steps"]) == 1
+        assert recorded["steps"][0]["k"] == 3
+
+    def test_repeat_request_hits_cache(self, service):
+        session = service.create_session({"dataset": "census"})
+        payload = {"k": 4, "target": [{"column": "marital_status", "value": "Unmarried"}]}
+        first = service.recommend(session["session_id"], payload)
+        second = service.recommend(session["session_id"], payload)
+        assert second["stats"]["cache_misses"] == 0
+        assert second["stats"]["cache_hits"] > 0
+        assert second["views"] == first["views"]
+
+    def test_engines_are_shared_across_sessions(self, service):
+        a = service.create_session({"dataset": "census"})
+        b = service.create_session({"dataset": "census"})
+        engine = service.engine("census", service.default_store, service.default_metric)
+        assert service.engine("census", "col", "emd") is engine
+        assert a["session_id"] != b["session_id"]
+
+    def test_unknown_dataset_is_404(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.create_session({"dataset": "nope"})
+        assert excinfo.value.status == 404
+
+    def test_unknown_session_is_404(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.recommend("missing", {})
+        assert excinfo.value.status == 404
+
+    def test_bad_column_k_and_strategy_are_400(self, service):
+        session = service.create_session({"dataset": "census"})
+        sid = session["session_id"]
+        for payload in (
+            {"target": [{"column": "bogus", "value": 1}]},
+            {"k": 0},
+            {"k": "five"},
+            {"k": True},
+            {"strategy": "magic"},
+            {"parallelism": "imaginary"},
+        ):
+            with pytest.raises(ServiceError) as excinfo:
+                service.recommend(sid, payload)
+            assert excinfo.value.status == 400
+
+    def test_stats_and_datasets(self, service):
+        stats = service.stats()
+        assert stats["result_cache_enabled"] is True
+        assert stats["cache"]["hits"] >= 0
+        datasets = service.describe_datasets()["datasets"]
+        assert [d["name"] for d in datasets] == ["census"]
+        assert datasets[0]["loaded"] is True
+        assert "dimensions" in datasets[0]
+
+    def test_cache_disabled_service(self):
+        svc = RecommendationService(
+            datasets=("census",), scale="smoke", result_cache=False
+        )
+        try:
+            session = svc.create_session({"dataset": "census"})
+            response = svc.recommend(session["session_id"], {"k": 2})
+            assert response["stats"]["result_cache"] is False
+            assert response["stats"]["cache_hits"] == 0
+            assert svc.stats()["cache"] is None
+        finally:
+            svc.close()
+
+
+# --------------------------------------------------------------------------- #
+# HTTP layer
+# --------------------------------------------------------------------------- #
+
+
+class TestHTTP:
+    def test_full_session_flow(self, http_service):
+        status, session = _call(http_service, "POST", "/sessions", {"dataset": "census"})
+        assert status == 201
+        sid = session["session_id"]
+        status, response = _call(
+            http_service, "POST", f"/sessions/{sid}/recommend", {"k": 3}
+        )
+        assert status == 200
+        assert len(response["views"]) == 3
+        status, recorded = _call(http_service, "GET", f"/sessions/{sid}")
+        assert status == 200 and len(recorded["steps"]) == 1
+        status, datasets = _call(http_service, "GET", "/datasets")
+        assert status == 200 and datasets["datasets"][0]["name"] == "census"
+        status, stats = _call(http_service, "GET", "/stats")
+        assert status == 200 and stats["sessions"] >= 1
+
+    def test_error_statuses(self, http_service):
+        assert _call(http_service, "GET", "/nope")[0] == 404
+        assert _call(http_service, "GET", "/sessions/missing")[0] == 404
+        assert _call(http_service, "POST", "/sessions", {"dataset": "nope"})[0] == 404
+        status, sess = _call(http_service, "POST", "/sessions", {"dataset": "census"})
+        sid = sess["session_id"]
+        status, body = _call(
+            http_service,
+            "POST",
+            f"/sessions/{sid}/recommend",
+            {"target": [{"column": "bogus", "value": 1}]},
+        )
+        assert status == 400 and "bogus" in body["error"]
+
+    def test_keepalive_survives_unrouted_post_with_body(self, http_service):
+        """The body of an unmatched POST must be drained before responding.
+
+        On a keep-alive connection, leftover body bytes would otherwise be
+        parsed as the next request line, desyncing every later exchange.
+        """
+        connection = http.client.HTTPConnection(*http_service)
+        try:
+            body = json.dumps({"padding": "x" * 256}).encode()
+            connection.request(
+                "POST", "/nope", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 404
+            response.read()
+            # Same connection: the next request must parse cleanly.
+            connection.request("GET", "/datasets")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["datasets"]
+        finally:
+            connection.close()
+
+    def test_concurrent_steps_get_distinct_indices(self, http_service):
+        """Racing recommends on one session never duplicate step indices."""
+        status, session = _call(
+            http_service, "POST", "/sessions", {"dataset": "census"}
+        )
+        sid = session["session_id"]
+        errors: list = []
+
+        def step_worker() -> None:
+            try:
+                status, _ = _call(
+                    http_service, "POST", f"/sessions/{sid}/recommend", {"k": 2}
+                )
+                assert status == 200
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=step_worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        _, recorded = _call(http_service, "GET", f"/sessions/{sid}")
+        indices = [step["index"] for step in recorded["steps"]]
+        assert sorted(indices) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("bad_length", ["abc", "-1"])
+    def test_bad_content_length_is_400_not_a_crash(self, http_service, bad_length):
+        """Malformed/negative Content-Length must answer 400, not kill the
+        handler thread (or block forever on read(-1))."""
+        connection = http.client.HTTPConnection(*http_service)
+        try:
+            connection.putrequest("POST", "/sessions")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", bad_length)
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "Content-Length" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_malformed_json_is_400(self, http_service):
+        connection = http.client.HTTPConnection(*http_service)
+        try:
+            connection.request(
+                "POST",
+                "/sessions",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "JSON" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_concurrent_sessions_identical_views(self, http_service):
+        payload = {
+            "k": 3,
+            "target": [{"column": "marital_status", "value": "Unmarried"}],
+        }
+        outcomes: list = [None] * 5
+        errors: list = []
+
+        def session_worker(index: int) -> None:
+            try:
+                status, session = _call(
+                    http_service, "POST", "/sessions", {"dataset": "census"}
+                )
+                assert status == 201
+                status, response = _call(
+                    http_service,
+                    "POST",
+                    f"/sessions/{session['session_id']}/recommend",
+                    payload,
+                )
+                assert status == 200
+                outcomes[index] = response["views"]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=session_worker, args=(i,)) for i in range(5)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(views == outcomes[0] for views in outcomes)
+
+
+# --------------------------------------------------------------------------- #
+# the drill-down analyst
+# --------------------------------------------------------------------------- #
+
+
+class TestAnalystDrillDown:
+    def test_three_step_script_narrows_target(self, service):
+        session = service.create_session({"dataset": "census"})
+        analyst = AnalystDrillDown(
+            [("marital_status", "Unmarried")], k=5, n_steps=3, seed=1
+        )
+        request = analyst.first_request()
+        targets = []
+        while request is not None:
+            response = service.recommend(session["session_id"], request)
+            targets.append([c["column"] for c in response["target"]])
+            request = analyst.next_request(response)
+        assert len(targets) == 3
+        # Each step adds exactly one new clause on a fresh dimension.
+        assert [len(t) for t in targets] == [1, 2, 3]
+        assert len(set(targets[-1])) == 3
+
+    def test_script_is_deterministic(self, service):
+        def replay() -> list:
+            session = service.create_session({"dataset": "census"})
+            analyst = AnalystDrillDown(
+                [("marital_status", "Unmarried")], k=5, n_steps=3, seed=7
+            )
+            request = analyst.first_request()
+            seen = []
+            while request is not None:
+                response = service.recommend(session["session_id"], request)
+                seen.append(json.dumps(response["views"], sort_keys=True))
+                request = analyst.next_request(response)
+            return seen
+
+        assert replay() == replay()
+
+    def test_first_request_only_once(self):
+        analyst = AnalystDrillDown([("a", 1)])
+        analyst.first_request()
+        with pytest.raises(ServiceError):
+            analyst.first_request()
+
+    def test_session_store_unknown_id(self):
+        store = SessionStore()
+        with pytest.raises(ServiceError):
+            store.get("nope")
+        session = store.create("census", "col", "emd")
+        assert store.get(session.session_id) is session
+        assert len(store) == 1
