@@ -877,6 +877,175 @@ def bench_shared_scan_compare(
 
 
 # --------------------------------------------------------------------------- #
+# Out-of-core streaming — chunked memmap execution under a memory budget
+# --------------------------------------------------------------------------- #
+
+
+def _out_of_core_rows(scale: str | None = None) -> int:
+    """SYN row count for the out-of-core ablation (1M rows at full scale)."""
+    return {"smoke": 20_000, "small": 200_000, "full": 1_000_000}[
+        scale or current_scale()
+    ]
+
+
+def bench_out_of_core_compare(
+    n_rows: int | None = None,
+    out_path: str | None = "BENCH_out_of_core.json",
+    memory_budget_bytes: int | None = None,
+    data_dir: str | None = None,
+) -> ResultTable:
+    """SHARING on a memmap-backed chunked dataset vs the resident baseline.
+
+    Materializes an identical SYN table as an on-disk chunk store
+    (:mod:`repro.db.chunks`), opens it memory-mapped under a **memory
+    budget smaller than the dataset** (default: a quarter of its physical
+    bytes; override via ``memory_budget_bytes`` or the
+    ``SEEDB_OOC_BUDGET_BYTES`` environment variable), and runs the SHARING
+    workload on both.  The out-of-core run must return the identical top-k
+    and bitwise-equal utilities — the streaming executors' contract — while
+    :class:`~repro.db.chunks.ResidencyTracker` proves peak materialized
+    chunk bytes stayed under the cap.  ``throughput`` is out-of-core
+    wall-clock relative to fully-resident (1.0 = parity).
+
+    When ``out_path`` is set the measurements land in the perf-trajectory
+    JSON (CI uploads it); the scale-suffix sibling rule of
+    ``BENCH_shared_scan.json`` applies, so a small run never clobbers a
+    bigger committed baseline.
+    """
+    import json
+    import shutil
+    import tempfile
+
+    from repro.db.chunks import open_table, write_table
+
+    n_rows = n_rows or _out_of_core_rows()
+    repeats = {"smoke": 2, "small": 3, "full": 3}[current_scale()]
+    syn = synthetic.make_syn(n_rows=n_rows, n_dimensions=5, n_measures=3)
+    target = eq(synthetic.SPLIT_COLUMN, synthetic.TARGET_VALUE)
+    dataset_bytes = syn.physical_row_bytes() * syn.nrows
+    if memory_budget_bytes is None:
+        env_budget = os.environ.get("SEEDB_OOC_BUDGET_BYTES")
+        memory_budget_bytes = (
+            int(env_budget) if env_budget else max(dataset_bytes // 4, 1 << 16)
+        )
+    if memory_budget_bytes >= dataset_bytes:
+        raise ValueError(
+            f"memory budget {memory_budget_bytes} must be smaller than the "
+            f"dataset ({dataset_bytes} bytes) for an out-of-core run"
+        )
+    # Several chunks per budget window so streaming genuinely engages.
+    chunk_rows = max(min(n_rows // 8, 65_536), 1_024)
+
+    table = ResultTable(
+        f"Out-of-core streaming: SYN {n_rows:,} rows, "
+        f"budget {memory_budget_bytes / 1e6:.1f} MB "
+        f"of a {dataset_bytes / 1e6:.1f} MB dataset (SHARING)",
+        notes="identical top-k + bitwise utilities enforced; peak = max "
+        "simultaneously materialized chunk bytes (ResidencyTracker)",
+    )
+    work_dir = data_dir or tempfile.mkdtemp(prefix="seedb_ooc_")
+    try:
+        manifest = write_table(
+            syn,
+            work_dir,
+            chunk_rows=chunk_rows,
+            split_column=synthetic.SPLIT_COLUMN,
+            target_value=synthetic.TARGET_VALUE,
+        )
+        chunked = open_table(work_dir, memory_budget_bytes=memory_budget_bytes)
+
+        results: list[dict[str, object]] = []
+        baseline: dict[str, object] | None = None
+        for mode, source in (("resident", syn), ("out_of_core", chunked)):
+            config = tuned_config("col").with_(
+                memory_budget_bytes=(
+                    memory_budget_bytes if mode == "out_of_core" else None
+                )
+            )
+            seedb = SeeDB.over_table(
+                source, store="col", config=config,
+                buffer_pool=scaled_buffer_pool(source),
+            )
+            best_wall = None
+            for _ in range(repeats):
+                seedb.store.buffer_pool.clear()
+                run = seedb.run_engine(
+                    target, k=10, strategy="sharing", pruner="none"
+                )
+                best_wall = (
+                    run.wall_seconds
+                    if best_wall is None
+                    else min(best_wall, run.wall_seconds)
+                )
+            row = dict(
+                mode=mode,
+                wall_s=best_wall,
+                modeled_latency_s=run.modeled_latency,
+                queries=run.stats.queries_issued,
+                bytes_scanned=run.stats.bytes_scanned_miss
+                + run.stats.bytes_scanned_hit,
+            )
+            if mode == "resident":
+                baseline = dict(selected=run.selected, utilities=run.utilities,
+                                wall=best_wall)
+            else:
+                assert baseline is not None
+                if run.selected != baseline["selected"]:
+                    raise AssertionError("out-of-core run changed the top-k")
+                for key, value in baseline["utilities"].items():  # type: ignore[union-attr]
+                    if run.utilities[key] != value:
+                        raise AssertionError(
+                            f"out-of-core utility for {key} diverged"
+                        )
+                tracker = chunked.residency
+                assert tracker is not None
+                if tracker.peak_bytes > memory_budget_bytes:
+                    raise AssertionError(
+                        f"peak residency {tracker.peak_bytes} exceeded the "
+                        f"budget {memory_budget_bytes}"
+                    )
+                row["peak_resident_bytes"] = tracker.peak_bytes
+                row["throughput"] = float(baseline["wall"]) / max(best_wall, 1e-12)  # type: ignore[arg-type]
+            results.append(row)
+        for row in results:
+            table.add(**row)
+
+        if out_path:
+            try:
+                with open(out_path) as handle:
+                    existing_rows = int(json.load(handle).get("n_rows", 0))
+            except (OSError, ValueError):
+                existing_rows = 0
+            if existing_rows > n_rows:
+                root, ext = os.path.splitext(out_path)
+                out_path = f"{root}.{current_scale()}{ext}"
+            ooc_row = results[1]
+            payload = {
+                "bench": "out_of_core",
+                "generated_unix": time.time(),
+                "scale": current_scale(),
+                "n_rows": n_rows,
+                "host_cores": os.cpu_count() or 1,
+                "repeats_best_of": repeats,
+                "strategy": "sharing",
+                "store": "col",
+                "dataset_bytes": dataset_bytes,
+                "on_disk_bytes": manifest.dataset_bytes,
+                "memory_budget_bytes": memory_budget_bytes,
+                "chunk_rows": chunk_rows,
+                "peak_resident_bytes": ooc_row["peak_resident_bytes"],
+                "throughput_vs_resident": ooc_row["throughput"],
+                "rows": results,
+            }
+            with open(out_path, "w") as handle:
+                json.dump(payload, handle, indent=2)
+    finally:
+        if data_dir is None:
+            shutil.rmtree(work_dir, ignore_errors=True)
+    return table
+
+
+# --------------------------------------------------------------------------- #
 # Service throughput — the serving layer + cross-session result cache
 # --------------------------------------------------------------------------- #
 

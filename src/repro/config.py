@@ -105,6 +105,25 @@ class EngineConfig:
         ablation = config.with_(shared_scan=False, result_cache=False)
         assert ablation.group_budget() == config.col_group_budget
 
+    Out-of-core streaming (chunked / memory-mapped tables, see
+    :mod:`repro.db.chunks`) is controlled by three knobs::
+
+        from repro import EngineConfig
+        from repro.db.chunks import open_table
+
+        table = open_table("datasets/air_chunks")       # memmap-backed
+        # Cap chunk residency at 64 MB: the engine shrinks its streaming
+        # granularity so one materialized chunk (all columns) fits.
+        config = EngineConfig(store="col", memory_budget_bytes=64 << 20)
+        # Or pin the granularity directly (rows per streamed chunk):
+        config = config.with_(stream_chunk_rows=65_536)
+        # Optionally snap phase boundaries to the chunk grid so no phase
+        # ever splits a chunk (changes phase ranges, hence estimates):
+        config = config.with_(chunk_aligned_phases=True)
+
+    Results are *value-identical* across every streaming granularity —
+    streaming changes peak memory and accounting, never answers.
+
     Every knob is documented inline below and in ``docs/api.md``.
     """
 
@@ -148,6 +167,26 @@ class EngineConfig:
     #: execution; the serving layer (:mod:`repro.service`) turns it on and
     #: shares one cache across all sessions.
     result_cache: bool = False
+    #: Rows per streamed chunk for out-of-core execution.  ``None`` (the
+    #: default) defers to the table's own chunk layout: in-memory tables
+    #: are single-chunk and keep the classic one-shot path; tables opened
+    #: from an on-disk chunk store stream at their manifest's chunk size.
+    #: Setting this forces chunk-at-a-time execution at the given
+    #: granularity even on resident tables (exact same results — the
+    #: streaming merge is value-identical by construction).
+    stream_chunk_rows: int | None = None
+    #: Soft cap, in bytes, on chunk data materialized in RAM at a time
+    #: during streaming execution.  The engine divides it by the table's
+    #: physical row width to derive (or shrink) the streaming chunk size;
+    #: :attr:`repro.db.chunks.ResidencyTracker.peak_bytes` measures
+    #: compliance.  ``None`` = no cap.
+    memory_budget_bytes: int | None = None
+    #: Snap phased-execution boundaries to the chunk grid
+    #: (:func:`repro.core.phases.phase_ranges` ``align``), so no phase ever
+    #: splits a chunk.  Default off: aligned boundaries differ from the
+    #: paper's equal partitions, so runs would no longer be comparable
+    #: against an unchunked table's.
+    chunk_aligned_phases: bool = False
     #: Confidence parameter for Hoeffding–Serfling intervals (CI pruning).
     ci_delta: float = 0.05
     #: Return approximate results as soon as top-k is identified (COMB_EARLY).

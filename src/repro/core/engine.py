@@ -155,6 +155,24 @@ class ExecutionEngine:
         self.metric = metric
         self.config = config
         self.cost_model = cost_model or CostModel()
+        # Out-of-core knobs: a pinned streaming granularity, or a memory
+        # budget converted to one via the table's physical row width.  The
+        # store's stream_ranges() combines this with the table's own chunk
+        # layout; results are identical at any granularity.
+        effective_chunk_rows = config.stream_chunk_rows
+        if config.memory_budget_bytes is not None:
+            per_row = max(store.table.physical_row_bytes(), 1)
+            budget_rows = max(config.memory_budget_bytes // per_row, 1)
+            effective_chunk_rows = (
+                budget_rows
+                if effective_chunk_rows is None
+                else min(effective_chunk_rows, budget_rows)
+            )
+        # Assigned unconditionally: a store reused by a second engine must
+        # not inherit the previous config's streaming granularity.
+        store.stream_chunk_rows = (
+            int(effective_chunk_rows) if effective_chunk_rows is not None else None
+        )
         self.backend: Backend = make_backend(config.backend, store)
         self.meta = TableMeta.of(store.table)
         # The cache is consulted iff the config knob is on; passing a
@@ -214,8 +232,13 @@ class ExecutionEngine:
         config = self._strategy_config(strategy)
         use_phases = strategy in ("comb", "comb_early")
         early = strategy == "comb_early" or config.early_return
+        align = None
+        if config.chunk_aligned_phases:
+            # The same grid stream_ranges() scans on — aligning to anything
+            # else would let a phase boundary split a streamed chunk.
+            align = self.store.effective_stream_chunk_rows()
         ranges = (
-            phase_ranges(self.store.nrows, config.n_phases)
+            phase_ranges(self.store.nrows, config.n_phases, align=align)
             if use_phases
             else [(0, self.store.nrows)]
         )
@@ -228,7 +251,7 @@ class ExecutionEngine:
         pruner_obj.initialize([v.key for v in views], k, len(ranges))
 
         states: dict[ViewKey, ViewState] = {
-            v.key: ViewState(v, self.store.table.dictionary(v.dimension)[1])
+            v.key: ViewState(v, self.store.table.categories(v.dimension))
             for v in views
         }
         active: dict[ViewKey, AggregateView] = {v.key: v for v in views}

@@ -5,6 +5,11 @@ the ith of n equally-sized partitions" — contiguous row ranges here, with
 any remainder rows folded into the final phase.  For the pruning statistics
 to behave like random sampling, benchmarks shuffle the table first
 (``Table.shuffled``), matching the paper's randomization between runs.
+
+Chunked tables (:mod:`repro.db.chunks`) add an optional ``align`` mode:
+phase boundaries are snapped to multiples of the chunk size so no phase
+ever splits a chunk — each streamed chunk is then read by exactly one
+phase, which is what ``EngineConfig.chunk_aligned_phases`` requests.
 """
 
 from __future__ import annotations
@@ -12,20 +17,45 @@ from __future__ import annotations
 from repro.exceptions import QueryError
 
 
-def phase_ranges(n_rows: int, n_phases: int) -> list[tuple[int, int]]:
-    """Split ``[0, n_rows)`` into ``n_phases`` near-equal contiguous ranges."""
+def phase_ranges(
+    n_rows: int, n_phases: int, align: int | None = None
+) -> list[tuple[int, int]]:
+    """Split ``[0, n_rows)`` into ``n_phases`` near-equal contiguous ranges.
+
+    With ``align`` set, every interior boundary is snapped to the nearest
+    multiple of ``align`` (the chunk size), clamped monotonically so ranges
+    never overlap; the final range always ends at ``n_rows``.  Snapping can
+    produce empty ranges when ``align`` exceeds the unaligned phase width —
+    callers tolerate zero-row phases (they execute zero-row queries).
+    """
     if n_rows < 0:
         raise QueryError(f"n_rows must be nonnegative, got {n_rows}")
     if n_phases <= 0:
         raise QueryError(f"n_phases must be positive, got {n_phases}")
+    if align is not None and align <= 0:
+        raise QueryError(f"align must be positive, got {align}")
     if n_rows == 0:
         return [(0, 0)]
     n_phases = min(n_phases, n_rows)
     base = n_rows // n_phases
-    ranges = []
+    boundaries = []
     start = 0
     for i in range(n_phases):
         stop = start + base + (1 if i < n_rows % n_phases else 0)
+        boundaries.append(stop)
+        start = stop
+    if align is not None and align < n_rows:
+        snapped = []
+        floor = 0
+        for stop in boundaries[:-1]:
+            aligned = round(stop / align) * align
+            aligned = min(max(aligned, floor), n_rows)
+            snapped.append(aligned)
+            floor = aligned
+        boundaries = snapped + [n_rows]
+    ranges = []
+    start = 0
+    for stop in boundaries:
         ranges.append((start, stop))
         start = stop
     return ranges

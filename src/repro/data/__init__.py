@@ -12,19 +12,38 @@ Use :func:`repro.data.registry.build` (re-exported here) to construct any
 dataset by name.
 """
 
+from repro.data.ingest import ingest_csv, materialize_dataset
 from repro.data.planting import PlantedView
-from repro.data.registry import DATASETS, DatasetSpec, build, build_info, table_one_inventory
+from repro.data.registry import (
+    DATASETS,
+    DatasetSpec,
+    OnDiskSpec,
+    available_datasets,
+    build,
+    build_info,
+    on_disk_datasets,
+    register_on_disk,
+    table_one_inventory,
+    unregister_on_disk,
+)
 from repro.data.synthetic import SyntheticConfig, make_synthetic, make_syn, make_syn_star
 
 __all__ = [
     "DATASETS",
     "DatasetSpec",
+    "OnDiskSpec",
     "PlantedView",
     "SyntheticConfig",
+    "available_datasets",
     "build",
     "build_info",
+    "ingest_csv",
+    "materialize_dataset",
     "make_syn",
     "make_syn_star",
     "make_synthetic",
+    "on_disk_datasets",
+    "register_on_disk",
     "table_one_inventory",
+    "unregister_on_disk",
 ]

@@ -1,0 +1,314 @@
+"""Dataset ingestion: CSV → on-disk chunked columnar datasets.
+
+The out-of-core path (:mod:`repro.db.chunks`) starts from a *chunk store*
+directory; this module creates them:
+
+* :func:`ingest_csv` — stream a CSV file into a chunk store with O(batch)
+  peak memory: one type-inference pass (int → float → fixed-width string,
+  widest string wins), one conversion pass appending batches through a
+  :class:`~repro.db.chunks.ChunkStoreWriter`.  The source never needs to
+  fit in RAM.
+* :func:`materialize_dataset` — write any registry dataset
+  (:mod:`repro.data.registry`) to a chunk store, carrying the registry's
+  split-attribute metadata into the manifest so the service can use its
+  default target query.
+
+Both return the written :class:`~repro.db.chunks.ChunkManifest`; register
+the directory with :func:`repro.data.registry.register_on_disk` (or the
+service's ``data_dirs`` / ``POST /datasets``) to serve it.
+
+Command line::
+
+    PYTHONPATH=src python -m repro.data.ingest data.csv out_dir \\
+        --name mydata --chunk-rows 65536 --split-column region \\
+        --target-value west --other-value east
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.db.chunks import DEFAULT_CHUNK_ROWS, ChunkManifest, ChunkStoreWriter
+from repro.db.types import DIMENSION_DISTINCT_THRESHOLD, ColumnRole
+from repro.exceptions import DatasetError
+
+#: Rows converted per batch during the write pass.
+DEFAULT_BATCH_ROWS = 50_000
+
+#: String columns with at most this many distinct values are written
+#: dictionary-encoded (int32 codes + category sidecar); past it they fall
+#: back to raw fixed-width storage so the inference pass stays O(distinct).
+MAX_DICT_CATEGORIES = 1 << 16
+
+
+class _ColumnProfile:
+    """Running type/role profile of one CSV column (inference pass)."""
+
+    __slots__ = ("name", "could_be_int", "could_be_float", "max_chars",
+                 "has_missing", "int_values", "str_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.could_be_int = True
+        self.could_be_float = True
+        self.max_chars = 1
+        self.has_missing = False
+        #: Distinct int values, tracked only up to the dimension threshold.
+        self.int_values: set[int] | None = set()
+        #: Distinct cell strings, tracked up to ``MAX_DICT_CATEGORIES``.
+        self.str_values: set[str] | None = set()
+
+    def observe(self, cell: str) -> None:
+        if cell == "":
+            self.has_missing = True
+            return
+        self.max_chars = max(self.max_chars, len(cell))
+        if self.str_values is not None:
+            self.str_values.add(cell)
+            if len(self.str_values) > MAX_DICT_CATEGORIES:
+                self.str_values = None
+        if self.could_be_int:
+            try:
+                value = int(cell)
+            except ValueError:
+                self.could_be_int = False
+            else:
+                if self.int_values is not None:
+                    self.int_values.add(value)
+                    if len(self.int_values) > DIMENSION_DISTINCT_THRESHOLD:
+                        self.int_values = None
+                return
+        if self.could_be_float:
+            try:
+                float(cell)
+            except ValueError:
+                self.could_be_float = False
+
+    def string_categories(self) -> np.ndarray | None:
+        """Sorted category array for dict encoding, or None (too many)."""
+        if self.str_values is None:
+            return None
+        values = set(self.str_values)
+        if self.has_missing:
+            values.add("")
+        return np.sort(np.asarray(list(values), dtype=self.dtype()))
+
+    def dtype(self) -> np.dtype:
+        if self.could_be_int and not self.has_missing:
+            return np.dtype(np.int64)
+        if self.could_be_float or self.could_be_int:
+            # Numeric with missing cells: promote to float64 so gaps can
+            # be NaN (int64 has no missing representation).
+            return np.dtype(np.float64)
+        return np.dtype(f"<U{self.max_chars}")
+
+    def default_role(self) -> ColumnRole:
+        dtype = self.dtype()
+        if dtype.kind == "U":
+            return ColumnRole.DIMENSION
+        if dtype.kind == "f":
+            return ColumnRole.MEASURE
+        if self.int_values is not None:
+            return ColumnRole.DIMENSION
+        return ColumnRole.MEASURE
+
+
+def _convert(cells: list[str], dtype: np.dtype) -> np.ndarray:
+    if dtype.kind == "U":
+        return np.asarray(cells, dtype=dtype)
+    if dtype.kind == "i":
+        return np.asarray([int(cell) for cell in cells], dtype=dtype)
+    return np.asarray(
+        [float(cell) if cell != "" else np.nan for cell in cells], dtype=dtype
+    )
+
+
+def _coerce_role(value: ColumnRole | str) -> ColumnRole:
+    if isinstance(value, ColumnRole):
+        return value
+    try:
+        return ColumnRole(value)
+    except ValueError:
+        raise DatasetError(
+            f"unknown column role {value!r}; expected one of "
+            f"{[r.value for r in ColumnRole]}"
+        ) from None
+
+
+def ingest_csv(
+    csv_path: str | Path,
+    out_dir: str | Path,
+    *,
+    name: str | None = None,
+    roles: Mapping[str, ColumnRole | str] | None = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+    delimiter: str = ",",
+    description: str = "",
+    split_column: str | None = None,
+    target_value: str | None = None,
+    other_value: str | None = None,
+) -> ChunkManifest:
+    """Stream a headered CSV file into a chunk store at ``out_dir``.
+
+    Two passes over the file, never more than ``batch_rows`` rows in
+    memory.  Types are inferred per column (all-int → int64, numeric →
+    float64 with empty cells as NaN, otherwise a fixed-width string);
+    roles follow the table heuristic (strings and low-cardinality ints are
+    dimensions, the rest measures) unless overridden via ``roles`` — the
+    ``split_column``, when given, defaults to role ``other`` and is
+    recorded in the manifest as the dataset's analyst-query attribute.
+    """
+    source = Path(csv_path)
+    if not source.is_file():
+        raise DatasetError(f"no such CSV file: {source}")
+    if batch_rows <= 0:
+        raise DatasetError(f"batch_rows must be positive, got {batch_rows}")
+    role_overrides = {key: _coerce_role(value) for key, value in (roles or {}).items()}
+
+    with open(source, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        header = next(reader, None)
+        if not header or any(not col.strip() for col in header):
+            raise DatasetError(f"{source} has no usable header row")
+        header = [col.strip() for col in header]
+        if len(set(header)) != len(header):
+            raise DatasetError(f"{source} has duplicate column names: {header}")
+        profiles = [_ColumnProfile(col) for col in header]
+        for line, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise DatasetError(
+                    f"{source}:{line}: expected {len(header)} cells, got {len(row)}"
+                )
+            for profile, cell in zip(profiles, row):
+                profile.observe(cell.strip())
+
+    unknown = set(role_overrides) - set(header)
+    if unknown:
+        raise DatasetError(f"roles given for unknown columns: {sorted(unknown)}")
+    if split_column is not None and split_column not in header:
+        raise DatasetError(f"split column {split_column!r} not in {header}")
+
+    writer = ChunkStoreWriter(
+        out_dir,
+        name or source.stem,
+        chunk_rows,
+        description=description or f"ingested from {source.name}",
+        split_column=split_column,
+        target_value=target_value,
+        other_value=other_value,
+    )
+    dtypes = [profile.dtype() for profile in profiles]
+    sinks = []
+    encoders: list[np.ndarray | None] = []
+    for profile, dtype in zip(profiles, dtypes):
+        role = role_overrides.get(profile.name)
+        if role is None:
+            role = (
+                ColumnRole.OTHER
+                if profile.name == split_column
+                else profile.default_role()
+            )
+        categories = profile.string_categories() if dtype.kind == "U" else None
+        encoders.append(categories)
+        sinks.append(
+            writer.add_column(profile.name, dtype, role, categories=categories)
+        )
+
+    with open(source, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        next(reader)  # header
+        batch: list[list[str]] = [[] for _ in header]
+        pending = 0
+
+        def flush() -> None:
+            nonlocal pending
+            for sink, cells, dtype, categories in zip(sinks, batch, dtypes, encoders):
+                converted = _convert(cells, dtype)
+                if categories is not None:
+                    converted = np.searchsorted(categories, converted)
+                sink.append(converted)
+                cells.clear()
+            pending = 0
+
+        for row in reader:
+            for cells, cell in zip(batch, row):
+                cells.append(cell.strip())
+            pending += 1
+            if pending >= batch_rows:
+                flush()
+        if pending:
+            flush()
+    return writer.finish()
+
+
+def materialize_dataset(
+    dataset: str,
+    out_dir: str | Path,
+    *,
+    seed: int = 0,
+    scale: str | None = None,
+    n_rows: int | None = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> ChunkManifest:
+    """Write a registry dataset to a chunk store, keeping its metadata.
+
+    The registry spec's split attribute (target/other values) lands in the
+    manifest so a table opened from the store keeps working with the
+    service's default target query.
+    """
+    from repro.data import registry
+    from repro.db.chunks import write_table
+
+    table, spec = registry.build_info(dataset, seed=seed, scale=scale, n_rows=n_rows)
+    return write_table(
+        table,
+        out_dir,
+        chunk_rows,
+        description=spec.description,
+        split_column=spec.split_column,
+        target_value=spec.target_value,
+        other_value=spec.other_value,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    """Command-line CSV ingestion (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        description="Ingest a CSV file into an on-disk chunked dataset"
+    )
+    parser.add_argument("csv_path", help="source CSV file (with a header row)")
+    parser.add_argument("out_dir", help="chunk-store directory to create")
+    parser.add_argument("--name", default=None, help="dataset name (default: file stem)")
+    parser.add_argument("--chunk-rows", type=int, default=DEFAULT_CHUNK_ROWS)
+    parser.add_argument("--batch-rows", type=int, default=DEFAULT_BATCH_ROWS)
+    parser.add_argument("--delimiter", default=",")
+    parser.add_argument("--split-column", default=None)
+    parser.add_argument("--target-value", default=None)
+    parser.add_argument("--other-value", default=None)
+    args = parser.parse_args(argv)
+    manifest = ingest_csv(
+        args.csv_path,
+        args.out_dir,
+        name=args.name,
+        chunk_rows=args.chunk_rows,
+        batch_rows=args.batch_rows,
+        delimiter=args.delimiter,
+        split_column=args.split_column,
+        target_value=args.target_value,
+        other_value=args.other_value,
+    )
+    print(
+        f"ingested {manifest.n_rows} rows x {len(manifest.columns)} columns "
+        f"into {args.out_dir} (chunk_rows={manifest.chunk_rows}, "
+        f"digest={manifest.digest[:12]}...)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -9,6 +9,12 @@ variable or an explicit ``scale=`` argument:
   12M rather than 60M because a 60M-row in-memory table exceeds laptop RAM —
   the 10x-scaling *trend* of Figure 5 is preserved by the AIR→AIR10 ratio).
 
+Beyond the built-in surrogates, on-disk chunked datasets (directories
+written by :mod:`repro.data.ingest` / :mod:`repro.db.chunks`) can be
+registered at runtime with :func:`register_on_disk`; they build as
+memory-mapped tables that the engine streams chunk-at-a-time, so they may
+exceed RAM.
+
 The inventory report (:func:`table_one_inventory`) regenerates paper
 Table 1's rows.
 """
@@ -16,10 +22,13 @@ Table 1's rows.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 from repro.data import real, synthetic
+from repro.db.chunks import ChunkManifest, read_manifest
 from repro.db.expressions import Comparison, Expression, eq
 from repro.db.table import Table
 from repro.exceptions import DatasetError
@@ -187,13 +196,143 @@ DATASETS: dict[str, DatasetSpec] = {
 }
 
 
-def spec(name: str) -> DatasetSpec:
-    try:
-        return DATASETS[name.lower()]
-    except KeyError:
+# --------------------------------------------------------------------------- #
+# on-disk chunked datasets (runtime-registered)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class OnDiskSpec:
+    """Registry entry for an on-disk chunked dataset directory.
+
+    Built by :func:`register_on_disk` from the directory's manifest.
+    ``build`` opens the dataset as a memory-mapped table — ``seed``,
+    ``scale``, and ``n_rows`` are accepted for interface compatibility with
+    :class:`DatasetSpec` but ignored (the data on disk *is* the dataset).
+    The split attribute is optional: CSV-ingested datasets without one
+    require the caller to supply an explicit target predicate.
+    """
+
+    name: str
+    description: str
+    path: str
+    n_rows: int
+    chunk_rows: int
+    split_column: str | None
+    target_value: str | None
+    other_value: str | None
+    digest: str
+
+    #: Mirrors :class:`DatasetSpec` for inventory/service consumers.
+    @property
+    def paper_rows(self) -> int:
+        return self.n_rows
+
+    @property
+    def on_disk(self) -> bool:
+        return True
+
+    def build(
+        self,
+        seed: int = 0,
+        scale: Scale | None = None,
+        n_rows: int | None = None,
+        memory_budget_bytes: int | None = None,
+    ) -> Table:
+        from repro.db.chunks import open_table
+
+        return open_table(self.path, memory_budget_bytes=memory_budget_bytes)
+
+    def target_predicate(self) -> Expression:
+        """The analyst's query Q selecting the target slice D_Q."""
+        if self.split_column is None or self.target_value is None:
+            raise DatasetError(
+                f"on-disk dataset {self.name!r} has no split attribute; "
+                "supply an explicit target predicate"
+            )
+        return eq(self.split_column, self.target_value)
+
+    def complement_predicate(self) -> Comparison:
+        """Selects D - D_Q (the paper's complement reference option)."""
+        if self.split_column is None or self.other_value is None:
+            raise DatasetError(
+                f"on-disk dataset {self.name!r} has no split attribute; "
+                "supply an explicit reference predicate"
+            )
+        return eq(self.split_column, self.other_value)
+
+
+_ON_DISK: dict[str, OnDiskSpec] = {}
+_ON_DISK_LOCK = threading.Lock()
+
+
+def register_on_disk(path: str | Path, name: str | None = None) -> OnDiskSpec:
+    """Register a chunk-store directory as a buildable dataset.
+
+    The directory's ``manifest.json`` supplies the dataset name (unless
+    overridden), row count, chunking, and optional split attribute.
+    Re-registering the same name with the same manifest digest is a no-op;
+    a different digest (or a clash with a built-in name) is an error.
+    Returns the registered spec.
+    """
+    manifest: ChunkManifest = read_manifest(path)
+    key = (name or manifest.name).lower()
+    if key in DATASETS:
         raise DatasetError(
-            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
-        ) from None
+            f"cannot register on-disk dataset {key!r}: name is taken by a "
+            "built-in dataset"
+        )
+    entry = OnDiskSpec(
+        name=key,
+        description=manifest.description or f"on-disk dataset at {path}",
+        path=str(path),
+        n_rows=manifest.n_rows,
+        chunk_rows=manifest.chunk_rows,
+        split_column=manifest.split_column,
+        target_value=manifest.target_value,
+        other_value=manifest.other_value,
+        digest=manifest.digest,
+    )
+    with _ON_DISK_LOCK:
+        existing = _ON_DISK.get(key)
+        if existing is not None and existing.digest != entry.digest:
+            raise DatasetError(
+                f"on-disk dataset {key!r} is already registered with "
+                "different contents"
+            )
+        _ON_DISK[key] = entry
+    return entry
+
+
+def unregister_on_disk(name: str) -> bool:
+    """Remove an on-disk registration; returns whether it existed."""
+    with _ON_DISK_LOCK:
+        return _ON_DISK.pop(name.lower(), None) is not None
+
+
+def on_disk_datasets() -> dict[str, OnDiskSpec]:
+    """Snapshot of the currently registered on-disk datasets."""
+    with _ON_DISK_LOCK:
+        return dict(_ON_DISK)
+
+
+def available_datasets() -> list[str]:
+    """Every buildable dataset name: built-ins plus on-disk registrations."""
+    with _ON_DISK_LOCK:
+        return sorted(set(DATASETS) | set(_ON_DISK))
+
+
+def spec(name: str) -> DatasetSpec | OnDiskSpec:
+    built_in = DATASETS.get(name.lower())
+    if built_in is not None:
+        return built_in
+    with _ON_DISK_LOCK:
+        on_disk = _ON_DISK.get(name.lower())
+    if on_disk is not None:
+        return on_disk
+    raise DatasetError(
+        f"unknown dataset {name!r}; available: {available_datasets()}"
+    )
 
 
 def build(name: str, seed: int = 0, scale: Scale | None = None, n_rows: int | None = None) -> Table:
@@ -203,7 +342,7 @@ def build(name: str, seed: int = 0, scale: Scale | None = None, n_rows: int | No
 
 def build_info(
     name: str, seed: int = 0, scale: Scale | None = None, n_rows: int | None = None
-) -> tuple[Table, DatasetSpec]:
+) -> tuple[Table, "DatasetSpec | OnDiskSpec"]:
     """Build a dataset and return it together with its registry spec."""
     dataset_spec = spec(name)
     return dataset_spec.build(seed=seed, scale=scale, n_rows=n_rows), dataset_spec

@@ -17,6 +17,13 @@ latencies.
 
 from repro.db.types import ColumnRole, ColumnType, Column, Schema
 from repro.db.table import Table
+from repro.db.chunks import (
+    ChunkStore,
+    ChunkedColumn,
+    ResidencyTracker,
+    open_table,
+    write_table,
+)
 from repro.db.buffer import BufferPool
 from repro.db.storage import ColumnStore, RowStore, StorageEngine, make_store
 from repro.db.query import AggregateFunction, AggregateQuery, AggregateSpec
@@ -57,10 +64,15 @@ __all__ = [
     "SharedScanExecutor",
     "SnowflakeJoin",
     "StorageEngine",
+    "ChunkStore",
+    "ChunkedColumn",
+    "ResidencyTracker",
     "Table",
     "TableMeta",
     "available_backends",
     "make_backend",
     "make_store",
+    "open_table",
     "register_backend",
+    "write_table",
 ]

@@ -1,0 +1,797 @@
+"""Chunked, memory-mapped columnar storage: the out-of-core substrate.
+
+Every :class:`~repro.db.table.Table` is a facade over one
+:class:`ChunkedColumn` per column.  A column is a single backing array —
+resident numpy for in-memory tables, ``np.memmap`` for tables opened from
+an on-disk dataset directory — sliced into fixed-size row chunks.  The
+streaming executors (:mod:`repro.db.executor`,
+:mod:`repro.db.shared_scan`) materialize one chunk at a time and merge
+per-chunk partial aggregation state, so peak memory is O(chunk + groups)
+instead of O(table); in-memory tables are the single-chunk special case,
+which keeps every existing caller working unchanged.
+
+The on-disk layout (a *chunk store*) is deliberately boring::
+
+    dataset_dir/
+      manifest.json          # schema, roles, chunking, per-file sha256, digest
+      columns/<name>.bin     # raw little-endian C-order values, one per column
+
+``manifest.json`` carries a content ``digest`` computed from the column
+checksums while they are written; :meth:`Table.fingerprint` hashes that
+digest instead of re-reading gigabytes of column data, so result-cache
+identity survives process restarts (two processes opening the same
+dataset directory agree on every cache key).
+
+:class:`ResidencyTracker` measures what the streaming path actually
+materializes: every chunk copied out of a memmap registers its bytes and
+releases them when the array is garbage-collected, giving an exact
+current/peak resident-bytes curve that ``benchmarks/bench_out_of_core.py``
+asserts stays under the configured memory budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import weakref
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+import numpy as np
+
+from repro.db.types import ColumnRole, ColumnType
+from repro.exceptions import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.table import Table
+
+#: Default rows per chunk for on-disk datasets: 64K rows keeps a chunk of a
+#: typical 10-column table in the single-digit-MB range — small enough that
+#: a handful of resident chunks fit any sane memory budget, large enough
+#: that per-chunk numpy dispatch overhead is negligible.
+DEFAULT_CHUNK_ROWS = 1 << 16
+
+#: Manifest format identifier; bump on incompatible layout changes.
+MANIFEST_FORMAT = "seedb-chunks-v1"
+
+_MANIFEST_NAME = "manifest.json"
+_COLUMN_DIR = "columns"
+
+#: Bytes per write when streaming a column to disk.
+_WRITE_CHUNK_BYTES = 8 << 20
+
+
+class ResidencyTracker:
+    """Accounts bytes of chunk data currently materialized in RAM.
+
+    Chunk materializations (:meth:`ChunkedColumn.materialize`) register
+    their byte size; a ``weakref.finalize`` on the materialized array
+    releases it the moment the array is garbage-collected, so
+    ``current_bytes`` tracks what is genuinely simultaneously resident and
+    ``peak_bytes`` its high-water mark.  ``budget_bytes`` is a *measured*
+    cap, not an enforcing one: the streaming executors keep under it by
+    sizing their chunks (see ``EngineConfig.memory_budget_bytes``), and
+    ``over_budget_events`` counts any moment the cap was exceeded anyway
+    — benchmarks assert it stays zero.
+
+    Thread-safe; one tracker is shared by all of a table's columns.
+    """
+
+    def __init__(self, budget_bytes: int | None = None) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise StorageError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._lock = threading.Lock()
+        self._current = 0
+        self._peak = 0
+        self._over_budget = 0
+
+    def register(self, array: np.ndarray) -> np.ndarray:
+        """Charge ``array``'s bytes until the array is garbage-collected."""
+        nbytes = int(array.nbytes)
+        with self._lock:
+            self._current += nbytes
+            if self._current > self._peak:
+                self._peak = self._current
+            if self.budget_bytes is not None and self._current > self.budget_bytes:
+                self._over_budget += 1
+        weakref.finalize(array, self._release, nbytes)
+        return array
+
+    def _release(self, nbytes: int) -> None:
+        with self._lock:
+            self._current -= nbytes
+
+    @property
+    def current_bytes(self) -> int:
+        """Bytes of materialized chunk data currently alive."""
+        with self._lock:
+            return self._current
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of :attr:`current_bytes` since the last reset."""
+        with self._lock:
+            return self._peak
+
+    @property
+    def over_budget_events(self) -> int:
+        """How many registrations pushed residency past the budget."""
+        with self._lock:
+            return self._over_budget
+
+    def reset_peak(self) -> None:
+        """Restart peak tracking from the current residency level."""
+        with self._lock:
+            self._peak = self._current
+            self._over_budget = 0
+
+
+def _is_memmap_backed(array: np.ndarray) -> bool:
+    """True when ``array`` is (a view chain over) an ``np.memmap``."""
+    node: object = array
+    while isinstance(node, np.ndarray):
+        if isinstance(node, np.memmap):
+            return True
+        node = node.base
+    return False
+
+
+class ChunkedColumn:
+    """One table column as a sequence of fixed-size row chunks.
+
+    The backing is a single 1-D array — resident numpy or a lazily-paged
+    ``np.memmap`` — and chunking is logical: chunk ``i`` covers rows
+    ``[i * chunk_rows, min((i + 1) * chunk_rows, nrows))``.  Resident
+    in-memory columns are the single-chunk special case
+    (``chunk_rows == nrows``), for which every accessor below is zero-copy.
+    """
+
+    __slots__ = ("name", "values", "chunk_rows", "tracker", "_memmap_backed")
+
+    def __init__(
+        self,
+        name: str,
+        values: np.ndarray,
+        chunk_rows: int | None = None,
+        tracker: ResidencyTracker | None = None,
+    ) -> None:
+        if values.ndim != 1:
+            raise StorageError(f"column {name!r} must be 1-D, got shape {values.shape}")
+        self.name = name
+        self.values = values
+        rows = len(values)
+        self.chunk_rows = int(chunk_rows) if chunk_rows else max(rows, 1)
+        if self.chunk_rows <= 0:
+            raise StorageError(f"chunk_rows must be positive, got {chunk_rows}")
+        self.tracker = tracker
+        self._memmap_backed = _is_memmap_backed(values)
+
+    @property
+    def nrows(self) -> int:
+        return len(self.values)
+
+    @property
+    def is_memmap(self) -> bool:
+        """Whether the backing array is disk-backed (pages in lazily)."""
+        return self._memmap_backed
+
+    @property
+    def is_dict_encoded(self) -> bool:
+        """Whether the backing stores dictionary codes, not values."""
+        return False
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        """Dtype of the *logical* values (== backing dtype for raw columns)."""
+        return self.values.dtype
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Logical values at ``indices`` (materialized)."""
+        return self.values[indices]
+
+    @property
+    def n_chunks(self) -> int:
+        return max(1, -(-self.nrows // self.chunk_rows)) if self.nrows else 1
+
+    def chunk_bounds(self, index: int) -> tuple[int, int]:
+        """Row range ``[start, stop)`` of chunk ``index``."""
+        if not 0 <= index < self.n_chunks:
+            raise StorageError(f"chunk {index} out of range for {self.n_chunks} chunks")
+        start = index * self.chunk_rows
+        return start, min(start + self.chunk_rows, self.nrows)
+
+    def chunk(self, index: int) -> np.ndarray:
+        """Materialize chunk ``index`` (resident copy for memmap backings)."""
+        start, stop = self.chunk_bounds(index)
+        return self.materialize(start, stop)
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """Raw zero-copy view of rows ``[start, stop)`` (lazy for memmaps)."""
+        return self.values[start:stop]
+
+    def materialize(self, start: int, stop: int) -> np.ndarray:
+        """Resident value array for rows ``[start, stop)``.
+
+        Resident columns return a zero-copy view.  Memmap-backed columns
+        copy the range into RAM — the one deliberate copy of the streaming
+        path — and register the bytes with the residency tracker, which
+        releases them when the chunk array is garbage-collected.
+        """
+        view = self.values[start:stop]
+        if not self._memmap_backed:
+            return view
+        resident = np.array(view, copy=True)
+        if self.tracker is not None:
+            self.tracker.register(resident)
+        return resident
+
+
+@dataclass(frozen=True)
+class DictEncodedValues:
+    """Constructor payload for a dictionary-encoded column.
+
+    ``codes`` is a row-aligned int32 array (memmap for on-disk datasets)
+    with values in ``range(len(categories))``; ``categories`` is the
+    sorted, resident value array.  Pass one of these as a column's data
+    when building a :class:`~repro.db.table.Table` and the table serves
+    dictionary codes straight from it — no per-chunk re-encoding, the big
+    win of the on-disk format for string dimensions.
+    """
+
+    codes: np.ndarray
+    categories: np.ndarray
+
+
+class DictEncodedColumn(ChunkedColumn):
+    """A chunked column whose backing array holds dictionary codes.
+
+    ``values`` (the inherited backing) is the int32 code array; logical
+    values are ``categories[codes]``, decoded chunk-at-a-time on
+    materialization.  :meth:`codes_range` exposes the codes directly —
+    the group-by executors consume those without touching the decoded
+    strings at all.
+    """
+
+    __slots__ = ("categories",)
+
+    def __init__(
+        self,
+        name: str,
+        codes: np.ndarray,
+        categories: np.ndarray,
+        chunk_rows: int | None = None,
+        tracker: ResidencyTracker | None = None,
+    ) -> None:
+        codes = np.asarray(codes)
+        if codes.dtype != np.int32:
+            codes = codes.astype(np.int32)
+        super().__init__(name, codes, chunk_rows, tracker)
+        self.categories = np.asarray(categories)
+
+    @property
+    def is_dict_encoded(self) -> bool:
+        return True
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return self.categories.dtype
+
+    def materialize(self, start: int, stop: int) -> np.ndarray:
+        """Decoded (logical) values for rows ``[start, stop)``, tracked."""
+        decoded = self.categories[self.values[start:stop]]
+        if self.tracker is not None:
+            self.tracker.register(decoded)
+        return decoded
+
+    def codes_range(self, start: int, stop: int) -> np.ndarray:
+        """Resident int32 codes for rows ``[start, stop)`` (tracked copy)."""
+        view = self.values[start:stop]
+        if not self.is_memmap:
+            return view
+        resident = np.array(view, copy=True)
+        if self.tracker is not None:
+            self.tracker.register(resident)
+        return resident
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        return self.categories[self.values[indices]]
+
+    def decode_all(self) -> np.ndarray:
+        """The full decoded value array — O(table) memory, use sparingly."""
+        return self.categories[np.asarray(self.values)]
+
+
+# --------------------------------------------------------------------------- #
+# on-disk chunk stores
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ColumnManifest:
+    """Manifest entry for one on-disk column file.
+
+    ``encoding`` is ``"raw"`` (values stored verbatim) or ``"dict32"``
+    (int32 dictionary codes in ``file`` plus a sorted category sidecar in
+    ``categories_file`` — the layout used for string columns, matching the
+    cost model's premise that strings are dictionary-encoded and charged
+    32-bit codes).  ``dtype`` is always the *logical* value dtype.
+    """
+
+    name: str
+    dtype: str
+    role: str
+    file: str
+    nbytes: int
+    sha256: str
+    encoding: str = "raw"
+    categories_file: str | None = None
+    n_categories: int = 0
+
+
+@dataclass(frozen=True)
+class ChunkManifest:
+    """Parsed ``manifest.json`` of one dataset directory."""
+
+    name: str
+    n_rows: int
+    chunk_rows: int
+    columns: tuple[ColumnManifest, ...]
+    digest: str
+    description: str = ""
+    #: Optional analyst-query defaults (the registry's split attribute).
+    split_column: str | None = None
+    target_value: str | None = None
+    other_value: str | None = None
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnManifest:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise StorageError(f"dataset has no column {name!r}")
+
+    @property
+    def dataset_bytes(self) -> int:
+        """Total on-disk bytes of the column files."""
+        return sum(col.nbytes for col in self.columns)
+
+
+def _canonical_manifest_payload(payload: dict[str, object]) -> bytes:
+    """Deterministic JSON rendering used for the content digest."""
+    scrubbed = {k: v for k, v in payload.items() if k != "digest"}
+    return json.dumps(scrubbed, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _column_filename(name: str) -> str:
+    return f"{name}.bin"
+
+
+class ColumnStreamWriter:
+    """Appends value batches to one column file, hashing as it goes.
+
+    With ``categories`` given the column is written dictionary-encoded:
+    :meth:`append` then expects int32 *codes* into the sorted category
+    array (encode with ``np.searchsorted(categories, values)``), the code
+    stream lands in the main file, and :meth:`finish` writes the category
+    sidecar.  ``dtype`` always names the logical value dtype.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        name: str,
+        dtype: np.dtype,
+        role: ColumnRole,
+        categories: np.ndarray | None = None,
+    ) -> None:
+        if np.dtype(dtype).hasobject:
+            raise StorageError(
+                f"column {name!r} has an object dtype that cannot be memmapped"
+            )
+        ColumnType.from_numpy(dtype)  # fail fast on unsupported dtypes
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        self.role = role
+        self.categories = (
+            np.ascontiguousarray(categories) if categories is not None else None
+        )
+        self.rows_written = 0
+        self._root = root
+        self._filename = _column_filename(name)
+        self._sha = hashlib.sha256()
+        self._nbytes = 0
+        self._handle = open(root / _COLUMN_DIR / self._filename, "wb")
+
+    @property
+    def _storage_dtype(self) -> np.dtype:
+        return np.dtype(np.int32) if self.categories is not None else self.dtype
+
+    def append(self, values: np.ndarray) -> None:
+        """Write one batch (values, or int32 codes for dict columns)."""
+        arr = np.ascontiguousarray(np.asarray(values, dtype=self._storage_dtype))
+        blob = arr.tobytes()
+        self._sha.update(blob)
+        self._handle.write(blob)
+        self._nbytes += len(blob)
+        self.rows_written += len(arr)
+
+    def finish(self) -> ColumnManifest:
+        """Close the file(s) and return the manifest entry."""
+        self._handle.close()
+        if self.categories is None:
+            return ColumnManifest(
+                name=self.name,
+                dtype=self.dtype.str,
+                role=self.role.value,
+                file=f"{_COLUMN_DIR}/{self._filename}",
+                nbytes=self._nbytes,
+                sha256=self._sha.hexdigest(),
+            )
+        cats_name = f"{self.name}.cats.bin"
+        cats_blob = np.ascontiguousarray(
+            self.categories.astype(self.dtype, copy=False)
+        ).tobytes()
+        (self._root / _COLUMN_DIR / cats_name).write_bytes(cats_blob)
+        self._sha.update(cats_blob)  # digest covers codes AND categories
+        return ColumnManifest(
+            name=self.name,
+            dtype=self.dtype.str,
+            role=self.role.value,
+            file=f"{_COLUMN_DIR}/{self._filename}",
+            nbytes=self._nbytes + len(cats_blob),
+            sha256=self._sha.hexdigest(),
+            encoding="dict32",
+            categories_file=f"{_COLUMN_DIR}/{cats_name}",
+            n_categories=len(self.categories),
+        )
+
+
+class ChunkStoreWriter:
+    """Streams a dataset into a chunk store without holding it in memory.
+
+    Used by :func:`write_table` and the CSV ingester
+    (:mod:`repro.data.ingest`): declare columns with :meth:`add_column`,
+    append batches to each returned :class:`ColumnStreamWriter`, then call
+    :meth:`finish` — which validates row counts, writes ``manifest.json``
+    with the content digest, and returns the parsed manifest.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        name: str,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        *,
+        description: str = "",
+        split_column: str | None = None,
+        target_value: str | None = None,
+        other_value: str | None = None,
+    ) -> None:
+        if chunk_rows <= 0:
+            raise StorageError(f"chunk_rows must be positive, got {chunk_rows}")
+        self.root = Path(path)
+        (self.root / _COLUMN_DIR).mkdir(parents=True, exist_ok=True)
+        self.name = name
+        self.chunk_rows = int(chunk_rows)
+        self.description = description
+        self.split_column = split_column
+        self.target_value = target_value
+        self.other_value = other_value
+        self._writers: list[ColumnStreamWriter] = []
+
+    def add_column(
+        self,
+        name: str,
+        dtype: np.dtype | str,
+        role: ColumnRole,
+        categories: np.ndarray | None = None,
+    ) -> ColumnStreamWriter:
+        """Declare one column; append batches to the returned writer.
+
+        Passing ``categories`` makes the column dictionary-encoded: append
+        int32 codes instead of values (see :class:`ColumnStreamWriter`).
+        """
+        if any(w.name == name for w in self._writers):
+            raise StorageError(f"duplicate column {name!r}")
+        writer = ColumnStreamWriter(self.root, name, np.dtype(dtype), role, categories)
+        self._writers.append(writer)
+        return writer
+
+    def finish(self) -> ChunkManifest:
+        """Close every column, write ``manifest.json``, return the manifest."""
+        if not self._writers:
+            raise StorageError("chunk store declares no columns")
+        columns = [writer.finish() for writer in self._writers]
+        n_rows = {writer.rows_written for writer in self._writers}
+        if len(n_rows) != 1:
+            raise StorageError(
+                f"columns disagree on row count: "
+                f"{ {w.name: w.rows_written for w in self._writers} }"
+            )
+        payload: dict[str, object] = {
+            "format": MANIFEST_FORMAT,
+            "name": self.name,
+            "n_rows": n_rows.pop(),
+            "chunk_rows": self.chunk_rows,
+            "description": self.description,
+            "split_column": self.split_column,
+            "target_value": self.target_value,
+            "other_value": self.other_value,
+            "columns": [vars(col) for col in columns],
+        }
+        payload["digest"] = hashlib.sha256(
+            _canonical_manifest_payload(payload)
+        ).hexdigest()
+        (self.root / _MANIFEST_NAME).write_text(json.dumps(payload, indent=2))
+        return read_manifest(self.root)
+
+
+def write_table(
+    table: "Table",
+    path: str | Path,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    *,
+    description: str = "",
+    split_column: str | None = None,
+    target_value: str | None = None,
+    other_value: str | None = None,
+) -> ChunkManifest:
+    """Materialize ``table`` as an on-disk chunk store at ``path``.
+
+    Columns are streamed to disk ``_WRITE_CHUNK_BYTES`` at a time (peak
+    memory stays O(write chunk) even for memmap-backed sources), their
+    sha256 computed on the way; the manifest's ``digest`` is a hash of the
+    canonical manifest content including those checksums, so it uniquely
+    identifies the dataset bytes.  String columns are written
+    dictionary-encoded (int32 codes + category sidecar) — the layout the
+    cost model already charges for — so reopening them costs 4 bytes/row
+    of I/O and zero re-encoding.  Returns the written manifest.
+    """
+    writer = ChunkStoreWriter(
+        path,
+        table.name,
+        chunk_rows,
+        description=description,
+        split_column=split_column,
+        target_value=target_value,
+        other_value=other_value,
+    )
+    for column in table.schema:
+        chunked = table.chunked_column(column.name)
+        if chunked.value_dtype.kind in ("U", "O"):
+            categories = table.categories(column.name)
+            if categories.dtype.kind == "O":
+                categories = categories.astype(str)
+            sink = writer.add_column(
+                column.name, categories.dtype, column.role, categories=categories
+            )
+            step = max(1, _WRITE_CHUNK_BYTES // 4)
+            for start in range(0, table.nrows, step):
+                codes, _ = table.codes_range(
+                    column.name, start, min(start + step, table.nrows)
+                )
+                sink.append(codes)
+        else:
+            values = chunked.values
+            sink = writer.add_column(column.name, values.dtype, column.role)
+            itemsize = max(values.dtype.itemsize, 1)
+            step = max(1, _WRITE_CHUNK_BYTES // itemsize)
+            for start in range(0, len(values), step):
+                sink.append(values[start : start + step])
+    return writer.finish()
+
+
+def read_manifest(path: str | Path) -> ChunkManifest:
+    """Parse and validate ``manifest.json`` under dataset directory ``path``."""
+    root = Path(path)
+    manifest_path = root / _MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise StorageError(f"no chunk-store manifest at {manifest_path}")
+    try:
+        payload = json.loads(manifest_path.read_text())
+    except ValueError as exc:
+        raise StorageError(f"unreadable manifest {manifest_path}: {exc}") from None
+    if payload.get("format") != MANIFEST_FORMAT:
+        raise StorageError(
+            f"unsupported chunk-store format {payload.get('format')!r} "
+            f"(expected {MANIFEST_FORMAT!r})"
+        )
+    known = {
+        "format", "name", "n_rows", "chunk_rows", "description",
+        "split_column", "target_value", "other_value", "columns", "digest",
+    }
+    columns = tuple(
+        ColumnManifest(
+            name=str(col["name"]),
+            dtype=str(col["dtype"]),
+            role=str(col["role"]),
+            file=str(col["file"]),
+            nbytes=int(col["nbytes"]),
+            sha256=str(col["sha256"]),
+            encoding=str(col.get("encoding") or "raw"),
+            categories_file=col.get("categories_file"),
+            n_categories=int(col.get("n_categories") or 0),
+        )
+        for col in payload["columns"]
+    )
+    if not columns:
+        raise StorageError(f"chunk store {root} declares no columns")
+    return ChunkManifest(
+        name=str(payload["name"]),
+        n_rows=int(payload["n_rows"]),
+        chunk_rows=int(payload["chunk_rows"]),
+        columns=columns,
+        digest=str(payload["digest"]),
+        description=str(payload.get("description") or ""),
+        split_column=payload.get("split_column"),
+        target_value=payload.get("target_value"),
+        other_value=payload.get("other_value"),
+        extra={k: v for k, v in payload.items() if k not in known},
+    )
+
+
+def open_table(
+    path: str | Path,
+    *,
+    memory_budget_bytes: int | None = None,
+    name: str | None = None,
+) -> "Table":
+    """Open an on-disk chunk store as a memmap-backed :class:`Table`.
+
+    Column files are memory-mapped read-only — opening is O(manifest), not
+    O(data) — and the returned table carries the manifest's ``chunk_rows``
+    plus its content ``digest`` (so :meth:`Table.fingerprint`, and
+    therefore every result-cache key, is stable across processes).  A
+    :class:`ResidencyTracker` with ``memory_budget_bytes`` is attached for
+    the streaming executors' materialization accounting.
+    """
+    from repro.db.table import Table  # deferred: table.py imports this module
+
+    root = Path(path)
+    manifest = read_manifest(root)
+    tracker = ResidencyTracker(budget_bytes=memory_budget_bytes)
+    data: dict[str, object] = {}
+    roles: dict[str, ColumnRole] = {}
+    for col in manifest.columns:
+        value_dtype = np.dtype(col.dtype)
+        storage_dtype = (
+            np.dtype(np.int32) if col.encoding == "dict32" else value_dtype
+        )
+        backing = root / col.file
+        if not backing.is_file():
+            raise StorageError(f"chunk store {root} is missing column file {col.file}")
+        expected = manifest.n_rows * storage_dtype.itemsize
+        actual = backing.stat().st_size
+        if actual != expected:
+            raise StorageError(
+                f"column file {backing} is {actual} bytes, manifest expects {expected}"
+            )
+        if manifest.n_rows:
+            stored: np.ndarray = np.memmap(
+                backing, dtype=storage_dtype, mode="r", shape=(manifest.n_rows,)
+            )
+        else:
+            stored = np.empty(0, dtype=storage_dtype)
+        if col.encoding == "dict32":
+            if not col.categories_file:
+                raise StorageError(
+                    f"dict-encoded column {col.name!r} declares no categories file"
+                )
+            cats_path = root / col.categories_file
+            if not cats_path.is_file():
+                raise StorageError(
+                    f"chunk store {root} is missing categories file "
+                    f"{col.categories_file}"
+                )
+            categories = np.fromfile(cats_path, dtype=value_dtype)
+            if len(categories) != col.n_categories:
+                raise StorageError(
+                    f"categories file {cats_path} holds {len(categories)} values, "
+                    f"manifest expects {col.n_categories}"
+                )
+            data[col.name] = DictEncodedValues(stored, categories)
+        elif col.encoding == "raw":
+            data[col.name] = stored
+        else:
+            raise StorageError(
+                f"unknown column encoding {col.encoding!r} for {col.name!r}"
+            )
+        roles[col.name] = ColumnRole(col.role)
+        ColumnType.from_numpy(value_dtype)  # fail fast on unsupported dtypes
+    return Table(
+        name or manifest.name,
+        data,
+        roles=roles,
+        chunk_rows=manifest.chunk_rows,
+        source_digest=manifest.digest,
+        tracker=tracker,
+    )
+
+
+class ChunkStore:
+    """Handle to one on-disk dataset directory.
+
+    A convenience wrapper tying the module's functions to a path::
+
+        store = ChunkStore.write(table, "datasets/air", chunk_rows=65_536)
+        table = ChunkStore("datasets/air").open(memory_budget_bytes=64 << 20)
+        print(store.manifest.n_rows, store.manifest.digest)
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._manifest: ChunkManifest | None = None
+
+    @property
+    def manifest(self) -> ChunkManifest:
+        """The parsed (and cached) ``manifest.json``."""
+        if self._manifest is None:
+            self._manifest = read_manifest(self.path)
+        return self._manifest
+
+    def open(
+        self, *, memory_budget_bytes: int | None = None, name: str | None = None
+    ) -> "Table":
+        """Open the store as a memmap-backed table (see :func:`open_table`)."""
+        return open_table(
+            self.path, memory_budget_bytes=memory_budget_bytes, name=name
+        )
+
+    def writer(self, name: str, chunk_rows: int = DEFAULT_CHUNK_ROWS, **meta: object) -> ChunkStoreWriter:
+        """A :class:`ChunkStoreWriter` targeting this directory."""
+        return ChunkStoreWriter(self.path, name, chunk_rows, **meta)  # type: ignore[arg-type]
+
+    @classmethod
+    def write(
+        cls, table: "Table", path: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS, **meta: object
+    ) -> "ChunkStore":
+        """Materialize ``table`` at ``path`` and return the handle."""
+        write_table(table, path, chunk_rows, **meta)  # type: ignore[arg-type]
+        return cls(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChunkStore({str(self.path)!r})"
+
+
+def chunk_ranges(
+    n_rows: int, chunk_rows: int, start: int = 0, stop: int | None = None
+) -> Iterator[tuple[int, int]]:
+    """Subranges of ``[start, stop)`` aligned to the absolute chunk grid.
+
+    Boundaries fall on multiples of ``chunk_rows`` (so each subrange maps
+    onto exactly one chunk of every column), except the first and last,
+    which are clipped to the requested range.
+    """
+    stop = n_rows if stop is None else stop
+    if chunk_rows <= 0:
+        raise StorageError(f"chunk_rows must be positive, got {chunk_rows}")
+    if start >= stop:
+        yield (start, stop)
+        return
+    first = start // chunk_rows
+    last = (stop - 1) // chunk_rows
+    for index in range(first, last + 1):
+        lo = index * chunk_rows
+        yield (max(start, lo), min(stop, lo + chunk_rows))
+
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "MANIFEST_FORMAT",
+    "ChunkManifest",
+    "ChunkStore",
+    "ChunkStoreWriter",
+    "ChunkedColumn",
+    "ColumnManifest",
+    "ColumnStreamWriter",
+    "DictEncodedColumn",
+    "DictEncodedValues",
+    "ResidencyTracker",
+    "chunk_ranges",
+    "open_table",
+    "read_manifest",
+    "write_table",
+]

@@ -25,6 +25,7 @@ from repro.config import ExecutionStats
 from repro.db.groupby import GroupKeyColumn, GroupResult, group_aggregate
 from repro.db.query import AggregateQuery, QueryResult
 from repro.db.storage import StorageEngine
+from repro.db.streaming import StreamingGroupAggregator
 from repro.db.types import Schema
 from repro.exceptions import QueryError
 
@@ -97,6 +98,24 @@ def global_group_key(n_rows: int) -> GroupKeyColumn:
     )
 
 
+def dict_key_only_columns(
+    table, base_columns, value_columns
+) -> frozenset[str]:
+    """Dictionary-encoded columns needed only as group-by keys.
+
+    These are scanned (pages charged — the physical read *is* the 4-byte
+    codes) but never decoded: the executors fetch their codes via
+    ``dictionary_slice``, so materializing string values would be pure
+    waste.  Shared by the per-query and shared-scan executors.
+    """
+    return frozenset(
+        name
+        for name in base_columns
+        if name not in value_columns
+        and table.chunked_column(name).is_dict_encoded
+    )
+
+
 class QueryExecutor:
     """Executes logical aggregate queries against one storage engine.
 
@@ -122,27 +141,80 @@ class QueryExecutor:
         started = time.perf_counter()
 
         start, stop = query.row_range or (0, self.store.nrows)
-        base_columns = sorted(query.base_columns_needed())
-        arrays = dict(self.store.scan(base_columns, start, stop, stats))
-
-        for derived in query.derived:
-            arrays[derived.alias] = np.asarray(derived.expression.evaluate(arrays))
-
-        if query.predicate is not None:
-            mask = query.predicate.evaluate(arrays).astype(bool)
-            selector = np.flatnonzero(mask)
+        ranges = self.store.stream_ranges(start, stop)
+        if len(ranges) > 1:
+            result, n_filtered = self._execute_streaming(query, ranges, stats)
         else:
-            selector = None
+            base_columns = sorted(query.base_columns_needed())
+            skip = dict_key_only_columns(
+                self.store.table, base_columns, query.value_columns_needed()
+            )
+            arrays = dict(
+                self.store.scan(
+                    base_columns, start, stop, stats, skip_materialize=skip
+                )
+            )
 
-        key_columns = self._group_key_columns(query, arrays, start, stop, selector)
-        aggregate_inputs = self._aggregate_inputs(query, arrays, selector)
+            for derived in query.derived:
+                arrays[derived.alias] = np.asarray(derived.expression.evaluate(arrays))
 
-        result = group_aggregate(key_columns, aggregate_inputs, query.group_budget)
-        n_filtered = len(selector) if selector is not None else (stop - start)
+            if query.predicate is not None:
+                mask = query.predicate.evaluate(arrays).astype(bool)
+                selector = np.flatnonzero(mask)
+            else:
+                selector = None
+
+            key_columns = self._group_key_columns(query, arrays, start, stop, selector)
+            aggregate_inputs = self._aggregate_inputs(query, arrays, selector)
+
+            result = group_aggregate(key_columns, aggregate_inputs, query.group_budget)
+            n_filtered = len(selector) if selector is not None else (stop - start)
 
         tally_aggregation(stats, self.store.table.schema, query, result, n_filtered)
         stats.wall_seconds = time.perf_counter() - started
         return build_query_result(query, result, n_filtered), stats
+
+    def _execute_streaming(
+        self,
+        query: AggregateQuery,
+        ranges: list[tuple[int, int]],
+        stats: ExecutionStats,
+    ) -> tuple[GroupResult, int]:
+        """Chunk-at-a-time execution with exact partial-state merge.
+
+        Runs the same scan → derive → filter → key/input preparation as the
+        one-shot path, one chunk-aligned subrange at a time, folding each
+        chunk into a :class:`~repro.db.streaming.StreamingGroupAggregator`.
+        Peak memory is O(chunk + groups) while the finalized result is
+        value-identical to the one-shot computation (see
+        :mod:`repro.db.streaming` for why, including the float ordering).
+        """
+        aggregator = StreamingGroupAggregator(
+            [spec.func for spec in query.aggregates], query.group_budget
+        )
+        base_columns = sorted(query.base_columns_needed())
+        skip = dict_key_only_columns(
+            self.store.table, base_columns, query.value_columns_needed()
+        )
+        for sub_start, sub_stop in ranges:
+            arrays = dict(
+                self.store.scan(
+                    base_columns, sub_start, sub_stop, stats, skip_materialize=skip
+                )
+            )
+            for derived in query.derived:
+                arrays[derived.alias] = np.asarray(derived.expression.evaluate(arrays))
+            if query.predicate is not None:
+                mask = query.predicate.evaluate(arrays).astype(bool)
+                selector = np.flatnonzero(mask)
+            else:
+                selector = None
+            key_columns = self._group_key_columns(
+                query, arrays, sub_start, sub_stop, selector
+            )
+            aggregate_inputs = self._aggregate_inputs(query, arrays, selector)
+            aggregator.update(key_columns, aggregate_inputs)
+        return aggregator.finalize(), aggregator.total_rows
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -173,7 +245,9 @@ class QueryExecutor:
                     GroupKeyColumn(name, codes.astype(np.int32), categories)
                 )
             else:
-                sliced, categories = self.store.dictionary_slice(name, start, stop)
+                sliced, categories = self.store.dictionary_slice(
+                    name, start, stop, values=arrays.get(name)
+                )
                 if selector is not None:
                     sliced = sliced[selector]
                 key_columns.append(GroupKeyColumn(name, sliced, categories))

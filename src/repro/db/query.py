@@ -131,6 +131,18 @@ class AggregateQuery:
         for name in self.group_by:
             if name not in self.derived_aliases:
                 needed.add(name)
+        return frozenset(needed | self.value_columns_needed())
+
+    def value_columns_needed(self) -> frozenset[str]:
+        """Base columns whose *values* feed expressions or aggregates.
+
+        The complement of this within :meth:`base_columns_needed` is the
+        pure group-by keys — columns the executor only ever consumes as
+        dictionary codes, which dictionary-encoded storage serves without
+        decoding a single value (see ``StorageEngine.scan``'s
+        ``skip_materialize``).
+        """
+        needed: set[str] = set()
         for spec in self.aggregates:
             needed |= spec.referenced_columns() - self.derived_aliases
         if self.predicate is not None:

@@ -39,11 +39,17 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.config import ExecutionStats
-from repro.db.executor import build_query_result, global_group_key, tally_aggregation
+from repro.db.executor import (
+    build_query_result,
+    dict_key_only_columns,
+    global_group_key,
+    tally_aggregation,
+)
 from repro.db.expressions import Expression
 from repro.db.groupby import GroupKeyColumn, group_aggregate
 from repro.db.query import AggregateQuery, QueryResult
 from repro.db.storage import StorageEngine
+from repro.db.streaming import StreamingGroupAggregator
 from repro.exceptions import QueryError
 
 #: Runs ``fn`` over ``items`` concurrently, preserving order — the shape the
@@ -150,20 +156,85 @@ class SharedScanExecutor:
             by_range.setdefault(query.row_range or (0, self.store.nrows), []).append(i)
 
         prepared: list[_PreparedQuery | None] = [None] * len(queries)
+        streamed: dict[int, tuple[QueryResult, ExecutionStats]] = {}
         shared_stats: list[tuple[list[int], ExecutionStats]] = []
         for (start, stop), indices in by_range.items():
+            ranges = self.store.stream_ranges(start, stop)
             prep_started = time.perf_counter()
             scan_stats = ExecutionStats()
-            self._prepare_range(queries, indices, start, stop, scan_stats, prepared)
+            if len(ranges) > 1:
+                for i, outcome in zip(
+                    indices,
+                    self._execute_streaming_range(queries, indices, ranges, scan_stats),
+                ):
+                    streamed[i] = outcome
+            else:
+                self._prepare_range(queries, indices, start, stop, scan_stats, prepared)
             scan_stats.wall_seconds = time.perf_counter() - prep_started
             shared_stats.append((indices, scan_stats))
 
-        if fanout is not None and len(prepared) > 1:
-            outcomes = fanout(self._run_prepared, prepared)
+        pending = [i for i in range(len(queries)) if i not in streamed]
+        if fanout is not None and len(pending) > 1:
+            ran = fanout(self._run_prepared, [prepared[i] for i in pending])
         else:
-            outcomes = [self._run_prepared(prep) for prep in prepared]
+            ran = [self._run_prepared(prepared[i]) for i in pending]
+        outcomes: list[tuple[QueryResult, ExecutionStats]] = [None] * len(queries)  # type: ignore[list-item]
+        for i, outcome in zip(pending, ran):
+            outcomes[i] = outcome
+        for i, outcome in streamed.items():
+            outcomes[i] = outcome
         for indices, scan_stats in shared_stats:
             _spread_scan_stats(scan_stats, [outcomes[i][1] for i in indices])
+        return outcomes
+
+    def _execute_streaming_range(
+        self,
+        queries: list[AggregateQuery],
+        indices: list[int],
+        ranges: Sequence[tuple[int, int]],
+        scan_stats: ExecutionStats,
+    ) -> list[tuple[QueryResult, ExecutionStats]]:
+        """Serve one row range's batch by streaming chunk-aligned subranges.
+
+        Each subrange goes through the *same* shared preparation as the
+        one-shot path — union scan charged once into ``scan_stats``, shared
+        derived/predicate/argument expressions evaluated once per chunk —
+        and every query folds its chunk-local prepared state into a
+        :class:`~repro.db.streaming.StreamingGroupAggregator`.  Peak memory
+        is O(chunk + per-query groups); finalized results are
+        value-identical to the one-shot batch (and therefore to the
+        per-query executor), which the differential oracle enforces.
+        Returns outcomes aligned with ``indices``.
+        """
+        aggregators = {
+            i: StreamingGroupAggregator(
+                [spec.func for spec in queries[i].aggregates],
+                queries[i].group_budget,
+            )
+            for i in indices
+        }
+        for sub_start, sub_stop in ranges:
+            chunk_prepared: list[_PreparedQuery | None] = [None] * len(queries)
+            self._prepare_range(
+                queries, indices, sub_start, sub_stop, scan_stats, chunk_prepared
+            )
+            for i in indices:
+                prep = chunk_prepared[i]
+                assert prep is not None
+                aggregators[i].update(prep.key_columns, prep.aggregate_inputs)
+        outcomes: list[tuple[QueryResult, ExecutionStats]] = []
+        for i in indices:
+            stats = ExecutionStats()
+            started = time.perf_counter()
+            aggregator = aggregators[i]
+            result = aggregator.finalize()
+            tally_aggregation(
+                stats, self.store.table.schema, queries[i], result, aggregator.total_rows
+            )
+            stats.wall_seconds = time.perf_counter() - started
+            outcomes.append(
+                (build_query_result(queries[i], result, aggregator.total_rows), stats)
+            )
         return outcomes
 
     # ------------------------------------------------------------------ #
@@ -183,8 +254,16 @@ class SharedScanExecutor:
         base_columns = sorted(
             set().union(*(queries[i].base_columns_needed() for i in indices))
         )
-        arrays = dict(self.store.scan(base_columns, start, stop, stats))
-        base_names = frozenset(arrays)
+        value_columns = frozenset(
+            set().union(*(queries[i].value_columns_needed() for i in indices))
+        )
+        skip = dict_key_only_columns(self.store.table, base_columns, value_columns)
+        arrays = dict(
+            self.store.scan(base_columns, start, stop, stats, skip_materialize=skip)
+        )
+        # Skipped dict-encoded key columns still count as base names: they
+        # were scanned (codes), just never decoded into value arrays.
+        base_names = frozenset(arrays) | skip
 
         derived_values: dict[Expression, np.ndarray] = {}
         arg_values: dict[Expression, np.ndarray] = {}
@@ -296,7 +375,9 @@ class SharedScanExecutor:
                         derived_keys[cache_key] = cached
                 key_columns.append(GroupKeyColumn(name, cached[0], cached[1]))
             else:
-                sliced, categories = self.store.dictionary_slice(name, start, stop)
+                sliced, categories = self.store.dictionary_slice(
+                    name, start, stop, values=arrays.get(name)
+                )
                 if selector is not None:
                     codes = filtered_codes.get((name, pred_token))
                     if codes is None:

@@ -11,7 +11,7 @@ actual Postgres and Vertica.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Collection, Sequence
 
 import numpy as np
 
@@ -42,6 +42,11 @@ class StorageEngine(abc.ABC):
             columnar=self._columnar(),
             page_rows=page_rows,
         )
+        #: Streaming granularity override in rows (set by the execution
+        #: engine from ``EngineConfig.stream_chunk_rows`` /
+        #: ``memory_budget_bytes``); ``None`` defers to the table's own
+        #: chunk layout.  See :meth:`stream_ranges`.
+        self.stream_chunk_rows: int | None = None
 
     @abc.abstractmethod
     def _columnar(self) -> bool:
@@ -57,12 +62,17 @@ class StorageEngine(abc.ABC):
         start: int = 0,
         stop: int | None = None,
         stats: ExecutionStats | None = None,
+        skip_materialize: Collection[str] = (),
     ) -> dict[str, np.ndarray]:
         """Return value arrays for ``columns`` over rows ``[start, stop)``.
 
         Charges the touched pages to the buffer pool and records bytes/rows
         into ``stats``.  Raises :class:`StorageError` for bad ranges or
-        unknown columns.
+        unknown columns.  Columns listed in ``skip_materialize`` are
+        charged but omitted from the returned dict — the executors name
+        dictionary-encoded pure group-by keys here, whose codes they fetch
+        via :meth:`dictionary_slice` instead of ever decoding values (the
+        read the pages charge for *is* the 4-byte-code read).
         """
         stop = self.table.nrows if stop is None else stop
         if start < 0 or stop > self.table.nrows or start > stop:
@@ -75,7 +85,40 @@ class StorageEngine(abc.ABC):
                 self.buffer_pool.access(key, nbytes, stats)
         if stats is not None:
             stats.rows_scanned += stop - start
-        return {name: self.table.column(name)[start:stop] for name in columns}
+        return {
+            name: self.table.materialize_range(name, start, stop)
+            for name in columns
+            if name not in skip_materialize
+        }
+
+    def effective_stream_chunk_rows(self) -> int | None:
+        """The streaming grid: min of the engine override and table chunks.
+
+        The single source of truth shared by :meth:`stream_ranges` and the
+        engine's chunk-aligned phase partitioning, so phase boundaries land
+        on the same grid the scans actually stream on.
+        """
+        candidates = [
+            rows
+            for rows in (self.stream_chunk_rows, self.table.chunk_rows)
+            if rows is not None
+        ]
+        return min(candidates) if candidates else None
+
+    def stream_ranges(self, start: int = 0, stop: int | None = None) -> list[tuple[int, int]]:
+        """Chunk-aligned subranges the streaming executors scan one at a time.
+
+        The effective granularity is the smaller of :attr:`stream_chunk_rows`
+        (the engine's memory-budget-derived override) and the table's own
+        chunk size; a single-element list means "run the classic one-shot
+        path" — which is what every in-memory single-chunk table without an
+        override gets, keeping the resident fast path byte-for-byte intact.
+        """
+        stop = self.table.nrows if stop is None else stop
+        effective = self.effective_stream_chunk_rows()
+        if effective is None or effective >= stop - start:
+            return [(start, stop)]
+        return list(self.table.chunk_ranges(start, stop, chunk_rows=effective))
 
     def scan_dictionary(
         self,
@@ -93,19 +136,24 @@ class StorageEngine(abc.ABC):
         return self.dictionary_slice(column, start, stop)
 
     def dictionary_slice(
-        self, column: str, start: int = 0, stop: int | None = None
+        self,
+        column: str,
+        start: int = 0,
+        stop: int | None = None,
+        values: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """``(codes[start:stop], categories)`` with **no I/O accounting**.
 
         For callers that already charged a value scan of ``column`` — both
         executors scan a query's base columns first and then group on the
-        table's cached global dictionary, so charging the codes again would
+        table's global dictionary, so charging the codes again would
         double-count the page.  Use :meth:`scan_dictionary` when the
-        dictionary read is the only access to the column.
+        dictionary read is the only access to the column.  ``values``
+        optionally passes the already-scanned value slice so chunked tables
+        encode it directly instead of re-touching the backing memmap.
         """
         stop = self.table.nrows if stop is None else stop
-        codes, categories = self.table.dictionary(column)
-        return codes[start:stop], categories
+        return self.table.codes_range(column, start, stop, values=values)
 
     def scan_bytes(self, columns: Sequence[str], start: int = 0, stop: int | None = None) -> int:
         """Bytes a scan would touch (for planning, no side effects)."""

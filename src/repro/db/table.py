@@ -1,25 +1,40 @@
-"""The logical table: named, schema'd, numpy-column-backed.
+"""The logical table: named, schema'd, chunked-column-backed.
 
-A :class:`Table` owns one numpy array per column plus a lazily-built
+A :class:`Table` is a facade over one
+:class:`~repro.db.chunks.ChunkedColumn` per column plus a lazily-built
 dictionary encoding (codes + categories) for dimension columns, which the
-group-by executor uses for fast factorization.  Tables are immutable after
-construction; row subsets are produced as new tables.
+group-by executor uses for fast factorization.  In-memory tables are the
+single-chunk special case (the backing arrays are resident numpy and every
+accessor is zero-copy); tables opened from an on-disk chunk store
+(:func:`repro.db.chunks.open_table`) are backed by ``np.memmap`` columns
+sliced into fixed-size row chunks, which the streaming executors
+materialize one chunk at a time.  Tables are immutable after construction;
+row subsets are produced as new (resident) tables.
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.db.types import Column, ColumnRole, ColumnType, Schema
+from repro.db.chunks import (
+    ChunkedColumn,
+    DictEncodedColumn,
+    DictEncodedValues,
+    ResidencyTracker,
+    chunk_ranges,
+)
+from repro.db.types import (
+    DIMENSION_DISTINCT_THRESHOLD,
+    Column,
+    ColumnRole,
+    ColumnType,
+    Schema,
+)
 from repro.exceptions import SchemaError
-
-#: An integer column with at most this many distinct values is inferred to be
-#: a dimension when roles are not given explicitly.
-_DIMENSION_DISTINCT_THRESHOLD = 12
 
 
 def _coerce_array(name: str, values: object) -> np.ndarray:
@@ -44,13 +59,13 @@ def _infer_role(name: str, arr: np.ndarray, ctype: ColumnType) -> ColumnRole:
     if ctype is ColumnType.FLOAT:
         return ColumnRole.MEASURE
     distinct = len(np.unique(arr[: min(len(arr), 100_000)]))
-    if distinct <= _DIMENSION_DISTINCT_THRESHOLD:
+    if distinct <= DIMENSION_DISTINCT_THRESHOLD:
         return ColumnRole.DIMENSION
     return ColumnRole.MEASURE
 
 
 class Table:
-    """An immutable, in-memory relational table.
+    """An immutable relational table over chunked columns.
 
     Parameters
     ----------
@@ -58,11 +73,23 @@ class Table:
         Table name used in SQL text and the database catalog.
     data:
         Mapping of column name to 1-D array-like.  All columns must have the
-        same length.
+        same length.  Arrays may be resident numpy or ``np.memmap``.
     roles:
         Optional mapping of column name to :class:`ColumnRole`.  Columns not
         mentioned get a heuristic role (strings/bools and low-cardinality
         ints are dimensions; floats and high-cardinality ints are measures).
+    chunk_rows:
+        Logical chunk size for out-of-core streaming.  ``None`` (the
+        default, and the right choice for in-memory tables) means a single
+        chunk spanning the whole table.
+    source_digest:
+        Content digest of the on-disk manifest this table was opened from.
+        When set, :meth:`fingerprint` hashes the digest instead of the raw
+        column bytes, so cache identity is stable across processes without
+        re-reading the data.
+    tracker:
+        :class:`~repro.db.chunks.ResidencyTracker` charged by chunk
+        materializations (attached by :func:`repro.db.chunks.open_table`).
     """
 
     def __init__(
@@ -70,32 +97,54 @@ class Table:
         name: str,
         data: Mapping[str, object],
         roles: Mapping[str, ColumnRole] | None = None,
+        *,
+        chunk_rows: int | None = None,
+        source_digest: str | None = None,
+        tracker: ResidencyTracker | None = None,
     ) -> None:
         if not data:
             raise SchemaError("table must have at least one column")
+        if chunk_rows is not None and chunk_rows <= 0:
+            raise SchemaError(f"chunk_rows must be positive, got {chunk_rows}")
         roles = dict(roles or {})
-        arrays: dict[str, np.ndarray] = {}
+        chunked: dict[str, ChunkedColumn] = {}
         columns: list[Column] = []
         nrows: int | None = None
         for col_name, values in data.items():
-            arr = _coerce_array(col_name, values)
-            if nrows is None:
-                nrows = len(arr)
-            elif len(arr) != nrows:
-                raise SchemaError(
-                    f"column {col_name!r} has {len(arr)} rows, expected {nrows}"
+            if isinstance(values, DictEncodedValues):
+                column = DictEncodedColumn(
+                    col_name, values.codes, values.categories, chunk_rows, tracker
                 )
-            ctype = ColumnType.from_numpy(arr.dtype)
-            role = roles.pop(col_name, None) or _infer_role(col_name, arr, ctype)
+                ctype = ColumnType.from_numpy(column.value_dtype)
+                role = roles.pop(col_name, None)
+                if role is None:
+                    raise SchemaError(
+                        f"dict-encoded column {col_name!r} requires an explicit role"
+                    )
+            else:
+                arr = _coerce_array(col_name, values)
+                ctype = ColumnType.from_numpy(arr.dtype)
+                role = roles.pop(col_name, None) or _infer_role(col_name, arr, ctype)
+                column = ChunkedColumn(col_name, arr, chunk_rows, tracker)
+            if nrows is None:
+                nrows = column.nrows
+            elif column.nrows != nrows:
+                raise SchemaError(
+                    f"column {col_name!r} has {column.nrows} rows, expected {nrows}"
+                )
             columns.append(Column(col_name, ctype, role))
-            arrays[col_name] = arr
+            chunked[col_name] = column
         if roles:
             raise SchemaError(f"roles given for unknown columns: {sorted(roles)}")
         self.name = name
         self.schema = Schema.of(columns)
-        self._arrays = arrays
+        self._columns = chunked
         self._nrows = int(nrows or 0)
+        self._chunk_rows = chunk_rows
+        self._source_digest = source_digest
+        self._tracker = tracker
         self._dictionaries: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._categories: dict[str, np.ndarray] = {}
         self._dictionary_lock = threading.Lock()
         self._version = 0
         self._fingerprint: str | None = None
@@ -113,13 +162,38 @@ class Table:
         return self.schema.names
 
     def column(self, name: str) -> np.ndarray:
-        """The raw value array for ``name`` (read-only view)."""
-        if name not in self._arrays:
+        """The logical value array for ``name`` (read-only view).
+
+        For memmap-backed tables this is the lazily-paged memmap itself —
+        slicing it stays cheap; use :meth:`materialize_range` when a
+        resident copy (with residency accounting) is wanted.  For
+        dictionary-encoded columns this **decodes the whole column**
+        (O(table) memory) — chunked callers use :meth:`codes_range` /
+        :meth:`materialize_range` instead.
+        """
+        if name not in self._columns:
             raise SchemaError(f"no such column: {name!r}")
-        return self._arrays[name]
+        chunked = self._columns[name]
+        if isinstance(chunked, DictEncodedColumn):
+            return chunked.decode_all()
+        return chunked.values
+
+    def chunked_column(self, name: str) -> ChunkedColumn:
+        """The :class:`~repro.db.chunks.ChunkedColumn` behind ``name``."""
+        if name not in self._columns:
+            raise SchemaError(f"no such column: {name!r}")
+        return self._columns[name]
 
     def columns(self, names: Iterable[str]) -> dict[str, np.ndarray]:
         return {name: self.column(name) for name in names}
+
+    def materialize_range(self, name: str, start: int, stop: int) -> np.ndarray:
+        """Resident values of rows ``[start, stop)`` of one column.
+
+        Zero-copy for resident columns; a tracked RAM copy for
+        memmap-backed ones (see :meth:`ChunkedColumn.materialize`).
+        """
+        return self.chunked_column(name).materialize(start, stop)
 
     def dimension_names(self) -> tuple[str, ...]:
         return tuple(c.name for c in self.schema.dimensions())
@@ -136,6 +210,59 @@ class Table:
             f"dims={len(self.schema.dimensions())}, "
             f"measures={len(self.schema.measures())})"
         )
+
+    # ------------------------------------------------------------------ #
+    # chunk layout
+    # ------------------------------------------------------------------ #
+
+    @property
+    def chunk_rows(self) -> int | None:
+        """Rows per chunk, or ``None`` for single-chunk in-memory tables."""
+        return self._chunk_rows
+
+    @property
+    def is_chunked(self) -> bool:
+        """Whether the table has more than one chunk (streaming candidates)."""
+        return self._chunk_rows is not None and self._chunk_rows < self._nrows
+
+    @property
+    def n_chunks(self) -> int:
+        if not self.is_chunked:
+            return 1
+        return -(-self._nrows // self._chunk_rows)  # type: ignore[operator]
+
+    @property
+    def residency(self) -> ResidencyTracker | None:
+        """The residency tracker charged by chunk materializations, if any."""
+        return self._tracker
+
+    @property
+    def source_digest(self) -> str | None:
+        """Manifest content digest for disk-backed tables (else ``None``)."""
+        return self._source_digest
+
+    def chunk_ranges(
+        self, start: int = 0, stop: int | None = None, chunk_rows: int | None = None
+    ) -> Iterator[tuple[int, int]]:
+        """Chunk-grid-aligned subranges of ``[start, stop)``.
+
+        ``chunk_rows`` overrides the table's own chunk size (the streaming
+        executors pass the engine's effective streaming granularity).  A
+        single-chunk table yields the range itself.
+        """
+        rows = chunk_rows or self._chunk_rows or max(self._nrows, 1)
+        return chunk_ranges(self._nrows, rows, start, stop)
+
+    def physical_row_bytes(self) -> int:
+        """Actual bytes per row across the backing arrays (dtype itemsizes).
+
+        Unlike :meth:`Schema.row_byte_width` (the cost model's logical
+        widths, strings charged as 32-bit codes), this is what a
+        materialized chunk really occupies in RAM — the unit
+        ``EngineConfig.memory_budget_bytes`` divides by.  Dict-encoded
+        columns count their decoded value width (materialization decodes).
+        """
+        return sum(col.value_dtype.itemsize for col in self._columns.values())
 
     # ------------------------------------------------------------------ #
     # identity and versioning (result-cache keys)
@@ -158,22 +285,27 @@ class Table:
         backing arrays in place (or reload a dataset under the same
         object) must call this so :meth:`fingerprint` — and therefore
         every :class:`~repro.core.cache.ViewResultCache` key derived from
-        it — treats the table as new.  Cached dictionary encodings are
-        dropped too, since they were computed over the old contents.
+        it — treats the table as new.  Cached dictionary encodings and
+        streamed category sets are dropped too, since they were computed
+        over the old contents.
         """
         with self._dictionary_lock:
             self._version += 1
             self._fingerprint = None
             self._dictionaries.clear()
+            self._categories.clear()
         return self._version
 
     def fingerprint(self) -> str:
         """Stable content+version identity used in result-cache keys.
 
         A blake2b hash over the table name, schema (names, types, roles),
-        current :attr:`version`, and every column's raw bytes.  Computed
-        once per version and cached; cheap relative to even a single scan
-        of the table.  Two distinct Table objects built from equal data
+        current :attr:`version`, and the content — every column's raw
+        bytes for in-memory tables, or the on-disk manifest's digest for
+        chunk-store-backed tables (so identity is O(1) to compute, stable
+        across processes, and never forces gigabytes of memmap pages in).
+        Computed once per version and cached.  Two distinct Table objects
+        built from equal data (or opened from the same dataset directory)
         share a fingerprint, which is exactly what a cross-session cache
         wants.
         """
@@ -187,12 +319,20 @@ class Table:
                 digest.update(str(self._version).encode())
                 digest.update(str(self._nrows).encode())
                 for column in self.schema:
-                    arr = self._arrays[column.name]
+                    chunked = self._columns[column.name]
                     digest.update(
                         f"{column.name}:{column.ctype.name}:{column.role.name}:"
-                        f"{arr.dtype.str}".encode()
+                        f"{chunked.value_dtype.str}".encode()
                     )
-                    digest.update(np.ascontiguousarray(arr).tobytes())
+                    if self._source_digest is None:
+                        digest.update(np.ascontiguousarray(chunked.values).tobytes())
+                        if isinstance(chunked, DictEncodedColumn):
+                            digest.update(
+                                np.ascontiguousarray(chunked.categories).tobytes()
+                            )
+                if self._source_digest is not None:
+                    digest.update(b"manifest:")
+                    digest.update(self._source_digest.encode())
                 self._fingerprint = digest.hexdigest()
         return self._fingerprint
 
@@ -208,30 +348,101 @@ class Table:
         encoding is computed once and cached — the group-by executor relies
         on this to factorize dimension columns cheaply per phase.  The cache
         fill is locked so concurrent query workers share one encoding.
+
+        The full codes array is O(table) resident memory; out-of-core
+        callers use :meth:`categories` + :meth:`codes_range` instead, which
+        never hold more than one range's codes.
         """
+        chunked = self.chunked_column(name)
+        if isinstance(chunked, DictEncodedColumn):
+            # Already dictionary-encoded on disk; materialize the codes
+            # (uncached: they are O(table) and this path is discouraged).
+            return np.asarray(chunked.values, dtype=np.int32), chunked.categories
         cached = self._dictionaries.get(name)
         if cached is not None:
             return cached
         with self._dictionary_lock:
             cached = self._dictionaries.get(name)
             if cached is None:
-                values = self.column(name)
+                values = chunked.values
                 categories, codes = np.unique(values, return_inverse=True)
                 cached = (codes.astype(np.int32), categories)
                 self._dictionaries[name] = cached
+                self._categories[name] = categories
         return cached
+
+    def categories(self, name: str) -> np.ndarray:
+        """Sorted distinct values of a column (the dictionary's categories).
+
+        For chunked tables the set is computed by streaming per-chunk
+        uniques — peak memory O(chunk + distinct) — and cached; codes are
+        *not* materialized (see :meth:`codes_range`).  For in-memory tables
+        this is exactly ``dictionary(name)[1]``.
+        """
+        chunked = self.chunked_column(name)
+        if isinstance(chunked, DictEncodedColumn):
+            return chunked.categories
+        cached = self._categories.get(name)
+        if cached is not None:
+            return cached
+        if not self.is_chunked:
+            return self.dictionary(name)[1]
+        with self._dictionary_lock:
+            cached = self._categories.get(name)
+            if cached is None:
+                column = chunked
+                cats: np.ndarray | None = None
+                for start, stop in self.chunk_ranges():
+                    uniq = np.unique(column.values[start:stop])
+                    cats = (
+                        uniq
+                        if cats is None
+                        else np.unique(np.concatenate([cats, uniq]))
+                    )
+                cached = cats if cats is not None else self.column(name)[:0]
+                self._categories[name] = cached
+        return cached
+
+    def codes_range(
+        self, name: str, start: int, stop: int, values: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dictionary codes for rows ``[start, stop)`` plus the categories.
+
+        Identical codes to ``dictionary(name)[0][start:stop]`` — categories
+        are global, so codes are stable across ranges and partial results
+        merge on them — but for chunked tables the codes are computed for
+        just this range (``np.searchsorted`` against the streamed category
+        set) so nothing O(table) is ever resident.  ``values`` optionally
+        supplies the already-materialized value slice to avoid re-touching
+        the backing column.
+        """
+        chunked = self.chunked_column(name)
+        if isinstance(chunked, DictEncodedColumn):
+            # The on-disk layout *is* the dictionary: slice codes directly.
+            return chunked.codes_range(start, stop), chunked.categories
+        cached = self._dictionaries.get(name)
+        if cached is not None:
+            return cached[0][start:stop], cached[1]
+        if not self.is_chunked:
+            codes, categories = self.dictionary(name)
+            return codes[start:stop], categories
+        categories = self.categories(name)
+        if values is None:
+            values = chunked.slice(start, stop)
+        codes = np.searchsorted(categories, values).astype(np.int32, copy=False)
+        return codes, categories
 
     def distinct_count(self, name: str) -> int:
         """Number of distinct values in a column (via the dictionary)."""
-        return len(self.dictionary(name)[1])
+        return len(self.categories(name))
 
     # ------------------------------------------------------------------ #
     # derived tables
     # ------------------------------------------------------------------ #
 
     def take(self, indices: np.ndarray, name: str | None = None) -> "Table":
-        """New table containing the rows at ``indices`` (in order)."""
-        data = {col: arr[indices] for col, arr in self._arrays.items()}
+        """New resident table containing the rows at ``indices`` (in order)."""
+        data = {col: chunked.gather(indices) for col, chunked in self._columns.items()}
         roles = {c.name: c.role for c in self.schema}
         return Table(name or self.name, data, roles=roles)
 
@@ -242,8 +453,16 @@ class Table:
         return self.take(np.flatnonzero(mask), name=name)
 
     def slice_rows(self, start: int, stop: int, name: str | None = None) -> "Table":
-        """New table containing rows ``start:stop``."""
-        data = {col: arr[start:stop] for col, arr in self._arrays.items()}
+        """New resident table containing rows ``start:stop``.
+
+        Memmap-backed columns are copied into RAM (a derived table is a
+        new, independent, resident object) and dict-encoded columns are
+        decoded; resident raw columns stay views.
+        """
+        data = {
+            col: chunked.materialize(start, stop)
+            for col, chunked in self._columns.items()
+        }
         roles = {c.name: c.role for c in self.schema}
         return Table(name or self.name, data, roles=roles)
 
@@ -259,9 +478,12 @@ class Table:
     def head(self, n: int = 5) -> list[dict[str, object]]:
         """First ``n`` rows as dictionaries (debugging/doc convenience)."""
         n = min(n, self._nrows)
+        arrays = {
+            col: chunked.materialize(0, n) for col, chunked in self._columns.items()
+        }
         return [
-            {col: self._arrays[col][i].item() if hasattr(self._arrays[col][i], "item")
-             else self._arrays[col][i] for col in self.column_names}
+            {col: arrays[col][i].item() if hasattr(arrays[col][i], "item")
+             else arrays[col][i] for col in self.column_names}
             for i in range(n)
         ]
 

@@ -17,6 +17,11 @@ import numpy as np
 
 from repro.exceptions import SchemaError
 
+#: An integer column with at most this many distinct values is inferred to
+#: be a dimension when roles are not declared — shared by the in-memory
+#: table's role heuristic and the CSV ingester so the two cannot drift.
+DIMENSION_DISTINCT_THRESHOLD = 12
+
 
 class ColumnType(enum.Enum):
     """Logical column type, mapped onto a numpy dtype for storage."""

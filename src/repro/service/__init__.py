@@ -28,6 +28,7 @@ from repro.core.cache import CacheEntry, CacheStats, ViewResultCache
 from repro.service.server import (
     RecommendationService,
     SeeDBHTTPServer,
+    install_sigterm_handler,
     start_server,
 )
 from repro.service.sessions import (
@@ -49,5 +50,6 @@ __all__ = [
     "SessionStore",
     "ViewResultCache",
     "clauses_from_payload",
+    "install_sigterm_handler",
     "start_server",
 ]

@@ -8,6 +8,9 @@ sessions.  :class:`SeeDBHTTPServer` exposes it as a JSON API on a stdlib
 ``ThreadingHTTPServer`` (one thread per in-flight request, no third-party
 dependencies):
 
+* ``GET /healthz`` — cheap liveness probe: answers without touching the
+  dataset registry or building any engine (safe for tight orchestration
+  probe intervals).
 * ``POST /sessions`` — open a session: ``{"dataset": "census"}`` (optional
   ``store``, ``metric``).
 * ``POST /sessions/<id>/recommend`` — run one recommendation step:
@@ -18,13 +21,23 @@ dependencies):
   latency statistics.
 * ``GET /sessions/<id>`` — a session's recorded steps.
 * ``GET /datasets`` — the dataset registry, with schema info for every
-  dataset already loaded.
+  dataset already loaded; on-disk chunked datasets (``data_dirs`` /
+  ``POST /datasets``) are flagged ``"on_disk": true``.
+* ``POST /datasets`` — register an on-disk chunked dataset directory
+  (written by :mod:`repro.data.ingest`): ``{"path": "datasets/air"}``.
 * ``GET /stats`` — service-level counters and the shared cache's
   :class:`~repro.core.cache.CacheStats`.
 
+The server drains gracefully: :meth:`SeeDBHTTPServer.graceful_shutdown`
+stops accepting, answers new requests on kept-alive connections with 503,
+waits for in-flight requests to finish, then closes;
+:func:`install_sigterm_handler` wires it to SIGTERM for container
+orchestration.
+
 Run it from the command line::
 
-    PYTHONPATH=src python -m repro.service --port 8080 --datasets census,bank
+    PYTHONPATH=src python -m repro.service --port 8080 --datasets census,bank \\
+        --data-dir datasets/air_chunks
 
 or in-process (tests, examples, benchmarks)::
 
@@ -107,6 +120,7 @@ class RecommendationService:
         result_cache: bool = True,
         cache: ViewResultCache | None = None,
         seed: int = 0,
+        data_dirs: Sequence[str] = (),
     ) -> None:
         """Configure the service; engines are built lazily per dataset.
 
@@ -114,12 +128,19 @@ class RecommendationService:
         the whole registry); ``scale`` pins the dataset build scale
         (default: ``SEEDB_SCALE``/small); ``result_cache=False`` disables
         the cross-session cache (the benchmark's ablation leg); ``cache``
-        substitutes a shared externally-owned cache.
+        substitutes a shared externally-owned cache; ``data_dirs`` lists
+        on-disk chunked dataset directories (see :mod:`repro.data.ingest`)
+        to register and serve alongside the built-ins — these open as
+        memory-mapped tables the engine streams, so they may exceed RAM.
         """
         known = tuple(sorted(registry.DATASETS))
         self.datasets_allowed = tuple(datasets) if datasets else known
         for name in self.datasets_allowed:
             registry.spec(name)  # fail fast on typos
+        for path in data_dirs:
+            entry = registry.register_on_disk(path)
+            if entry.name not in self.datasets_allowed:
+                self.datasets_allowed = (*self.datasets_allowed, entry.name)
         self.scale = scale
         self.default_store = default_store
         self.default_metric = default_metric
@@ -215,9 +236,14 @@ class RecommendationService:
         session = self.sessions.get(session_id)
         engine = self.engine(session.dataset, session.store, session.metric)
         spec = registry.spec(session.dataset)
-        raw_target = payload.get(
-            "target", [{"column": spec.split_column, "value": spec.target_value}]
-        )
+        raw_target = payload.get("target")
+        if raw_target is None:
+            if spec.split_column is None or spec.target_value is None:
+                raise ServiceError(
+                    f"dataset {session.dataset!r} has no default target "
+                    "attribute; supply 'target' explicitly"
+                )
+            raw_target = [{"column": spec.split_column, "value": spec.target_value}]
         clauses = clauses_from_payload(raw_target)
         for column, _ in clauses:
             if column not in engine.table.column_names:
@@ -296,6 +322,40 @@ class RecommendationService:
         """Return one session's recorded steps (``GET /sessions/<id>``)."""
         return self.sessions.get(session_id).as_dict()
 
+    def register_dataset(self, payload: Mapping[str, object]) -> dict[str, object]:
+        """Register an on-disk chunked dataset (``POST /datasets``).
+
+        ``{"path": "<chunk-store dir>"}`` with an optional ``"name"``
+        override.  The directory must carry a valid ``manifest.json``
+        (written by :func:`repro.data.ingest.ingest_csv` or
+        :func:`repro.db.chunks.write_table`); the dataset becomes
+        immediately available to new sessions.
+        """
+        path = payload.get("path")
+        if not isinstance(path, str) or not path:
+            raise ServiceError("'path' must name a chunk-store directory")
+        name = payload.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ServiceError("'name' must be a string when given")
+        try:
+            entry = registry.register_on_disk(path, name=name)
+        except ReproError as exc:
+            raise ServiceError(str(exc)) from None
+        # Guarded read-modify-write: concurrent POST /datasets requests run
+        # on separate ThreadingHTTPServer worker threads.
+        with self._engine_lock:
+            if entry.name not in self.datasets_allowed:
+                self.datasets_allowed = (*self.datasets_allowed, entry.name)
+        return {
+            "name": entry.name,
+            "path": entry.path,
+            "n_rows": entry.n_rows,
+            "chunk_rows": entry.chunk_rows,
+            "on_disk": True,
+            "split_column": entry.split_column,
+            "digest": entry.digest,
+        }
+
     def describe_datasets(self) -> dict[str, object]:
         """Describe the dataset registry (``GET /datasets``)."""
         with self._engine_lock:
@@ -309,7 +369,12 @@ class RecommendationService:
                 "description": spec.description,
                 "paper_rows": spec.paper_rows,
                 "loaded": name in loaded,
+                "on_disk": bool(getattr(spec, "on_disk", False)),
             }
+            if getattr(spec, "on_disk", False):
+                entry["n_rows"] = spec.n_rows
+                entry["chunk_rows"] = spec.chunk_rows
+                entry["path"] = spec.path
             if name in loaded:
                 engine = next(e for key, e in engines.items() if key[0] == name)
                 entry["n_rows"] = engine.table.nrows
@@ -317,6 +382,13 @@ class RecommendationService:
                 entry["measures"] = list(engine.table.measure_names())
             rows.append(entry)
         return {"datasets": rows}
+
+    def healthz(self) -> dict[str, object]:
+        """Liveness payload (``GET /healthz``): no registry, no engines."""
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self._started_unix,
+        }
 
     def stats(self) -> dict[str, object]:
         """Return service counters plus the cache snapshot (``GET /stats``)."""
@@ -396,6 +468,19 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         service = self.server.service
         parts = [part for part in self.path.split("?")[0].split("/") if part]
         self._body = b""
+        if not self.server.request_started():
+            # Draining for shutdown: answer kept-alive stragglers cleanly
+            # and drop the connection rather than leaving them hanging.
+            self.close_connection = True
+            self._send(503, {"error": "server is shutting down"})
+            return
+        try:
+            self._handle_routes(method, service, parts)
+        finally:
+            self.server.request_finished()
+
+    def _handle_routes(self, method: str, service, parts: list[str]) -> None:
+        """The route table proper (split out of :meth:`_dispatch`)."""
         try:
             # Drain the body before any response is written: on a
             # keep-alive connection, unread body bytes (e.g. a POST to an
@@ -413,8 +498,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 raise ServiceError("invalid Content-Length header") from None
             if length:
                 self._body = self.rfile.read(length)
-            if method == "GET" and parts == ["datasets"]:
+            if method == "GET" and parts == ["healthz"]:
+                self._send(200, service.healthz())
+            elif method == "GET" and parts == ["datasets"]:
                 self._send(200, service.describe_datasets())
+            elif method == "POST" and parts == ["datasets"]:
+                self._send(201, service.register_dataset(self._json_body()))
             elif method == "GET" and parts == ["stats"]:
                 self._send(200, service.stats())
             elif method == "GET" and len(parts) == 2 and parts[0] == "sessions":
@@ -447,7 +536,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
 
 class SeeDBHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server owning one :class:`RecommendationService`."""
+    """A threading HTTP server owning one :class:`RecommendationService`.
+
+    Tracks in-flight requests so :meth:`graceful_shutdown` can drain them:
+    once draining, new requests are answered 503 and the shutdown waits
+    (bounded) for the in-flight count to reach zero before closing the
+    socket and releasing the service's engines.
+    """
 
     daemon_threads = True
 
@@ -461,6 +556,90 @@ class SeeDBHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _ServiceHandler)
         self.service = service
         self.verbose = verbose
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._draining = False
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+    # in-flight accounting (called by the handler around each request)
+    # -------------------------------------------------------------- #
+
+    def request_started(self) -> bool:
+        """Register one request; False once draining (handler answers 503)."""
+        with self._inflight_cond:
+            if self._draining:
+                return False
+            self._inflight += 1
+            return True
+
+    def request_finished(self) -> None:
+        """Unregister one request and wake any waiting drain."""
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`graceful_shutdown` has begun."""
+        with self._inflight_cond:
+            return self._draining
+
+    def graceful_shutdown(self, timeout: float | None = 10.0) -> bool:
+        """Stop accepting, drain in-flight requests, close.  Idempotent.
+
+        Returns True when every in-flight request finished within
+        ``timeout`` seconds (None = wait forever); on timeout the server
+        still closes — remaining handler threads are daemons and die with
+        the process.  Safe to call from a signal-handler-spawned thread
+        while ``serve_forever`` runs on another (see
+        :func:`install_sigterm_handler`).
+        """
+        with self._inflight_cond:
+            already = self._draining
+            self._draining = True
+        if not already:
+            self.shutdown()  # stops serve_forever; returns once the loop exits
+        with self._inflight_cond:
+            drained = self._inflight_cond.wait_for(
+                lambda: self._inflight == 0, timeout
+            )
+        with self._inflight_cond:
+            if not self._closed:
+                self._closed = True
+                should_close = True
+            else:
+                should_close = False
+        if should_close:
+            self.server_close()
+            self.service.close()
+        return drained
+
+
+def install_sigterm_handler(
+    server: SeeDBHTTPServer, timeout: float | None = 10.0
+) -> threading.Event:
+    """Install a SIGTERM handler that gracefully drains ``server``.
+
+    The handler runs :meth:`SeeDBHTTPServer.graceful_shutdown` on a helper
+    thread (calling ``shutdown`` from inside the handler would deadlock the
+    ``serve_forever`` loop it interrupts) and sets the returned event when
+    the drain completes — the CLI waits on it before exiting.  Must be
+    called from the main thread (a CPython signal-API constraint).
+    """
+    import signal
+
+    done = threading.Event()
+
+    def _drain() -> None:
+        server.graceful_shutdown(timeout)
+        done.set()
+
+    def _on_sigterm(signum: int, frame: object) -> None:
+        threading.Thread(target=_drain, name="seedb-drain", daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    return done
 
 
 def start_server(
@@ -501,6 +680,19 @@ def main(argv: Sequence[str] | None = None) -> None:
         action="store_true",
         help="disable the cross-session view-result cache",
     )
+    parser.add_argument(
+        "--data-dir",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="on-disk chunked dataset directory to serve (repeatable)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight requests on SIGTERM",
+    )
     args = parser.parse_args(argv)
     datasets = (
         tuple(name.strip() for name in args.datasets.split(",") if name.strip())
@@ -508,9 +700,13 @@ def main(argv: Sequence[str] | None = None) -> None:
         else None
     )
     service = RecommendationService(
-        datasets=datasets, scale=args.scale, result_cache=not args.no_cache
+        datasets=datasets,
+        scale=args.scale,
+        result_cache=not args.no_cache,
+        data_dirs=tuple(args.data_dir),
     )
     server = SeeDBHTTPServer((args.host, args.port), service, verbose=True)
+    drained = install_sigterm_handler(server, timeout=args.drain_timeout)
     host, port = server.server_address[:2]
     print(f"SeeDB recommendation service listening on http://{host}:{port}")
     try:
@@ -518,8 +714,12 @@ def main(argv: Sequence[str] | None = None) -> None:
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         pass
     finally:
-        server.server_close()
-        service.close()
+        # serve_forever returns either from SIGTERM (wait for its drain to
+        # finish) or KeyboardInterrupt (drain inline); both paths converge
+        # on graceful_shutdown, which is idempotent.
+        if server.draining:
+            drained.wait(args.drain_timeout + 5.0)
+        server.graceful_shutdown(timeout=args.drain_timeout)
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

@@ -334,3 +334,62 @@ class TestEngineWiring:
             # session is fully warm: nothing executes, everything hits.
             assert run.stats.queries_issued == 0
             assert run.cache_hits == cold.cache_misses
+
+
+class TestChunkedTableCache:
+    """Cache identity and invalidation on chunked / memmap-backed tables."""
+
+    @pytest.fixture()
+    def chunked_census(self, census_like, tmp_path):
+        from repro.db.chunks import open_table, write_table
+
+        write_table(census_like, tmp_path / "census", chunk_rows=512)
+        return open_table(tmp_path / "census")
+
+    def test_fingerprint_is_process_stable_so_hits_cross_engines(
+        self, chunked_census, tmp_path
+    ):
+        """Two independently opened tables share keys via the manifest digest."""
+        from repro.db.chunks import open_table
+
+        cache = ViewResultCache()
+        reopened = open_table(tmp_path / "census")
+        assert reopened.fingerprint() == chunked_census.fingerprint()
+        first = _run(_engine(chunked_census, cache=cache), chunked_census)
+        second = _run(_engine(reopened, cache=cache), reopened)
+        assert first.cache_hits == 0
+        assert second.cache_hits == first.cache_misses
+        assert second.stats.queries_issued == 0
+        _assert_bitwise_identical(first, second)
+
+    def test_streamed_run_matches_resident_cache_off(self, census_like, chunked_census):
+        resident = _run(_engine(census_like, enabled=False), census_like)
+        streamed = _run(_engine(chunked_census, enabled=False), chunked_census)
+        _assert_bitwise_identical(resident, streamed)
+
+    def test_bump_version_evicts_through_invalidate_table(self, chunked_census):
+        """bump_version + invalidate_table: stale entries gone, keys rerouted."""
+        cache = ViewResultCache()
+        engine = _engine(chunked_census, cache=cache)
+        cold = _run(engine, chunked_census)
+        assert cold.cache_misses > 0 and len(cache) == cold.cache_misses
+        stale_fingerprint = chunked_census.fingerprint()
+
+        chunked_census.bump_version()
+        dropped = cache.invalidate_table(stale_fingerprint)
+        assert dropped == cold.cache_misses and len(cache) == 0
+        assert cache.snapshot().invalidations == dropped
+
+        rerun = _run(engine, chunked_census)
+        assert rerun.cache_hits == 0  # new version => new keys, no stale hits
+        assert rerun.cache_misses == cold.cache_misses
+        _assert_bitwise_identical(cold, rerun)
+
+    def test_bump_version_alone_reroutes_lookups(self, chunked_census):
+        """Even without eager eviction, bumped tables never hit stale keys."""
+        engine = _engine(chunked_census)
+        cold = _run(engine, chunked_census)
+        chunked_census.bump_version()
+        rerun = _run(engine, chunked_census)
+        assert rerun.cache_hits == 0
+        assert rerun.cache_misses == cold.cache_misses

@@ -1,0 +1,184 @@
+"""Chunked columnar storage: columns, chunk stores, residency tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import chunks as C
+from repro.db.table import Table
+from repro.db.types import ColumnRole
+from repro.exceptions import SchemaError, StorageError
+
+
+def _table(n: int = 257, seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        "toy",
+        {
+            "dim": rng.choice(["a", "b'c", "O'Brien"], n),
+            "small_int": rng.integers(0, 4, n),
+            "measure": rng.gamma(2.0, 10.0, n),
+            "flag": rng.random(n) < 0.5,
+        },
+        roles={
+            "dim": ColumnRole.DIMENSION,
+            "small_int": ColumnRole.DIMENSION,
+            "measure": ColumnRole.MEASURE,
+            "flag": ColumnRole.DIMENSION,
+        },
+    )
+
+
+class TestChunkedColumn:
+    def test_single_chunk_is_zero_copy(self):
+        values = np.arange(10, dtype=np.int64)
+        col = C.ChunkedColumn("x", values)
+        assert col.n_chunks == 1
+        assert not col.is_memmap
+        assert col.materialize(2, 7).base is values
+
+    def test_chunk_bounds_and_iteration(self):
+        col = C.ChunkedColumn("x", np.arange(10), chunk_rows=4)
+        assert col.n_chunks == 3
+        assert [col.chunk_bounds(i) for i in range(3)] == [(0, 4), (4, 8), (8, 10)]
+        assert np.array_equal(col.chunk(2), [8, 9])
+        with pytest.raises(StorageError):
+            col.chunk_bounds(3)
+
+    def test_chunk_ranges_alignment(self):
+        assert list(C.chunk_ranges(10, 4)) == [(0, 4), (4, 8), (8, 10)]
+        assert list(C.chunk_ranges(10, 4, 3, 9)) == [(3, 4), (4, 8), (8, 9)]
+        assert list(C.chunk_ranges(10, 100)) == [(0, 10)]
+        assert list(C.chunk_ranges(10, 4, 5, 5)) == [(5, 5)]
+        with pytest.raises(StorageError):
+            list(C.chunk_ranges(10, 0))
+
+
+class TestChunkStoreRoundtrip:
+    def test_write_open_preserves_everything(self, tmp_path):
+        table = _table()
+        manifest = C.write_table(
+            table,
+            tmp_path / "ds",
+            chunk_rows=64,
+            split_column="dim",
+            target_value="a",
+            other_value="O'Brien",
+        )
+        assert manifest.n_rows == table.nrows
+        assert manifest.chunk_rows == 64
+        assert manifest.dataset_bytes == sum(c.nbytes for c in manifest.columns)
+
+        reopened = C.open_table(tmp_path / "ds")
+        assert reopened.nrows == table.nrows
+        assert reopened.is_chunked and reopened.n_chunks == -(-table.nrows // 64)
+        assert reopened.schema.names == table.schema.names
+        for col in table.schema:
+            assert reopened.schema[col.name].role is col.role
+            assert np.array_equal(
+                np.asarray(reopened.column(col.name)), table.column(col.name)
+            )
+            assert reopened.chunked_column(col.name).is_memmap
+
+    def test_fingerprint_survives_reopen(self, tmp_path):
+        C.write_table(_table(), tmp_path / "ds", chunk_rows=50)
+        first = C.open_table(tmp_path / "ds")
+        second = C.open_table(tmp_path / "ds")
+        assert first.fingerprint() == second.fingerprint()
+        assert first.source_digest == second.source_digest
+        # Version bumps still produce a distinct identity.
+        second.bump_version()
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_different_contents_different_digest(self, tmp_path):
+        C.write_table(_table(seed=1), tmp_path / "a")
+        C.write_table(_table(seed=2), tmp_path / "b")
+        assert C.read_manifest(tmp_path / "a").digest != C.read_manifest(tmp_path / "b").digest
+
+    def test_chunkstore_handle(self, tmp_path):
+        store = C.ChunkStore.write(_table(), tmp_path / "ds", chunk_rows=32)
+        assert store.manifest.chunk_rows == 32
+        table = store.open(memory_budget_bytes=1 << 20)
+        assert table.residency is not None
+        assert table.residency.budget_bytes == 1 << 20
+
+    def test_open_rejects_missing_or_corrupt(self, tmp_path):
+        with pytest.raises(StorageError):
+            C.read_manifest(tmp_path / "nope")
+        C.write_table(_table(), tmp_path / "ds")
+        bad = tmp_path / "ds" / "columns" / "measure.bin"
+        bad.write_bytes(bad.read_bytes()[:-8])  # truncate
+        with pytest.raises(StorageError):
+            C.open_table(tmp_path / "ds")
+
+    def test_writer_rejects_row_count_mismatch(self, tmp_path):
+        writer = C.ChunkStoreWriter(tmp_path / "ds", "bad", chunk_rows=8)
+        a = writer.add_column("a", np.int64, ColumnRole.MEASURE)
+        b = writer.add_column("b", np.int64, ColumnRole.MEASURE)
+        a.append(np.arange(4))
+        b.append(np.arange(3))
+        with pytest.raises(StorageError):
+            writer.finish()
+
+
+class TestResidencyTracker:
+    def test_tracks_current_and_peak(self):
+        tracker = C.ResidencyTracker(budget_bytes=100)
+        first = tracker.register(np.zeros(8, dtype=np.float64))  # 64 bytes
+        assert tracker.current_bytes == 64 and tracker.peak_bytes == 64
+        second = tracker.register(np.zeros(4, dtype=np.float64))  # 32 bytes
+        assert tracker.current_bytes == 96 and tracker.over_budget_events == 0
+        del first
+        assert tracker.current_bytes == 32 and tracker.peak_bytes == 96
+        third = tracker.register(np.zeros(16, dtype=np.float64))  # over budget
+        assert tracker.over_budget_events == 1
+        del second, third
+        assert tracker.current_bytes == 0
+
+    def test_materialize_charges_tracker(self, tmp_path):
+        C.write_table(_table(), tmp_path / "ds", chunk_rows=64)
+        table = C.open_table(tmp_path / "ds", memory_budget_bytes=1 << 20)
+        chunk = table.materialize_range("measure", 0, 64)
+        assert chunk.flags.owndata  # a real resident copy, not a memmap view
+        assert table.residency.current_bytes >= chunk.nbytes
+        del chunk
+        assert table.residency.current_bytes == 0
+        assert table.residency.peak_bytes >= 64 * 8
+
+
+class TestChunkedTableFacade:
+    def test_categories_and_codes_match_dictionary(self, tmp_path):
+        table = _table()
+        C.write_table(table, tmp_path / "ds", chunk_rows=37)
+        chunked = C.open_table(tmp_path / "ds")
+        for name in ("dim", "small_int", "flag"):
+            codes, cats = table.dictionary(name)
+            assert np.array_equal(chunked.categories(name), cats)
+            got_codes, got_cats = chunked.codes_range(name, 11, 201)
+            assert np.array_equal(got_codes, codes[11:201])
+            assert got_codes.dtype == np.int32
+            assert chunked.distinct_count(name) == len(cats)
+
+    def test_stream_vs_table_chunk_interplay(self, tmp_path):
+        C.write_table(_table(), tmp_path / "ds", chunk_rows=64)
+        chunked = C.open_table(tmp_path / "ds")
+        from repro.db.storage import make_store
+
+        store = make_store("col", chunked)
+        assert store.stream_ranges(0, 257)[0] == (0, 64)
+        store.stream_chunk_rows = 32  # engine override shrinks further
+        assert store.stream_ranges(0, 70) == [(0, 32), (32, 64), (64, 70)]
+        resident_store = make_store("col", _table())
+        assert resident_store.stream_ranges(0, 257) == [(0, 257)]
+
+    def test_chunked_table_derivatives_are_resident(self, tmp_path):
+        C.write_table(_table(), tmp_path / "ds", chunk_rows=64)
+        chunked = C.open_table(tmp_path / "ds")
+        subset = chunked.slice_rows(0, 40)
+        assert not subset.is_chunked
+        assert not subset.chunked_column("measure").is_memmap
+
+    def test_bad_chunk_rows(self):
+        with pytest.raises(SchemaError):
+            Table("bad", {"x": [1, 2, 3]}, chunk_rows=0)

@@ -1,0 +1,257 @@
+"""Streaming (chunk-at-a-time) execution is bitwise-identical to one-shot.
+
+The carry-seeded partial-state merge (:mod:`repro.db.streaming`) promises
+*value-identical* results at any chunk granularity — these tests enforce
+it bitwise (``tobytes()`` equality on every aggregate array) across
+aggregate functions, predicates, derived CASE keys, the spill path, and
+memmap-backed tables, for both the per-query executor and the shared-scan
+batch executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import chunks as C
+from repro.db import expressions as E
+from repro.db.executor import QueryExecutor
+from repro.db.query import (
+    AggregateFunction,
+    AggregateQuery,
+    AggregateSpec,
+    DerivedColumn,
+)
+from repro.db.shared_scan import SharedScanExecutor
+from repro.db.storage import make_store
+from repro.db.streaming import StreamingGroupAggregator
+from repro.db.table import Table
+from repro.db.types import ColumnRole
+from repro.exceptions import QueryError
+
+CHUNK_SIZES = (7, 64, 250, 5000)
+
+
+def _table(seed: int = 0, n: int = 997) -> Table:
+    rng = np.random.default_rng(seed)
+    data = {
+        "d0": rng.choice(["a", "b'c", "O'Brien", "z"], n),
+        "d1": rng.integers(0, 5, n),
+        "m0": rng.gamma(2.0, 10.0, n),
+        "m1": rng.normal(0.0, 1.0, n),
+        "part": rng.choice(["t", "r"], n),
+    }
+    roles = {
+        "d0": ColumnRole.DIMENSION,
+        "d1": ColumnRole.DIMENSION,
+        "m0": ColumnRole.MEASURE,
+        "m1": ColumnRole.MEASURE,
+        "part": ColumnRole.OTHER,
+    }
+    return Table("rand", data, roles=roles)
+
+
+def _queries() -> list[AggregateQuery]:
+    flag = DerivedColumn("flag", E.CaseWhen(E.eq("part", "t"), E.lit(1), E.lit(0)))
+    return [
+        # Plain AVG group-by.
+        AggregateQuery(
+            "rand", ("d0",), (AggregateSpec(AggregateFunction.AVG, "m0", "a0"),)
+        ),
+        # Every aggregate function at once, grouped by a derived CASE flag.
+        AggregateQuery(
+            "rand",
+            ("d0", "flag"),
+            (
+                AggregateSpec(AggregateFunction.AVG, "m0", "avg0"),
+                AggregateSpec(AggregateFunction.SUM, "m1", "sum1"),
+                AggregateSpec(AggregateFunction.MIN, "m1", "min1"),
+                AggregateSpec(AggregateFunction.MAX, "m0", "max0"),
+                AggregateSpec(AggregateFunction.COUNT, None, "cnt"),
+            ),
+            derived=(flag,),
+        ),
+        # Global aggregate (no GROUP BY) under a predicate.
+        AggregateQuery(
+            "rand",
+            (),
+            (AggregateSpec(AggregateFunction.AVG, "m0", "a0"),),
+            predicate=E.eq("part", "t"),
+        ),
+        # Spill path: tiny group budget over a composite key, partial range.
+        AggregateQuery(
+            "rand",
+            ("d0", "d1"),
+            (AggregateSpec(AggregateFunction.AVG, "m0", "a0"),),
+            predicate=E.eq("part", "t"),
+            group_budget=3,
+            row_range=(100, 900),
+        ),
+        # Expression aggregate argument.
+        AggregateQuery(
+            "rand",
+            ("d1",),
+            (
+                AggregateSpec(
+                    AggregateFunction.SUM,
+                    E.CaseWhen(E.eq("part", "t"), E.col("m0"), E.lit(0.0)),
+                    "s",
+                ),
+            ),
+        ),
+        # Predicate selecting zero rows.
+        AggregateQuery(
+            "rand",
+            ("d0",),
+            (AggregateSpec(AggregateFunction.AVG, "m0", "a0"),),
+            predicate=E.eq("part", "no-such-value"),
+        ),
+    ]
+
+
+def _assert_bitwise(one_shot, streamed, label: str) -> None:
+    r0, s0 = one_shot
+    r1, s1 = streamed
+    assert r1.n_groups == r0.n_groups, label
+    assert r1.input_rows == r0.input_rows, label
+    assert set(r1.groups) == set(r0.groups) and set(r1.values) == set(r0.values)
+    for key in r0.groups:
+        a, b = np.asarray(r0.groups[key]), np.asarray(r1.groups[key])
+        assert a.dtype == b.dtype and np.array_equal(a, b), (label, key)
+    for key in r0.values:
+        a, b = np.asarray(r0.values[key]), np.asarray(r1.values[key])
+        assert a.tobytes() == b.tobytes(), (label, key)
+    # Accounting parity where streaming promises it.
+    assert s1.queries_issued == s0.queries_issued
+    assert s1.spill_passes == s0.spill_passes, label
+    assert s1.rows_scanned == s0.rows_scanned, label
+    assert s1.agg_rows_processed == s0.agg_rows_processed, label
+    assert s1.groups_maintained == s0.groups_maintained, label
+
+
+class TestPerQueryStreaming:
+    @pytest.mark.parametrize("chunk_rows", CHUNK_SIZES)
+    def test_streamed_equals_one_shot(self, chunk_rows):
+        table = _table()
+        baseline = QueryExecutor(make_store("col", table))
+        store = make_store("col", table)
+        store.stream_chunk_rows = chunk_rows
+        streaming = QueryExecutor(store)
+        for i, query in enumerate(_queries()):
+            _assert_bitwise(
+                baseline.execute(query),
+                streaming.execute(query),
+                f"chunk={chunk_rows} q={i}",
+            )
+
+    def test_memmap_backed_table(self, tmp_path):
+        table = _table(seed=3)
+        C.write_table(table, tmp_path / "ds", chunk_rows=83)
+        chunked = C.open_table(tmp_path / "ds", memory_budget_bytes=1 << 20)
+        baseline = QueryExecutor(make_store("col", table))
+        streaming = QueryExecutor(make_store("col", chunked))
+        for i, query in enumerate(_queries()):
+            _assert_bitwise(
+                baseline.execute(query), streaming.execute(query), f"memmap q={i}"
+            )
+        assert chunked.residency.peak_bytes > 0
+        assert chunked.residency.over_budget_events == 0
+
+    def test_row_store_streams_too(self):
+        table = _table(seed=5)
+        baseline = QueryExecutor(make_store("row", table))
+        store = make_store("row", table)
+        store.stream_chunk_rows = 100
+        streaming = QueryExecutor(store)
+        for i, query in enumerate(_queries()):
+            _assert_bitwise(
+                baseline.execute(query), streaming.execute(query), f"row q={i}"
+            )
+
+
+class TestSharedScanStreaming:
+    @pytest.mark.parametrize("chunk_rows", (7, 128, 333))
+    def test_batch_equals_one_shot_batch(self, chunk_rows):
+        table = _table(seed=7)
+        baseline = SharedScanExecutor(make_store("col", table))
+        store = make_store("col", table)
+        store.stream_chunk_rows = chunk_rows
+        streaming = SharedScanExecutor(store)
+        queries = _queries()
+        base_out = baseline.execute_batch(queries)
+        stream_out = streaming.execute_batch(queries)
+        for i, (one_shot, streamed) in enumerate(zip(base_out, stream_out)):
+            _assert_bitwise(one_shot, streamed, f"shared chunk={chunk_rows} q={i}")
+
+    def test_mixed_ranges_and_fanout(self):
+        """Batches mixing streamed and unstreamed ranges route correctly."""
+        table = _table(seed=11)
+        store = make_store("col", table)
+        store.stream_chunk_rows = 200
+        streaming = SharedScanExecutor(store)
+        baseline = SharedScanExecutor(make_store("col", table))
+        base_query = _queries()[0]
+        batch = [
+            base_query.with_range(0, 150),   # single chunk: one-shot path
+            base_query.with_range(0, 997),   # streams
+            base_query.with_range(100, 900),  # streams
+        ]
+
+        def fanout(fn, items):
+            return [fn(item) for item in items]
+
+        base_out = baseline.execute_batch(batch, fanout=fanout)
+        stream_out = streaming.execute_batch(batch, fanout=fanout)
+        for i, (one_shot, streamed) in enumerate(zip(base_out, stream_out)):
+            _assert_bitwise(one_shot, streamed, f"mixed q={i}")
+
+    def test_scan_accounting_sums_once(self):
+        """Streamed shared scans still charge each page to the batch once.
+
+        Chunks are page-aligned here (``stream_chunk_rows`` a multiple of
+        ``page_rows``), so no page is re-touched across chunks and the
+        batch's summed bytes equal a single one-shot union scan.  (Chunks
+        narrower than a page re-touch it — charged as cheap buffer-pool
+        hits, which is the page-granular I/O model working as intended.)
+        """
+        table = _table(seed=13)
+        store = make_store("col", table, page_rows=50)
+        store.stream_chunk_rows = 100
+        streaming = SharedScanExecutor(store)
+        queries = [_queries()[0], _queries()[1]]
+        outcomes = streaming.execute_batch(queries)
+        total = sum(s.bytes_scanned_miss + s.bytes_scanned_hit for _, s in outcomes)
+        # One fresh-store scan of the union columns charges every touched
+        # page exactly once; the union here is d0, m0, m1, part.
+        expected = store.layout.scan_bytes(["d0", "m0", "m1", "part"], 0, table.nrows)
+        assert total == expected
+        assert sum(s.bytes_scanned_hit for _, s in outcomes) == 0
+
+
+class TestAggregatorContract:
+    def test_finalize_before_update_raises(self):
+        aggregator = StreamingGroupAggregator([AggregateFunction.COUNT])
+        with pytest.raises(QueryError):
+            aggregator.finalize()
+
+    def test_key_mismatch_raises(self):
+        from repro.db.groupby import GroupKeyColumn
+
+        aggregator = StreamingGroupAggregator([AggregateFunction.COUNT])
+        key = GroupKeyColumn("a", np.zeros(2, np.int32), np.asarray(["x"]))
+        aggregator.update([key], [(AggregateFunction.COUNT, None)])
+        other = GroupKeyColumn("b", np.zeros(2, np.int32), np.asarray(["x"]))
+        with pytest.raises(QueryError):
+            aggregator.update([other], [(AggregateFunction.COUNT, None)])
+
+    def test_all_empty_chunks_finalize_empty(self):
+        from repro.db.groupby import GroupKeyColumn
+
+        aggregator = StreamingGroupAggregator([AggregateFunction.AVG])
+        cats = np.asarray(["x", "y"])
+        empty = GroupKeyColumn("a", np.empty(0, np.int32), cats)
+        aggregator.update([empty], [(AggregateFunction.AVG, np.empty(0))])
+        result = aggregator.finalize()
+        assert result.n_groups == 0
+        assert result.key_values["a"].dtype == cats.dtype
+        assert len(result.aggregate_values[0]) == 0

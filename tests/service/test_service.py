@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 import http.client
 import threading
+import time
 
 import pytest
 
@@ -366,3 +367,227 @@ class TestAnalystDrillDown:
         session = store.create("census", "col", "emd")
         assert store.get(session.session_id) is session
         assert len(store) == 1
+
+
+# --------------------------------------------------------------------------- #
+# service hardening: healthz, graceful shutdown, on-disk datasets
+# --------------------------------------------------------------------------- #
+
+
+def _toy_chunk_store(tmp_path, with_split=True):
+    import numpy as np
+
+    from repro.db.chunks import write_table
+    from repro.db.table import Table
+    from repro.db.types import ColumnRole
+
+    rng = np.random.default_rng(0)
+    n = 400
+    table = Table(
+        "toy",
+        {
+            "region": rng.choice(["n", "s", "e", "w"], n),
+            "flavor": rng.choice(["a", "b", "c"], n),
+            "sales": rng.gamma(2.0, 10.0, n),
+            "segment": rng.choice(["t", "r"], n),
+        },
+        roles={
+            "region": ColumnRole.DIMENSION,
+            "flavor": ColumnRole.DIMENSION,
+            "sales": ColumnRole.MEASURE,
+            "segment": ColumnRole.OTHER,
+        },
+    )
+    write_table(
+        table,
+        tmp_path / "toy",
+        chunk_rows=64,
+        split_column="segment" if with_split else None,
+        target_value="t" if with_split else None,
+        other_value="r" if with_split else None,
+    )
+    return tmp_path / "toy"
+
+
+@pytest.fixture()
+def clean_registry():
+    """Drop any on-disk registrations a test leaves behind."""
+    from repro.data import registry
+
+    before = set(registry.on_disk_datasets())
+    yield
+    for name in set(registry.on_disk_datasets()) - before:
+        registry.unregister_on_disk(name)
+
+
+class TestHealthz:
+    def test_http_healthz_is_cheap_and_alive(self, http_service):
+        status, payload = _call(http_service, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+
+    def test_healthz_does_not_build_engines(self, clean_registry):
+        svc = RecommendationService(datasets=("census",), scale="smoke")
+        try:
+            assert svc.healthz()["status"] == "ok"
+            assert svc.stats()["engines_loaded"] == []  # nothing was built
+        finally:
+            svc.close()
+
+
+class TestOnDiskDatasets:
+    def test_data_dirs_register_and_serve(self, tmp_path, clean_registry):
+        path = _toy_chunk_store(tmp_path)
+        svc = RecommendationService(
+            datasets=("census",), scale="smoke", data_dirs=(str(path),)
+        )
+        try:
+            names = {d["name"]: d for d in svc.describe_datasets()["datasets"]}
+            assert names["toy"]["on_disk"] and not names["census"]["on_disk"]
+            assert names["toy"]["n_rows"] == 400
+            session = svc.create_session({"dataset": "toy"})
+            assert session["n_rows"] == 400
+            assert set(session["dimensions"]) == {"region", "flavor"}
+            response = svc.recommend(session["session_id"], {"k": 2})
+            assert len(response["views"]) == 2
+        finally:
+            svc.close()
+
+    def test_post_datasets_registers_at_runtime(self, tmp_path, clean_registry):
+        path = _toy_chunk_store(tmp_path)
+        svc = RecommendationService(datasets=("census",), scale="smoke")
+        server, _ = start_server(svc)
+        address = server.server_address[:2]
+        try:
+            status, payload = _call(
+                address, "POST", "/datasets", {"path": str(path)}
+            )
+            assert status == 201 and payload["name"] == "toy"
+            assert payload["on_disk"] and payload["chunk_rows"] == 64
+            status, sess = _call(address, "POST", "/sessions", {"dataset": "toy"})
+            assert status == 201
+            status, rec = _call(
+                address, "POST", f"/sessions/{sess['session_id']}/recommend", {"k": 1}
+            )
+            assert status == 200 and rec["views"]
+        finally:
+            server.graceful_shutdown(timeout=5)
+
+    def test_post_datasets_validates(self, tmp_path, clean_registry):
+        svc = RecommendationService(datasets=("census",), scale="smoke")
+        try:
+            with pytest.raises(ServiceError):
+                svc.register_dataset({})
+            with pytest.raises(ServiceError):
+                svc.register_dataset({"path": str(tmp_path / "missing")})
+        finally:
+            svc.close()
+
+    def test_dataset_without_split_requires_explicit_target(
+        self, tmp_path, clean_registry
+    ):
+        path = _toy_chunk_store(tmp_path, with_split=False)
+        svc = RecommendationService(
+            datasets=("census",), scale="smoke", data_dirs=(str(path),)
+        )
+        try:
+            session = svc.create_session({"dataset": "toy"})
+            with pytest.raises(ServiceError, match="no default target"):
+                svc.recommend(session["session_id"], {"k": 1})
+            response = svc.recommend(
+                session["session_id"],
+                {"k": 1, "target": [{"column": "segment", "value": "t"}]},
+            )
+            assert response["views"]
+        finally:
+            svc.close()
+
+
+class TestGracefulShutdown:
+    def _server(self):
+        svc = RecommendationService(datasets=("census",), scale="smoke")
+        server, _ = start_server(svc)
+        return svc, server
+
+    def test_drain_waits_for_inflight_then_closes(self):
+        svc, server = self._server()
+        address = server.server_address[:2]
+        release = threading.Event()
+        original_stats = svc.stats
+
+        def slow_stats():
+            release.wait(10)
+            return original_stats()
+
+        svc.stats = slow_stats
+        inflight_result = {}
+
+        def inflight_request():
+            inflight_result["response"] = _call(address, "GET", "/stats")
+
+        request_thread = threading.Thread(target=inflight_request)
+        request_thread.start()
+        for _ in range(200):  # wait until the request is registered in-flight
+            if server._inflight:
+                break
+            time.sleep(0.005)
+        drain_result = {}
+
+        def drain():
+            drain_result["drained"] = server.graceful_shutdown(timeout=10)
+
+        drain_thread = threading.Thread(target=drain)
+        drain_thread.start()
+        time.sleep(0.2)
+        # Still draining: the in-flight request holds the shutdown open.
+        assert "drained" not in drain_result
+        assert server.draining
+        release.set()
+        drain_thread.join(10)
+        request_thread.join(10)
+        assert drain_result["drained"] is True
+        # The in-flight request completed with a full, valid response.
+        assert inflight_result["response"][0] == 200
+        # And the listening socket is gone.
+        with pytest.raises(OSError):
+            _call(address, "GET", "/healthz")
+
+    def test_draining_rejects_new_requests_with_503(self):
+        svc, server = self._server()
+        # Flip the drain flag directly (the public path also stops the
+        # accept loop, which would refuse the connection before routing).
+        with server._inflight_cond:
+            server._draining = True
+        address = server.server_address[:2]
+        status, payload = _call(address, "GET", "/healthz")
+        assert status == 503
+        assert "shutting down" in payload["error"]
+        with server._inflight_cond:
+            server._draining = False
+        assert _call(address, "GET", "/healthz")[0] == 200
+        server.graceful_shutdown(timeout=5)
+
+    def test_graceful_shutdown_is_idempotent(self):
+        _, server = self._server()
+        assert server.graceful_shutdown(timeout=5) is True
+        assert server.graceful_shutdown(timeout=5) is True
+
+    def test_sigterm_handler_drains(self):
+        import os
+        import signal
+
+        from repro.service import install_sigterm_handler
+
+        svc, server = self._server()
+        address = server.server_address[:2]
+        assert _call(address, "GET", "/healthz")[0] == 200
+        previous = signal.getsignal(signal.SIGTERM)
+        try:
+            done = install_sigterm_handler(server, timeout=5)
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert done.wait(10), "SIGTERM drain did not complete"
+            with pytest.raises(OSError):
+                _call(address, "GET", "/healthz")
+        finally:
+            signal.signal(signal.SIGTERM, previous)

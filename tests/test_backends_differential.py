@@ -23,6 +23,13 @@ Coverage math (the acceptance bar is >= 200 randomized engine runs):
   fully-warm rerun (zero queries executed), and a cache-on sqlite run must
   all match the cache-off sqlite oracle — on both backends the cache may
   change accounting, never results.
+* ``test_differential_out_of_core`` adds 4 x 2 x 2 x 3 = 48 runs growing
+  the oracle an out-of-core leg: a memmap-backed chunked run under a
+  memory budget smaller than the dataset must produce **bitwise**-identical
+  top-k, utilities, and distributions to the resident native path (and
+  match the SQLite oracle), for SHARING and COMB, serial and
+  ``parallelism="real"`` — streaming may change peak memory and
+  accounting, never results.
 """
 
 from __future__ import annotations
@@ -59,6 +66,7 @@ def test_coverage_floor():
     assert len(CASES) * 2 + 8 * 2 + 6 * 2 >= 200
     assert len(SHARED_SCAN_CASES) * 3 >= 48
     assert len(RESULT_CACHE_CASES) * 4 >= 32
+    assert len(OUT_OF_CORE_CASES) * 3 >= 48
 
 
 def _random_table(seed: int) -> Table:
@@ -236,6 +244,84 @@ def test_differential_result_cache_sweep(seed, strategy):
     assert warm.selected == cold.selected
     for key, value in cold.utilities.items():
         assert warm.utilities[key] == value
+
+
+OUT_OF_CORE_CASES = [
+    (seed, strategy, parallelism)
+    for seed in range(4)
+    for strategy in ("sharing", "comb")
+    for parallelism in ("modeled", "real")
+]
+
+
+@pytest.mark.parametrize("seed,strategy,parallelism", OUT_OF_CORE_CASES)
+def test_differential_out_of_core(tmp_path, seed, strategy, parallelism):
+    """The out-of-core leg: memmap-chunked streaming is bitwise-exact.
+
+    Three runs per table: the resident native path, a memmap-backed
+    chunked run whose memory budget is *half* the dataset's physical bytes
+    (so streaming genuinely engages, with several chunks per phase), and
+    the SQLite oracle.  The chunked run must match the resident run
+    bitwise — selected order, every utility, every distribution array —
+    and both must agree with the oracle.  Peak tracked residency must stay
+    under the budget.
+    """
+    from repro.db.chunks import open_table, write_table
+
+    table = _random_table(500 + seed)
+    write_table(table, tmp_path / "ds", chunk_rows=16)
+    budget = max(table.physical_row_bytes() * table.nrows // 2, 1)
+    chunked = open_table(tmp_path / "ds", memory_budget_bytes=budget)
+    assert budget < table.physical_row_bytes() * table.nrows
+
+    resident = _run(table, "native", strategy, "all", parallelism=parallelism)
+    out_of_core = _run(
+        chunked,
+        "native",
+        strategy,
+        "all",
+        parallelism=parallelism,
+        memory_budget_bytes=budget,
+    )
+    sqlite = _run(table, "sqlite", strategy, "all", parallelism=parallelism)
+
+    # Bitwise agreement with the resident native path.
+    assert out_of_core.selected == resident.selected
+    assert set(out_of_core.utilities) == set(resident.utilities)
+    for key, value in resident.utilities.items():
+        assert out_of_core.utilities[key] == value  # exact, not approx
+    for key, dists in resident.distributions.items():
+        other = out_of_core.distributions[key]
+        assert np.array_equal(dists.keys, other.keys)
+        assert np.array_equal(dists.target, other.target, equal_nan=True)
+        assert np.array_equal(dists.reference, other.reference, equal_nan=True)
+    assert out_of_core.stats.queries_issued == resident.stats.queries_issued
+    assert out_of_core.phases_executed == resident.phases_executed
+
+    # And with the independent SQL engine.
+    _assert_equivalent(out_of_core, sqlite)
+
+    # The streaming executors honoured the residency budget.
+    assert chunked.residency is not None
+    assert chunked.residency.peak_bytes <= budget
+    assert chunked.residency.over_budget_events == 0
+
+
+def test_differential_out_of_core_with_spill(tmp_path):
+    """Streaming + budget-forced spill accounting still matches exactly."""
+    from repro.db.chunks import open_table, write_table
+
+    table = _random_table(7)
+    write_table(table, tmp_path / "ds", chunk_rows=16)
+    chunked = open_table(tmp_path / "ds")
+    kwargs = dict(col_group_budget=2, use_binpacking=False, max_group_bys_per_query=2)
+    resident = _run(table, "native", "sharing", "all", **kwargs)
+    out_of_core = _run(chunked, "native", "sharing", "all", **kwargs)
+    assert resident.stats.spill_passes > 0
+    assert out_of_core.stats.spill_passes == resident.stats.spill_passes
+    assert out_of_core.selected == resident.selected
+    for key, value in resident.utilities.items():
+        assert out_of_core.utilities[key] == value
 
 
 def test_differential_with_spilling_group_budget():

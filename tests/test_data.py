@@ -214,3 +214,135 @@ class TestRegistry:
         run = seedb.true_top_k(spec.target_predicate(), k=5)
         planted = {("job", "balance", "AVG"), ("month", "duration", "AVG")}
         assert planted & set(run.selected)
+
+
+# --------------------------------------------------------------------------- #
+# CSV ingestion + on-disk registry
+# --------------------------------------------------------------------------- #
+
+
+class TestIngestCSV:
+    @pytest.fixture()
+    def toy_csv(self, tmp_path):
+        path = tmp_path / "toy.csv"
+        path.write_text(
+            "region,score,count,label\n"
+            "north, 1.5 ,10,alpha\n"
+            "south,2.5,20,beta\n"
+            "north,,30,alpha\n"
+            "east,4.0,40,gamma delta\n"
+        )
+        return path
+
+    def test_types_roles_and_values(self, tmp_path, toy_csv):
+        from repro.data.ingest import ingest_csv
+        from repro.db.chunks import open_table
+
+        manifest = ingest_csv(toy_csv, tmp_path / "ds", chunk_rows=2)
+        assert manifest.n_rows == 4 and manifest.chunk_rows == 2
+        table = open_table(tmp_path / "ds")
+        assert table.n_chunks == 2
+        # score has a missing cell -> float64 with NaN; count all-int ->
+        # int64; strings keep their widest width.
+        score = np.asarray(table.column("score"))
+        assert score.dtype == np.float64 and np.isnan(score[2])
+        assert table.column("count").dtype == np.int64
+        assert table.schema["region"].role.value == "dimension"
+        assert table.schema["score"].role.value == "measure"
+        assert list(table.column("label")) == ["alpha", "beta", "alpha", "gamma delta"]
+
+    def test_split_column_and_registry_roundtrip(self, tmp_path, toy_csv):
+        from repro.data import registry
+        from repro.data.ingest import ingest_csv
+
+        ingest_csv(
+            toy_csv,
+            tmp_path / "ds",
+            name="toyset",
+            chunk_rows=2,
+            split_column="region",
+            target_value="north",
+            other_value="south",
+        )
+        entry = registry.register_on_disk(tmp_path / "ds")
+        try:
+            assert entry.name == "toyset"
+            assert entry.split_column == "region"
+            spec = registry.spec("toyset")
+            assert spec.target_predicate().to_sql() == "region = 'north'"
+            table = registry.build("toyset")
+            assert table.nrows == 4 and table.is_chunked
+            assert "toyset" in registry.available_datasets()
+            # Same digest re-registration is a no-op; built-in clash fails.
+            registry.register_on_disk(tmp_path / "ds")
+            with pytest.raises(DatasetError):
+                registry.register_on_disk(tmp_path / "ds", name="bank")
+        finally:
+            registry.unregister_on_disk("toyset")
+        with pytest.raises(DatasetError):
+            registry.spec("toyset")
+
+    def test_role_overrides_and_errors(self, tmp_path, toy_csv):
+        from repro.data.ingest import ingest_csv
+        from repro.db.chunks import open_table
+
+        ingest_csv(tmp_path / "toy.csv", tmp_path / "ds", roles={"count": "dimension"})
+        table = open_table(tmp_path / "ds")
+        assert table.schema["count"].role.value == "dimension"
+        with pytest.raises(DatasetError):
+            ingest_csv(toy_csv, tmp_path / "ds2", roles={"nope": "measure"})
+        with pytest.raises(DatasetError):
+            ingest_csv(toy_csv, tmp_path / "ds3", split_column="nope")
+        with pytest.raises(DatasetError):
+            ingest_csv(tmp_path / "missing.csv", tmp_path / "ds4")
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n3\n")
+        from repro.data.ingest import ingest_csv
+
+        with pytest.raises(DatasetError, match="expected 2 cells"):
+            ingest_csv(bad, tmp_path / "ds")
+
+    def test_cli_entry(self, tmp_path, toy_csv, capsys):
+        from repro.data.ingest import main
+
+        main([str(toy_csv), str(tmp_path / "ds"), "--name", "cli_toy"])
+        out = capsys.readouterr().out
+        assert "ingested 4 rows" in out
+
+    def test_materialize_dataset_keeps_split_metadata(self, tmp_path):
+        from repro.data.ingest import materialize_dataset
+        from repro.db.chunks import open_table
+
+        manifest = materialize_dataset(
+            "housing", tmp_path / "housing", scale="smoke", chunk_rows=128
+        )
+        assert manifest.split_column == "sold_above_asking"
+        table = open_table(tmp_path / "housing")
+        assert table.nrows == 500 and table.is_chunked
+
+    def test_recommendations_from_ingested_csv(self, tmp_path):
+        """End-to-end: CSV -> chunk store -> SeeDB recommendation."""
+        rng = np.random.default_rng(5)
+        n = 600
+        lines = ["region,flavor,sales,segment"]
+        for _ in range(n):
+            seg = "t" if rng.random() < 0.4 else "r"
+            sales = rng.gamma(2.0, 10.0) * (2.0 if seg == "t" else 1.0)
+            lines.append(
+                f"r{rng.integers(0, 4)},f{rng.integers(0, 3)},{sales:.4f},{seg}"
+            )
+        csv_path = tmp_path / "sales.csv"
+        csv_path.write_text("\n".join(lines) + "\n")
+        from repro.data.ingest import ingest_csv
+        from repro.db.chunks import open_table
+        from repro.db.expressions import eq
+
+        ingest_csv(csv_path, tmp_path / "ds", chunk_rows=100,
+                   split_column="segment", target_value="t", other_value="r")
+        table = open_table(tmp_path / "ds", memory_budget_bytes=1 << 16)
+        seedb = SeeDB.over_table(table)
+        run = seedb.run_engine(eq("segment", "t"), k=2, strategy="sharing", pruner="none")
+        assert len(run.selected) == 2
+        assert table.residency.peak_bytes > 0
