@@ -1,0 +1,75 @@
+"""Load ramp: single-process service vs the sharded multi-worker front-end.
+
+Runs the closed-loop concurrent-session ramp from
+``repro.bench.experiments.bench_load`` — same weighted workload against
+one in-process ``SeeDBHTTPServer`` and against ``n_workers`` service
+processes behind the consistent-hashing front-end — and checks the
+committed trajectory in ``BENCH_load.json`` (p50/p99 latency, saturation
+RPS, per-process CPU/RSS).
+
+The scale-out headroom is bounded by host cores: on a multi-core host the
+front-end must clearly beat the single process at saturation; on a
+single-core host process sharding cannot add wall-clock parallelism, so
+the bar drops to a no-regression sanity floor (the front-end still tends
+to win modestly there by keeping execution off the client/proxy GIL).
+"""
+
+import glob
+import json
+import os
+
+from repro.bench.experiments import bench_load
+from repro.service.monitor import proc_available
+
+
+def test_bench_load(benchmark):
+    table = benchmark.pedantic(bench_load, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    by_topology = {}
+    for row in table.rows:
+        by_topology.setdefault(row["topology"], []).append(row)
+    assert set(by_topology) == {"single", "frontend"}
+    # Both topologies served the identical weighted session mix at every
+    # level, and every request completed (the client raises on any 4xx/5xx).
+    single_requests = [r["requests"] for r in by_topology["single"]]
+    frontend_requests = [r["requests"] for r in by_topology["frontend"]]
+    assert single_requests == frontend_requests
+    assert all(n > 0 for n in single_requests)
+    for row in table.rows:
+        assert row["p99_ms"] >= row["p50_ms"] > 0
+        if proc_available():
+            assert row["cpu_percent"] > 0 and row["rss_mib"] > 0
+
+    saturation = {
+        topology: max(float(r["rps"]) for r in rows)
+        for topology, rows in by_topology.items()
+    }
+    cores = os.cpu_count() or 1
+    floor = 1.05 if cores >= 2 else 0.85
+    speedup = saturation["frontend"] / saturation["single"]
+    assert speedup >= floor, (
+        f"front-end saturation {saturation['frontend']:.2f} rps vs single "
+        f"{saturation['single']:.2f} rps ({speedup:.2f}x) is below the "
+        f"{floor}x floor for a {cores}-core host"
+    )
+
+    # The perf-trajectory entry was written and matches the run (a smaller
+    # run diverts to a scale-suffixed sibling instead of clobbering the
+    # committed baseline).
+    candidates = sorted(glob.glob("BENCH_load*.json"), key=os.path.getmtime)
+    assert candidates
+    with open(candidates[-1]) as handle:
+        payload = json.load(handle)
+    assert payload["bench"] == "load"
+    assert payload["host_cores"] == cores
+    assert set(payload["shards"].values()) == set(range(payload["n_workers"]))
+    assert sum(payload["session_mix"].values()) == payload["sessions_per_level"]
+    assert payload["saturation"]["frontend"]["rps"] > 0
+    assert payload["frontend_speedup"] >= floor
+    assert len(payload["rows"]) == 2 * len(payload["concurrency_levels"])
+    if proc_available():
+        # One sample per live process of each topology at the last level.
+        assert len(payload["process_samples"]["frontend"]) == (
+            payload["n_workers"] + 1
+        )

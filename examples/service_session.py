@@ -2,9 +2,11 @@
 
 Starts the SeeDB recommendation service in-process, replays a three-step
 drill-down session over the census dataset (the Figure 1 journalist: start
-from unmarried adults, drill into whatever deviates most), and prints the
-per-step recommendations plus the cross-session cache hit-rate — the same
-session replayed immediately afterwards is served entirely from memory.
+from unmarried adults, drill into whatever deviates most) through the
+typed :class:`~repro.service.client.ServiceClient` against the versioned
+``/v1`` API, and prints the per-step recommendations plus the
+cross-session cache hit-rate — the same session replayed immediately
+afterwards is served entirely from memory.
 
 Run:  PYTHONPATH=src python examples/service_session.py
 
@@ -12,44 +14,24 @@ Exits non-zero if any request fails or the replayed session does not hit
 the cache (CI runs this as the service smoke check).
 """
 
-import http.client
-import json
 import sys
 
 from repro.service import AnalystDrillDown, RecommendationService, start_server
+from repro.service.client import ServiceClient
 
 
-def call(address, method, path, payload=None):
-    """One JSON request against the service; fails loudly on non-2xx."""
-    connection = http.client.HTTPConnection(*address)
-    try:
-        body = json.dumps(payload).encode() if payload is not None else None
-        connection.request(
-            method, path, body=body, headers={"Content-Type": "application/json"}
-        )
-        response = connection.getresponse()
-        data = json.loads(response.read())
-        if response.status >= 400:
-            raise SystemExit(f"{method} {path} -> HTTP {response.status}: {data}")
-        return data
-    finally:
-        connection.close()
-
-
-def run_session(address, label):
+def run_session(client: ServiceClient, label: str) -> tuple[int, int]:
     """Replay the three-step census drill-down; returns total hits/misses."""
-    session = call(address, "POST", "/sessions", {"dataset": "census"})
-    print(f"\n{label}: session {session['session_id']} over census "
-          f"({session['n_rows']:,} rows)")
+    session = client.create_session(dataset="census")
+    print(f"\n{label}: session {session.session_id} over census "
+          f"({session.n_rows:,} rows)")
     analyst = AnalystDrillDown(
         [("marital_status", "Unmarried")], k=5, n_steps=3, seed=1
     )
     request = analyst.first_request()
     hits = misses = 0
     while request is not None:
-        response = call(
-            address, "POST", f"/sessions/{session['session_id']}/recommend", request
-        )
+        response = client.recommend_raw(session.session_id, request)
         stats = response["stats"]
         hits += stats["cache_hits"]
         misses += stats["cache_misses"]
@@ -72,24 +54,25 @@ def main() -> None:
     # 1. Boot the real HTTP service in-process (ephemeral port).
     service = RecommendationService(datasets=("census",))
     server, _ = start_server(service)
-    address = server.server_address[:2]
-    print(f"service listening on http://{address[0]}:{address[1]}")
+    host, port = server.server_address[:2]
+    print(f"service listening on http://{host}:{port}")
     try:
-        # 2. A first analyst explores: every view query is a cache miss.
-        first_hits, first_misses = run_session(address, "analyst #1 (cold)")
+        with ServiceClient(host, port) as client:
+            # 2. A first analyst explores: every view query is a cache miss.
+            first_hits, first_misses = run_session(client, "analyst #1 (cold)")
 
-        # 3. A second analyst retraces the same steps: served from memory.
-        second_hits, second_misses = run_session(address, "analyst #2 (replay)")
+            # 3. A second analyst retraces the same steps: served from memory.
+            second_hits, second_misses = run_session(client, "analyst #2 (replay)")
 
-        # 4. The service-wide picture.
-        stats = call(address, "GET", "/stats")
-        cache = stats["cache"]
-        print(
-            f"\nservice: {stats['sessions']} sessions, {stats['requests']} requests; "
-            f"cache hit-rate {cache['hit_rate']:.0%} "
-            f"({cache['hits']} hits / {cache['misses']} misses, "
-            f"{cache['bytes_saved'] / 1e6:.1f} MB of scanning avoided)"
-        )
+            # 4. The service-wide picture.
+            stats = client.stats()
+            cache = stats["cache"]
+            print(
+                f"\nservice: {stats['sessions']} sessions, {stats['requests']} "
+                f"requests; cache hit-rate {cache['hit_rate']:.0%} "
+                f"({cache['hits']} hits / {cache['misses']} misses, "
+                f"{cache['bytes_saved'] / 1e6:.1f} MB of scanning avoided)"
+            )
         if first_hits != 0 or second_misses != 0 or second_hits == 0:
             raise SystemExit(
                 "expected the replayed session to be served entirely from the "

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import os
 import time
+from typing import Mapping
 
 import numpy as np
 
@@ -1063,51 +1064,31 @@ def _replay_drilldown(
 ) -> list[list[tuple[str, str, str]]]:
     """Replay one simulated drill-down session over HTTP.
 
-    Uses one persistent keep-alive connection for the whole session (an
-    analyst UI holds its connection open), and returns the per-step ranked
-    view keys so the caller can check that every session — and both cache
-    modes — recommended identical views.
+    Uses one :class:`~repro.service.client.ServiceClient` — one persistent
+    keep-alive connection — for the whole session (an analyst UI holds its
+    connection open), and returns the per-step ranked view keys so the
+    caller can check that every session — and both cache modes —
+    recommended identical views.
     """
-    import http.client
-    import json
-
     from repro.data import registry as data_registry
+    from repro.service.client import ServiceClient
     from repro.service.sessions import AnalystDrillDown
 
-    connection = http.client.HTTPConnection(*address)
-
-    def call(method: str, path: str, payload: dict | None = None):
-        # bytes (not str) so http.client coalesces headers+body into one
-        # packet — a str body is a second send() that stalls behind the
-        # server's delayed ACK when Nagle is on.
-        body = json.dumps(payload).encode() if payload is not None else None
-        connection.request(
-            method, path, body=body, headers={"Content-Type": "application/json"}
-        )
-        response = connection.getresponse()
-        data = response.read()
-        if response.status >= 400:
-            raise AssertionError(f"{method} {path} -> {response.status}: {data!r}")
-        return json.loads(data)
-
-    try:
+    with ServiceClient(*address) as client:
         spec = data_registry.spec(dataset)
-        session = call("POST", "/sessions", {"dataset": dataset})
-        session_id = session["session_id"]
+        session = client.create_session(dataset=dataset)
         analyst = AnalystDrillDown(
             [(spec.split_column, spec.target_value)], k=k, n_steps=n_steps, seed=seed
         )
         request = analyst.first_request()
         per_step: list[list[tuple[str, str, str]]] = []
         while request is not None:
-            response = call("POST", f"/sessions/{session_id}/recommend", request)
+            response = client.recommend_raw(session.session_id, request)
             per_step.append(
                 [(v["dimension"], v["measure"], v["func"]) for v in response["views"]]
             )
             request = analyst.next_request(response)
         return per_step
-    finally:
-        connection.close()
 
 
 def bench_service_throughput(
@@ -1239,6 +1220,324 @@ def bench_service_throughput(
             "host_cores": os.cpu_count() or 1,
             "identical_topk": True,
             "rows": results,
+        }
+        with open(out_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Load ramp — single process vs sharded multi-worker front-end
+# --------------------------------------------------------------------------- #
+
+
+def _load_levels(scale: str | None = None) -> tuple[int, ...]:
+    return {"smoke": (1, 2, 4), "small": (1, 4, 8), "full": (2, 8, 16)}[
+        scale or current_scale()
+    ]
+
+
+def _load_sessions(scale: str | None = None) -> int:
+    return {"smoke": 6, "small": 12, "full": 24}[scale or current_scale()]
+
+
+def _spread_datasets(n_workers: int) -> tuple[str, ...]:
+    """Pick benchmark datasets that cover every front-end shard.
+
+    The front-end routes whole datasets to workers by consistent hashing,
+    so a single-dataset workload would land on one worker and measure
+    nothing but proxy overhead.  Walk a candidate list (heaviest first —
+    the synthetic tables scale with ``SEEDB_SCALE`` and carry the largest
+    view spaces) and keep the first dataset seen for each distinct
+    worker; the ring is deterministic, so the choice is reproducible.
+    """
+    from repro.service.frontend import HashRing
+
+    candidates = ("syn", "syn_star_100", "diab", "census", "bank", "movies")
+    ring = HashRing(n_workers)
+    chosen: list[str] = []
+    covered: set[int] = set()
+    for name in candidates:
+        worker = ring.lookup(name)
+        if worker not in covered:
+            chosen.append(name)
+            covered.add(worker)
+        if len(covered) >= n_workers:
+            break
+    return tuple(chosen)
+
+
+def _weighted_session_mix(
+    costs: Mapping[str, float], total_sessions: int
+) -> dict[str, int]:
+    """Sessions per dataset, inversely proportional to per-request cost.
+
+    Datasets differ by an order of magnitude in per-request execution
+    cost, and each dataset is pinned to one front-end shard — unweighted
+    round-robin would leave cheap shards idle while one shard carries the
+    whole ramp.  Inverse-cost weighting (largest-remainder rounding, at
+    least one session each) gives every shard comparable offered work, so
+    the ramp measures scale-out rather than the skew of the dataset mix.
+    """
+    weights = {name: 1.0 / max(cost, 1e-9) for name, cost in costs.items()}
+    scale = total_sessions / sum(weights.values())
+    raw = {name: weight * scale for name, weight in weights.items()}
+    counts = {name: max(1, int(raw[name])) for name in raw}
+    while sum(counts.values()) < total_sessions:
+        name = max(raw, key=lambda n: raw[n] - counts[n])
+        counts[name] += 1
+    while sum(counts.values()) > total_sessions:
+        eligible = [n for n in counts if counts[n] > 1]
+        if not eligible:
+            break
+        name = max(eligible, key=lambda n: counts[n] - raw[n])
+        counts[name] -= 1
+    return counts
+
+
+def _interleaved_order(counts: Mapping[str, int]) -> list[str]:
+    """Deficit-round-robin submission order for a weighted session mix.
+
+    Spreads each dataset's sessions evenly through the list so that at
+    any closed-loop concurrency the in-flight mix matches the overall
+    mix (a sorted order would run the shards one after another).
+    """
+    remaining = dict(counts)
+    credit = {name: 0.0 for name in counts}
+    total = sum(counts.values())
+    order: list[str] = []
+    for _ in range(total):
+        for name in credit:
+            if remaining[name]:
+                credit[name] += counts[name] / total
+        name = max(
+            (n for n in counts if remaining[n]), key=lambda n: (credit[n], n)
+        )
+        order.append(name)
+        credit[name] -= 1.0
+        remaining[name] -= 1
+    return order
+
+
+def _timed_drilldown(
+    address: tuple[str, int], dataset: str, n_steps: int, k: int, seed: int
+) -> list[float]:
+    """Replay one drill-down session; return per-request latencies (s)."""
+    from repro.data import registry as data_registry
+    from repro.service.client import ServiceClient
+    from repro.service.sessions import AnalystDrillDown
+
+    with ServiceClient(*address) as client:
+        spec = data_registry.spec(dataset)
+        session = client.create_session(dataset=dataset)
+        analyst = AnalystDrillDown(
+            [(spec.split_column, spec.target_value)], k=k, n_steps=n_steps, seed=seed
+        )
+        request = analyst.first_request()
+        latencies: list[float] = []
+        while request is not None:
+            started = time.perf_counter()
+            response = client.recommend_raw(session.session_id, request)
+            latencies.append(time.perf_counter() - started)
+            request = analyst.next_request(response)
+        return latencies
+
+
+def _latency_percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted latency list."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def bench_load(
+    n_workers: int = 2,
+    n_steps: int = 3,
+    k: int = 5,
+    datasets: tuple[str, ...] | None = None,
+    concurrency_levels: tuple[int, ...] | None = None,
+    sessions_per_level: int | None = None,
+    out_path: str | None = "BENCH_load.json",
+) -> ResultTable:
+    """Closed-loop load ramp: single-process service vs sharded front-end.
+
+    Each topology serves the same workload — ``sessions_per_level``
+    concurrent drill-down sessions over datasets that cover every
+    front-end shard — at each closed-loop concurrency level (every
+    client thread replays whole sessions back-to-back; no open-loop
+    arrival process).  Per-request latencies give p50/p99 at each level;
+    the saturation RPS of a topology is its best level.  Per-process
+    CPU%/RSS comes from :class:`~repro.service.monitor.ProcessMonitor`
+    (primed before each measured level).
+
+    The result cache is OFF in both topologies: the ramp measures how far
+    process sharding scales *execution*, not how well the cache absorbs
+    repeats (``bench_service_throughput`` covers that).  The single
+    topology runs one in-process ``SeeDBHTTPServer`` (GIL-bound threads);
+    the sharded topology runs ``n_workers`` service processes behind the
+    consistent-hashing front-end, which adds one proxy hop per request.
+
+    Because datasets differ wildly in per-request cost and each dataset
+    pins to one shard, the warm-up doubles as a calibration pass: both
+    topologies then serve the *same* inverse-cost-weighted session mix
+    (see :func:`_weighted_session_mix`), so every shard receives
+    comparable offered work.
+
+    When ``out_path`` is set the trajectory lands in ``BENCH_load.json``
+    with the same scale-divert rule as the other committed baselines.
+    """
+    import json
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import RecommendationService, start_frontend, start_server
+    from repro.service.monitor import ProcessMonitor
+
+    levels = tuple(concurrency_levels or _load_levels())
+    sessions_per_level = sessions_per_level or _load_sessions()
+    datasets = tuple(datasets or _spread_datasets(n_workers))
+    table = ResultTable(
+        f"Load ramp over {', '.join(d.upper() for d in datasets)}: "
+        f"single process vs {n_workers}-worker front-end "
+        f"({sessions_per_level} sessions x {n_steps} steps per level, "
+        f"cache off)",
+        notes="closed-loop; saturation RPS = best level per topology; "
+        "cpu/rss summed over that topology's processes",
+    )
+    all_rows: list[dict[str, object]] = []
+    peak_samples: dict[str, list[dict[str, object]]] = {}
+    session_order: list[str] = []
+    costs_ms: dict[str, float] = {}
+
+    def warm(address: tuple[str, int]) -> dict[str, float]:
+        """One untimed session per dataset; returns mean request cost (s).
+
+        Builds each shard's engine before the measured ramp and supplies
+        the per-dataset calibration the weighted session mix is based on.
+        """
+        costs: dict[str, float] = {}
+        for dataset in datasets:
+            latencies = _timed_drilldown(address, dataset, n_steps, k, seed=1)
+            costs[dataset] = sum(latencies) / max(len(latencies), 1)
+        return costs
+
+    def run_topology(
+        name: str, workers: int, address: tuple[str, int], pids: list[int]
+    ) -> None:
+        monitor = ProcessMonitor(pids)
+        samples: list = []
+        for level in levels:
+            monitor.sample()  # prime the CPU delta for this level
+            latencies: list[float] = []
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=level) as pool:
+                futures = [
+                    pool.submit(_timed_drilldown, address, dataset, n_steps, k, 1)
+                    for dataset in session_order
+                ]
+                for future in futures:
+                    latencies.extend(future.result())
+            wall = time.perf_counter() - started
+            samples = monitor.sample()
+            latencies.sort()
+            all_rows.append(
+                dict(
+                    topology=name,
+                    workers=workers,
+                    concurrency=level,
+                    sessions=len(session_order),
+                    requests=len(latencies),
+                    wall_s=wall,
+                    rps=len(latencies) / max(wall, 1e-12),
+                    p50_ms=1e3 * _latency_percentile(latencies, 0.50),
+                    p99_ms=1e3 * _latency_percentile(latencies, 0.99),
+                    cpu_percent=round(sum(s.cpu_percent for s in samples), 1),
+                    rss_mib=round(
+                        sum(s.rss_bytes for s in samples) / 2**20, 1
+                    ),
+                )
+            )
+        peak_samples[name] = [s.as_dict() for s in samples]
+
+    # Topology 1: one process, one ThreadingHTTPServer (the PR-4 service).
+    service = RecommendationService(datasets=datasets, result_cache=False)
+    server, _ = start_server(service)
+    try:
+        address = server.server_address[:2]
+        costs = warm(address)
+        costs_ms = {name: round(1e3 * cost, 1) for name, cost in costs.items()}
+        session_mix = _weighted_session_mix(costs, sessions_per_level)
+        session_order = _interleaved_order(session_mix)
+        run_topology("single", 1, address, [os.getpid()])
+        n_rows = sum(
+            service.engine(
+                name, service.default_store, service.default_metric
+            ).table.nrows
+            for name in datasets
+        )
+    finally:
+        server.graceful_shutdown(timeout=30)
+        service.close()
+
+    # Topology 2: n_workers service processes behind the hash-ring router,
+    # serving the exact same weighted session mix.
+    frontend, _ = start_frontend(
+        n_workers=n_workers,
+        service_kwargs=dict(datasets=datasets, result_cache=False),
+    )
+    shards = {
+        name: frontend.worker_for_dataset(name).index for name in datasets
+    }
+    try:
+        pids = [os.getpid()] + [w.pid for w in frontend.workers]
+        warm(frontend.server_address[:2])
+        run_topology("frontend", n_workers, frontend.server_address[:2], pids)
+    finally:
+        frontend.graceful_shutdown(timeout=30)
+
+    saturation: dict[str, dict[str, object]] = {}
+    for row in all_rows:
+        table.add(**row)
+        topology = str(row["topology"])
+        best = saturation.get(topology)
+        if best is None or float(row["rps"]) > float(best["rps"]):  # type: ignore[arg-type]
+            saturation[topology] = {
+                "rps": float(row["rps"]),  # type: ignore[arg-type]
+                "concurrency": row["concurrency"],
+                "p50_ms": row["p50_ms"],
+                "p99_ms": row["p99_ms"],
+            }
+    speedup = float(saturation["frontend"]["rps"]) / max(  # type: ignore[arg-type]
+        float(saturation["single"]["rps"]), 1e-12  # type: ignore[arg-type]
+    )
+    if out_path:
+        try:
+            with open(out_path) as handle:
+                existing_rows = int(json.load(handle).get("n_rows", 0))
+        except (OSError, ValueError):
+            existing_rows = 0
+        if existing_rows > n_rows:
+            root, ext = os.path.splitext(out_path)
+            out_path = f"{root}.{current_scale()}{ext}"
+        payload = {
+            "bench": "load",
+            "generated_unix": time.time(),
+            "scale": current_scale(),
+            "datasets": list(datasets),
+            "shards": shards,
+            "session_mix": session_mix,
+            "calibrated_cost_ms": costs_ms,
+            "n_rows": n_rows,
+            "n_steps": n_steps,
+            "k": k,
+            "n_workers": n_workers,
+            "concurrency_levels": list(levels),
+            "sessions_per_level": sessions_per_level,
+            "host_cores": os.cpu_count() or 1,
+            "saturation": saturation,
+            "frontend_speedup": speedup,
+            "process_samples": peak_samples,
+            "rows": all_rows,
         }
         with open(out_path, "w") as handle:
             json.dump(payload, handle, indent=2)

@@ -40,9 +40,13 @@ and shares one cache across every session and dataset engine.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
@@ -381,12 +385,236 @@ class ViewResultCache:
         )
 
 
+# --------------------------------------------------------------------------- #
+# cross-process L2 tier
+# --------------------------------------------------------------------------- #
+
+#: Default byte budget for the file-backed L2 tier.
+DEFAULT_L2_MAX_BYTES = 1024 * 1024 * 1024
+
+#: Suffix for L2 entry files (anything else in the directory is ignored).
+_L2_SUFFIX = ".viewcache"
+
+
+class FileCacheTier:
+    """File-backed cache tier shared by every process pointed at one dir.
+
+    Each entry is one file named by the SHA-256 of its cache key, holding
+    a pickle of ``(key, QueryResult, ExecutionStats)`` — the key is stored
+    inside the payload too, so a (cosmically unlikely) hash collision or a
+    foreign file reads as a miss rather than a wrong answer.  Writes go to
+    a unique temp file first and land via :func:`os.replace`, so
+    concurrent readers in sibling worker processes never observe a torn
+    entry.  All failure modes (missing file, corrupt pickle, full disk)
+    degrade to a miss / dropped write: the tier is an accelerator, never a
+    correctness dependency.
+    """
+
+    def __init__(
+        self, directory: str | Path, max_bytes: int = DEFAULT_L2_MAX_BYTES
+    ) -> None:
+        """Create (if needed) ``directory`` and bound it by ``max_bytes``."""
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+
+    def _path(self, key: str) -> Path:
+        return self.directory / (
+            hashlib.sha256(key.encode()).hexdigest() + _L2_SUFFIX
+        )
+
+    def get(self, key: str) -> tuple[QueryResult, ExecutionStats] | None:
+        """Load one entry, or None on miss/corruption/collision."""
+        try:
+            blob = self._path(key).read_bytes()
+            stored_key, result, stats = pickle.loads(blob)
+        except (OSError, pickle.PickleError, ValueError, EOFError):
+            return None
+        if stored_key != key:  # pragma: no cover - hash collision guard
+            return None
+        return result, stats
+
+    def put(self, key: str, result: QueryResult, stats: ExecutionStats) -> bool:
+        """Persist one entry atomically; returns False when dropped.
+
+        Entries larger than the whole tier budget are dropped up front;
+        after a successful write the tier prunes oldest-first back under
+        ``max_bytes`` (best-effort — concurrent pruners may race, and a
+        file deleted under us is simply skipped).
+        """
+        blob = pickle.dumps((key, result, stats), protocol=pickle.HIGHEST_PROTOCOL)
+        if len(blob) > self.max_bytes:
+            return False
+        path = self._path(key)
+        tmp = path.with_suffix(
+            f".tmp-{os.getpid()}-{threading.get_ident()}"
+        )
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - cleanup best-effort
+                pass
+            return False
+        self._prune()
+        return True
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """Live entry files as ``(mtime, size, path)`` (missing skipped)."""
+        rows = []
+        try:
+            paths = list(self.directory.glob("*" + _L2_SUFFIX))
+        except OSError:  # pragma: no cover - directory vanished
+            return []
+        for path in paths:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            rows.append((stat.st_mtime, stat.st_size, path))
+        return rows
+
+    def _prune(self) -> None:
+        """Delete oldest entries until the tier fits ``max_bytes``."""
+        rows = sorted(self._entries())
+        total = sum(size for _, size, _ in rows)
+        for _, size, path in rows:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - concurrent prune
+                continue
+            total -= size
+
+    def invalidate(self, key_prefix: str) -> int:
+        """Drop entries whose stored key starts with ``key_prefix``."""
+        dropped = 0
+        for _, _, path in self._entries():
+            try:
+                stored_key = pickle.loads(path.read_bytes())[0]
+            except (OSError, pickle.PickleError, ValueError, EOFError, IndexError):
+                continue
+            if isinstance(stored_key, str) and stored_key.startswith(key_prefix):
+                try:
+                    path.unlink(missing_ok=True)
+                    dropped += 1
+                except OSError:  # pragma: no cover - concurrent prune
+                    continue
+        return dropped
+
+    def __len__(self) -> int:
+        """Number of live entry files."""
+        return len(self._entries())
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of live entry files."""
+        return sum(size for _, size, _ in self._entries())
+
+    def clear(self) -> None:
+        """Delete every entry file."""
+        for _, _, path in self._entries():
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - concurrent prune
+                continue
+
+
+class TieredViewResultCache(ViewResultCache):
+    """Two-tier view-result cache: in-process L1 over a file-backed L2.
+
+    The L1 is the plain :class:`ViewResultCache` (fast, per-process); the
+    L2 is a :class:`FileCacheTier` directory shared by every sibling
+    worker process of a sharded service, so session B on worker 2 can hit
+    results session A on worker 1 already paid for.  Lookup order is
+    L1 → L2 (an L2 hit is promoted into L1); every put lands in both.
+    Per-tier hit/miss counters are kept separately from the base
+    :class:`CacheStats` and surfaced by :meth:`tier_counters` (the
+    service's ``GET /v1/stats`` payload).
+
+    Drop-in for :class:`ViewResultCache` everywhere (the engine's
+    dispatcher only calls ``get``/``put``).
+    """
+
+    def __init__(
+        self,
+        l2_dir: str | Path,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        l2_max_bytes: int = DEFAULT_L2_MAX_BYTES,
+    ) -> None:
+        """An L1 bounded as usual over an L2 tier rooted at ``l2_dir``."""
+        super().__init__(max_bytes=max_bytes, max_entries=max_entries)
+        self.l2 = FileCacheTier(l2_dir, max_bytes=l2_max_bytes)
+        self._tier_lock = threading.Lock()
+        self._l1_hits = 0
+        self._l1_misses = 0
+        self._l2_hits = 0
+        self._l2_misses = 0
+
+    def get(self, key: str) -> CacheEntry | None:
+        """L1 lookup, falling back to L2 (with promotion into L1)."""
+        entry = super().get(key)
+        if entry is not None:
+            with self._tier_lock:
+                self._l1_hits += 1
+            return entry
+        loaded = self.l2.get(key)
+        if loaded is None:
+            with self._tier_lock:
+                self._l1_misses += 1
+                self._l2_misses += 1
+            return None
+        result, stats = loaded
+        entry = ViewResultCache.put(self, key, result, stats)
+        # The base class booked the L1 probe as a miss, but the lookup as
+        # a whole hit: reclassify so the aggregate CacheStats stay honest.
+        with self._lock:
+            self._misses -= 1
+            self._hits += 1
+            self._bytes_saved += entry.bytes_saved()
+        with self._tier_lock:
+            self._l1_misses += 1
+            self._l2_hits += 1
+        return entry
+
+    def put(self, key: str, result: QueryResult, stats: ExecutionStats) -> CacheEntry:
+        """Memoize in L1 and persist to the shared L2 (best-effort)."""
+        entry = super().put(key, result, stats)
+        self.l2.put(key, entry.result, stats)
+        return entry
+
+    def invalidate_table(self, table_fingerprint: str) -> int:
+        """Invalidate both tiers; returns entries dropped from the L1."""
+        dropped = super().invalidate_table(table_fingerprint)
+        self.l2.invalidate(table_fingerprint + "|")
+        return dropped
+
+    def tier_counters(self) -> dict[str, int]:
+        """Per-tier lifetime hit/miss counters (JSON-ready)."""
+        with self._tier_lock:
+            return {
+                "l1_hits": self._l1_hits,
+                "l1_misses": self._l1_misses,
+                "l2_hits": self._l2_hits,
+                "l2_misses": self._l2_misses,
+            }
+
+
 __all__ = [
     "CacheEntry",
     "CacheStats",
+    "FileCacheTier",
+    "TieredViewResultCache",
     "ViewResultCache",
     "execution_fingerprint",
     "query_fingerprint",
+    "DEFAULT_L2_MAX_BYTES",
     "DEFAULT_MAX_BYTES",
     "DEFAULT_MAX_ENTRIES",
 ]

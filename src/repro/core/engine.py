@@ -56,8 +56,12 @@ from repro.metrics.base import DistanceFunction
 Strategy = Literal["no_opt", "sharing", "comb", "comb_early"]
 #: "modeled" runs queries serially and models parallel speedup in the cost
 #: model only (the historical behaviour); "real" dispatches each batch onto
-#: a thread pool of ``n_parallel_queries`` workers for true concurrency.
-Parallelism = Literal["modeled", "real"]
+#: a thread pool of ``n_parallel_queries`` workers for true concurrency;
+#: "process" fans the batch out to worker *processes* that re-open the
+#: table's on-disk chunk store via ``np.memmap`` — true multi-core
+#: execution with no GIL and no pickled column data (native backend over
+#: an on-disk table only; see :mod:`repro.core.procpool`).
+Parallelism = Literal["modeled", "real", "process"]
 
 #: How many generated SQL strings to retain on a run (introspection only).
 _MAX_RECORDED_SQL = 64
@@ -218,10 +222,13 @@ class ExecutionEngine:
         """Execute ``strategy`` and return the top-``k`` views.
 
         ``parallelism="real"`` runs each batch of planned queries on a
-        thread pool of ``n_parallel_queries`` workers.  Results are
-        deterministic regardless of worker count: batches are barriered and
-        routed in submission order, so ``selected`` and ``utilities`` match
-        a serial run exactly (see :mod:`repro.core.parallel`).
+        thread pool of ``n_parallel_queries`` workers;
+        ``parallelism="process"`` fans them out to worker processes over
+        the table's on-disk chunk store (:mod:`repro.core.procpool`).
+        Results are deterministic regardless of mode and worker count:
+        batches are barriered and routed in submission order, so
+        ``selected`` and ``utilities`` match a serial run exactly (see
+        :mod:`repro.core.parallel`).
         """
         if k <= 0:
             raise RecommendationError(f"k must be positive, got {k}")

@@ -1,0 +1,262 @@
+"""Process-parallel query execution over an on-disk chunk store.
+
+``parallelism="real"`` runs each phase's queries on a thread pool — real
+concurrency on the native backend's GIL-releasing hot paths, but still one
+interpreter.  This module adds ``parallelism="process"``: a
+:class:`ProcessPoolDispatcher` fans the phase's planned queries out to a
+persistent ``ProcessPoolExecutor`` whose workers re-open the dataset's
+chunk store via ``np.memmap`` (:func:`repro.db.chunks.open_table`).  Only
+``(store_path, store_kind, query plan)`` tuples cross the process
+boundary on the way out and small per-group aggregate arrays on the way
+back — column data is never pickled.
+
+**Bitwise identity** (the hard requirement shared with the thread
+dispatcher) is preserved by fanning out *whole queries*, not chunk
+partials.  Each worker executes a complete :class:`AggregateQuery` with
+the standard executor, which internally streams chunk-at-a-time through
+the carry-seeded :class:`~repro.db.streaming.StreamingGroupAggregator` —
+so its per-query result is the exact one-shot left-to-right accumulation,
+byte-identical to serial execution no matter which process runs it.
+Merging *independently computed* chunk partials instead would
+re-parenthesize the floating-point sums and drift in the last ulp (see
+:mod:`repro.db.streaming`).  The parent gathers results in submission
+order, the same determinism barrier the thread dispatcher uses.
+
+Shared-scan batches are split into contiguous per-worker slices, each
+served by one shared scan inside its worker.  Per-query results are
+independent of batch composition (every query owns its aggregator; the
+scan is shared, the grouping is not), so slicing changes only the I/O
+accounting: each slice pays for its own scan, so ``bytes_scanned`` /
+``rows_scanned`` exceed a single-process shared scan while results stay
+identical.
+
+The pool is process-global and persistent (spawn context — safe under
+threaded servers), sized to the largest worker count requested so far;
+worker processes cache one open backend per ``(store_path, kind)`` so a
+session's second phase pays no re-open cost.  Call :func:`shutdown_pool`
+to reclaim the workers (tests do; the service relies on process exit).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from repro.config import ExecutionStats
+from repro.db.query import AggregateQuery, QueryResult
+from repro.exceptions import RecommendationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.parallel import ExecutesQueries
+
+# Deferred import: parallel.py imports nothing from here, so this module
+# importing ParallelDispatcher at the top level is cycle-free.
+from repro.core.parallel import ParallelDispatcher
+
+# --------------------------------------------------------------------------- #
+# the persistent pool (parent side)
+# --------------------------------------------------------------------------- #
+
+_pool: ProcessPoolExecutor | None = None
+_pool_workers = 0
+_pool_lock = threading.Lock()
+
+
+def get_pool(n_workers: int) -> ProcessPoolExecutor:
+    """The shared ``ProcessPoolExecutor``, grown to ``n_workers`` if needed.
+
+    Spawn (not fork) context: the parent may be a threaded HTTP server,
+    where forking risks duplicating held locks.  The pool persists across
+    engine runs so workers amortize interpreter + numpy start-up and keep
+    their memmap-backed tables open.
+    """
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is None or _pool_workers < n_workers:
+            old = _pool
+            _pool = ProcessPoolExecutor(
+                max_workers=n_workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            _pool_workers = n_workers
+            if old is not None:
+                old.shutdown(wait=False)
+        return _pool
+
+
+def shutdown_pool() -> None:
+    """Shut down the shared pool (idempotent; it is rebuilt on demand)."""
+    global _pool, _pool_workers
+    with _pool_lock:
+        pool, _pool, _pool_workers = _pool, None, 0
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_pool)
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+
+#: Per-worker-process cache of open backends, keyed by (store_path, kind).
+_worker_backends: dict[tuple[str, str], object] = {}
+
+
+def _worker_backend(store_path: str, store_kind: str):
+    """The worker's (cached) native backend over the memmap-opened store."""
+    key = (store_path, store_kind)
+    backend = _worker_backends.get(key)
+    if backend is None:
+        from repro.db.backends.native import NativeBackend
+        from repro.db.chunks import open_table
+        from repro.db.storage import make_store
+
+        table = open_table(store_path)
+        backend = NativeBackend(make_store(store_kind, table))  # type: ignore[arg-type]
+        _worker_backends[key] = backend
+    return backend
+
+
+def _worker_execute(
+    store_path: str, store_kind: str, query: AggregateQuery
+) -> tuple[QueryResult, ExecutionStats]:
+    """Execute one whole query in the worker (module-level for pickling)."""
+    return _worker_backend(store_path, store_kind).execute(query)
+
+
+def _worker_execute_batch(
+    store_path: str, store_kind: str, queries: list[AggregateQuery]
+) -> list[tuple[QueryResult, ExecutionStats]]:
+    """Execute one shared-scan slice in the worker (one scan per slice)."""
+    return _worker_backend(store_path, store_kind).execute_batch(
+        queries, fanout=None
+    )
+
+
+# --------------------------------------------------------------------------- #
+# dispatcher (parent side)
+# --------------------------------------------------------------------------- #
+
+
+def _partition(queries: list[AggregateQuery], n_slices: int) -> list[list[AggregateQuery]]:
+    """Split ``queries`` into up to ``n_slices`` contiguous non-empty slices."""
+    n_slices = min(n_slices, len(queries))
+    base, extra = divmod(len(queries), n_slices)
+    slices: list[list[AggregateQuery]] = []
+    start = 0
+    for index in range(n_slices):
+        stop = start + base + (1 if index < extra else 0)
+        slices.append(queries[start:stop])
+        start = stop
+    return slices
+
+
+class ProcessPoolDispatcher(ParallelDispatcher):
+    """A :class:`ParallelDispatcher` that fans out to worker *processes*.
+
+    Inherits the cache-probe/splice logic unchanged (the view-result cache
+    lives in the parent; only misses are dispatched) and overrides the
+    uncached path: per-query fan-out to the shared process pool, or — for
+    shared-scan batches — contiguous per-worker slices each served by one
+    scan inside its worker.  Results are gathered in submission order.
+
+    ``close()`` intentionally does **not** shut the process pool down: the
+    pool is shared and persistent (see :func:`get_pool`); use
+    :func:`shutdown_pool` to reclaim it.
+    """
+
+    def __init__(
+        self,
+        executor: "ExecutesQueries",
+        n_workers: int,
+        use_batch: bool = False,
+        *,
+        store_path: str,
+        store_kind: str,
+    ) -> None:
+        """Wrap ``executor``; workers re-open ``store_path`` as ``store_kind``."""
+        super().__init__(executor, n_workers, use_batch)
+        self._store_path = store_path
+        self._store_kind = store_kind
+
+    def _run_batch_uncached(
+        self, queries: Sequence[AggregateQuery]
+    ) -> list[tuple[QueryResult, ExecutionStats]]:
+        """Dispatch misses to worker processes (submission-order gather)."""
+        batch = list(queries)
+        if self.n_workers <= 1 or len(batch) <= 1:
+            # Inline on the parent's own backend: same executor code over
+            # the same store bytes, so results are identical and the
+            # single-query case skips a pickle round-trip.
+            return super()._run_batch_uncached(batch)
+        pool = get_pool(self.n_workers)
+        if self.use_batch and hasattr(self.executor, "execute_batch"):
+            outcomes: list[tuple[QueryResult, ExecutionStats]] = []
+            futures = [
+                pool.submit(
+                    _worker_execute_batch,
+                    self._store_path,
+                    self._store_kind,
+                    part,
+                )
+                for part in _partition(batch, self.n_workers)
+            ]
+            for future in futures:
+                outcomes.extend(future.result())
+            return outcomes
+        futures = [
+            pool.submit(
+                _worker_execute, self._store_path, self._store_kind, query
+            )
+            for query in batch
+        ]
+        return [future.result() for future in futures]
+
+
+def process_dispatcher(
+    executor: "ExecutesQueries", n_workers: int, use_batch: bool = False
+) -> ProcessPoolDispatcher:
+    """Build a :class:`ProcessPoolDispatcher` for ``executor`` or fail clearly.
+
+    Requirements: the executor must be a backend over a storage engine
+    (``.store``) whose table carries a ``source_path`` — i.e. the native
+    backend over a table opened from an on-disk chunk store
+    (:func:`repro.db.chunks.open_table`).  In-memory tables have no path a
+    worker process could re-open, and pickling their columns is exactly
+    what this mode exists to avoid.
+    """
+    store = getattr(executor, "store", None)
+    table = getattr(store, "table", None)
+    source_path = getattr(table, "source_path", None)
+    if store is None or not getattr(executor, "name", "") == "native":
+        raise RecommendationError(
+            "process parallelism requires the native backend "
+            f"(got {type(executor).__name__})"
+        )
+    if not source_path:
+        raise RecommendationError(
+            "process parallelism requires a table opened from an on-disk "
+            "chunk store (repro.db.chunks.open_table); in-memory table "
+            f"{getattr(table, 'name', '?')!r} has no source_path for "
+            "worker processes to re-open"
+        )
+    return ProcessPoolDispatcher(
+        executor,
+        max(n_workers, 1),
+        use_batch=use_batch,
+        store_path=str(source_path),
+        store_kind=str(getattr(store, "kind", "col")),
+    )
+
+
+__all__ = [
+    "ProcessPoolDispatcher",
+    "get_pool",
+    "process_dispatcher",
+    "shutdown_pool",
+]

@@ -707,6 +707,7 @@ def open_table(
         roles=roles,
         chunk_rows=manifest.chunk_rows,
         source_digest=manifest.digest,
+        source_path=str(root),
         tracker=tracker,
     )
 

@@ -87,6 +87,11 @@ class Table:
         When set, :meth:`fingerprint` hashes the digest instead of the raw
         column bytes, so cache identity is stable across processes without
         re-reading the data.
+    source_path:
+        Filesystem path of the chunk-store directory this table was opened
+        from (set by :func:`repro.db.chunks.open_table`).  Worker processes
+        use it to re-open the same store via ``np.memmap`` instead of
+        pickling column data (``parallelism="process"``).
     tracker:
         :class:`~repro.db.chunks.ResidencyTracker` charged by chunk
         materializations (attached by :func:`repro.db.chunks.open_table`).
@@ -100,6 +105,7 @@ class Table:
         *,
         chunk_rows: int | None = None,
         source_digest: str | None = None,
+        source_path: str | None = None,
         tracker: ResidencyTracker | None = None,
     ) -> None:
         if not data:
@@ -142,6 +148,7 @@ class Table:
         self._nrows = int(nrows or 0)
         self._chunk_rows = chunk_rows
         self._source_digest = source_digest
+        self._source_path = source_path
         self._tracker = tracker
         self._dictionaries: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         self._categories: dict[str, np.ndarray] = {}
@@ -219,6 +226,11 @@ class Table:
     def chunk_rows(self) -> int | None:
         """Rows per chunk, or ``None`` for single-chunk in-memory tables."""
         return self._chunk_rows
+
+    @property
+    def source_path(self) -> str | None:
+        """Chunk-store directory this table was opened from, or ``None``."""
+        return self._source_path
 
     @property
     def is_chunked(self) -> bool:

@@ -64,10 +64,15 @@ class PruningError(ReproError):
 class ServiceError(ReproError):
     """A recommendation-service request is invalid (bad payload, unknown id).
 
-    Carries the HTTP status the JSON API should answer with.
+    Carries the HTTP status the JSON API should answer with and a stable
+    machine-readable ``code`` for the ``/v1`` error envelope (see
+    :mod:`repro.service.api` for the catalogue).
     """
 
-    def __init__(self, message: str, status: int = 400) -> None:
-        """Record ``message`` and the HTTP ``status`` to answer with."""
+    def __init__(
+        self, message: str, status: int = 400, code: str = "invalid_request"
+    ) -> None:
+        """Record ``message``, the HTTP ``status``, and the envelope ``code``."""
         super().__init__(message)
         self.status = status
+        self.code = code

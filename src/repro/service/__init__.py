@@ -9,23 +9,47 @@ of interactive drill-down exploration — the dominant workload shape — is
 served from memory.  :func:`~repro.service.server.start_server` wraps it
 in a stdlib ``ThreadingHTTPServer`` JSON API.
 
+The HTTP surface is versioned under ``/v1`` with one error envelope and a
+typed wire contract (:mod:`repro.service.api`), consumed through
+:class:`~repro.service.client.ServiceClient`.  For scale-out,
+:func:`~repro.service.frontend.start_frontend` runs N service *processes*
+behind a consistent-hashing front-end with a shared file-backed L2 cache
+tier (:class:`~repro.core.cache.TieredViewResultCache`).
+
 Quickstart (in-process)::
 
-    from repro.service import RecommendationService, start_server
+    from repro.service import RecommendationService, ServiceClient, start_server
 
     server, thread = start_server(
         RecommendationService(datasets=("census",), scale="smoke")
     )
-    port = server.server_address[1]
-    # POST /sessions, POST /sessions/<id>/recommend, GET /datasets, GET /stats
+    with ServiceClient(*server.server_address[:2]) as client:
+        session = client.create_session(dataset="census")
+        response = client.recommend(session.session_id)
     server.shutdown()
 
-See ``docs/api.md`` for the endpoint reference and curl examples, and
+See ``docs/api.md`` for the endpoint reference and client examples, and
 ``examples/service_session.py`` for a full three-step drill-down session.
 """
 
-from repro.core.cache import CacheEntry, CacheStats, ViewResultCache
+from repro.core.cache import (
+    CacheEntry,
+    CacheStats,
+    TieredViewResultCache,
+    ViewResultCache,
+)
+from repro.service.api import (
+    ErrorCode,
+    RecommendRequest,
+    RecommendResponse,
+    SessionInfo,
+    error_envelope,
+)
+from repro.service.client import ServiceClient
+from repro.service.frontend import FrontendServer, start_frontend
+from repro.service.monitor import ProcessMonitor
 from repro.service.server import (
+    GracefulHTTPServer,
     RecommendationService,
     SeeDBHTTPServer,
     install_sigterm_handler,
@@ -43,13 +67,24 @@ __all__ = [
     "AnalystDrillDown",
     "CacheEntry",
     "CacheStats",
+    "ErrorCode",
+    "FrontendServer",
+    "GracefulHTTPServer",
+    "ProcessMonitor",
+    "RecommendRequest",
+    "RecommendResponse",
     "RecommendationService",
     "SeeDBHTTPServer",
+    "ServiceClient",
     "Session",
+    "SessionInfo",
     "SessionStep",
     "SessionStore",
+    "TieredViewResultCache",
     "ViewResultCache",
     "clauses_from_payload",
+    "error_envelope",
     "install_sigterm_handler",
+    "start_frontend",
     "start_server",
 ]

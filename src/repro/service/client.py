@@ -1,0 +1,192 @@
+"""Typed HTTP client for the recommendation service's ``/v1`` API.
+
+:class:`ServiceClient` is the one place raw JSON-over-HTTP handling lives:
+examples, benchmarks, the load harness, and the service tests all talk to
+the server through it.  It keeps one ``http.client`` connection alive
+(session replays reuse a single TCP connection, matching the latency the
+benchmarks measure), sends bodies as bytes in one write (Nagle-friendly),
+transparently reconnects once when a kept-alive connection was closed
+under it, parses error envelopes into
+:class:`~repro.exceptions.ServiceError` (carrying the stable machine
+``code``), and returns the typed shapes from :mod:`repro.service.api`.
+
+Example::
+
+    with ServiceClient("127.0.0.1", port) as client:
+        session = client.create_session(dataset="census")
+        response = client.recommend(session.session_id, RecommendRequest(k=5))
+        for view in response.views:
+            print(view.rank, view.dimension, view.utility)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping
+
+from repro.exceptions import ServiceError
+from repro.service.api import (
+    API_PREFIX,
+    DatasetInfo,
+    RecommendRequest,
+    RecommendResponse,
+    RegisterDatasetRequest,
+    SessionInfo,
+    raise_for_error,
+)
+
+
+class ServiceClient:
+    """A keep-alive JSON client bound to one server address.
+
+    Not thread-safe: one client wraps one connection.  Concurrent load
+    generators open one client per simulated analyst, which is also the
+    honest model of production traffic.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        """Bind to ``host:port``; the connection opens lazily."""
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -------------------------------------------------------------- #
+    # transport
+    # -------------------------------------------------------------- #
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _once(
+        self, method: str, path: str, payload: Mapping[str, Any] | None
+    ) -> tuple[int, dict[str, Any]]:
+        conn = self._connection()
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, (json.loads(raw) if raw else {})
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """One request/response cycle; returns ``(status, parsed body)``.
+
+        ``path`` is relative to the ``/v1`` prefix.  A connection the
+        server closed between requests (keep-alive timeout, worker
+        recycle) is retried once on a fresh connection; errors are NOT
+        raised for non-2xx here — use :meth:`call` for that.
+        """
+        full = API_PREFIX + path
+        try:
+            return self._once(method, full, payload)
+        except (
+            http.client.HTTPException,
+            ConnectionError,
+            BrokenPipeError,
+        ):
+            self.close()
+            return self._once(method, full, payload)
+
+    def call(
+        self,
+        method: str,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Like :meth:`request` but raises :class:`ServiceError` on non-2xx."""
+        status, body = self.request(method, path, payload)
+        raise_for_error(status, body)
+        return body
+
+    def close(self) -> None:
+        """Close the underlying connection (reopened on next use)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- #
+    # typed endpoints
+    # -------------------------------------------------------------- #
+
+    def healthz(self) -> dict[str, Any]:
+        """``GET /v1/healthz``."""
+        return self.call("GET", "/healthz")
+
+    def create_session(
+        self,
+        dataset: str = "census",
+        store: str | None = None,
+        metric: str | None = None,
+    ) -> SessionInfo:
+        """``POST /v1/sessions`` — open a session; returns its info."""
+        from repro.service.api import CreateSessionRequest
+
+        body = self.call(
+            "POST",
+            "/sessions",
+            CreateSessionRequest(dataset, store, metric).to_payload(),
+        )
+        return SessionInfo.from_payload(body)
+
+    def recommend(
+        self, session_id: str, request: RecommendRequest | None = None
+    ) -> RecommendResponse:
+        """``POST /v1/sessions/<id>/recommend`` — one typed step."""
+        payload = (request or RecommendRequest()).to_payload()
+        return RecommendResponse.from_payload(
+            self.recommend_raw(session_id, payload)
+        )
+
+    def recommend_raw(
+        self, session_id: str, payload: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """Recommend with a raw request body; returns the raw response.
+
+        The drill-down replayer (:class:`~repro.service.sessions.
+        AnalystDrillDown`) produces request dicts and consumes response
+        dicts — this is its transport.
+        """
+        return self.call("POST", f"/sessions/{session_id}/recommend", payload)
+
+    def describe_session(self, session_id: str) -> dict[str, Any]:
+        """``GET /v1/sessions/<id>`` — the session's recorded steps."""
+        return self.call("GET", f"/sessions/{session_id}")
+
+    def datasets(self) -> list[DatasetInfo]:
+        """``GET /v1/datasets`` — typed registry rows."""
+        body = self.call("GET", "/datasets")
+        return [DatasetInfo.from_payload(row) for row in body["datasets"]]
+
+    def register_dataset(
+        self, path: str, name: str | None = None
+    ) -> dict[str, Any]:
+        """``POST /v1/datasets`` — register an on-disk chunk store."""
+        return self.call(
+            "POST", "/datasets", RegisterDatasetRequest(path, name).to_payload()
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """``GET /v1/stats`` — service counters and cache snapshot."""
+        return self.call("GET", "/stats")
+
+
+__all__ = ["ServiceClient", "ServiceError"]

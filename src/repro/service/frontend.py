@@ -1,0 +1,627 @@
+"""Sharded multi-worker serving: N service processes behind one front-end.
+
+A single :class:`~repro.service.server.SeeDBHTTPServer` is a threading
+server in one interpreter — the GIL caps it near one core of aggregate
+recommendation work.  :func:`start_frontend` spawns ``n_workers``
+independent **processes**, each running a full
+:class:`~repro.service.server.RecommendationService` behind its own HTTP
+server on an ephemeral loopback port, and a :class:`FrontendServer` that
+proxies the public ``/v1`` API to them:
+
+* **dataset sharding** — sessions are routed by consistent hashing of the
+  dataset id (:class:`HashRing`, virtual nodes), so one dataset's engines
+  and L1 cache entries live on one worker and adding workers does not
+  duplicate every dataset's memory in every process;
+* **session affinity** — the front-end records which worker answered each
+  ``POST /v1/sessions`` and pins the session's later requests to it;
+* **shared L2 cache** — every worker gets the same ``l2_cache_dir``
+  (:class:`~repro.core.cache.TieredViewResultCache`), so view results paid
+  for by worker A's sessions are file-backed hits for worker B;
+* **aggregated observability** — ``GET /v1/stats`` fans out and merges
+  per-worker counters (including per-tier L1/L2 cache hits);
+* **graceful drain** — SIGTERM (or :meth:`FrontendServer.
+  graceful_shutdown`) stops accepting, finishes in-flight proxied
+  requests (stragglers get 503 with the standard error envelope), then
+  SIGTERMs every worker and waits for their own drains.
+
+Run it from the command line::
+
+    PYTHONPATH=src python -m repro.service.frontend --port 8080 --workers 4
+
+or in-process (tests, benchmarks)::
+
+    from repro.service.frontend import start_frontend
+    frontend, thread = start_frontend(n_workers=2, datasets=("census",))
+    port = frontend.server_address[1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import hashlib
+import json
+import multiprocessing
+import os
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from http.client import HTTPConnection, HTTPException
+from http.server import BaseHTTPRequestHandler
+from typing import Any, Mapping, Sequence
+
+from repro.exceptions import ServiceError
+from repro.service.api import ErrorCode, error_envelope, split_path
+from repro.service.server import (
+    GracefulHTTPServer,
+    RecommendationService,
+    SeeDBHTTPServer,
+    install_sigterm_handler,
+)
+
+#: Virtual nodes per worker on the hash ring — enough that removing one
+#: worker of four moves ~25% of keys, not 0% or 100%.
+_VNODES = 64
+
+#: Seconds to wait for a spawned worker to report its port.
+_WORKER_BOOT_TIMEOUT = 120.0
+
+
+class HashRing:
+    """Consistent hash ring mapping string keys to worker indices."""
+
+    def __init__(self, n_workers: int, vnodes: int = _VNODES) -> None:
+        """Place ``n_workers * vnodes`` virtual nodes on the ring."""
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        points: list[tuple[int, int]] = []
+        for worker in range(n_workers):
+            for vnode in range(vnodes):
+                digest = hashlib.sha256(f"{worker}:{vnode}".encode()).digest()
+                points.append((int.from_bytes(digest[:8], "big"), worker))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._workers = [w for _, w in points]
+
+    def lookup(self, key: str) -> int:
+        """The worker index owning ``key``."""
+        digest = hashlib.sha256(key.encode()).digest()
+        point = int.from_bytes(digest[:8], "big")
+        index = bisect.bisect(self._hashes, point) % len(self._hashes)
+        return self._workers[index]
+
+
+def _worker_main(
+    index: int, conn, service_kwargs: dict[str, Any], drain_timeout: float
+) -> None:
+    """Entry point of one worker process (spawn target).
+
+    Builds the service, binds an ephemeral loopback port, reports it back
+    through ``conn``, installs its own SIGTERM drain (this *is* the
+    child's main thread), and serves until told to stop.
+    """
+    service = RecommendationService(**service_kwargs)
+    server = SeeDBHTTPServer(("127.0.0.1", 0), service)
+    drained = install_sigterm_handler(server, timeout=drain_timeout)
+    conn.send(server.server_address[1])
+    conn.close()
+    try:
+        server.serve_forever()
+    finally:
+        if server.draining:
+            drained.wait(drain_timeout + 5.0)
+        server.graceful_shutdown(timeout=drain_timeout)
+
+
+@dataclass
+class WorkerHandle:
+    """One spawned worker process and its serving port."""
+
+    index: int
+    process: multiprocessing.process.BaseProcess
+    port: int
+
+    @property
+    def pid(self) -> int:
+        """The worker's OS pid (for SIGTERM and the process monitor)."""
+        return self.process.pid or -1
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process is still running."""
+        return self.process.is_alive()
+
+
+def spawn_workers(
+    n_workers: int,
+    service_kwargs: Mapping[str, Any] | None = None,
+    drain_timeout: float = 10.0,
+) -> list[WorkerHandle]:
+    """Spawn ``n_workers`` service processes; returns their handles.
+
+    Each worker gets the same ``service_kwargs``
+    (:class:`~repro.service.server.RecommendationService` constructor
+    arguments — must be picklable).  Raises ``RuntimeError`` if any worker
+    fails to report a port within the boot timeout (the stragglers are
+    terminated).
+    """
+    context = multiprocessing.get_context("spawn")
+    kwargs = dict(service_kwargs or {})
+    pending: list[tuple[int, Any, Any]] = []
+    for index in range(n_workers):
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_worker_main,
+            args=(index, child_conn, kwargs, drain_timeout),
+            name=f"seedb-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        pending.append((index, process, parent_conn))
+    handles: list[WorkerHandle] = []
+    try:
+        for index, process, parent_conn in pending:
+            if not parent_conn.poll(_WORKER_BOOT_TIMEOUT):
+                raise RuntimeError(f"worker {index} did not report a port")
+            port = parent_conn.recv()
+            parent_conn.close()
+            handles.append(WorkerHandle(index, process, int(port)))
+    except (RuntimeError, EOFError) as exc:
+        for _, process, _ in pending:
+            if process.is_alive():
+                process.terminate()
+        raise RuntimeError(f"worker boot failed: {exc}") from exc
+    return handles
+
+
+class _FrontendHandler(BaseHTTPRequestHandler):
+    """Routes public API requests to worker processes."""
+
+    server: "FrontendServer"
+    protocol_version = "HTTP/1.1"
+    disable_nagle_algorithm = True
+    #: True for legacy unprefixed paths (adds the ``Deprecation`` header).
+    _deprecated = False
+
+    #: Per-thread cache of connections to workers (keyed by port) so each
+    #: proxy thread reuses TCP connections instead of reconnecting.
+    _local = threading.local()
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request logging unless the server is verbose."""
+        if self.server.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send(self, status: int, payload: Mapping[str, object]) -> None:
+        """Write one JSON response with correct framing."""
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self._deprecated:
+            self.send_header("Deprecation", "true")
+            self.send_header("Link", '</v1>; rel="successor-version"')
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.count_request(ok=status < 400)
+
+    def _forward(
+        self, worker: WorkerHandle, method: str, parts: list[str]
+    ) -> tuple[int, dict[str, Any]]:
+        """Proxy one request to ``worker``; returns ``(status, body)``.
+
+        A connection the worker closed between requests is retried once on
+        a fresh one; a dead worker surfaces as :class:`ServiceError` with
+        code ``no_worker``.
+        """
+        path = "/v1/" + "/".join(parts)
+        conns = getattr(self._local, "conns", None)
+        if conns is None:
+            conns = self._local.conns = {}
+        for attempt in (0, 1):
+            conn = conns.get(worker.port)
+            if conn is None:
+                conn = conns[worker.port] = HTTPConnection(
+                    "127.0.0.1", worker.port, timeout=self.server.proxy_timeout
+                )
+            try:
+                conn.request(
+                    "POST" if method == "POST" else "GET",
+                    path,
+                    body=self._body or None,
+                    headers={"Content-Type": "application/json"}
+                    if self._body
+                    else {},
+                )
+                response = conn.getresponse()
+                raw = response.read()
+                return response.status, (json.loads(raw) if raw else {})
+            except (HTTPException, ConnectionError, OSError, ValueError):
+                try:
+                    conn.close()
+                finally:
+                    conns.pop(worker.port, None)
+                if attempt == 0 and worker.alive:
+                    continue
+                raise ServiceError(
+                    f"worker {worker.index} is unavailable",
+                    status=503,
+                    code=ErrorCode.NO_WORKER,
+                ) from None
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _dispatch(self, method: str) -> None:
+        """Route one request; errors become envelopes with proper status."""
+        parts, versioned = split_path(self.path)
+        self._deprecated = not versioned and bool(parts)
+        self._body = b""
+        if not self.server.request_started():
+            self.close_connection = True
+            self._send(
+                503,
+                error_envelope(ErrorCode.SHUTTING_DOWN, "server is shutting down"),
+            )
+            return
+        try:
+            self._handle_routes(method, parts)
+        finally:
+            self.server.request_finished()
+
+    def _handle_routes(self, method: str, parts: list[str]) -> None:
+        """The front-end route table."""
+        try:
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                if length < 0:
+                    raise ValueError("negative")
+            except ValueError:
+                self.close_connection = True
+                raise ServiceError(
+                    "invalid Content-Length header",
+                    code=ErrorCode.INVALID_LENGTH,
+                ) from None
+            if length:
+                self._body = self.rfile.read(length)
+            server = self.server
+            if method == "GET" and parts == ["healthz"]:
+                self._send(200, server.healthz())
+            elif method == "GET" and parts == ["stats"]:
+                self._send(200, server.aggregate_stats())
+            elif method == "POST" and parts == ["datasets"]:
+                status, body = server.broadcast_datasets(self)
+                self._send(status, body)
+            elif method == "GET" and parts == ["datasets"]:
+                status, body = self._forward(server.workers[0], method, parts)
+                self._send(status, body)
+            elif method == "POST" and parts == ["sessions"]:
+                self._create_session(parts)
+            elif (
+                method in ("GET", "POST")
+                and len(parts) >= 2
+                and parts[0] == "sessions"
+            ):
+                worker = server.worker_for_session(parts[1])
+                status, body = self._forward(worker, method, parts)
+                self._send(status, body)
+            else:
+                self._send(
+                    404,
+                    error_envelope(
+                        ErrorCode.UNKNOWN_ROUTE,
+                        f"no route for {method} {self.path}",
+                    ),
+                )
+        except ServiceError as exc:
+            self._send(exc.status, error_envelope(exc.code, str(exc)))
+        except Exception as exc:  # noqa: BLE001 - a serving loop must not die
+            self._send(
+                500,
+                error_envelope(ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"),
+            )
+
+    def _create_session(self, parts: list[str]) -> None:
+        """Create a session on the dataset's ring-assigned worker."""
+        server = self.server
+        try:
+            payload = json.loads(self._body) if self._body else {}
+        except ValueError:
+            payload = {}  # let the worker produce the canonical bad_json error
+        dataset = "census"
+        if isinstance(payload, dict):
+            dataset = str(payload.get("dataset", "census"))
+        worker = server.worker_for_dataset(dataset)
+        status, body = self._forward(worker, "POST", parts)
+        if status == 201 and isinstance(body, dict) and "session_id" in body:
+            server.record_session(str(body["session_id"]), worker.index)
+        self._send(status, body)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        """Handle GET requests."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        """Handle POST requests."""
+        self._dispatch("POST")
+
+
+class FrontendServer(GracefulHTTPServer):
+    """The public-facing router over a set of worker processes.
+
+    Owns the hash ring, the session→worker affinity map, and the worker
+    handles; on :meth:`graceful_shutdown` it drains its own in-flight
+    proxied requests first (inherited), then SIGTERMs every worker and
+    joins them — each worker runs its own graceful drain.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        workers: Sequence[WorkerHandle],
+        verbose: bool = False,
+        proxy_timeout: float = 120.0,
+        worker_drain_timeout: float = 10.0,
+    ) -> None:
+        """Bind to ``address`` and route over ``workers``."""
+        if not workers:
+            raise ValueError("FrontendServer needs at least one worker")
+        super().__init__(address, _FrontendHandler, verbose)
+        self.workers = list(workers)
+        self.proxy_timeout = proxy_timeout
+        self.worker_drain_timeout = worker_drain_timeout
+        self._ring = HashRing(len(self.workers))
+        self._sessions: dict[str, int] = {}
+        self._sessions_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._counter_lock = threading.Lock()
+        self._started_unix = time.time()
+
+    # -------------------------------------------------------------- #
+    # routing state
+    # -------------------------------------------------------------- #
+
+    def worker_for_dataset(self, dataset: str) -> WorkerHandle:
+        """The ring-assigned worker for ``dataset``."""
+        return self.workers[self._ring.lookup(dataset)]
+
+    def worker_for_session(self, session_id: str) -> WorkerHandle:
+        """The worker a session was created on (404 if unknown)."""
+        with self._sessions_lock:
+            index = self._sessions.get(session_id)
+        if index is None:
+            raise ServiceError(
+                f"unknown session {session_id!r}",
+                status=404,
+                code=ErrorCode.UNKNOWN_SESSION,
+            )
+        return self.workers[index]
+
+    def record_session(self, session_id: str, worker_index: int) -> None:
+        """Pin ``session_id`` to the worker that created it."""
+        with self._sessions_lock:
+            self._sessions[session_id] = worker_index
+
+    def count_request(self, ok: bool) -> None:
+        """Tally one routed request (``ok=False`` for 4xx/5xx answers)."""
+        with self._counter_lock:
+            self._requests += 1
+            if not ok:
+                self._errors += 1
+
+    # -------------------------------------------------------------- #
+    # aggregate endpoints
+    # -------------------------------------------------------------- #
+
+    def healthz(self) -> dict[str, Any]:
+        """Front-end liveness plus per-worker liveness flags."""
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self._started_unix,
+            "workers": [
+                {"index": w.index, "pid": w.pid, "alive": w.alive}
+                for w in self.workers
+            ],
+        }
+
+    def _worker_get(self, worker: WorkerHandle, path: str) -> dict[str, Any]:
+        """One out-of-band GET to a worker (stats fan-out)."""
+        conn = HTTPConnection("127.0.0.1", worker.port, timeout=self.proxy_timeout)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            raw = response.read()
+            return json.loads(raw) if raw else {}
+        finally:
+            conn.close()
+
+    def aggregate_stats(self) -> dict[str, Any]:
+        """``GET /v1/stats``: front-end counters + merged worker stats."""
+        with self._counter_lock:
+            requests, errors = self._requests, self._errors
+        with self._sessions_lock:
+            sessions = len(self._sessions)
+        per_worker: list[dict[str, Any]] = []
+        tier_totals = {"l1_hits": 0, "l1_misses": 0, "l2_hits": 0, "l2_misses": 0}
+        tiered = False
+        for worker in self.workers:
+            try:
+                stats = self._worker_get(worker, "/v1/stats")
+            except (HTTPException, ConnectionError, OSError, ValueError):
+                stats = {"unreachable": True}
+            stats["worker"] = worker.index
+            stats["pid"] = worker.pid
+            per_worker.append(stats)
+            tiers = stats.get("cache_tiers")
+            if isinstance(tiers, dict):
+                tiered = True
+                for key in tier_totals:
+                    tier_totals[key] += int(tiers.get(key, 0))
+        payload: dict[str, Any] = {
+            "uptime_seconds": time.time() - self._started_unix,
+            "requests": requests,
+            "errors": errors,
+            "sessions": sessions,
+            "n_workers": len(self.workers),
+            "workers": per_worker,
+        }
+        if tiered:
+            payload["cache_tiers"] = tier_totals
+        return payload
+
+    def broadcast_datasets(
+        self, handler: _FrontendHandler
+    ) -> tuple[int, dict[str, Any]]:
+        """``POST /v1/datasets``: register on every worker.
+
+        Every worker must know the dataset — any of them may own it on the
+        ring.  The first failure short-circuits and is returned verbatim
+        (registration is idempotent on the workers, so a retry converges).
+        """
+        first: tuple[int, dict[str, Any]] | None = None
+        for worker in self.workers:
+            status, body = handler._forward(worker, "POST", ["datasets"])
+            if status >= 400:
+                return status, body
+            if first is None:
+                first = (status, body)
+        assert first is not None
+        return first
+
+    # -------------------------------------------------------------- #
+    # shutdown
+    # -------------------------------------------------------------- #
+
+    def _on_close(self) -> None:
+        """SIGTERM every worker and join them (kill stragglers)."""
+        for worker in self.workers:
+            if worker.alive:
+                try:
+                    os.kill(worker.pid, signal.SIGTERM)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        deadline = time.monotonic() + self.worker_drain_timeout + 5.0
+        for worker in self.workers:
+            worker.process.join(max(0.1, deadline - time.monotonic()))
+            if worker.alive:  # pragma: no cover - drain timeout
+                worker.process.terminate()
+                worker.process.join(5.0)
+
+
+def start_frontend(
+    n_workers: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service_kwargs: Mapping[str, Any] | None = None,
+    l2_cache_dir: str | None = None,
+    verbose: bool = False,
+    drain_timeout: float = 10.0,
+    **extra_service_kwargs: Any,
+) -> tuple[FrontendServer, threading.Thread]:
+    """Spawn workers and serve the front-end on a daemon thread.
+
+    ``service_kwargs`` / ``extra_service_kwargs`` are passed to every
+    worker's :class:`~repro.service.server.RecommendationService`.  Unless
+    overridden, a shared ``l2_cache_dir`` is created under the system temp
+    dir so the workers form one two-tier cache.  Returns ``(frontend,
+    thread)``; stop with ``frontend.graceful_shutdown()`` (which also
+    stops the workers).
+    """
+    kwargs = dict(service_kwargs or {})
+    kwargs.update(extra_service_kwargs)
+    if l2_cache_dir is None and kwargs.get("result_cache", True):
+        l2_cache_dir = tempfile.mkdtemp(prefix="seedb-l2-")
+    if l2_cache_dir is not None:
+        kwargs.setdefault("l2_cache_dir", l2_cache_dir)
+    workers = spawn_workers(n_workers, kwargs, drain_timeout)
+    frontend = FrontendServer(
+        (host, port),
+        workers,
+        verbose=verbose,
+        worker_drain_timeout=drain_timeout,
+    )
+    thread = threading.Thread(
+        target=frontend.serve_forever, name="seedb-frontend", daemon=True
+    )
+    thread.start()
+    return frontend, thread
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    """Command-line entry point: serve the sharded front-end."""
+    parser = argparse.ArgumentParser(
+        description="SeeDB sharded recommendation front-end"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--datasets",
+        default=None,
+        help="comma-separated allowlist (default: every registry dataset)",
+    )
+    parser.add_argument(
+        "--scale", default=None, help="dataset build scale (smoke|small|full)"
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the cross-session view-result cache",
+    )
+    parser.add_argument(
+        "--data-dir",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="on-disk chunked dataset directory to serve (repeatable)",
+    )
+    parser.add_argument(
+        "--l2-cache-dir",
+        default=None,
+        help="shared L2 cache directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight requests on SIGTERM",
+    )
+    args = parser.parse_args(argv)
+    datasets = (
+        tuple(name.strip() for name in args.datasets.split(",") if name.strip())
+        if args.datasets
+        else None
+    )
+    frontend, _ = start_frontend(
+        n_workers=args.workers,
+        host=args.host,
+        port=args.port,
+        l2_cache_dir=args.l2_cache_dir,
+        verbose=True,
+        drain_timeout=args.drain_timeout,
+        datasets=datasets,
+        scale=args.scale,
+        result_cache=not args.no_cache,
+        data_dirs=tuple(args.data_dir),
+    )
+    drained = install_sigterm_handler(frontend, timeout=args.drain_timeout)
+    host, port = frontend.server_address[:2]
+    print(
+        f"SeeDB front-end on http://{host}:{port} "
+        f"({len(frontend.workers)} workers)"
+    )
+    try:
+        while not frontend.draining:
+            time.sleep(0.5)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        if frontend.draining:
+            drained.wait(args.drain_timeout + 5.0)
+        frontend.graceful_shutdown(timeout=args.drain_timeout)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -6,27 +6,35 @@ metric)`` combination and one shared cross-session
 :class:`~repro.core.cache.ViewResultCache`, and serves concurrent analyst
 sessions.  :class:`SeeDBHTTPServer` exposes it as a JSON API on a stdlib
 ``ThreadingHTTPServer`` (one thread per in-flight request, no third-party
-dependencies):
+dependencies).  Endpoints live under the versioned ``/v1`` prefix; the
+legacy unprefixed paths still answer for one release but carry a
+``Deprecation`` header.  Every error response uses the envelope
+``{"error": {"code", "message", "detail"}}`` (see
+:mod:`repro.service.api` for the code catalogue):
 
-* ``GET /healthz`` — cheap liveness probe: answers without touching the
-  dataset registry or building any engine (safe for tight orchestration
-  probe intervals).
-* ``POST /sessions`` — open a session: ``{"dataset": "census"}`` (optional
-  ``store``, ``metric``).
-* ``POST /sessions/<id>/recommend`` — run one recommendation step:
+* ``GET /v1/healthz`` — cheap liveness probe: answers without touching
+  the dataset registry or building any engine (safe for tight
+  orchestration probe intervals).
+* ``POST /v1/sessions`` — open a session: ``{"dataset": "census"}``
+  (optional ``store``, ``metric``).
+* ``POST /v1/sessions/<id>/recommend`` — run one recommendation step:
   ``{"target": [{"column": ..., "value": ...}], "k": 5}`` (optional
   ``strategy``, ``pruner``, ``parallelism``, ``dimensions``,
   ``measures``); the response carries the ranked views, each with its most
   deviating ``top_group`` (the drill-down handle), plus per-run cache and
   latency statistics.
-* ``GET /sessions/<id>`` — a session's recorded steps.
-* ``GET /datasets`` — the dataset registry, with schema info for every
+* ``GET /v1/sessions/<id>`` — a session's recorded steps.
+* ``GET /v1/datasets`` — the dataset registry, with schema info for every
   dataset already loaded; on-disk chunked datasets (``data_dirs`` /
-  ``POST /datasets``) are flagged ``"on_disk": true``.
-* ``POST /datasets`` — register an on-disk chunked dataset directory
-  (written by :mod:`repro.data.ingest`): ``{"path": "datasets/air"}``.
-* ``GET /stats`` — service-level counters and the shared cache's
-  :class:`~repro.core.cache.CacheStats`.
+  ``POST /v1/datasets``) are flagged ``"on_disk": true``.
+* ``POST /v1/datasets`` — register an on-disk chunked dataset directory
+  (written by :mod:`repro.data.ingest`): ``{"path": "/data/air"}``.
+  Relative or traversal paths — and, when the service was started with
+  ``data_dirs``, paths outside those roots — are rejected with
+  ``invalid_path``.
+* ``GET /v1/stats`` — service-level counters and the shared cache's
+  :class:`~repro.core.cache.CacheStats` (per-tier L1/L2 counters when the
+  service runs a tiered cache).
 
 The server drains gracefully: :meth:`SeeDBHTTPServer.graceful_shutdown`
 stops accepting, answers new requests on kept-alive connections with 503,
@@ -53,16 +61,18 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.cache import ViewResultCache
+from repro.core.cache import TieredViewResultCache, ViewResultCache
 from repro.core.engine import EngineRun
 from repro.core.recommender import SeeDB, tuned_config
 from repro.data import registry
 from repro.db.expressions import And, Expression, eq
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import ReproError, ServiceError, StorageError
+from repro.service.api import ErrorCode, error_envelope, split_path
 from repro.service.sessions import (
     SessionStep,
     SessionStore,
@@ -72,7 +82,7 @@ from repro.service.sessions import (
 
 _STRATEGIES = ("no_opt", "sharing", "comb", "comb_early")
 _STORES = ("row", "col")
-_PARALLELISM = ("modeled", "real")
+_PARALLELISM = ("modeled", "real", "process")
 _MAX_K = 100
 
 
@@ -121,6 +131,7 @@ class RecommendationService:
         cache: ViewResultCache | None = None,
         seed: int = 0,
         data_dirs: Sequence[str] = (),
+        l2_cache_dir: str | None = None,
     ) -> None:
         """Configure the service; engines are built lazily per dataset.
 
@@ -131,7 +142,10 @@ class RecommendationService:
         substitutes a shared externally-owned cache; ``data_dirs`` lists
         on-disk chunked dataset directories (see :mod:`repro.data.ingest`)
         to register and serve alongside the built-ins — these open as
-        memory-mapped tables the engine streams, so they may exceed RAM.
+        memory-mapped tables the engine streams, so they may exceed RAM;
+        ``l2_cache_dir`` adds a file-backed cross-process L2 tier under
+        that directory (used by the sharded front-end so sibling workers
+        share each other's view results).
         """
         known = tuple(sorted(registry.DATASETS))
         self.datasets_allowed = tuple(datasets) if datasets else known
@@ -141,14 +155,26 @@ class RecommendationService:
             entry = registry.register_on_disk(path)
             if entry.name not in self.datasets_allowed:
                 self.datasets_allowed = (*self.datasets_allowed, entry.name)
+        #: Containment roots for ``POST /v1/datasets`` path validation:
+        #: the parents of the configured data dirs.  Empty means "no roots
+        #: configured" — absolute paths are then accepted as-is (the
+        #: in-process/test configuration), but relative paths never are.
+        self._data_roots = tuple(
+            Path(path).resolve().parent for path in data_dirs
+        )
         self.scale = scale
         self.default_store = default_store
         self.default_metric = default_metric
         self.seed = seed
         self.result_cache_enabled = result_cache
-        self.cache = (
-            cache if cache is not None else (ViewResultCache() if result_cache else None)
-        )
+        if cache is not None:
+            self.cache: ViewResultCache | None = cache
+        elif not result_cache:
+            self.cache = None
+        elif l2_cache_dir is not None:
+            self.cache = TieredViewResultCache(l2_dir=l2_cache_dir)
+        else:
+            self.cache = ViewResultCache()
         self.sessions = SessionStore()
         self._engines: dict[tuple[str, str, str], SeeDB] = {}
         #: Guards reads/writes of the ``_engines`` dict itself (held only
@@ -177,6 +203,7 @@ class RecommendationService:
             raise ServiceError(
                 f"unknown dataset {dataset!r}; available: {list(self.datasets_allowed)}",
                 status=404,
+                code=ErrorCode.UNKNOWN_DATASET,
             )
         if store not in _STORES:
             raise ServiceError(f"store must be one of {_STORES}, got {store!r}")
@@ -337,10 +364,23 @@ class RecommendationService:
         name = payload.get("name")
         if name is not None and not isinstance(name, str):
             raise ServiceError("'name' must be a string when given")
+        resolved = self._validated_dataset_path(path)
         try:
-            entry = registry.register_on_disk(path, name=name)
+            entry = registry.register_on_disk(resolved, name=name)
+        except StorageError as exc:
+            # Missing/unreadable/unsupported manifest: a client-supplied-path
+            # problem, not a server fault (used to surface as an opaque 500).
+            raise ServiceError(
+                f"path {path!r} is not a readable chunk store: {exc}",
+                code=ErrorCode.INVALID_PATH,
+            ) from None
         except ReproError as exc:
             raise ServiceError(str(exc)) from None
+        except OSError as exc:
+            raise ServiceError(
+                f"path {path!r} is not a readable chunk store: {exc}",
+                code=ErrorCode.INVALID_PATH,
+            ) from None
         # Guarded read-modify-write: concurrent POST /datasets requests run
         # on separate ThreadingHTTPServer worker threads.
         with self._engine_lock:
@@ -355,6 +395,41 @@ class RecommendationService:
             "split_column": entry.split_column,
             "digest": entry.digest,
         }
+
+    def _validated_dataset_path(self, raw: str) -> str:
+        """Validate a client-supplied dataset path; return it resolved.
+
+        Policy (all violations answer 400 with code ``invalid_path``):
+
+        * ``..`` segments are always rejected — a traversal attempt, never
+          a legitimate way to name a dataset directory;
+        * relative paths are rejected: they would resolve against the
+          server process's working directory, which is not client-visible
+          state;
+        * when the service was configured with ``data_dirs``, the resolved
+          path must live under one of their parent directories, so a
+          client cannot point the server at arbitrary filesystem paths.
+        """
+        path = Path(raw)
+        if any(part == ".." for part in path.parts):
+            raise ServiceError(
+                f"path {raw!r} contains a traversal ('..') segment",
+                code=ErrorCode.INVALID_PATH,
+            )
+        if not path.is_absolute():
+            raise ServiceError(
+                f"path {raw!r} is relative; dataset paths must be absolute",
+                code=ErrorCode.INVALID_PATH,
+            )
+        resolved = path.resolve()
+        if self._data_roots and not any(
+            resolved.is_relative_to(root) for root in self._data_roots
+        ):
+            raise ServiceError(
+                f"path {raw!r} is outside the configured data roots",
+                code=ErrorCode.INVALID_PATH,
+            )
+        return str(resolved)
 
     def describe_datasets(self) -> dict[str, object]:
         """Describe the dataset registry (``GET /datasets``)."""
@@ -396,7 +471,7 @@ class RecommendationService:
             requests, errors = self._requests, self._errors
         with self._engine_lock:
             engine_keys = list(self._engines)
-        return {
+        payload: dict[str, object] = {
             "uptime_seconds": time.time() - self._started_unix,
             "sessions": len(self.sessions),
             "requests": requests,
@@ -405,6 +480,9 @@ class RecommendationService:
             "result_cache_enabled": self.result_cache_enabled,
             "cache": self.cache.snapshot().as_dict() if self.cache else None,
         }
+        if isinstance(self.cache, TieredViewResultCache):
+            payload["cache_tiers"] = self.cache.tier_counters()
+        return payload
 
     # -------------------------------------------------------------- #
     # bookkeeping used by the HTTP layer
@@ -435,6 +513,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     #: on, the body would sit behind the client's delayed ACK (~40ms per
     #: request on loopback), dwarfing a cache-served recommendation.
     disable_nagle_algorithm = True
+    #: Set per-request in :meth:`_dispatch`; True for legacy unprefixed
+    #: paths, which get a ``Deprecation`` header on the response.
+    _deprecated = False
 
     def log_message(self, format: str, *args: object) -> None:
         """Silence per-request stderr logging unless the server is verbose."""
@@ -447,6 +528,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._deprecated:
+            # Legacy unprefixed path: answered for one more release.
+            self.send_header("Deprecation", "true")
+            self.send_header("Link", '</v1>; rel="successor-version"')
         self.end_headers()
         self.wfile.write(body)
         self.server.service.count_request(ok=status < 400)
@@ -458,21 +543,31 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         try:
             payload = json.loads(self._body)
         except (ValueError, UnicodeDecodeError) as exc:
-            raise ServiceError(f"request body is not valid JSON: {exc}") from None
+            raise ServiceError(
+                f"request body is not valid JSON: {exc}", code=ErrorCode.BAD_JSON
+            ) from None
         if not isinstance(payload, dict):
-            raise ServiceError("request body must be a JSON object")
+            raise ServiceError(
+                "request body must be a JSON object", code=ErrorCode.BAD_JSON
+            )
         return payload
 
     def _dispatch(self, method: str) -> None:
         """Route one request; errors become JSON with appropriate status."""
         service = self.server.service
-        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        parts, versioned = split_path(self.path)
+        self._deprecated = not versioned and bool(parts)
         self._body = b""
         if not self.server.request_started():
             # Draining for shutdown: answer kept-alive stragglers cleanly
             # and drop the connection rather than leaving them hanging.
             self.close_connection = True
-            self._send(503, {"error": "server is shutting down"})
+            self._send(
+                503,
+                error_envelope(
+                    ErrorCode.SHUTTING_DOWN, "server is shutting down"
+                ),
+            )
             return
         try:
             self._handle_routes(method, service, parts)
@@ -495,7 +590,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 # Can't know where this request's body ends, so the
                 # connection cannot be reused either.
                 self.close_connection = True
-                raise ServiceError("invalid Content-Length header") from None
+                raise ServiceError(
+                    "invalid Content-Length header",
+                    code=ErrorCode.INVALID_LENGTH,
+                ) from None
             if length:
                 self._body = self.rfile.read(length)
             if method == "GET" and parts == ["healthz"]:
@@ -518,13 +616,26 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             ):
                 self._send(200, service.recommend(parts[1], self._json_body()))
             else:
-                self._send(404, {"error": f"no route for {method} {self.path}"})
+                self._send(
+                    404,
+                    error_envelope(
+                        ErrorCode.UNKNOWN_ROUTE,
+                        f"no route for {method} {self.path}",
+                    ),
+                )
         except ServiceError as exc:
-            self._send(exc.status, {"error": str(exc)})
+            self._send(exc.status, error_envelope(exc.code, str(exc)))
         except ReproError as exc:
-            self._send(400, {"error": str(exc)})
+            self._send(
+                400, error_envelope(ErrorCode.INVALID_REQUEST, str(exc))
+            )
         except Exception as exc:  # noqa: BLE001 - a serving loop must not die
-            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._send(
+                500,
+                error_envelope(
+                    ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
+                ),
+            )
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
         """Handle GET requests."""
@@ -535,13 +646,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
 
-class SeeDBHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server owning one :class:`RecommendationService`.
+class GracefulHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server that can drain in-flight requests.
 
-    Tracks in-flight requests so :meth:`graceful_shutdown` can drain them:
-    once draining, new requests are answered 503 and the shutdown waits
-    (bounded) for the in-flight count to reach zero before closing the
-    socket and releasing the service's engines.
+    Handlers call :meth:`request_started`/:meth:`request_finished` around
+    each request; once :meth:`graceful_shutdown` begins, new requests are
+    answered 503 (the handler sees ``request_started() is False``) and the
+    shutdown waits (bounded) for the in-flight count to reach zero before
+    closing the socket and calling the subclass :meth:`_on_close` hook.
+    Shared by the single-process :class:`SeeDBHTTPServer` and the sharded
+    :class:`repro.service.frontend.FrontendServer`.
     """
 
     daemon_threads = True
@@ -549,12 +663,11 @@ class SeeDBHTTPServer(ThreadingHTTPServer):
     def __init__(
         self,
         address: tuple[str, int],
-        service: RecommendationService,
+        handler_class: type[BaseHTTPRequestHandler],
         verbose: bool = False,
     ) -> None:
-        """Bind to ``address`` and attach ``service``."""
-        super().__init__(address, _ServiceHandler)
-        self.service = service
+        """Bind to ``address`` with ``handler_class``."""
+        super().__init__(address, handler_class)
         self.verbose = verbose
         self._inflight = 0
         self._inflight_cond = threading.Condition()
@@ -585,6 +698,9 @@ class SeeDBHTTPServer(ThreadingHTTPServer):
         with self._inflight_cond:
             return self._draining
 
+    def _on_close(self) -> None:
+        """Release owned resources; runs once, after the socket closes."""
+
     def graceful_shutdown(self, timeout: float | None = 10.0) -> bool:
         """Stop accepting, drain in-flight requests, close.  Idempotent.
 
@@ -612,12 +728,30 @@ class SeeDBHTTPServer(ThreadingHTTPServer):
                 should_close = False
         if should_close:
             self.server_close()
-            self.service.close()
+            self._on_close()
         return drained
 
 
+class SeeDBHTTPServer(GracefulHTTPServer):
+    """A graceful HTTP server owning one :class:`RecommendationService`."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: RecommendationService,
+        verbose: bool = False,
+    ) -> None:
+        """Bind to ``address`` and attach ``service``."""
+        super().__init__(address, _ServiceHandler, verbose)
+        self.service = service
+
+    def _on_close(self) -> None:
+        """Release the service's engines once the socket is closed."""
+        self.service.close()
+
+
 def install_sigterm_handler(
-    server: SeeDBHTTPServer, timeout: float | None = 10.0
+    server: GracefulHTTPServer, timeout: float | None = 10.0
 ) -> threading.Event:
     """Install a SIGTERM handler that gracefully drains ``server``.
 
@@ -688,6 +822,12 @@ def main(argv: Sequence[str] | None = None) -> None:
         help="on-disk chunked dataset directory to serve (repeatable)",
     )
     parser.add_argument(
+        "--l2-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="file-backed L2 cache directory shared with other processes",
+    )
+    parser.add_argument(
         "--drain-timeout",
         type=float,
         default=10.0,
@@ -704,6 +844,7 @@ def main(argv: Sequence[str] | None = None) -> None:
         scale=args.scale,
         result_cache=not args.no_cache,
         data_dirs=tuple(args.data_dir),
+        l2_cache_dir=args.l2_cache_dir,
     )
     server = SeeDBHTTPServer((args.host, args.port), service, verbose=True)
     drained = install_sigterm_handler(server, timeout=args.drain_timeout)

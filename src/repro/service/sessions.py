@@ -167,7 +167,11 @@ class SessionStore:
         with self._lock:
             session = self._sessions.get(session_id)
         if session is None:
-            raise ServiceError(f"unknown session {session_id!r}", status=404)
+            raise ServiceError(
+                f"unknown session {session_id!r}",
+                status=404,
+                code="unknown_session",
+            )
         return session
 
     def __len__(self) -> int:

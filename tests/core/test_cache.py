@@ -393,3 +393,149 @@ class TestChunkedTableCache:
         rerun = _run(engine, chunked_census)
         assert rerun.cache_hits == 0
         assert rerun.cache_misses == cold.cache_misses
+
+
+# --------------------------------------------------------------------------- #
+# the file-backed L2 tier and the two-tier cache
+# --------------------------------------------------------------------------- #
+
+
+class TestFileCacheTier:
+    def test_roundtrip_and_atomic_files(self, tmp_path):
+        from repro.core.cache import FileCacheTier
+
+        tier = FileCacheTier(tmp_path / "l2")
+        assert tier.get("k") is None
+        result, stats = _entry_payload()
+        assert tier.put("k", result, stats) is True
+        got = tier.get("k")
+        assert got is not None
+        cached_result, cached_stats = got
+        assert np.array_equal(
+            cached_result.values["avg_price"], result.values["avg_price"]
+        )
+        assert cached_stats.queries_issued == stats.queries_issued
+        # One finished entry file, no leftover temp files.
+        names = [p.name for p in (tmp_path / "l2").iterdir()]
+        assert len(names) == 1 and names[0].endswith(".viewcache")
+        assert len(tier) == 1 and tier.nbytes > 0
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        from repro.core.cache import FileCacheTier
+
+        tier = FileCacheTier(tmp_path / "l2")
+        tier.put("k", *_entry_payload())
+        entry_file = next((tmp_path / "l2").iterdir())
+        entry_file.write_bytes(b"not a pickle")
+        assert tier.get("k") is None
+
+    def test_key_is_verified_inside_payload(self, tmp_path):
+        """A renamed/foreign entry file must miss, not answer wrongly."""
+        import shutil as sh
+
+        from repro.core.cache import FileCacheTier
+
+        tier = FileCacheTier(tmp_path / "l2")
+        tier.put("k", *_entry_payload())
+        source = next((tmp_path / "l2").iterdir())
+        fake = source.with_name("0" * 64 + ".viewcache")
+        sh.copy(source, fake)
+        # The forged name's hash does not match the embedded key "k".
+        assert tier.get("other-key") is None
+
+    def test_invalidate_prefix(self, tmp_path):
+        from repro.core.cache import FileCacheTier
+
+        tier = FileCacheTier(tmp_path / "l2")
+        tier.put("tableA|q1", *_entry_payload())
+        tier.put("tableA|q2", *_entry_payload())
+        tier.put("tableB|q1", *_entry_payload())
+        assert tier.invalidate("tableA") == 2
+        assert tier.get("tableA|q1") is None
+        assert tier.get("tableB|q1") is not None
+
+    def test_byte_budget_prunes_oldest(self, tmp_path):
+        from repro.core.cache import FileCacheTier
+
+        tier = FileCacheTier(tmp_path / "l2")
+        tier.put("first", *_entry_payload())
+        entry_bytes = tier.nbytes
+        bounded = FileCacheTier(tmp_path / "l2", max_bytes=int(entry_bytes * 2.5))
+        for index in range(4):
+            bounded.put(f"k{index}", *_entry_payload())
+        assert bounded.nbytes <= int(entry_bytes * 2.5)
+        assert len(bounded) < 5
+
+    def test_unwritable_dir_degrades_to_dropped_writes(self, tmp_path):
+        # Replace the tier directory with a regular file (chmod tricks are
+        # ineffective when the suite runs as root): every write then hits
+        # ENOTDIR and the tier must degrade to dropped writes, not raise.
+        import shutil
+
+        from repro.core.cache import FileCacheTier
+
+        target = tmp_path / "l2"
+        tier = FileCacheTier(target)
+        shutil.rmtree(target)
+        target.write_text("not a directory")
+        assert tier.put("k", *_entry_payload()) is False
+        assert tier.get("k") is None
+
+
+class TestTieredViewResultCache:
+    def test_l2_hit_promotes_and_counts_as_hit(self, tmp_path):
+        from repro.core.cache import TieredViewResultCache
+
+        writer = TieredViewResultCache(tmp_path / "l2")
+        writer.put("k", *_entry_payload())
+        # A fresh instance over the same directory: cold L1, warm L2 —
+        # the sibling-worker scenario.
+        reader = TieredViewResultCache(tmp_path / "l2")
+        entry = reader.get("k")
+        assert entry is not None
+        assert reader.tier_counters() == {
+            "l1_hits": 0, "l1_misses": 1, "l2_hits": 1, "l2_misses": 0,
+        }
+        # The overall cache stats count the L2 hit as a hit, not a miss.
+        snapshot = reader.snapshot()
+        assert (snapshot.hits, snapshot.misses) == (1, 0)
+        assert snapshot.bytes_saved > 0
+        # Promotion: the second read is a pure L1 hit.
+        assert reader.get("k") is not None
+        assert reader.tier_counters()["l1_hits"] == 1
+
+    def test_full_miss_counts_in_both_tiers(self, tmp_path):
+        from repro.core.cache import TieredViewResultCache
+
+        cache = TieredViewResultCache(tmp_path / "l2")
+        assert cache.get("missing") is None
+        assert cache.tier_counters() == {
+            "l1_hits": 0, "l1_misses": 1, "l2_hits": 0, "l2_misses": 1,
+        }
+        snapshot = cache.snapshot()
+        assert (snapshot.hits, snapshot.misses) == (0, 1)
+
+    def test_invalidate_table_clears_both_tiers(self, tmp_path):
+        from repro.core.cache import TieredViewResultCache
+
+        cache = TieredViewResultCache(tmp_path / "l2")
+        cache.put("fp1|q", *_entry_payload())
+        cache.put("fp2|q", *_entry_payload())
+        assert cache.invalidate_table("fp1") >= 1
+        sibling = TieredViewResultCache(tmp_path / "l2")
+        assert sibling.get("fp1|q") is None
+        assert sibling.get("fp2|q") is not None
+
+    def test_engine_results_cross_processes_via_l2(self, census_like, tmp_path):
+        """Engine wiring: a warm L2 serves a cold-L1 engine bitwise."""
+        from repro.core.cache import TieredViewResultCache
+
+        first = _engine(census_like, cache=TieredViewResultCache(tmp_path / "l2"))
+        cold = _run(first, census_like)
+        assert cold.cache_misses > 0
+        # A second engine over a *fresh* tiered cache sharing only the dir.
+        second = _engine(census_like, cache=TieredViewResultCache(tmp_path / "l2"))
+        warm = _run(second, census_like)
+        assert warm.stats.queries_issued == 0
+        assert warm.cache_misses == 0
+        _assert_bitwise_identical(cold, warm)

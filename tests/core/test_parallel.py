@@ -214,6 +214,139 @@ class TestEngineDeterminism:
         assert serial.n_workers == 1
 
 
+class TestProcessDispatcher:
+    """``parallelism="process"``: cross-process fan-out over the chunk store."""
+
+    @pytest.fixture(scope="class")
+    def chunked_census(self, census_like, tmp_path_factory):
+        from repro.db.chunks import open_table, write_table
+
+        root = tmp_path_factory.mktemp("procpool") / "census_like"
+        write_table(census_like, root, chunk_rows=4096)
+        return open_table(root)
+
+    def test_run_batch_preserves_submission_order(self, chunked_census):
+        from repro.core.procpool import process_dispatcher
+
+        backend = NativeBackend(make_store("col", chunked_census))
+        queries = [
+            _count_query("census_like", "sex", i * 1000, i * 1000 + 500)
+            for i in range(8)
+        ]
+        with process_dispatcher(backend, 4) as dispatcher:
+            outcomes = dispatcher.run_batch(queries)
+        assert len(outcomes) == len(queries)
+        serial = [backend.execute(q) for q in queries]
+        for (pr, _), (sr, _) in zip(outcomes, serial):
+            assert pr.to_rows() == sr.to_rows()
+
+    def test_batch_mode_slices_match_serial(self, chunked_census):
+        from repro.core.procpool import process_dispatcher
+
+        backend = NativeBackend(make_store("col", chunked_census))
+        queries = [
+            _count_query("census_like", "race", i * 500, i * 500 + 400)
+            for i in range(6)
+        ]
+        with process_dispatcher(backend, 3, use_batch=True) as dispatcher:
+            outcomes = dispatcher.run_batch(queries)
+        serial = [backend.execute(q) for q in queries]
+        for (pr, _), (sr, _) in zip(outcomes, serial):
+            assert pr.to_rows() == sr.to_rows()
+
+    def test_single_worker_runs_inline(self, chunked_census):
+        from repro.core.procpool import process_dispatcher
+
+        backend = NativeBackend(make_store("col", chunked_census))
+        dispatcher = process_dispatcher(backend, 1)
+        outcomes = dispatcher.run_batch(
+            [_count_query("census_like", "sex", 0, 600) for _ in range(3)]
+        )
+        assert len(outcomes) == 3
+        assert all(stats.queries_issued == 1 for _, stats in outcomes)
+        dispatcher.close()
+
+    def test_make_dispatcher_process_mode(self, chunked_census):
+        from repro.core.procpool import ProcessPoolDispatcher
+
+        backend = NativeBackend(make_store("col", chunked_census))
+        dispatcher = make_dispatcher(backend, "process", 4)
+        assert isinstance(dispatcher, ProcessPoolDispatcher)
+        assert dispatcher.n_workers == 4
+        dispatcher.close()
+
+    def test_requires_chunk_store_and_native_backend(self, census_like):
+        from repro.core.procpool import process_dispatcher
+        from repro.exceptions import RecommendationError
+
+        # In-memory table: no source_path for workers to re-open.
+        backend = NativeBackend(make_store("col", census_like))
+        with pytest.raises(RecommendationError, match="source_path"):
+            process_dispatcher(backend, 4)
+        # Non-backend executor: no storage engine to re-open at all.
+        executor = QueryExecutor(make_store("col", census_like))
+        with pytest.raises(RecommendationError, match="native backend"):
+            process_dispatcher(executor, 4)
+
+    def test_engine_rejects_process_over_in_memory_table(self, census_like):
+        from repro.exceptions import RecommendationError
+
+        with pytest.raises(RecommendationError, match="source_path"):
+            _engine_run(
+                census_like, eq("marital", "Unmarried"),
+                parallelism="process", n_parallel=2,
+                strategy="sharing", pruner="none",
+            )
+
+    @pytest.mark.parametrize("strategy,pruner", [
+        ("sharing", "none"),
+        ("comb", "ci"),
+    ])
+    def test_process_matches_modeled_bitwise(
+        self, chunked_census, strategy, pruner
+    ):
+        """Process fan-out reproduces the serial run bit-for-bit.
+
+        Whole-query fan-out means every worker executes the exact
+        carry-seeded streaming accumulation the parent would (see
+        repro.core.procpool), so utilities compare with ``==``, not
+        approx.
+        """
+        target = eq("marital", "Unmarried")
+        serial = _engine_run(
+            chunked_census, target,
+            parallelism="modeled", n_parallel=4,
+            strategy=strategy, pruner=pruner,
+        )
+        process = _engine_run(
+            chunked_census, target,
+            parallelism="process", n_parallel=4,
+            strategy=strategy, pruner=pruner,
+        )
+        assert process.selected == serial.selected
+        assert set(process.utilities) == set(serial.utilities)
+        for key, value in serial.utilities.items():
+            assert process.utilities[key] == value  # bitwise, not approx
+        assert process.stats.queries_issued == serial.stats.queries_issued
+        assert process.parallelism == "process"
+
+    def test_determinism_across_worker_counts(self, chunked_census):
+        target = eq("marital", "Unmarried")
+        runs = [
+            _engine_run(
+                chunked_census, target,
+                parallelism="process", n_parallel=n,
+                strategy="sharing", pruner="none",
+            )
+            for n in (1, 2, 4)
+        ]
+        baseline = runs[0]
+        for run in runs[1:]:
+            assert run.selected == baseline.selected
+            for key, value in baseline.utilities.items():
+                assert run.utilities[key] == value  # bitwise across counts
+
+
 class TestSharedStructureThreadSafety:
     def test_buffer_pool_concurrent_access_keeps_totals_exact(self):
         pool = BufferPool(capacity_bytes=64 * 1024)

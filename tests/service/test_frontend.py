@@ -1,0 +1,333 @@
+"""Tests for the sharded multi-worker front-end (`repro.service.frontend`).
+
+Covers the consistent-hash ring, dataset sharding + session affinity,
+the proxied ``/v1`` surface (typed client end to end), error envelopes
+originated by the front-end itself, the shared file-backed L2 cache
+surviving a full worker restart, dataset broadcast registration, and
+graceful shutdown under concurrent load.
+
+Worker processes are real (spawn context), so the module keeps one
+shared 2-worker front-end alive for the routing tests and boots private
+ones only where lifecycle is the thing under test.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.api import ErrorCode, RecommendRequest
+from repro.service.client import ServiceClient
+from repro.service.frontend import HashRing, start_frontend
+
+
+def _toy_chunk_store(tmp_path):
+    """A 400-row on-disk chunk store named ``toy`` (mirrors test_service)."""
+    import numpy as np
+
+    from repro.db.chunks import write_table
+    from repro.db.table import Table
+    from repro.db.types import ColumnRole
+
+    rng = np.random.default_rng(0)
+    n = 400
+    table = Table(
+        "toy",
+        {
+            "region": rng.choice(["n", "s", "e", "w"], n),
+            "flavor": rng.choice(["a", "b", "c"], n),
+            "sales": rng.gamma(2.0, 10.0, n),
+            "segment": rng.choice(["t", "r"], n),
+        },
+        roles={
+            "region": ColumnRole.DIMENSION,
+            "flavor": ColumnRole.DIMENSION,
+            "sales": ColumnRole.MEASURE,
+            "segment": ColumnRole.OTHER,
+        },
+    )
+    write_table(
+        table,
+        tmp_path / "toy",
+        chunk_rows=64,
+        split_column="segment",
+        target_value="t",
+        other_value="r",
+    )
+    return tmp_path / "toy"
+
+
+@pytest.fixture(scope="module")
+def frontend():
+    """One shared 2-worker front-end over the smoke-scale datasets."""
+    server, _ = start_frontend(
+        n_workers=2, datasets=("census", "movies"), scale="smoke"
+    )
+    yield server
+    server.graceful_shutdown(timeout=10)
+
+
+def _address(server):
+    return server.server_address[:2]
+
+
+def _raw_request(address, method, path, payload=None):
+    """One unmanaged HTTP exchange; returns (status, headers, body)."""
+    conn = http.client.HTTPConnection(*address, timeout=30)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, dict(response.getheaders()), (
+            json.loads(raw) if raw else {}
+        )
+    finally:
+        conn.close()
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic_and_in_range(self):
+        ring = HashRing(4)
+        again = HashRing(4)
+        for key in ("census", "movies", "syn", "diab", "bank"):
+            assert 0 <= ring.lookup(key) < 4
+            assert ring.lookup(key) == again.lookup(key)
+
+    def test_every_worker_owns_some_keys(self):
+        ring = HashRing(4)
+        owners = {ring.lookup(f"dataset-{i}") for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_adding_a_worker_moves_a_minority_of_keys(self):
+        keys = [f"dataset-{i}" for i in range(400)]
+        before = HashRing(3)
+        after = HashRing(4)
+        moved = sum(
+            1 for key in keys if before.lookup(key) != after.lookup(key)
+        )
+        # Consistent hashing: ~1/4 of keys move when going 3 -> 4 workers,
+        # not "almost all" as naive modulo hashing would.
+        assert moved / len(keys) < 0.5
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+
+
+class TestFrontendRouting:
+    def test_healthz_reports_live_workers(self, frontend):
+        with ServiceClient(*_address(frontend)) as client:
+            health = client.healthz()
+        assert health["status"] == "ok"
+        assert [w["index"] for w in health["workers"]] == [0, 1]
+        assert all(w["alive"] and w["pid"] > 0 for w in health["workers"])
+
+    def test_sessions_route_by_dataset_and_pin_affinity(self, frontend):
+        with ServiceClient(*_address(frontend)) as client:
+            for dataset in ("census", "movies"):
+                session = client.create_session(dataset=dataset)
+                expected = frontend.worker_for_dataset(dataset)
+                pinned = frontend.worker_for_session(session.session_id)
+                assert pinned.index == expected.index
+
+    def test_typed_flow_through_proxy(self, frontend):
+        with ServiceClient(*_address(frontend)) as client:
+            session = client.create_session(dataset="census")
+            response = client.recommend(
+                session.session_id, RecommendRequest(k=3)
+            )
+            assert response.session_id == session.session_id
+            assert [view.rank for view in response.views] == [1, 2, 3]
+            assert all(len(view.key) == 3 for view in response.views)
+            described = client.describe_session(session.session_id)
+            assert described["steps"]
+            assert described["dataset"] == "census"
+
+    def test_unknown_dataset_error_passes_through(self, frontend):
+        with ServiceClient(*_address(frontend)) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.create_session(dataset="nope")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == ErrorCode.UNKNOWN_DATASET
+
+    def test_unknown_session_rejected_at_the_frontend(self, frontend):
+        with ServiceClient(*_address(frontend)) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.recommend("no-such-session")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == ErrorCode.UNKNOWN_SESSION
+
+    def test_unknown_route_envelope(self, frontend):
+        status, _, payload = _raw_request(
+            _address(frontend), "GET", "/v1/nope"
+        )
+        assert status == 404
+        assert payload["error"]["code"] == ErrorCode.UNKNOWN_ROUTE
+
+    def test_bad_json_is_the_workers_canonical_error(self, frontend):
+        conn = http.client.HTTPConnection(*_address(frontend), timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/v1/sessions",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert payload["error"]["code"] == ErrorCode.BAD_JSON
+
+    def test_legacy_unprefixed_path_carries_deprecation_header(self, frontend):
+        status, headers, payload = _raw_request(
+            _address(frontend), "GET", "/healthz"
+        )
+        assert status == 200 and payload["status"] == "ok"
+        assert headers.get("Deprecation") == "true"
+        assert "successor-version" in headers.get("Link", "")
+        _, v1_headers, _ = _raw_request(_address(frontend), "GET", "/v1/healthz")
+        assert "Deprecation" not in v1_headers
+
+    def test_aggregate_stats_merge_workers_and_cache_tiers(self, frontend):
+        with ServiceClient(*_address(frontend)) as client:
+            session = client.create_session(dataset="census")
+            request = RecommendRequest(k=2)
+            client.recommend(session.session_id, request)
+            repeat = client.recommend(session.session_id, request)
+            stats = client.stats()
+        assert repeat.stats.cache_hits > 0  # second pass is served from L1
+        assert stats["n_workers"] == 2
+        assert stats["requests"] > 0
+        assert [w["worker"] for w in stats["workers"]] == [0, 1]
+        tiers = stats["cache_tiers"]
+        assert tiers["l1_hits"] > 0
+        assert set(tiers) == {"l1_hits", "l1_misses", "l2_hits", "l2_misses"}
+
+    def test_post_datasets_broadcasts_to_every_worker(self, frontend, tmp_path):
+        path = _toy_chunk_store(tmp_path)
+        with ServiceClient(*_address(frontend)) as client:
+            created = client.register_dataset(str(path))
+            assert created["name"] == "toy" and created["on_disk"]
+            # Every worker may own "toy" on the ring; whichever does must
+            # be able to serve it immediately after the broadcast.
+            session = client.create_session(dataset="toy")
+            assert session.n_rows == 400
+            response = client.recommend(session.session_id, RecommendRequest(k=1))
+            assert response.views
+
+    def test_invalid_dataset_path_rejected_through_proxy(self, frontend, tmp_path):
+        with ServiceClient(*_address(frontend)) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.register_dataset(str(tmp_path / "missing"))
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == ErrorCode.INVALID_PATH
+
+
+class TestFrontendLifecycle:
+    def test_l2_cache_survives_full_worker_restart(self, tmp_path):
+        """View results paid for by one fleet are L2 hits for the next."""
+        l2_dir = str(tmp_path / "l2")
+        request = RecommendRequest(k=3)
+
+        def one_run():
+            server, _ = start_frontend(
+                n_workers=1,
+                datasets=("census",),
+                scale="smoke",
+                l2_cache_dir=l2_dir,
+            )
+            try:
+                with ServiceClient(*_address(server)) as client:
+                    session = client.create_session(dataset="census")
+                    response = client.recommend(session.session_id, request)
+                    stats = client.stats()
+                return response, stats
+            finally:
+                server.graceful_shutdown(timeout=10)
+
+        cold, cold_stats = one_run()
+        warm, warm_stats = one_run()
+        assert cold_stats["cache_tiers"]["l2_hits"] == 0
+        assert warm_stats["cache_tiers"]["l2_hits"] > 0
+        assert warm.stats.cache_hits > 0
+        assert warm.stats.queries_issued < cold.stats.queries_issued
+        # Identical recommendations either way: the L2 stores full results.
+        assert [v.key for v in warm.views] == [v.key for v in cold.views]
+        assert [v.utility for v in warm.views] == [v.utility for v in cold.views]
+
+    def test_graceful_shutdown_under_concurrent_load(self):
+        """Drain finishes in-flight proxied work; stragglers get 503s."""
+        server, _ = start_frontend(
+            n_workers=2, datasets=("census", "movies"), scale="smoke"
+        )
+        address = _address(server)
+        # Warm both shards so the loaded phase measures serving, not builds.
+        with ServiceClient(*address) as client:
+            warm_sessions = {
+                dataset: client.create_session(dataset=dataset).session_id
+                for dataset in ("census", "movies")
+            }
+            for session_id in warm_sessions.values():
+                client.recommend(session_id, RecommendRequest(k=2))
+
+        outcomes: list[str] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def analyst(dataset: str) -> None:
+            with ServiceClient(*address) as client:
+                try:
+                    session_id = client.create_session(dataset=dataset).session_id
+                except (ServiceError, OSError, http.client.HTTPException):
+                    with lock:
+                        outcomes.append("rejected")
+                    return
+                while not stop.is_set():
+                    try:
+                        client.recommend(session_id, RecommendRequest(k=2))
+                        result = "ok"
+                    except ServiceError as exc:
+                        assert exc.status == 503
+                        assert exc.code in (
+                            ErrorCode.SHUTTING_DOWN,
+                            ErrorCode.NO_WORKER,
+                        )
+                        result = "rejected"
+                    except (OSError, http.client.HTTPException):
+                        result = "refused"  # listener already closed
+                    with lock:
+                        outcomes.append(result)
+                    if result != "ok":
+                        return
+
+        threads = [
+            threading.Thread(target=analyst, args=(dataset,))
+            for dataset in ("census", "movies", "census", "movies")
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)  # let the load loop reach steady state
+        assert server.graceful_shutdown(timeout=30) is True
+        stop.set()
+        for thread in threads:
+            thread.join(30)
+        assert not any(thread.is_alive() for thread in threads)
+        with lock:
+            seen = list(outcomes)
+        # Concurrent work succeeded before the drain, and nothing escaped
+        # the envelope contract: every failure was a 503 or a dead socket.
+        assert seen.count("ok") > 0
+        assert set(seen) <= {"ok", "rejected", "refused"}
+        # The workers were SIGTERMed and joined; the listener is closed.
+        assert all(not worker.alive for worker in server.workers)
+        with pytest.raises(OSError):
+            _raw_request(address, "GET", "/v1/healthz")

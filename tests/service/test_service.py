@@ -12,11 +12,14 @@ import pytest
 from repro.exceptions import ServiceError
 from repro.service import (
     AnalystDrillDown,
+    ErrorCode,
     RecommendationService,
+    ServiceClient,
     SessionStore,
     clauses_from_payload,
     start_server,
 )
+from repro.service.api import API_PREFIX
 
 
 @pytest.fixture(scope="module")
@@ -36,12 +39,15 @@ def http_service():
     svc.close()
 
 
-def _call(address, method, path, payload=None):
+def _call(address, method, path, payload=None, *, versioned=True):
     connection = http.client.HTTPConnection(*address)
     try:
         body = json.dumps(payload).encode() if payload is not None else None
         connection.request(
-            method, path, body=body, headers={"Content-Type": "application/json"}
+            method,
+            (API_PREFIX + path) if versioned else path,
+            body=body,
+            headers={"Content-Type": "application/json"},
         )
         response = connection.getresponse()
         return response.status, json.loads(response.read())
@@ -184,10 +190,62 @@ class TestHTTP:
         status, stats = _call(http_service, "GET", "/stats")
         assert status == 200 and stats["sessions"] >= 1
 
+    def test_typed_client_flow(self, http_service):
+        from repro.service.api import RecommendRequest
+
+        with ServiceClient(*http_service) as client:
+            assert client.healthz()["status"] == "ok"
+            session = client.create_session(dataset="census")
+            assert session.dataset == "census" and session.n_rows > 0
+            response = client.recommend(
+                session.session_id, RecommendRequest(k=3)
+            )
+            assert len(response.views) == 3
+            assert response.views[0].rank == 1
+            assert response.views[0].key == (
+                response.views[0].dimension,
+                response.views[0].measure,
+                response.views[0].func,
+            )
+            assert response.stats.wall_seconds >= 0
+            recorded = client.describe_session(session.session_id)
+            assert len(recorded["steps"]) == 1
+            datasets = client.datasets()
+            assert datasets[0].name == "census" and datasets[0].loaded
+
+    def test_typed_client_raises_service_error(self, http_service):
+        with ServiceClient(*http_service) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.create_session(dataset="nope")
+            assert excinfo.value.status == 404
+            assert excinfo.value.code == ErrorCode.UNKNOWN_DATASET
+
+    def test_legacy_unprefixed_paths_served_with_deprecation(self, http_service):
+        """Pre-/v1 paths still work for one release, flagged as deprecated."""
+        connection = http.client.HTTPConnection(*http_service)
+        try:
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 200 and body["status"] == "ok"
+            assert response.headers["Deprecation"] == "true"
+            assert "successor-version" in response.headers["Link"]
+            # The versioned path carries no deprecation flag.
+            connection.request("GET", f"{API_PREFIX}/healthz")
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 200
+            assert response.headers.get("Deprecation") is None
+        finally:
+            connection.close()
+
     def test_error_statuses(self, http_service):
-        assert _call(http_service, "GET", "/nope")[0] == 404
-        assert _call(http_service, "GET", "/sessions/missing")[0] == 404
-        assert _call(http_service, "POST", "/sessions", {"dataset": "nope"})[0] == 404
+        status, body = _call(http_service, "GET", "/nope")
+        assert status == 404 and body["error"]["code"] == ErrorCode.UNKNOWN_ROUTE
+        status, body = _call(http_service, "GET", "/sessions/missing")
+        assert status == 404 and body["error"]["code"] == ErrorCode.UNKNOWN_SESSION
+        status, body = _call(http_service, "POST", "/sessions", {"dataset": "nope"})
+        assert status == 404 and body["error"]["code"] == ErrorCode.UNKNOWN_DATASET
         status, sess = _call(http_service, "POST", "/sessions", {"dataset": "census"})
         sid = sess["session_id"]
         status, body = _call(
@@ -196,7 +254,9 @@ class TestHTTP:
             f"/sessions/{sid}/recommend",
             {"target": [{"column": "bogus", "value": 1}]},
         )
-        assert status == 400 and "bogus" in body["error"]
+        assert status == 400
+        assert body["error"]["code"] == ErrorCode.INVALID_REQUEST
+        assert "bogus" in body["error"]["message"]
 
     def test_keepalive_survives_unrouted_post_with_body(self, http_service):
         """The body of an unmatched POST must be drained before responding.
@@ -208,14 +268,14 @@ class TestHTTP:
         try:
             body = json.dumps({"padding": "x" * 256}).encode()
             connection.request(
-                "POST", "/nope", body=body,
+                "POST", f"{API_PREFIX}/nope", body=body,
                 headers={"Content-Type": "application/json"},
             )
             response = connection.getresponse()
             assert response.status == 404
             response.read()
             # Same connection: the next request must parse cleanly.
-            connection.request("GET", "/datasets")
+            connection.request("GET", f"{API_PREFIX}/datasets")
             response = connection.getresponse()
             assert response.status == 200
             assert json.loads(response.read())["datasets"]
@@ -255,13 +315,15 @@ class TestHTTP:
         handler thread (or block forever on read(-1))."""
         connection = http.client.HTTPConnection(*http_service)
         try:
-            connection.putrequest("POST", "/sessions")
+            connection.putrequest("POST", f"{API_PREFIX}/sessions")
             connection.putheader("Content-Type", "application/json")
             connection.putheader("Content-Length", bad_length)
             connection.endheaders()
             response = connection.getresponse()
             assert response.status == 400
-            assert "Content-Length" in json.loads(response.read())["error"]
+            error = json.loads(response.read())["error"]
+            assert error["code"] == ErrorCode.INVALID_LENGTH
+            assert "Content-Length" in error["message"]
         finally:
             connection.close()
 
@@ -270,13 +332,15 @@ class TestHTTP:
         try:
             connection.request(
                 "POST",
-                "/sessions",
+                f"{API_PREFIX}/sessions",
                 body=b"{not json",
                 headers={"Content-Type": "application/json"},
             )
             response = connection.getresponse()
             assert response.status == 400
-            assert "JSON" in json.loads(response.read())["error"]
+            error = json.loads(response.read())["error"]
+            assert error["code"] == ErrorCode.BAD_JSON
+            assert "JSON" in error["message"]
         finally:
             connection.close()
 
@@ -479,10 +543,53 @@ class TestOnDiskDatasets:
         try:
             with pytest.raises(ServiceError):
                 svc.register_dataset({})
-            with pytest.raises(ServiceError):
+            # A missing-but-well-formed path is an invalid_path 400, not an
+            # opaque 500 from the failed manifest read.
+            with pytest.raises(ServiceError) as excinfo:
                 svc.register_dataset({"path": str(tmp_path / "missing")})
+            assert excinfo.value.status == 400
+            assert excinfo.value.code == ErrorCode.INVALID_PATH
         finally:
             svc.close()
+
+    @pytest.mark.parametrize(
+        "bad", ["relative/toy", "../outside", "/tmp/../etc/passwd"]
+    )
+    def test_post_datasets_rejects_traversal_and_relative(
+        self, bad, clean_registry
+    ):
+        svc = RecommendationService(datasets=("census",), scale="smoke")
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                svc.register_dataset({"path": bad})
+            assert excinfo.value.status == 400
+            assert excinfo.value.code == ErrorCode.INVALID_PATH
+        finally:
+            svc.close()
+
+    def test_post_datasets_confined_to_data_roots(self, tmp_path, clean_registry):
+        inside = _toy_chunk_store(tmp_path)
+        svc = RecommendationService(
+            datasets=("census",), scale="smoke", data_dirs=(str(inside),)
+        )
+        server, _ = start_server(svc)
+        address = server.server_address[:2]
+        try:
+            # Outside the configured roots: refused over HTTP with the
+            # envelope, before any filesystem access.
+            status, body = _call(
+                address, "POST", "/datasets", {"path": "/etc/hostname"}
+            )
+            assert status == 400
+            assert body["error"]["code"] == ErrorCode.INVALID_PATH
+            assert "data roots" in body["error"]["message"]
+            # Under a configured root's parent: accepted.
+            status, payload = _call(
+                address, "POST", "/datasets", {"path": str(inside)}
+            )
+            assert status == 201 and payload["name"] == "toy"
+        finally:
+            server.graceful_shutdown(timeout=5)
 
     def test_dataset_without_split_requires_explicit_target(
         self, tmp_path, clean_registry
@@ -562,7 +669,8 @@ class TestGracefulShutdown:
         address = server.server_address[:2]
         status, payload = _call(address, "GET", "/healthz")
         assert status == 503
-        assert "shutting down" in payload["error"]
+        assert payload["error"]["code"] == ErrorCode.SHUTTING_DOWN
+        assert "shutting down" in payload["error"]["message"]
         with server._inflight_cond:
             server._draining = False
         assert _call(address, "GET", "/healthz")[0] == 200

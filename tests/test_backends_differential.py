@@ -30,6 +30,13 @@ Coverage math (the acceptance bar is >= 200 randomized engine runs):
   match the SQLite oracle), for SHARING and COMB, serial and
   ``parallelism="real"`` — streaming may change peak memory and
   accounting, never results.
+* ``test_differential_process_pool`` adds 4 x 2 x 3 = 24 runs growing the
+  oracle a process-parallel leg: ``parallelism="process"`` fans whole
+  queries out to worker processes that re-open the chunk store via
+  ``np.memmap``, and must produce **bitwise**-identical top-k, utilities,
+  and distributions to the resident serial path (and match the SQLite
+  oracle) — process fan-out may change I/O accounting, never results or
+  the number of queries issued.
 """
 
 from __future__ import annotations
@@ -67,6 +74,7 @@ def test_coverage_floor():
     assert len(SHARED_SCAN_CASES) * 3 >= 48
     assert len(RESULT_CACHE_CASES) * 4 >= 32
     assert len(OUT_OF_CORE_CASES) * 3 >= 48
+    assert len(PROCESS_CASES) * 3 >= 24
 
 
 def _random_table(seed: int) -> Table:
@@ -322,6 +330,55 @@ def test_differential_out_of_core_with_spill(tmp_path):
     assert out_of_core.selected == resident.selected
     for key, value in resident.utilities.items():
         assert out_of_core.utilities[key] == value
+
+
+PROCESS_CASES = [
+    (seed, strategy)
+    for seed in range(4)
+    for strategy in ("sharing", "comb")
+]
+
+
+@pytest.mark.parametrize("seed,strategy", PROCESS_CASES)
+def test_differential_process_pool(tmp_path, seed, strategy):
+    """The process-parallel leg: cross-process fan-out is bitwise-exact.
+
+    Three runs per table: the resident serial native path, a
+    ``parallelism="process"`` run over the on-disk chunk store (worker
+    processes re-open the store via ``np.memmap`` and execute whole
+    queries; the parent gathers in submission order), and the SQLite
+    oracle.  The process run must match the resident run bitwise —
+    selected order, every utility, every distribution array, and the
+    query count — and agree with the oracle.  I/O accounting
+    (bytes/rows scanned) is deliberately NOT compared: workers stream at
+    their own chunk granularity, which carry-seeded accumulation makes
+    irrelevant to results.
+    """
+    from repro.db.chunks import open_table, write_table
+
+    table = _random_table(900 + seed)
+    write_table(table, tmp_path / "ds", chunk_rows=16)
+    chunked = open_table(tmp_path / "ds")
+
+    resident = _run(table, "native", strategy, "all")
+    process = _run(chunked, "native", strategy, "all", parallelism="process")
+    sqlite = _run(table, "sqlite", strategy, "all")
+
+    # Bitwise agreement with the resident serial path.
+    assert process.selected == resident.selected
+    assert set(process.utilities) == set(resident.utilities)
+    for key, value in resident.utilities.items():
+        assert process.utilities[key] == value  # exact, not approx
+    for key, dists in resident.distributions.items():
+        other = process.distributions[key]
+        assert np.array_equal(dists.keys, other.keys)
+        assert np.array_equal(dists.target, other.target, equal_nan=True)
+        assert np.array_equal(dists.reference, other.reference, equal_nan=True)
+    assert process.stats.queries_issued == resident.stats.queries_issued
+    assert process.phases_executed == resident.phases_executed
+
+    # And with the independent SQL engine.
+    _assert_equivalent(process, sqlite)
 
 
 def test_differential_with_spilling_group_budget():
