@@ -1047,6 +1047,186 @@ def bench_out_of_core_compare(
 
 
 # --------------------------------------------------------------------------- #
+# Append refresh — delta-aware view maintenance on a growing chunk store
+# --------------------------------------------------------------------------- #
+
+
+def _append_base_rows(scale: str | None = None) -> int:
+    """SYN base row count for the append-refresh bench."""
+    return {"smoke": 20_000, "small": 100_000, "full": 500_000}[
+        scale or current_scale()
+    ]
+
+
+def bench_append_refresh(
+    n_rows: int | None = None,
+    out_path: str | None = "BENCH_append.json",
+    data_dir: str | None = None,
+) -> ResultTable:
+    """Refresh cost after on-disk appends: delta-scan vs full recompute.
+
+    Materializes a SYN base table as an on-disk chunk store, runs SHARING
+    once with the delta-state cache enabled (capturing every query's
+    partial-aggregation snapshot), then appends 1%, 4%, and 5% batches via
+    :func:`repro.db.chunks.append_rows` and times the refresh run after
+    each.  Every refresh must carry-merge the cached partials and scan
+    **only** the appended rows — the per-step row counts in the output
+    prove it — while matching a from-scratch recompute over the extended
+    store bitwise (top-k, every utility).  A repeat run after each refresh
+    must be served entirely from the (never invalidated) result cache, so
+    the warm hit-rate stays positive across appends.
+
+    ``speedup`` is full-recompute wall-clock over refresh wall-clock per
+    step; refresh latency itself scales with the delta size, not the
+    table.  When ``out_path`` is set the measurements land in the
+    perf-trajectory JSON; the scale-suffix sibling rule of
+    ``BENCH_shared_scan.json`` applies.
+    """
+    import json
+    import shutil
+    import tempfile
+
+    from repro.db.catalog import TableMeta
+    from repro.db.chunks import append_rows, open_table, write_table
+
+    n_rows = n_rows or _append_base_rows()
+    # 1% / 4% / 5% batches: a 10% total extension, three refreshes.
+    deltas = [max(n_rows // 100, 1), max(n_rows // 25, 1), max(n_rows // 20, 1)]
+    syn = synthetic.make_syn(
+        n_rows=n_rows + sum(deltas), n_dimensions=5, n_measures=3
+    )
+    target = eq(synthetic.SPLIT_COLUMN, synthetic.TARGET_VALUE)
+    chunk_rows = max(min(n_rows // 8, 65_536), 1_024)
+
+    table = ResultTable(
+        f"Append refresh: SYN {n_rows:,} base rows + "
+        f"{'/'.join(str(d) for d in deltas)} appended (SHARING, delta cache)",
+        notes="bitwise match vs full recompute enforced per step; "
+        "rows_scanned counts only appended rows on a delta-cache hit",
+    )
+    work_dir = data_dir or tempfile.mkdtemp(prefix="seedb_append_")
+    try:
+        write_table(
+            syn.slice_rows(0, n_rows),
+            work_dir,
+            chunk_rows=chunk_rows,
+            split_column=synthetic.SPLIT_COLUMN,
+            target_value=synthetic.TARGET_VALUE,
+        )
+        chunked = open_table(work_dir)
+        config = tuned_config("col").with_(result_cache=True, delta_cache=True)
+        seedb = SeeDB.over_table(chunked, store="col", config=config)
+
+        def run():
+            return seedb.run_engine(target, k=10, strategy="sharing", pruner="none")
+
+        cold = run()
+        table.add(
+            step="cold",
+            delta_rows=0,
+            n_rows=n_rows,
+            wall_s=cold.wall_seconds,
+            rows_scanned=cold.stats.rows_scanned,
+            delta_hits=cold.stats.delta_hits,
+            queries=cold.stats.queries_issued,
+        )
+
+        results: list[dict[str, object]] = []
+        offset = n_rows
+        column_names = [col.name for col in syn.schema]
+        for delta in deltas:
+            append_rows(
+                work_dir,
+                {
+                    name: np.asarray(syn.column(name))[offset : offset + delta]
+                    for name in column_names
+                },
+            )
+            offset += delta
+            chunked.refresh_from_disk()
+            seedb.store.sync_layout()
+            seedb.meta = TableMeta.of(chunked)
+
+            refresh = run()
+            if refresh.stats.delta_hits != refresh.stats.queries_issued:
+                raise AssertionError(
+                    f"refresh after +{delta} rows missed the delta cache: "
+                    f"{refresh.stats.delta_hits}/{refresh.stats.queries_issued}"
+                )
+            if refresh.stats.rows_scanned != refresh.stats.queries_issued * delta:
+                raise AssertionError(
+                    f"refresh re-read base rows: scanned "
+                    f"{refresh.stats.rows_scanned}, expected "
+                    f"{refresh.stats.queries_issued * delta}"
+                )
+
+            # From-scratch oracle over the extended store (no caches).
+            oracle_seedb = SeeDB.over_table(
+                open_table(work_dir), store="col", config=tuned_config("col")
+            )
+            oracle = oracle_seedb.run_engine(
+                target, k=10, strategy="sharing", pruner="none"
+            )
+            if refresh.selected != oracle.selected:
+                raise AssertionError("delta refresh changed the top-k")
+            for key, value in oracle.utilities.items():
+                if refresh.utilities[key] != value:
+                    raise AssertionError(f"delta utility for {key} diverged")
+
+            warm = run()
+            if warm.cache_hits <= 0 or warm.stats.queries_issued != 0:
+                raise AssertionError(
+                    "result cache went cold across the append"
+                )
+            row = dict(
+                step=f"+{delta}",
+                delta_rows=delta,
+                n_rows=offset,
+                wall_s=refresh.wall_seconds,
+                rows_scanned=refresh.stats.rows_scanned,
+                delta_hits=refresh.stats.delta_hits,
+                queries=refresh.stats.queries_issued,
+                recompute_wall_s=oracle.wall_seconds,
+                speedup=oracle.wall_seconds / max(refresh.wall_seconds, 1e-12),
+                warm_cache_hits=warm.cache_hits,
+            )
+            results.append(row)
+            table.add(**row)
+
+        if out_path:
+            try:
+                with open(out_path) as handle:
+                    existing_rows = int(json.load(handle).get("n_rows", 0))
+            except (OSError, ValueError):
+                existing_rows = 0
+            if existing_rows > n_rows:
+                root, ext = os.path.splitext(out_path)
+                out_path = f"{root}.{current_scale()}{ext}"
+            payload = {
+                "bench": "append",
+                "generated_unix": time.time(),
+                "scale": current_scale(),
+                "n_rows": n_rows,
+                "host_cores": os.cpu_count() or 1,
+                "strategy": "sharing",
+                "store": "col",
+                "chunk_rows": chunk_rows,
+                "delta_rows": deltas,
+                "cold_wall_s": cold.wall_seconds,
+                "warm_hit_rate_positive": all(
+                    row["warm_cache_hits"] > 0 for row in results  # type: ignore[operator]
+                ),
+                "rows": results,
+            }
+            with open(out_path, "w") as handle:
+                json.dump(payload, handle, indent=2)
+    finally:
+        if data_dir is None:
+            shutil.rmtree(work_dir, ignore_errors=True)
+    return table
+
+
+# --------------------------------------------------------------------------- #
 # Service throughput — the serving layer + cross-session result cache
 # --------------------------------------------------------------------------- #
 

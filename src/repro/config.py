@@ -167,6 +167,14 @@ class EngineConfig:
     #: execution; the serving layer (:mod:`repro.service`) turns it on and
     #: shares one cache across all sessions.
     result_cache: bool = False
+    #: Keep per-query partial-aggregation state in a
+    #: :class:`~repro.core.cache.DeltaStateCache` beside the result cache,
+    #: so re-running a view after rows were *appended* restores the cached
+    #: state and scans only the new chunks (bitwise-identical results to a
+    #: full recompute — the streaming merge is exact by construction).
+    #: Only effective together with ``result_cache``; default **off** for
+    #: the same ablation-fidelity reason.  The serving layer turns it on.
+    delta_cache: bool = False
     #: Rows per streamed chunk for out-of-core execution.  ``None`` (the
     #: default) defers to the table's own chunk layout: in-memory tables
     #: are single-chunk and keep the classic one-shot path; tables opened
@@ -232,6 +240,9 @@ class ExecutionStats:
     #: Physical bytes the cache hits avoided re-scanning (the sum of the
     #: byte counters recorded when each hit entry was first executed).
     cache_bytes_saved: int = 0
+    #: Queries whose execution was seeded from a cached partial-aggregation
+    #: state (delta cache), so only rows past the cached prefix were scanned.
+    delta_hits: int = 0
     #: Filled in per batch: lists of per-query serial costs, used to model
     #: parallel execution (queries in one batch run concurrently).
     batch_costs: list[list[float]] = field(default_factory=list)
@@ -250,4 +261,5 @@ class ExecutionStats:
         self.wall_seconds += other.wall_seconds
         self.cache_hits += other.cache_hits
         self.cache_bytes_saved += other.cache_bytes_saved
+        self.delta_hits += other.delta_hits
         self.batch_costs.extend(other.batch_costs)

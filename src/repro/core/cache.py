@@ -44,6 +44,7 @@ import hashlib
 import os
 import pickle
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -95,7 +96,7 @@ def _value_key(value: object) -> str:
     return repr(value)
 
 
-def query_fingerprint(query: AggregateQuery) -> str:
+def query_fingerprint(query: AggregateQuery, *, include_row_range: bool = True) -> str:
     """Canonical fingerprint of one logical query plan, row range included.
 
     Structural, not textual: two queries get the same fingerprint iff every
@@ -103,6 +104,11 @@ def query_fingerprint(query: AggregateQuery) -> str:
     tree, derived columns, row range, group budget) is equal.  Aliases are
     included because :class:`~repro.db.query.QueryResult` keys its arrays
     by alias.
+
+    ``include_row_range=False`` drops the row-range component: the delta
+    cache keys partial-aggregation state by the *logical* query so a
+    refresh over a grown table (same plan, longer range) still finds the
+    state captured over the shorter one.
     """
     aggs = ";".join(
         f"{spec.func.value}:{_value_key(spec.argument)}:{spec.alias}"
@@ -118,7 +124,7 @@ def query_fingerprint(query: AggregateQuery) -> str:
             aggs,
             _value_key(query.predicate),
             derived,
-            _value_key(query.row_range),
+            _value_key(query.row_range) if include_row_range else "*",
             _value_key(query.group_budget),
         )
     )
@@ -386,6 +392,160 @@ class ViewResultCache:
 
 
 # --------------------------------------------------------------------------- #
+# delta-state cache (append-aware view maintenance)
+# --------------------------------------------------------------------------- #
+
+#: Default byte budget for cached partial-aggregation states.
+DEFAULT_DELTA_MAX_BYTES = 128 * 1024 * 1024
+DEFAULT_DELTA_MAX_ENTRIES = 4_096
+
+
+def delta_state_key(
+    store: "StorageEngine", query: AggregateQuery, executor_sig: str = "native"
+) -> str:
+    """Cache key for one query's partial-aggregation state.
+
+    Deliberately *excludes* the table fingerprint and the row range: the
+    whole point is that the key still matches after an append changed
+    both.  Identity instead anchors on the dataset (chunk-store path for
+    disk-backed tables, object identity for in-memory ones), the storage
+    kind, the executor's semantics, and the logical query plan; the
+    *contents* the cached state covers are recorded per entry as
+    ``(fingerprint, rows)`` and validated against the table's
+    :attr:`~repro.db.table.Table.append_lineage` at lookup time.
+    """
+    table = store.table
+    anchor = table.source_path or f"mem-{id(table)}"
+    return "|".join(
+        (
+            "delta",
+            table.name,
+            anchor,
+            store.kind,
+            executor_sig,
+            query_fingerprint(query, include_row_range=False),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class DeltaState:
+    """One cached partial-aggregation state.
+
+    ``state`` is a :meth:`StreamingGroupAggregator.snapshot` covering rows
+    ``[0, rows)`` of the table whose fingerprint was ``fingerprint`` at
+    capture time.  It is valid for a table ``t`` iff ``t`` *is* that
+    table (``t.fingerprint() == fingerprint`` and ``rows == t.nrows``) or
+    ``t`` append-extends it (``t.append_lineage[fingerprint] == rows``) —
+    then the refresh restores the snapshot and scans only rows past
+    ``rows``.
+    """
+
+    state: dict[str, object]
+    rows: int
+    fingerprint: str
+    nbytes: int
+
+
+class DeltaStateCache:
+    """LRU byte-budgeted cache of per-query partial-aggregation states.
+
+    Sits beside :class:`ViewResultCache`: the result cache memoizes
+    *finished* results under content-addressed keys (which an append
+    necessarily reroutes), while this tier keeps the mergeable
+    :class:`~repro.db.streaming.StreamingGroupAggregator` state so the
+    first run after an append pays O(delta) instead of O(table).  Same
+    locking discipline as :class:`ViewResultCache`; snapshots are deep
+    copies on both ends, so entries are immune to concurrent updates.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_DELTA_MAX_BYTES,
+        max_entries: int = DEFAULT_DELTA_MAX_ENTRIES,
+    ) -> None:
+        """Create an empty cache bounded by ``max_bytes``/``max_entries``."""
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, DeltaState] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> DeltaState | None:
+        """The cached state for ``key`` (LRU-refreshed), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(
+        self, key: str, state: dict[str, object], rows: int, fingerprint: str, nbytes: int
+    ) -> DeltaState:
+        """Store one snapshot; evicts LRU entries past the budgets."""
+        entry = DeltaState(
+            state=state,
+            rows=rows,
+            fingerprint=fingerprint,
+            nbytes=nbytes + _ENTRY_OVERHEAD_BYTES,
+        )
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.nbytes
+            self._entries[key] = entry
+            self._bytes += entry.nbytes
+            self._insertions += 1
+            while self._entries and (
+                self._bytes > self.max_bytes or len(self._entries) > self.max_entries
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        """Number of live entries."""
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently charged against the budget."""
+        with self._lock:
+            return self._bytes
+
+    def counters(self) -> dict[str, int]:
+        """Lifetime counters (JSON-ready, for ``GET /v1/stats``)."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "insertions": self._insertions,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+            }
+
+
+# --------------------------------------------------------------------------- #
 # cross-process L2 tier
 # --------------------------------------------------------------------------- #
 
@@ -394,6 +554,10 @@ DEFAULT_L2_MAX_BYTES = 1024 * 1024 * 1024
 
 #: Suffix for L2 entry files (anything else in the directory is ignored).
 _L2_SUFFIX = ".viewcache"
+
+#: Age after which an orphaned L2 temp file is presumed abandoned (no
+#: legitimate write takes anywhere near this long) and swept by _prune.
+_TMP_GRACE_SECONDS = 15 * 60
 
 
 class FileCacheTier:
@@ -479,7 +643,26 @@ class FileCacheTier:
         return rows
 
     def _prune(self) -> None:
-        """Delete oldest entries until the tier fits ``max_bytes``."""
+        """Delete oldest entries until the tier fits ``max_bytes``.
+
+        Also sweeps orphaned ``.tmp-<pid>-<tid>`` files: a writer that
+        crashed between ``write_bytes`` and :func:`os.replace` leaves its
+        temp file behind forever, and those escape the byte budget because
+        :meth:`_entries` only counts ``*.viewcache`` files.  Anything
+        older than :data:`_TMP_GRACE_SECONDS` cannot still be mid-write,
+        so it is garbage.
+        """
+        cutoff = time.time() - _TMP_GRACE_SECONDS
+        try:
+            stale = list(self.directory.glob("*.tmp-*"))
+        except OSError:  # pragma: no cover - directory vanished
+            stale = []
+        for tmp in stale:
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - concurrent sweep
+                continue
         rows = sorted(self._entries())
         total = sum(size for _, size, _ in rows)
         for _, size, path in rows:
@@ -609,11 +792,16 @@ class TieredViewResultCache(ViewResultCache):
 __all__ = [
     "CacheEntry",
     "CacheStats",
+    "DeltaState",
+    "DeltaStateCache",
     "FileCacheTier",
     "TieredViewResultCache",
     "ViewResultCache",
+    "delta_state_key",
     "execution_fingerprint",
     "query_fingerprint",
+    "DEFAULT_DELTA_MAX_BYTES",
+    "DEFAULT_DELTA_MAX_ENTRIES",
     "DEFAULT_L2_MAX_BYTES",
     "DEFAULT_MAX_BYTES",
     "DEFAULT_MAX_ENTRIES",

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.config import EngineConfig, ExecutionStats
 from repro.core.cache import (
+    DeltaStateCache,
     ViewResultCache,
     execution_fingerprint,
     query_fingerprint,
@@ -154,6 +155,7 @@ class ExecutionEngine:
         config: EngineConfig,
         cost_model: CostModel | None = None,
         result_cache: ViewResultCache | None = None,
+        delta_cache: "DeltaStateCache | None" = None,
     ) -> None:
         self.store = store
         self.metric = metric
@@ -188,6 +190,19 @@ class ExecutionEngine:
             )
         else:
             self.result_cache = None
+        # Delta-aware view maintenance: attach a DeltaStateCache to the
+        # native executor so full-prefix queries run through the streaming
+        # aggregator, snapshot their partial state, and — after an append —
+        # restore it and scan only the new chunks.  Only the native backend
+        # owns a QueryExecutor; external backends (sqlite) ignore the knob.
+        self.delta_cache: DeltaStateCache | None = None
+        if config.result_cache and config.delta_cache:
+            executor = getattr(self.backend, "executor", None)
+            if executor is not None:
+                self.delta_cache = (
+                    delta_cache if delta_cache is not None else DeltaStateCache()
+                )
+                executor.delta_cache = self.delta_cache
 
     # ------------------------------------------------------------------ #
     # public API

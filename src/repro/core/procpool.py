@@ -108,7 +108,13 @@ _worker_backends: dict[tuple[str, str], object] = {}
 
 
 def _worker_backend(store_path: str, store_kind: str):
-    """The worker's (cached) native backend over the memmap-opened store."""
+    """The worker's (cached) native backend over the memmap-opened store.
+
+    On every reuse the cached table re-checks the on-disk manifest digest
+    (:meth:`Table.refresh_from_disk` — one small JSON read): the store may
+    have been appended to since this worker opened it, and serving the old
+    memmaps would silently drop the new rows.
+    """
     key = (store_path, store_kind)
     backend = _worker_backends.get(key)
     if backend is None:
@@ -119,6 +125,8 @@ def _worker_backend(store_path: str, store_kind: str):
         table = open_table(store_path)
         backend = NativeBackend(make_store(store_kind, table))  # type: ignore[arg-type]
         _worker_backends[key] = backend
+    elif backend.store.table.refresh_from_disk():
+        backend.store.sync_layout()
     return backend
 
 

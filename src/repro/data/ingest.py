@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import re
 from pathlib import Path
 from typing import Mapping, Sequence
 
@@ -44,6 +45,30 @@ DEFAULT_BATCH_ROWS = 50_000
 #: dictionary-encoded (int32 codes + category sidecar); past it they fall
 #: back to raw fixed-width storage so the inference pass stays O(distinct).
 MAX_DICT_CATEGORIES = 1 << 16
+
+#: Plain decimal integer: optional sign, digits.  Deliberately narrower
+#: than Python's ``int()``, which also accepts underscore separators
+#: (``"1_000"``) — a CSV cell ``"1_0"`` must ingest as the *string*
+#: ``"1_0"``, not the number 10.
+_INT_RE = re.compile(r"[+-]?[0-9]+\Z")
+#: Plain decimal float with optional exponent.  Narrower than Python's
+#: ``float()``, which also accepts underscores, ``"inf"``/``"Infinity"``,
+#: and ``"NaN"`` — none of which a data file should silently turn numeric.
+_FLOAT_RE = re.compile(r"[+-]?([0-9]+\.?[0-9]*|\.[0-9]+)([eE][+-]?[0-9]+)?\Z")
+
+
+def strict_int(cell: str) -> int:
+    """Parse a plain decimal integer cell; raise ``ValueError`` otherwise."""
+    if _INT_RE.match(cell) is None:
+        raise ValueError(f"not a plain decimal integer: {cell!r}")
+    return int(cell)
+
+
+def strict_float(cell: str) -> float:
+    """Parse a plain decimal float cell; raise ``ValueError`` otherwise."""
+    if _FLOAT_RE.match(cell) is None:
+        raise ValueError(f"not a plain decimal number: {cell!r}")
+    return float(cell)
 
 
 class _ColumnProfile:
@@ -74,7 +99,7 @@ class _ColumnProfile:
                 self.str_values = None
         if self.could_be_int:
             try:
-                value = int(cell)
+                value = strict_int(cell)
             except ValueError:
                 self.could_be_int = False
             else:
@@ -85,7 +110,7 @@ class _ColumnProfile:
                 return
         if self.could_be_float:
             try:
-                float(cell)
+                strict_float(cell)
             except ValueError:
                 self.could_be_float = False
 
@@ -122,9 +147,10 @@ def _convert(cells: list[str], dtype: np.dtype) -> np.ndarray:
     if dtype.kind == "U":
         return np.asarray(cells, dtype=dtype)
     if dtype.kind == "i":
-        return np.asarray([int(cell) for cell in cells], dtype=dtype)
+        return np.asarray([strict_int(cell) for cell in cells], dtype=dtype)
     return np.asarray(
-        [float(cell) if cell != "" else np.nan for cell in cells], dtype=dtype
+        [strict_float(cell) if cell != "" else np.nan for cell in cells],
+        dtype=dtype,
     )
 
 
@@ -236,7 +262,16 @@ def ingest_csv(
                 cells.clear()
             pending = 0
 
-        for row in reader:
+        for line, row in enumerate(reader, start=2):
+            # Re-validate the shape even though the inference pass already
+            # did: the file may have changed between the two passes, and a
+            # short or long row would otherwise silently misalign cells
+            # across columns (zip truncates).
+            if len(row) != len(header):
+                raise DatasetError(
+                    f"{source}:{line}: expected {len(header)} cells, got "
+                    f"{len(row)} (file changed between passes?)"
+                )
             for cells, cell in zip(batch, row):
                 cells.append(cell.strip())
             pending += 1

@@ -271,9 +271,12 @@ def register_on_disk(path: str | Path, name: str | None = None) -> OnDiskSpec:
 
     The directory's ``manifest.json`` supplies the dataset name (unless
     overridden), row count, chunking, and optional split attribute.
-    Re-registering the same name with the same manifest digest is a no-op;
-    a different digest (or a clash with a built-in name) is an error.
-    Returns the registered spec.
+    Re-registering the same name with the same manifest digest is a no-op,
+    and the same *directory* with a different digest updates the entry in
+    place (the store was appended to — see
+    :func:`repro.db.chunks.append_rows`); a different directory under the
+    same name (or a clash with a built-in name) is an error.  Returns the
+    registered spec.
     """
     manifest: ChunkManifest = read_manifest(path)
     key = (name or manifest.name).lower()
@@ -295,13 +298,33 @@ def register_on_disk(path: str | Path, name: str | None = None) -> OnDiskSpec:
     )
     with _ON_DISK_LOCK:
         existing = _ON_DISK.get(key)
-        if existing is not None and existing.digest != entry.digest:
+        if (
+            existing is not None
+            and existing.digest != entry.digest
+            and Path(existing.path).resolve() != Path(path).resolve()
+        ):
             raise DatasetError(
                 f"on-disk dataset {key!r} is already registered with "
                 "different contents"
             )
         _ON_DISK[key] = entry
     return entry
+
+
+def refresh_on_disk(name: str) -> OnDiskSpec:
+    """Re-read a registered on-disk dataset's manifest after an append.
+
+    Rebuilds the registry entry from the directory's current
+    ``manifest.json`` (new row count, new digest) without changing which
+    directory the name points at.  Returns the updated spec; raises
+    :class:`DatasetError` if ``name`` has no on-disk registration.
+    """
+    key = name.lower()
+    with _ON_DISK_LOCK:
+        existing = _ON_DISK.get(key)
+    if existing is None:
+        raise DatasetError(f"no on-disk dataset {name!r} is registered")
+    return register_on_disk(existing.path, name=key)
 
 
 def unregister_on_disk(name: str) -> bool:

@@ -55,6 +55,16 @@ class NativeBackend(Backend):
         queries: Sequence[AggregateQuery],
         fanout: Fanout | None = None,
     ) -> list[tuple[QueryResult, ExecutionStats]]:
+        if self.executor.delta_cache is not None:
+            # Delta-aware mode: route per-query so every execution passes
+            # the append-aware path (snapshot capture + carry-merge on
+            # refresh).  Results are bitwise-identical to the shared-scan
+            # path — the differential oracle enforces that equality — and
+            # after an append each query scans only the new chunks, which
+            # is the latency the serving layer cares about.
+            if fanout is not None and len(queries) > 1:
+                return list(fanout(self.executor.execute, list(queries)))
+            return [self.executor.execute(query) for query in queries]
         return self.shared_executor.execute_batch(queries, fanout=fanout)
 
     def capabilities(self) -> BackendCapabilities:

@@ -22,6 +22,14 @@ digest instead of re-reading gigabytes of column data, so result-cache
 identity survives process restarts (two processes opening the same
 dataset directory agree on every cache key).
 
+Stores are append-only: :func:`append_rows` / :func:`append_table` extend
+the column files in place and land a fresh ``manifest.json`` (with a new
+digest) atomically via tmp+rename as the *last* step.  Readers that opened
+the store earlier keep a consistent view — their memmaps were sized by the
+old manifest — while new opens see the extended table.  ``k`` sequential
+appends produce byte-identical files (and the same digest) as one bulk
+write of all rows, so content-addressed cache keys stay honest.
+
 :class:`ResidencyTracker` measures what the streaming path actually
 materializes: every chunk copied out of a memmap registers its bytes and
 releases them when the array is garbage-collected, giving an exact
@@ -33,6 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 import weakref
 from dataclasses import dataclass, field
@@ -369,6 +378,37 @@ def _column_filename(name: str) -> str:
     return f"{name}.bin"
 
 
+def _write_manifest_atomic(root: Path, payload: dict[str, object]) -> None:
+    """Land ``manifest.json`` via tmp + :func:`os.replace`.
+
+    Readers opening the store concurrently see either the old or the new
+    manifest, never a torn one — the append path relies on this so an
+    in-flight append is invisible until its last step.
+    """
+    target = root / _MANIFEST_NAME
+    tmp = target.with_name(f"{_MANIFEST_NAME}.tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=2))
+    os.replace(tmp, target)
+
+
+def _hash_file(path: Path, sha: "hashlib._Hash", limit: int | None = None) -> None:
+    """Fold ``path``'s bytes (up to ``limit``) into ``sha``, streamed."""
+    remaining = limit
+    with open(path, "rb") as handle:
+        while True:
+            step = _WRITE_CHUNK_BYTES
+            if remaining is not None:
+                if remaining <= 0:
+                    break
+                step = min(step, remaining)
+            blob = handle.read(step)
+            if not blob:
+                break
+            sha.update(blob)
+            if remaining is not None:
+                remaining -= len(blob)
+
+
 class ColumnStreamWriter:
     """Appends value batches to one column file, hashing as it goes.
 
@@ -525,7 +565,7 @@ class ChunkStoreWriter:
         payload["digest"] = hashlib.sha256(
             _canonical_manifest_payload(payload)
         ).hexdigest()
-        (self.root / _MANIFEST_NAME).write_text(json.dumps(payload, indent=2))
+        _write_manifest_atomic(self.root, payload)
         return read_manifest(self.root)
 
 
@@ -584,6 +624,229 @@ def write_table(
     return writer.finish()
 
 
+def _append_at(path: Path, offset: int, blob: bytes) -> None:
+    """Write ``blob`` at byte ``offset`` and truncate the file right after.
+
+    Seeking to the manifest-derived offset (instead of appending blindly)
+    makes a retried append land at the correct position even if an earlier
+    attempt crashed after writing a partial tail.
+    """
+    actual = path.stat().st_size
+    if actual < offset:
+        raise StorageError(
+            f"column file {path} is {actual} bytes, expected at least {offset}"
+        )
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(blob)
+        handle.truncate()
+
+
+def _append_raw_column(
+    root: Path, col: ColumnManifest, values: np.ndarray, old_rows: int, n_new: int
+) -> ColumnManifest:
+    value_dtype = np.dtype(col.dtype)
+    try:
+        arr = np.ascontiguousarray(np.asarray(values, dtype=value_dtype))
+    except (TypeError, ValueError) as exc:
+        raise StorageError(
+            f"column {col.name!r} rejects appended values: {exc}"
+        ) from None
+    backing = root / col.file
+    if not backing.is_file():
+        raise StorageError(f"chunk store {root} is missing column file {col.file}")
+    _append_at(backing, old_rows * value_dtype.itemsize, arr.tobytes())
+    sha = hashlib.sha256()
+    nbytes = (old_rows + n_new) * value_dtype.itemsize
+    _hash_file(backing, sha, limit=nbytes)
+    return ColumnManifest(
+        name=col.name,
+        dtype=col.dtype,
+        role=col.role,
+        file=col.file,
+        nbytes=nbytes,
+        sha256=sha.hexdigest(),
+    )
+
+
+def _append_dict_column(
+    root: Path, col: ColumnManifest, values: np.ndarray, old_rows: int, n_new: int
+) -> ColumnManifest:
+    """Append to a dict32 column, growing (and re-sorting) categories.
+
+    New values outside the existing category set force the category array
+    to be re-unioned; since categories are stored *sorted* and every code
+    indexes into them, the whole code file is then rewritten (streamed
+    through a remap table) into a temp file that lands via ``os.replace``.
+    This keeps the final bytes identical to a one-shot bulk write of the
+    same rows — k sequential appends produce the same digest as one
+    ingest — while readers holding the old memmap keep the old inode.
+    """
+    backing = root / col.file
+    if not backing.is_file():
+        raise StorageError(f"chunk store {root} is missing column file {col.file}")
+    if not col.categories_file:
+        raise StorageError(
+            f"dict-encoded column {col.name!r} declares no categories file"
+        )
+    cats_path = root / col.categories_file
+    old_cats = np.fromfile(cats_path, dtype=np.dtype(col.dtype))
+    vals = np.asarray(values)
+    if vals.dtype.kind != old_cats.dtype.kind:
+        vals = vals.astype(str) if old_cats.dtype.kind == "U" else vals.astype(
+            old_cats.dtype
+        )
+    new_unique = np.unique(vals) if n_new else old_cats[:0]
+    union = np.unique(np.concatenate([old_cats, new_unique]))
+    unchanged = (
+        len(union) == len(old_cats)
+        and union.dtype == old_cats.dtype
+        and bool(np.array_equal(union, old_cats))
+    )
+    code_offset = old_rows * np.dtype(np.int32).itemsize
+    if unchanged:
+        codes = np.searchsorted(old_cats, vals).astype(np.int32)
+        _append_at(backing, code_offset, np.ascontiguousarray(codes).tobytes())
+        cats = old_cats
+    else:
+        remap = np.searchsorted(union, old_cats)
+        new_codes = np.searchsorted(union, vals).astype(np.int32)
+        tmp = backing.with_name(f"{backing.name}.tmp-{os.getpid()}")
+        with open(tmp, "wb") as out:
+            if old_rows:
+                old_codes = np.memmap(
+                    backing, dtype=np.int32, mode="r", shape=(old_rows,)
+                )
+                step = max(1, _WRITE_CHUNK_BYTES // 4)
+                for start in range(0, old_rows, step):
+                    translated = remap[np.asarray(old_codes[start : start + step])]
+                    out.write(
+                        np.ascontiguousarray(translated.astype(np.int32)).tobytes()
+                    )
+                del old_codes
+            out.write(np.ascontiguousarray(new_codes).tobytes())
+        os.replace(tmp, backing)
+        cats = union
+        cats_tmp = cats_path.with_name(f"{cats_path.name}.tmp-{os.getpid()}")
+        cats_tmp.write_bytes(np.ascontiguousarray(cats).tobytes())
+        os.replace(cats_tmp, cats_path)
+    code_nbytes = (old_rows + n_new) * np.dtype(np.int32).itemsize
+    cats_blob = np.ascontiguousarray(cats).tobytes()
+    sha = hashlib.sha256()
+    _hash_file(backing, sha, limit=code_nbytes)
+    sha.update(cats_blob)  # digest covers codes AND categories
+    return ColumnManifest(
+        name=col.name,
+        dtype=cats.dtype.str,
+        role=col.role,
+        file=col.file,
+        nbytes=code_nbytes + len(cats_blob),
+        sha256=sha.hexdigest(),
+        encoding="dict32",
+        categories_file=col.categories_file,
+        n_categories=len(cats),
+    )
+
+
+def append_rows(path: str | Path, data: Mapping[str, object]) -> ChunkManifest:
+    """Append a batch of rows to an existing on-disk chunk store.
+
+    ``data`` maps every manifest column name to a same-length 1-D
+    array-like of *logical* values (strings for dict-encoded columns —
+    encoding against the store's category set happens here).  Column files
+    are extended in place; the manifest is rewritten last via tmp+rename
+    with a fresh content ``digest``, so:
+
+    * a reader that opened the store before the append keeps a fully
+      consistent view (its memmaps were sized by the old manifest and
+      never see the new tail);
+    * a reader opening mid-append sees the *old* manifest over possibly
+      longer column files, which :func:`open_table` tolerates;
+    * a reader opening after the append sees the extended table under the
+      new digest.
+
+    The resulting store is byte-identical to one bulk-written with all
+    rows at once (``k`` sequential appends ≡ one ingest, same digest),
+    which is what keeps :meth:`Table.fingerprint` — and every cache key —
+    content-addressed.  Returns the new manifest.
+    """
+    root = Path(path)
+    manifest = read_manifest(root)
+    names = [col.name for col in manifest.columns]
+    unknown = sorted(set(data) - set(names))
+    if unknown:
+        raise StorageError(f"append supplies unknown columns: {unknown}")
+    missing = sorted(set(names) - set(data))
+    if missing:
+        raise StorageError(f"append is missing columns: {missing}")
+    converted: dict[str, np.ndarray] = {}
+    n_new: int | None = None
+    for name in names:
+        arr = np.asarray(data[name])
+        if arr.ndim != 1:
+            raise StorageError(
+                f"appended column {name!r} must be 1-D, got shape {arr.shape}"
+            )
+        if n_new is None:
+            n_new = len(arr)
+        elif len(arr) != n_new:
+            raise StorageError(
+                f"appended columns disagree on row count: {name!r} has "
+                f"{len(arr)} rows, expected {n_new}"
+            )
+        converted[name] = arr
+    if not n_new:
+        raise StorageError("append of zero rows")
+
+    old_rows = manifest.n_rows
+    columns: list[ColumnManifest] = []
+    for col in manifest.columns:
+        values = converted[col.name]
+        if col.encoding == "dict32":
+            columns.append(_append_dict_column(root, col, values, old_rows, n_new))
+        elif col.encoding == "raw":
+            columns.append(_append_raw_column(root, col, values, old_rows, n_new))
+        else:
+            raise StorageError(
+                f"unknown column encoding {col.encoding!r} for {col.name!r}"
+            )
+
+    payload: dict[str, object] = {
+        "format": MANIFEST_FORMAT,
+        "name": manifest.name,
+        "n_rows": old_rows + n_new,
+        "chunk_rows": manifest.chunk_rows,
+        "description": manifest.description,
+        "split_column": manifest.split_column,
+        "target_value": manifest.target_value,
+        "other_value": manifest.other_value,
+        "columns": [vars(col) for col in columns],
+    }
+    payload["digest"] = hashlib.sha256(
+        _canonical_manifest_payload(payload)
+    ).hexdigest()
+    _write_manifest_atomic(root, payload)
+    return read_manifest(root)
+
+
+def append_table(path: str | Path, table: "Table") -> ChunkManifest:
+    """Append every row of ``table`` to the chunk store at ``path``.
+
+    The delta table's schema must match the store's manifest columns by
+    name; values are taken logically (dict-encoded columns are decoded),
+    so the delta may be any resident table — typically a small batch built
+    from freshly ingested rows.  See :func:`append_rows`.
+    """
+    data: dict[str, object] = {}
+    for column in table.schema:
+        chunked = table.chunked_column(column.name)
+        if chunked.is_dict_encoded:
+            data[column.name] = chunked.decode_all()
+        else:
+            data[column.name] = np.asarray(chunked.values)
+    return append_rows(path, data)
+
+
 def read_manifest(path: str | Path) -> ChunkManifest:
     """Parse and validate ``manifest.json`` under dataset directory ``path``."""
     root = Path(path)
@@ -638,6 +901,7 @@ def open_table(
     *,
     memory_budget_bytes: int | None = None,
     name: str | None = None,
+    tracker: ResidencyTracker | None = None,
 ) -> "Table":
     """Open an on-disk chunk store as a memmap-backed :class:`Table`.
 
@@ -652,7 +916,8 @@ def open_table(
 
     root = Path(path)
     manifest = read_manifest(root)
-    tracker = ResidencyTracker(budget_bytes=memory_budget_bytes)
+    if tracker is None:
+        tracker = ResidencyTracker(budget_bytes=memory_budget_bytes)
     data: dict[str, object] = {}
     roles: dict[str, ColumnRole] = {}
     for col in manifest.columns:
@@ -665,9 +930,13 @@ def open_table(
             raise StorageError(f"chunk store {root} is missing column file {col.file}")
         expected = manifest.n_rows * storage_dtype.itemsize
         actual = backing.stat().st_size
-        if actual != expected:
+        if actual < expected:
+            # Larger is tolerated: a concurrent append may have extended the
+            # file before landing its manifest.  The memmap below is sized by
+            # *this* manifest's row count, so the extra tail is invisible.
             raise StorageError(
-                f"column file {backing} is {actual} bytes, manifest expects {expected}"
+                f"column file {backing} is {actual} bytes, manifest expects "
+                f"at least {expected}"
             )
         if manifest.n_rows:
             stored: np.ndarray = np.memmap(
@@ -745,6 +1014,11 @@ class ChunkStore:
         """A :class:`ChunkStoreWriter` targeting this directory."""
         return ChunkStoreWriter(self.path, name, chunk_rows, **meta)  # type: ignore[arg-type]
 
+    def append(self, data: Mapping[str, object]) -> ChunkManifest:
+        """Append rows (see :func:`append_rows`) and refresh the manifest."""
+        self._manifest = append_rows(self.path, data)
+        return self._manifest
+
     @classmethod
     def write(
         cls, table: "Table", path: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS, **meta: object
@@ -791,6 +1065,8 @@ __all__ = [
     "DictEncodedColumn",
     "DictEncodedValues",
     "ResidencyTracker",
+    "append_rows",
+    "append_table",
     "chunk_ranges",
     "open_table",
     "read_manifest",

@@ -123,8 +123,12 @@ class QueryExecutor:
     locals only (see module docstring).
     """
 
-    def __init__(self, store: StorageEngine) -> None:
+    def __init__(self, store: StorageEngine, delta_cache=None) -> None:
         self.store = store
+        #: Optional :class:`~repro.core.cache.DeltaStateCache` enabling the
+        #: append-aware execution path (attached by the engine when
+        #: ``EngineConfig.delta_cache`` is on).
+        self.delta_cache = delta_cache
 
     @property
     def table_name(self) -> str:
@@ -142,7 +146,9 @@ class QueryExecutor:
 
         start, stop = query.row_range or (0, self.store.nrows)
         ranges = self.store.stream_ranges(start, stop)
-        if len(ranges) > 1:
+        if self.delta_cache is not None and start == 0 and stop > 0:
+            result, n_filtered = self._execute_delta(query, stop, stats)
+        elif len(ranges) > 1:
             result, n_filtered = self._execute_streaming(query, ranges, stats)
         else:
             base_columns = sorted(query.base_columns_needed())
@@ -192,6 +198,17 @@ class QueryExecutor:
         aggregator = StreamingGroupAggregator(
             [spec.func for spec in query.aggregates], query.group_budget
         )
+        self._stream_into(aggregator, query, ranges, stats)
+        return aggregator.finalize(), aggregator.total_rows
+
+    def _stream_into(
+        self,
+        aggregator: StreamingGroupAggregator,
+        query: AggregateQuery,
+        ranges: list[tuple[int, int]],
+        stats: ExecutionStats,
+    ) -> None:
+        """Fold ``ranges`` chunk-at-a-time into ``aggregator``."""
         base_columns = sorted(query.base_columns_needed())
         skip = dict_key_only_columns(
             self.store.table, base_columns, query.value_columns_needed()
@@ -214,6 +231,52 @@ class QueryExecutor:
             )
             aggregate_inputs = self._aggregate_inputs(query, arrays, selector)
             aggregator.update(key_columns, aggregate_inputs)
+
+    def _execute_delta(
+        self, query: AggregateQuery, stop: int, stats: ExecutionStats
+    ) -> tuple[GroupResult, int]:
+        """Append-aware execution: seed from cached state, scan the delta.
+
+        Looks up the query's partial-aggregation state in the delta cache.
+        A cached entry is usable when the current table either *is* the
+        table it was captured over or append-extends it (checked via
+        :attr:`~repro.db.table.Table.append_lineage`) — then the
+        aggregator restores the snapshot and streams only rows past the
+        cached prefix, which is exactly the carry-seeded continuation of
+        the one-shot accumulation (bitwise-identical results; the oracle's
+        append leg enforces this).  Otherwise the full range streams into
+        a fresh aggregator.  Full-table executions snapshot their final
+        state back into the cache for the next append.
+        """
+        from repro.core.cache import delta_state_key
+
+        table = self.store.table
+        key = delta_state_key(self.store, query)
+        entry = self.delta_cache.get(key)
+        aggregator: StreamingGroupAggregator | None = None
+        scan_from = 0
+        if entry is not None and entry.rows <= stop:
+            current = entry.fingerprint == table.fingerprint() and entry.rows <= table.nrows
+            extends = table.append_lineage.get(entry.fingerprint) == entry.rows
+            if current or extends:
+                aggregator = StreamingGroupAggregator.from_snapshot(entry.state)
+                scan_from = entry.rows
+                stats.delta_hits += 1
+        if aggregator is None:
+            aggregator = StreamingGroupAggregator(
+                [spec.func for spec in query.aggregates], query.group_budget
+            )
+        if scan_from < stop:
+            ranges = self.store.stream_ranges(scan_from, stop)
+            self._stream_into(aggregator, query, ranges, stats)
+        if stop == self.store.nrows:
+            self.delta_cache.put(
+                key,
+                aggregator.snapshot(),
+                stop,
+                table.fingerprint(),
+                aggregator.snapshot_nbytes(),
+            )
         return aggregator.finalize(), aggregator.total_rows
 
     # ------------------------------------------------------------------ #

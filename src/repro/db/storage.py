@@ -56,6 +56,23 @@ class StorageEngine(abc.ABC):
     def nrows(self) -> int:
         return self.table.nrows
 
+    def sync_layout(self) -> None:
+        """Rebuild the page layout after the table grew (append/refresh).
+
+        The layout caches the row count at construction; callers that
+        append to the table in place (:meth:`Table.append`) or re-sync it
+        from disk (:meth:`Table.refresh_from_disk`) call this so page
+        accounting covers the new rows.  No-op when the count is current.
+        """
+        if self.layout.nrows != self.table.nrows:
+            self.layout = PageLayout(
+                table_name=self.table.name,
+                schema=self.table.schema,
+                nrows=self.table.nrows,
+                columnar=self._columnar(),
+                page_rows=self.layout.page_rows,
+            )
+
     def scan(
         self,
         columns: Sequence[str],

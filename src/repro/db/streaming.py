@@ -431,6 +431,73 @@ class StreamingGroupAggregator:
             self._last_categories[i] = cats
 
     # ------------------------------------------------------------------ #
+    # snapshot / restore (delta-aware view maintenance)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict[str, object]:
+        """Deep copy of the running state, for the delta cache.
+
+        The returned mapping captures everything :meth:`update` mutates —
+        restoring it via :meth:`from_snapshot` and feeding the *next*
+        chunks produces bitwise the same state as one aggregator that saw
+        every chunk, because carry-seeding already makes accumulated
+        partials order-exact prefixes of the one-shot sequence.  Arrays
+        are copied on capture (and again on restore), so a cached snapshot
+        is immune to later updates on either side.
+        """
+        return {
+            "funcs": list(self.funcs),
+            "budget": self.budget,
+            "total_rows": self.total_rows,
+            "key_names": None if self._key_names is None else list(self._key_names),
+            "mode": self._mode,
+            "category_counts": list(self._category_counts),
+            "last_categories": [c.copy() for c in self._last_categories],
+            "n_groups": self._n_groups,
+            "key_values": {k: v.copy() for k, v in self._key_values.items()},
+            "partials": [p.copy() for p in self._partials],
+            "counts": self._counts.copy(),
+            "dense_cats": [c.copy() for c in self._dense_cats],
+            "dense_sizes": list(self._dense_sizes),
+            "dense_product": self._dense_product,
+            "dense_counts": self._dense_counts.copy(),
+            "dense_partials": [p.copy() for p in self._dense_partials],
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict[str, object]) -> "StreamingGroupAggregator":
+        """Rebuild an aggregator mid-stream from a :meth:`snapshot`."""
+        agg = cls(list(state["funcs"]), state["budget"])  # type: ignore[arg-type]
+        agg.total_rows = int(state["total_rows"])  # type: ignore[arg-type]
+        key_names = state["key_names"]
+        agg._key_names = None if key_names is None else list(key_names)  # type: ignore[arg-type]
+        agg._mode = state["mode"]  # type: ignore[assignment]
+        agg._category_counts = list(state["category_counts"])  # type: ignore[arg-type]
+        agg._last_categories = [c.copy() for c in state["last_categories"]]  # type: ignore[union-attr]
+        agg._n_groups = int(state["n_groups"])  # type: ignore[arg-type]
+        agg._key_values = {k: v.copy() for k, v in state["key_values"].items()}  # type: ignore[union-attr]
+        agg._partials = [p.copy() for p in state["partials"]]  # type: ignore[union-attr]
+        agg._counts = state["counts"].copy()  # type: ignore[union-attr]
+        agg._dense_cats = [c.copy() for c in state["dense_cats"]]  # type: ignore[union-attr]
+        agg._dense_sizes = list(state["dense_sizes"])  # type: ignore[arg-type]
+        agg._dense_product = int(state["dense_product"])  # type: ignore[arg-type]
+        agg._dense_counts = state["dense_counts"].copy()  # type: ignore[union-attr]
+        agg._dense_partials = [p.copy() for p in state["dense_partials"]]  # type: ignore[union-attr]
+        return agg
+
+    def snapshot_nbytes(self) -> int:
+        """Approximate resident bytes of a snapshot (cache budgeting)."""
+        arrays = (
+            list(self._last_categories)
+            + list(self._key_values.values())
+            + list(self._partials)
+            + [self._counts, self._dense_counts]
+            + list(self._dense_cats)
+            + list(self._dense_partials)
+        )
+        return sum(arr.nbytes for arr in arrays)
+
+    # ------------------------------------------------------------------ #
     # finalize
     # ------------------------------------------------------------------ #
 

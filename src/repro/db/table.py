@@ -36,6 +36,9 @@ from repro.db.types import (
 )
 from repro.exceptions import SchemaError
 
+#: How many append ancestors a table remembers (see Table.append_lineage).
+_LINEAGE_DEPTH = 8
+
 
 def _coerce_array(name: str, values: object) -> np.ndarray:
     """Convert ``values`` to a 1-D numpy array of a supported dtype."""
@@ -155,6 +158,9 @@ class Table:
         self._dictionary_lock = threading.Lock()
         self._version = 0
         self._fingerprint: str | None = None
+        # fingerprint -> n_rows at that fingerprint, for ancestors this
+        # table was append-extended from (see append_lineage).
+        self._lineage: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -347,6 +353,151 @@ class Table:
                     digest.update(self._source_digest.encode())
                 self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    # ------------------------------------------------------------------ #
+    # append path (delta-aware maintenance)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def append_lineage(self) -> dict[str, int]:
+        """Fingerprints this table is an append-extension of.
+
+        Maps each recorded ancestor fingerprint to the row count the table
+        had under it: every row below that count holds the same logical
+        value now as it did then (appends only add rows at the end, and
+        category remaps preserve decoded values).  The delta cache uses
+        this to decide whether a partial-aggregation snapshot taken at an
+        older fingerprint can be carry-merged instead of recomputed.
+        Bounded to the most recent :data:`_LINEAGE_DEPTH` ancestors.
+        """
+        return dict(self._lineage)
+
+    def _record_lineage(self) -> None:
+        """Remember the current (fingerprint, nrows) before an append."""
+        if self._nrows:
+            self._lineage[self.fingerprint()] = self._nrows
+            while len(self._lineage) > _LINEAGE_DEPTH:
+                self._lineage.pop(next(iter(self._lineage)))
+
+    def append(self, data: Mapping[str, object]) -> int:
+        """Append rows to an in-memory table; returns the new row count.
+
+        ``data`` must supply every column (same names, same lengths).
+        Existing rows keep their values — dictionary-encoded columns union
+        their category sets and remap codes, raw columns concatenate (with
+        dtype widening for strings) — and the version/fingerprint bump so
+        every cache key derived from the old contents stops matching.  The
+        old identity is recorded in :attr:`append_lineage` so delta-aware
+        consumers can recognize this table as an extension rather than a
+        replacement.  Disk-backed tables append through
+        :func:`repro.db.chunks.append_rows` + :meth:`refresh_from_disk`
+        instead (the backing memmaps here are read-only).
+        """
+        if self._source_path is not None:
+            raise SchemaError(
+                "disk-backed table: append via repro.db.chunks.append_rows on "
+                f"{self._source_path!r}, then refresh_from_disk()"
+            )
+        names = set(self.column_names)
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise SchemaError(f"append supplies unknown columns: {unknown}")
+        missing = sorted(names - set(data))
+        if missing:
+            raise SchemaError(f"append is missing columns: {missing}")
+        n_new: int | None = None
+        incoming: dict[str, np.ndarray] = {}
+        for col in self.schema:
+            arr = np.asarray(data[col.name])
+            if arr.ndim != 1:
+                raise SchemaError(
+                    f"appended column {col.name!r} must be 1-D, got shape {arr.shape}"
+                )
+            if n_new is None:
+                n_new = len(arr)
+            elif len(arr) != n_new:
+                raise SchemaError(
+                    f"appended columns disagree on row count: {col.name!r} has "
+                    f"{len(arr)} rows, expected {n_new}"
+                )
+            incoming[col.name] = arr
+        if not n_new:
+            raise SchemaError("append of zero rows")
+        self._record_lineage()
+        extended: dict[str, object] = {}
+        for col in self.schema:
+            chunked = self._columns[col.name]
+            vals = incoming[col.name]
+            if isinstance(chunked, DictEncodedColumn):
+                if vals.dtype.kind != chunked.categories.dtype.kind:
+                    vals = vals.astype(str)
+                union = np.unique(
+                    np.concatenate([chunked.categories, np.unique(vals)])
+                )
+                remap = np.searchsorted(union, chunked.categories).astype(np.int32)
+                codes = np.concatenate(
+                    [
+                        remap[np.asarray(chunked.values, dtype=np.int32)],
+                        np.searchsorted(union, vals).astype(np.int32),
+                    ]
+                )
+                extended[col.name] = DictEncodedValues(codes, union)
+            else:
+                arr = _coerce_array(col.name, vals)
+                extended[col.name] = np.concatenate(
+                    [np.asarray(chunked.values), arr]
+                )
+        roles = {c.name: c.role for c in self.schema}
+        rebuilt = Table(
+            self.name,
+            extended,
+            roles=roles,
+            chunk_rows=self._chunk_rows,
+            tracker=self._tracker,
+        )
+        self.schema = rebuilt.schema
+        self._columns = rebuilt._columns
+        self._nrows = rebuilt._nrows
+        self.bump_version()
+        return self._nrows
+
+    def refresh_from_disk(self) -> bool:
+        """Re-sync a disk-backed table after its chunk store was appended to.
+
+        Re-reads the manifest at :attr:`source_path`; if the digest is
+        unchanged this is a no-op returning ``False``.  Otherwise the
+        columns are re-memmapped under the new manifest (the same
+        :class:`ResidencyTracker` keeps accounting continuity), the old
+        identity is pushed onto :attr:`append_lineage`, and the table
+        adopts the fresh open's identity wholesale — including its version
+        — so a worker that refreshed in place and one that re-opened the
+        store fingerprint identically and share every cache key (the
+        manifest digest alone reroutes stale entries).  Returns ``True``.
+        Readers holding the old arrays are unaffected — the old memmaps
+        stay valid over the old inodes.
+        """
+        if self._source_path is None:
+            raise SchemaError("refresh_from_disk requires a disk-backed table")
+        from repro.db.chunks import open_table, read_manifest
+
+        manifest = read_manifest(self._source_path)
+        if manifest.digest == self._source_digest:
+            return False
+        fresh = open_table(
+            self._source_path, name=self.name, tracker=self._tracker
+        )
+        self._record_lineage()
+        self.schema = fresh.schema
+        self._columns = fresh._columns
+        self._nrows = fresh._nrows
+        self._chunk_rows = fresh._chunk_rows
+        self._source_digest = fresh._source_digest
+        with self._dictionary_lock:
+            self._version = fresh._version
+            self._fingerprint = None
+            self._dictionaries.clear()
+            self._categories.clear()
+        return True
 
     # ------------------------------------------------------------------ #
     # dictionary encoding

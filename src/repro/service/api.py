@@ -31,6 +31,33 @@ API_VERSION = "v1"
 #: Path prefix every current endpoint lives under.
 API_PREFIX = f"/{API_VERSION}"
 
+#: When the unprefixed legacy paths were declared deprecated
+#: (2026-08-01T00:00:00Z, the release that shipped the ``/v1`` prefix).
+LEGACY_DEPRECATED_UNIX = 1_785_542_400
+#: When the legacy paths stop answering (2026-12-01T00:00:00Z).
+LEGACY_SUNSET_UNIX = 1_796_083_200
+#: RFC 9745 ``Deprecation`` header value: ``@`` + a Unix timestamp.
+LEGACY_DEPRECATION_VALUE = f"@{LEGACY_DEPRECATED_UNIX}"
+#: RFC 8594 ``Sunset`` header value: an HTTP-date.
+LEGACY_SUNSET_VALUE = "Tue, 01 Dec 2026 00:00:00 GMT"
+
+
+def legacy_deprecation_headers() -> list[tuple[str, str]]:
+    """Response headers for the deprecated unprefixed legacy paths.
+
+    RFC 9745 requires ``Deprecation`` to carry an ``@<unix-timestamp>``
+    date (the boolean ``true`` shipped previously is non-conformant), RFC
+    8594's ``Sunset`` announces when the paths stop answering, and the
+    ``Link`` relation points clients at the successor surface.  Shared by
+    the single-process server and the sharded front-end so both emit
+    byte-identical headers.
+    """
+    return [
+        ("Deprecation", LEGACY_DEPRECATION_VALUE),
+        ("Sunset", LEGACY_SUNSET_VALUE),
+        ("Link", '</v1>; rel="successor-version"'),
+    ]
+
 
 class ErrorCode:
     """Stable machine-readable error codes (the ``error.code`` field).
@@ -173,6 +200,53 @@ class RecommendRequest:
         if self.measures is not None:
             payload["measures"] = list(self.measures)
         return payload
+
+
+@dataclass(frozen=True)
+class AppendRequest:
+    """Body of ``POST /v1/datasets/<id>/append``.
+
+    Exactly one of ``rows`` (columnar JSON: column name → list of values,
+    or a list of row objects) or ``csv`` (a headered CSV batch) must be
+    given.
+    """
+
+    rows: Mapping[str, Sequence[Any]] | Sequence[Mapping[str, Any]] | None = None
+    csv: str | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON body."""
+        if (self.rows is None) == (self.csv is None):
+            raise ServiceError("AppendRequest needs exactly one of rows/csv")
+        if self.csv is not None:
+            return {"csv": self.csv}
+        if isinstance(self.rows, Mapping):
+            return {"rows": {name: list(vals) for name, vals in self.rows.items()}}
+        return {"rows": [dict(row) for row in self.rows or ()]}
+
+
+@dataclass(frozen=True)
+class AppendResponse:
+    """Response of ``POST /v1/datasets/<id>/append``."""
+
+    dataset: str
+    n_rows: int
+    appended: int
+    digest: str
+    engines_refreshed: int = 0
+    raw: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "AppendResponse":
+        """Parse the append response body (extra keys kept in ``raw``)."""
+        return cls(
+            dataset=str(payload["dataset"]),
+            n_rows=int(payload["n_rows"]),
+            appended=int(payload["appended"]),
+            digest=str(payload.get("digest", "")),
+            engines_refreshed=int(payload.get("engines_refreshed", 0)),
+            raw=dict(payload),
+        )
 
 
 @dataclass(frozen=True)

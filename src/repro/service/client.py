@@ -28,6 +28,8 @@ from typing import Any, Mapping
 from repro.exceptions import ServiceError
 from repro.service.api import (
     API_PREFIX,
+    AppendRequest,
+    AppendResponse,
     DatasetInfo,
     RecommendRequest,
     RecommendResponse,
@@ -183,6 +185,23 @@ class ServiceClient:
         return self.call(
             "POST", "/datasets", RegisterDatasetRequest(path, name).to_payload()
         )
+
+    def append(
+        self, dataset: str, request: AppendRequest
+    ) -> AppendResponse:
+        """``POST /v1/datasets/<id>/append`` — append rows to a dataset.
+
+        ``AppendRequest`` carries either columnar JSON rows or a headered
+        CSV batch; the response reports the new row count and digest.
+        """
+        body = self.call(
+            "POST", f"/datasets/{dataset}/append", request.to_payload()
+        )
+        return AppendResponse.from_payload(body)
+
+    def refresh_dataset(self, dataset: str) -> dict[str, Any]:
+        """``POST /v1/datasets/<id>/refresh`` — re-sync from the chunk store."""
+        return self.call("POST", f"/datasets/{dataset}/refresh")
 
     def stats(self) -> dict[str, Any]:
         """``GET /v1/stats`` — service counters and cache snapshot."""

@@ -17,6 +17,11 @@ proxies the public ``/v1`` API to them:
 * **shared L2 cache** — every worker gets the same ``l2_cache_dir``
   (:class:`~repro.core.cache.TieredViewResultCache`), so view results paid
   for by worker A's sessions are file-backed hits for worker B;
+* **append propagation** — ``POST /v1/datasets/<id>/append`` writes the
+  rows exactly once (on the dataset's ring-owner worker; all workers
+  share the chunk-store directory) and then broadcasts a bodyless
+  ``refresh`` to the other workers, whose tables re-sync via a manifest
+  digest compare — appends never invalidate the shared caches;
 * **aggregated observability** — ``GET /v1/stats`` fans out and merges
   per-worker counters (including per-tier L1/L2 cache hits);
 * **graceful drain** — SIGTERM (or :meth:`FrontendServer.
@@ -53,7 +58,12 @@ from http.server import BaseHTTPRequestHandler
 from typing import Any, Mapping, Sequence
 
 from repro.exceptions import ServiceError
-from repro.service.api import ErrorCode, error_envelope, split_path
+from repro.service.api import (
+    ErrorCode,
+    error_envelope,
+    legacy_deprecation_headers,
+    split_path,
+)
 from repro.service.server import (
     GracefulHTTPServer,
     RecommendationService,
@@ -202,8 +212,8 @@ class _FrontendHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if self._deprecated:
-            self.send_header("Deprecation", "true")
-            self.send_header("Link", '</v1>; rel="successor-version"')
+            for name, value in legacy_deprecation_headers():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         self.server.count_request(ok=status < 400)
@@ -292,6 +302,22 @@ class _FrontendHandler(BaseHTTPRequestHandler):
                 self._send(200, server.aggregate_stats())
             elif method == "POST" and parts == ["datasets"]:
                 status, body = server.broadcast_datasets(self)
+                self._send(status, body)
+            elif (
+                method == "POST"
+                and len(parts) == 3
+                and parts[0] == "datasets"
+                and parts[2] == "append"
+            ):
+                status, body = server.append_dataset(self, parts)
+                self._send(status, body)
+            elif (
+                method == "POST"
+                and len(parts) == 3
+                and parts[0] == "datasets"
+                and parts[2] == "refresh"
+            ):
+                status, body = server.broadcast_refresh(self, parts[1])
                 self._send(status, body)
             elif method == "GET" and parts == ["datasets"]:
                 status, body = self._forward(server.workers[0], method, parts)
@@ -446,6 +472,7 @@ class FrontendServer(GracefulHTTPServer):
         per_worker: list[dict[str, Any]] = []
         tier_totals = {"l1_hits": 0, "l1_misses": 0, "l2_hits": 0, "l2_misses": 0}
         tiered = False
+        delta_totals: dict[str, int] = {}
         for worker in self.workers:
             try:
                 stats = self._worker_get(worker, "/v1/stats")
@@ -459,6 +486,10 @@ class FrontendServer(GracefulHTTPServer):
                 tiered = True
                 for key in tier_totals:
                     tier_totals[key] += int(tiers.get(key, 0))
+            delta = stats.get("delta_cache")
+            if isinstance(delta, dict):
+                for key, value in delta.items():
+                    delta_totals[key] = delta_totals.get(key, 0) + int(value)
         payload: dict[str, Any] = {
             "uptime_seconds": time.time() - self._started_unix,
             "requests": requests,
@@ -469,6 +500,8 @@ class FrontendServer(GracefulHTTPServer):
         }
         if tiered:
             payload["cache_tiers"] = tier_totals
+        if delta_totals:
+            payload["delta_cache"] = delta_totals
         return payload
 
     def broadcast_datasets(
@@ -489,6 +522,71 @@ class FrontendServer(GracefulHTTPServer):
                 first = (status, body)
         assert first is not None
         return first
+
+    def _worker_post(self, worker: WorkerHandle, path: str) -> dict[str, Any]:
+        """One out-of-band bodyless POST to a worker (refresh broadcast)."""
+        conn = HTTPConnection("127.0.0.1", worker.port, timeout=self.proxy_timeout)
+        try:
+            conn.request("POST", path)
+            response = conn.getresponse()
+            raw = response.read()
+            return json.loads(raw) if raw else {}
+        finally:
+            conn.close()
+
+    def append_dataset(
+        self, handler: _FrontendHandler, parts: list[str]
+    ) -> tuple[int, dict[str, Any]]:
+        """``POST /v1/datasets/<id>/append``: write once, refresh everywhere.
+
+        The rows are appended exactly once, by the dataset's ring-owner
+        worker (all workers share the chunk-store directory, so
+        broadcasting the append verb itself would duplicate the rows);
+        the other workers then get a bodyless ``refresh`` broadcast — a
+        manifest digest compare plus memmap re-sync — so every worker
+        serves the extended table without the rows crossing the wire
+        again.  Workers that fail to refresh are reported in
+        ``stale_workers``; they re-sync on the next append or refresh.
+        """
+        dataset = parts[1]
+        owner = self.worker_for_dataset(dataset)
+        status, body = handler._forward(owner, "POST", parts)
+        if status >= 400:
+            return status, body
+        refreshed: list[int] = [owner.index]
+        stale: list[int] = []
+        for worker in self.workers:
+            if worker.index == owner.index:
+                continue
+            try:
+                self._worker_post(worker, f"/v1/datasets/{dataset}/refresh")
+                refreshed.append(worker.index)
+            except (HTTPException, ConnectionError, OSError, ValueError):
+                stale.append(worker.index)
+        body["refreshed_workers"] = sorted(refreshed)
+        if stale:
+            body["stale_workers"] = sorted(stale)
+        return status, body
+
+    def broadcast_refresh(
+        self, handler: _FrontendHandler, dataset: str
+    ) -> tuple[int, dict[str, Any]]:
+        """``POST /v1/datasets/<id>/refresh``: re-sync on every worker."""
+        first: tuple[int, dict[str, Any]] | None = None
+        refreshed: list[int] = []
+        for worker in self.workers:
+            status, body = handler._forward(
+                worker, "POST", ["datasets", dataset, "refresh"]
+            )
+            if status >= 400:
+                return status, body
+            refreshed.append(worker.index)
+            if first is None:
+                first = (status, body)
+        assert first is not None
+        status, body = first
+        body["refreshed_workers"] = refreshed
+        return status, body
 
     # -------------------------------------------------------------- #
     # shutdown

@@ -32,6 +32,16 @@ legacy unprefixed paths still answer for one release but carry a
   Relative or traversal paths — and, when the service was started with
   ``data_dirs``, paths outside those roots — are rejected with
   ``invalid_path``.
+* ``POST /v1/datasets/<id>/append`` — append rows to an on-disk dataset:
+  ``{"rows": {"col": [...], ...}}`` (columnar JSON, or a list of row
+  objects) or ``{"csv": "col1,col2\\n..."}``.  Chunk bytes already on disk
+  are never rewritten and **no cache is invalidated** — the next
+  recommend carry-merges cached per-group partials over only the new
+  chunks (the delta-state cache), so warm-path latency scales with the
+  delta, not the dataset.
+* ``POST /v1/datasets/<id>/refresh`` — re-sync a dataset from its chunk
+  store (manifest digest compare + memmap re-open); used by the sharded
+  front-end to propagate appends to sibling workers.
 * ``GET /v1/stats`` — service-level counters and the shared cache's
   :class:`~repro.core.cache.CacheStats` (per-tier L1/L2 counters when the
   service runs a tiered cache).
@@ -57,6 +67,8 @@ or in-process (tests, examples, benchmarks)::
 from __future__ import annotations
 
 import argparse
+import csv as csv_module
+import io
 import json
 import threading
 import time
@@ -70,9 +82,18 @@ from repro.core.cache import TieredViewResultCache, ViewResultCache
 from repro.core.engine import EngineRun
 from repro.core.recommender import SeeDB, tuned_config
 from repro.data import registry
+from repro.data.ingest import strict_float, strict_int
+from repro.db.catalog import TableMeta
+from repro.db.chunks import append_rows as chunk_append_rows
+from repro.db.chunks import read_manifest
 from repro.db.expressions import And, Expression, eq
 from repro.exceptions import ReproError, ServiceError, StorageError
-from repro.service.api import ErrorCode, error_envelope, split_path
+from repro.service.api import (
+    ErrorCode,
+    error_envelope,
+    legacy_deprecation_headers,
+    split_path,
+)
 from repro.service.sessions import (
     SessionStep,
     SessionStore,
@@ -132,6 +153,7 @@ class RecommendationService:
         seed: int = 0,
         data_dirs: Sequence[str] = (),
         l2_cache_dir: str | None = None,
+        delta_cache: bool = True,
     ) -> None:
         """Configure the service; engines are built lazily per dataset.
 
@@ -145,7 +167,10 @@ class RecommendationService:
         memory-mapped tables the engine streams, so they may exceed RAM;
         ``l2_cache_dir`` adds a file-backed cross-process L2 tier under
         that directory (used by the sharded front-end so sibling workers
-        share each other's view results).
+        share each other's view results); ``delta_cache=False`` disables
+        the append-aware delta-state cache (it is on by default in the
+        serving layer so a refresh after ``POST /v1/datasets/<id>/append``
+        scans only the new chunks).
         """
         known = tuple(sorted(registry.DATASETS))
         self.datasets_allowed = tuple(datasets) if datasets else known
@@ -175,8 +200,12 @@ class RecommendationService:
             self.cache = TieredViewResultCache(l2_dir=l2_cache_dir)
         else:
             self.cache = ViewResultCache()
+        self.delta_cache_enabled = delta_cache
         self.sessions = SessionStore()
         self._engines: dict[tuple[str, str, str], SeeDB] = {}
+        #: One lock per dataset serializing appends (and the registry /
+        #: engine refresh that follows); guarded by ``_engine_lock``.
+        self._append_locks: dict[str, threading.Lock] = {}
         #: Guards reads/writes of the ``_engines`` dict itself (held only
         #: for dict operations, never across a dataset build).
         self._engine_lock = threading.Lock()
@@ -222,7 +251,8 @@ class RecommendationService:
                     dataset, seed=self.seed, scale=self.scale
                 )
                 config = tuned_config(store).with_(  # type: ignore[arg-type]
-                    result_cache=self.result_cache_enabled
+                    result_cache=self.result_cache_enabled,
+                    delta_cache=self.delta_cache_enabled,
                 )
                 engine = SeeDB.over_table(
                     table,
@@ -245,7 +275,9 @@ class RecommendationService:
         store = str(payload.get("store", self.default_store))
         metric = str(payload.get("metric", self.default_metric))
         engine = self.engine(dataset, store, metric)  # validates + warms build
-        session = self.sessions.create(dataset, store, metric)
+        session = self.sessions.create(
+            dataset, store, metric, n_rows=engine.table.nrows
+        )
         return {
             "session_id": session.session_id,
             "dataset": dataset,
@@ -333,6 +365,9 @@ class RecommendationService:
             "strategy": strategy,
             "target": [{"column": c, "value": _json_scalar(v)} for c, v in clauses],
             "views": views,
+            # Changed-since-last-visit marker: did the dataset grow since
+            # this session's previous step (appends land between visits)?
+            "data": session.data_diff(engine.table.nrows),
             "stats": {
                 "queries_issued": run.stats.queries_issued,
                 "result_cache": run.result_cache,
@@ -340,6 +375,8 @@ class RecommendationService:
                 "cache_misses": run.cache_misses,
                 "cache_hit_rate": run.cache_hit_rate,
                 "cache_bytes_saved": run.cache_bytes_saved,
+                "delta_hits": run.stats.delta_hits,
+                "rows_scanned": run.stats.rows_scanned,
                 "wall_seconds": run.wall_seconds,
                 "modeled_latency_seconds": run.modeled_latency,
             },
@@ -431,6 +468,212 @@ class RecommendationService:
             )
         return str(resolved)
 
+    # -------------------------------------------------------------- #
+    # append path (delta-aware maintenance)
+    # -------------------------------------------------------------- #
+
+    def append_dataset(
+        self, dataset: str, payload: Mapping[str, object]
+    ) -> dict[str, object]:
+        """Append rows to an on-disk dataset (``POST /datasets/<id>/append``).
+
+        The body carries either columnar JSON rows (``{"rows": {"col":
+        [...], ...}}`` or a list of row objects) or a headered CSV batch
+        (``{"csv": "col1,col2\\n..."}``).  The rows land in the dataset's
+        chunk store (:func:`repro.db.chunks.append_rows` — existing chunk
+        bytes are never rewritten, the manifest swap is atomic), the
+        registry entry picks up the new digest, and every loaded engine
+        re-syncs its memory map.  Crucially, **no cache is invalidated**:
+        view-result entries stay keyed under the old fingerprint (still
+        valid for old readers, aged out by LRU) and the delta-state cache
+        carry-merges the cached per-group partials with a scan of only the
+        appended chunks on the next recommend.
+        """
+        if dataset not in self.datasets_allowed:
+            raise ServiceError(
+                f"unknown dataset {dataset!r}; available: {list(self.datasets_allowed)}",
+                status=404,
+                code=ErrorCode.UNKNOWN_DATASET,
+            )
+        spec = registry.spec(dataset)
+        if not getattr(spec, "on_disk", False):
+            raise ServiceError(
+                f"dataset {dataset!r} is not an on-disk chunk store; appends "
+                "require one (register a directory via POST /v1/datasets)"
+            )
+        data = self._append_columns(payload, spec.path)
+        n_new = len(next(iter(data.values()))) if data else 0
+        with self._engine_lock:
+            lock = self._append_locks.setdefault(dataset, threading.Lock())
+        with lock:
+            try:
+                chunk_append_rows(spec.path, data)
+            except StorageError as exc:
+                raise ServiceError(f"append rejected: {exc}") from None
+            entry = registry.refresh_on_disk(dataset)
+            refreshed = self._refresh_engines(dataset)
+        return {
+            "dataset": entry.name,
+            "n_rows": entry.n_rows,
+            "appended": n_new,
+            "digest": entry.digest,
+            "engines_refreshed": refreshed,
+            "on_disk": True,
+        }
+
+    def refresh_dataset(self, dataset: str) -> dict[str, object]:
+        """Re-sync a dataset from disk (``POST /datasets/<id>/refresh``).
+
+        Used by the sharded front-end after routing an append to the
+        dataset's ring-owner worker: the other workers share the chunk
+        store directory, so a cheap manifest re-read (digest compare) plus
+        a memmap re-open picks the new rows up without re-sending them.
+        No-op (and harmless) when nothing changed or for in-memory
+        datasets.
+        """
+        if dataset not in self.datasets_allowed:
+            raise ServiceError(
+                f"unknown dataset {dataset!r}; available: {list(self.datasets_allowed)}",
+                status=404,
+                code=ErrorCode.UNKNOWN_DATASET,
+            )
+        spec = registry.spec(dataset)
+        n_rows: int | None = None
+        if getattr(spec, "on_disk", False):
+            entry = registry.refresh_on_disk(dataset)
+            n_rows = entry.n_rows
+        with self._engine_lock:
+            lock = self._append_locks.setdefault(dataset, threading.Lock())
+        with lock:
+            refreshed = self._refresh_engines(dataset)
+        if n_rows is None:
+            with self._engine_lock:
+                engines = [
+                    e for key, e in self._engines.items() if key[0] == dataset
+                ]
+            n_rows = engines[0].table.nrows if engines else None
+        return {
+            "dataset": dataset,
+            "n_rows": n_rows,
+            "engines_refreshed": refreshed,
+        }
+
+    def _refresh_engines(self, dataset: str) -> int:
+        """Re-sync every loaded engine for ``dataset`` from its chunk store.
+
+        Returns how many engines actually picked up new rows.  The table
+        mutates in place (same object the engine's storage engine holds),
+        so only the page layout and catalog meta need rebuilding.
+        """
+        with self._engine_lock:
+            engines = [e for key, e in self._engines.items() if key[0] == dataset]
+        refreshed = 0
+        for seedb in engines:
+            if seedb.table.source_path is None:
+                continue
+            if seedb.table.refresh_from_disk():
+                seedb.store.sync_layout()
+                seedb.meta = TableMeta.of(seedb.table)
+                refreshed += 1
+        return refreshed
+
+    def _append_columns(
+        self, payload: Mapping[str, object], store_path: str
+    ) -> dict[str, list[object]]:
+        """Normalize an append body into column-name → value-list form.
+
+        Accepts columnar ``rows``, a list of row objects, or a headered
+        ``csv`` batch (cells converted with the same strict decimal
+        parsing the ingester uses, against the manifest's column types).
+        """
+        rows = payload.get("rows")
+        text = payload.get("csv")
+        if (rows is None) == (text is None):
+            raise ServiceError(
+                "append body needs exactly one of 'rows' (columnar or row "
+                "objects) or 'csv' (a headered CSV batch)"
+            )
+        if rows is not None:
+            if isinstance(rows, Mapping):
+                columns = {
+                    str(name): list(values)  # type: ignore[call-overload]
+                    for name, values in rows.items()
+                }
+            elif isinstance(rows, list) and all(
+                isinstance(row, Mapping) for row in rows
+            ):
+                if not rows:
+                    raise ServiceError("'rows' must not be empty")
+                names = sorted(rows[0])
+                if any(sorted(row) != names for row in rows):
+                    raise ServiceError(
+                        "every row object must have the same columns"
+                    )
+                columns = {
+                    name: [row[name] for row in rows] for name in names
+                }
+            else:
+                raise ServiceError(
+                    "'rows' must be an object of column lists or a list of "
+                    "row objects"
+                )
+            lengths = {len(values) for values in columns.values()}
+            if len(lengths) > 1:
+                raise ServiceError(
+                    f"column lists differ in length: "
+                    f"{sorted((k, len(v)) for k, v in columns.items())}"
+                )
+            if not columns or lengths == {0}:
+                raise ServiceError("append of zero rows")
+            return columns
+        if not isinstance(text, str) or not text.strip():
+            raise ServiceError("'csv' must be a non-empty CSV string")
+        return self._csv_columns(text, store_path)
+
+    def _csv_columns(self, text: str, store_path: str) -> dict[str, list[object]]:
+        """Parse a headered CSV batch against the store's column types."""
+        reader = csv_module.reader(io.StringIO(text))
+        header = next(reader, None)
+        if not header:
+            raise ServiceError("csv batch has no header row")
+        header = [cell.strip() for cell in header]
+        raw: dict[str, list[str]] = {name: [] for name in header}
+        for line, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ServiceError(
+                    f"csv line {line}: expected {len(header)} cells, got {len(row)}"
+                )
+            for name, cell in zip(header, row):
+                raw[name].append(cell.strip())
+        if not raw or not next(iter(raw.values())):
+            raise ServiceError("csv batch has no data rows")
+        manifest = read_manifest(store_path)
+        kinds = {
+            col.name: (
+                "U" if col.encoding == "dict32" else np.dtype(col.dtype).kind
+            )
+            for col in manifest.columns
+        }
+        columns: dict[str, list[object]] = {}
+        for name, cells in raw.items():
+            kind = kinds.get(name)
+            try:
+                if kind == "i":
+                    columns[name] = [strict_int(cell) for cell in cells]
+                elif kind == "f":
+                    columns[name] = [
+                        strict_float(cell) if cell != "" else float("nan")
+                        for cell in cells
+                    ]
+                else:
+                    # Strings — and unknown columns, which append_rows
+                    # rejects by name with a clearer message than a
+                    # conversion failure here would give.
+                    columns[name] = list(cells)
+            except ValueError as exc:
+                raise ServiceError(f"csv column {name!r}: {exc}") from None
+        return columns
+
     def describe_datasets(self) -> dict[str, object]:
         """Describe the dataset registry (``GET /datasets``)."""
         with self._engine_lock:
@@ -470,18 +713,27 @@ class RecommendationService:
         with self._counter_lock:
             requests, errors = self._requests, self._errors
         with self._engine_lock:
-            engine_keys = list(self._engines)
+            engines = dict(self._engines)
         payload: dict[str, object] = {
             "uptime_seconds": time.time() - self._started_unix,
             "sessions": len(self.sessions),
             "requests": requests,
             "errors": errors,
-            "engines_loaded": [list(key) for key in engine_keys],
+            "engines_loaded": [list(key) for key in engines],
             "result_cache_enabled": self.result_cache_enabled,
             "cache": self.cache.snapshot().as_dict() if self.cache else None,
         }
         if isinstance(self.cache, TieredViewResultCache):
             payload["cache_tiers"] = self.cache.tier_counters()
+        delta_totals: dict[str, int] = {}
+        for seedb in engines.values():
+            delta = getattr(seedb.engine, "delta_cache", None)
+            if delta is None:
+                continue
+            for key, value in delta.counters().items():
+                delta_totals[key] = delta_totals.get(key, 0) + int(value)
+        if delta_totals:
+            payload["delta_cache"] = delta_totals
         return payload
 
     # -------------------------------------------------------------- #
@@ -529,9 +781,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if self._deprecated:
-            # Legacy unprefixed path: answered for one more release.
-            self.send_header("Deprecation", "true")
-            self.send_header("Link", '</v1>; rel="successor-version"')
+            # Legacy unprefixed path: answered until the Sunset date,
+            # flagged per RFC 9745 (Deprecation: @<unix-timestamp>).
+            for name, value in legacy_deprecation_headers():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         self.server.service.count_request(ok=status < 400)
@@ -602,6 +855,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._send(200, service.describe_datasets())
             elif method == "POST" and parts == ["datasets"]:
                 self._send(201, service.register_dataset(self._json_body()))
+            elif (
+                method == "POST"
+                and len(parts) == 3
+                and parts[0] == "datasets"
+                and parts[2] == "append"
+            ):
+                self._send(
+                    200, service.append_dataset(parts[1], self._json_body())
+                )
+            elif (
+                method == "POST"
+                and len(parts) == 3
+                and parts[0] == "datasets"
+                and parts[2] == "refresh"
+            ):
+                self._send(200, service.refresh_dataset(parts[1]))
             elif method == "GET" and parts == ["stats"]:
                 self._send(200, service.stats())
             elif method == "GET" and len(parts) == 2 and parts[0] == "sessions":

@@ -110,6 +110,10 @@ class Session:
     metric: str
     created_unix: float
     steps: list[SessionStep] = field(default_factory=list)
+    #: Dataset row count at this analyst's last visit (creation or last
+    #: recommend step) — the baseline for "changed since last visit"
+    #: diffs when the dataset is appended to between steps.
+    last_seen_rows: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -127,16 +131,36 @@ class Session:
             self.steps.append(step)
         return step
 
+    def data_diff(self, n_rows: int) -> dict[str, object]:
+        """Advance the last-visit marker; return the change summary.
+
+        Called with the dataset's current row count on every recommend
+        step.  The returned dict tells the analyst whether the data grew
+        since they last looked — the serving-layer surface of the
+        append/delta-refresh path (the views they see were carry-merged
+        over exactly ``new_rows`` fresh rows, not recomputed).
+        """
+        with self._lock:
+            previous = self.last_seen_rows
+            self.last_seen_rows = n_rows
+        return {
+            "n_rows": n_rows,
+            "new_rows": max(0, n_rows - previous),
+            "changed": n_rows != previous,
+        }
+
     def as_dict(self) -> dict[str, object]:
         """JSON-ready representation (``GET /sessions/<id>``)."""
         with self._lock:
             steps = list(self.steps)
+            last_seen = self.last_seen_rows
         return {
             "session_id": self.session_id,
             "dataset": self.dataset,
             "store": self.store,
             "metric": self.metric,
             "created_unix": self.created_unix,
+            "last_seen_rows": last_seen,
             "steps": [step.as_dict() for step in steps],
         }
 
@@ -149,14 +173,22 @@ class SessionStore:
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
 
-    def create(self, dataset: str, store: str, metric: str) -> Session:
-        """Open a new session over ``dataset`` and return it."""
+    def create(
+        self, dataset: str, store: str, metric: str, n_rows: int = 0
+    ) -> Session:
+        """Open a new session over ``dataset`` and return it.
+
+        ``n_rows`` seeds the session's last-visit row marker so the first
+        recommend step reports ``changed`` only if the dataset actually
+        grew after the session opened.
+        """
         session = Session(
             session_id=uuid.uuid4().hex[:16],
             dataset=dataset,
             store=store,
             metric=metric,
             created_unix=time.time(),
+            last_seen_rows=n_rows,
         )
         with self._lock:
             self._sessions[session.session_id] = session

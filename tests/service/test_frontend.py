@@ -192,10 +192,14 @@ class TestFrontendRouting:
             _address(frontend), "GET", "/healthz"
         )
         assert status == 200 and payload["status"] == "ok"
-        assert headers.get("Deprecation") == "true"
+        # RFC 9745 form: "@" + Unix timestamp, plus an RFC 8594 Sunset.
+        deprecation = headers.get("Deprecation", "")
+        assert deprecation.startswith("@") and deprecation[1:].isdigit()
+        assert headers.get("Sunset", "").endswith("GMT")
         assert "successor-version" in headers.get("Link", "")
         _, v1_headers, _ = _raw_request(_address(frontend), "GET", "/v1/healthz")
         assert "Deprecation" not in v1_headers
+        assert "Sunset" not in v1_headers
 
     def test_aggregate_stats_merge_workers_and_cache_tiers(self, frontend):
         with ServiceClient(*_address(frontend)) as client:
@@ -223,6 +227,34 @@ class TestFrontendRouting:
             assert session.n_rows == 400
             response = client.recommend(session.session_id, RecommendRequest(k=1))
             assert response.views
+
+    def test_append_routes_to_owner_and_refreshes_every_worker(
+        self, frontend, tmp_path
+    ):
+        from repro.service.api import AppendRequest
+
+        path = _toy_chunk_store(tmp_path)
+        batch = {
+            "region": ["n"] * 5,
+            "flavor": ["a"] * 5,
+            "sales": [1.5] * 5,
+            "segment": ["t"] * 5,
+        }
+        with ServiceClient(*_address(frontend)) as client:
+            created = client.register_dataset(str(path), name="toyapp")
+            assert created["name"] == "toyapp"
+            response = client.append("toyapp", AppendRequest(rows=batch))
+            assert response.n_rows == 405 and response.appended == 5
+            # The ring owner performed the append once against the shared
+            # chunk store; the broadcast refresh re-synced the sibling, so
+            # no worker serves a stale row count.
+            assert response.raw["refreshed_workers"] == [0, 1]
+            assert "stale_workers" not in response.raw
+            session = client.create_session(dataset="toyapp")
+            assert session.n_rows == 405
+            refreshed = client.refresh_dataset("toyapp")
+            assert refreshed["refreshed_workers"] == [0, 1]
+            assert refreshed["n_rows"] == 405
 
     def test_invalid_dataset_path_rejected_through_proxy(self, frontend, tmp_path):
         with ServiceClient(*_address(frontend)) as client:

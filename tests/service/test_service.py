@@ -228,7 +228,11 @@ class TestHTTP:
             response = connection.getresponse()
             body = json.loads(response.read())
             assert response.status == 200 and body["status"] == "ok"
-            assert response.headers["Deprecation"] == "true"
+            # RFC 9745: Deprecation carries "@" + a Unix timestamp, not a
+            # bare boolean; RFC 8594's Sunset announces the removal date.
+            deprecation = response.headers["Deprecation"]
+            assert deprecation.startswith("@") and deprecation[1:].isdigit()
+            assert response.headers["Sunset"].endswith("GMT")
             assert "successor-version" in response.headers["Link"]
             # The versioned path carries no deprecation flag.
             connection.request("GET", f"{API_PREFIX}/healthz")
@@ -236,6 +240,7 @@ class TestHTTP:
             response.read()
             assert response.status == 200
             assert response.headers.get("Deprecation") is None
+            assert response.headers.get("Sunset") is None
         finally:
             connection.close()
 
@@ -699,3 +704,180 @@ class TestGracefulShutdown:
                 _call(address, "GET", "/healthz")
         finally:
             signal.signal(signal.SIGTERM, previous)
+
+
+# --------------------------------------------------------------------------- #
+# the append path: delta-aware maintenance through the service
+# --------------------------------------------------------------------------- #
+
+
+def _toy_batch(n, segment="t"):
+    """A small uniform append batch for the toy dataset."""
+    return {
+        "region": ["n"] * n,
+        "flavor": ["a"] * n,
+        "sales": [float(i) + 0.5 for i in range(n)],
+        "segment": [segment] * n,
+    }
+
+
+class TestSessionDataDiff:
+    def test_marker_advances_and_reports_growth(self):
+        store = SessionStore()
+        session = store.create("toy", "col", "emd", n_rows=100)
+        assert session.data_diff(100) == {
+            "n_rows": 100, "new_rows": 0, "changed": False,
+        }
+        assert session.data_diff(120) == {
+            "n_rows": 120, "new_rows": 20, "changed": True,
+        }
+        # The marker advanced: the growth is only reported once.
+        assert session.data_diff(120)["changed"] is False
+        assert session.as_dict()["last_seen_rows"] == 120
+
+
+class TestAppendDatasets:
+    @pytest.fixture()
+    def toy_service(self, tmp_path, clean_registry):
+        path = _toy_chunk_store(tmp_path)
+        svc = RecommendationService(
+            datasets=("census",), scale="smoke", data_dirs=(str(path),)
+        )
+        yield svc
+        svc.close()
+
+    def test_append_refreshes_engines_without_cache_blowaway(self, toy_service):
+        svc = toy_service
+        session = svc.create_session({"dataset": "toy"})
+        sid = session["session_id"]
+        first = svc.recommend(sid, {"k": 2})
+        assert first["data"] == {"n_rows": 400, "new_rows": 0, "changed": False}
+
+        result = svc.append_dataset("toy", {"rows": _toy_batch(20)})
+        assert result["n_rows"] == 420 and result["appended"] == 20
+        assert result["engines_refreshed"] == 1 and result["on_disk"]
+
+        second = svc.recommend(sid, {"k": 2})
+        # The session diff reports exactly the appended growth, once.
+        assert second["data"] == {"n_rows": 420, "new_rows": 20, "changed": True}
+        # Delta maintenance: every query carry-merged its cached partial
+        # state and scanned only the 20 appended rows — not the 400 base.
+        stats = second["stats"]
+        assert stats["delta_hits"] == stats["queries_issued"] > 0
+        assert stats["rows_scanned"] == stats["queries_issued"] * 20
+
+        # Warm hit-rate stays > 0 across the append: a repeat is pure cache.
+        third = svc.recommend(sid, {"k": 2})
+        assert third["stats"]["queries_issued"] == 0
+        assert third["stats"]["cache_hits"] > 0
+        assert third["views"] == second["views"]
+        assert svc.stats()["delta_cache"]["hits"] > 0
+
+    def test_append_row_objects_and_csv(self, toy_service):
+        svc = toy_service
+        rows = [
+            {"region": "s", "flavor": "b", "sales": 7.5, "segment": "r"},
+            {"region": "w", "flavor": "c", "sales": 8.5, "segment": "t"},
+        ]
+        assert svc.append_dataset("toy", {"rows": rows})["n_rows"] == 402
+        csv_batch = "region,flavor,sales,segment\nn,a,9.25,t\ns,b,,r\n"
+        result = svc.append_dataset("toy", {"csv": csv_batch})
+        assert result["n_rows"] == 404 and result["appended"] == 2
+
+    def test_csv_append_uses_strict_numeric_parsing(self, toy_service):
+        bad = "region,flavor,sales,segment\nn,a,1_0,t\n"
+        with pytest.raises(ServiceError, match="csv column 'sales'"):
+            toy_service.append_dataset("toy", {"csv": bad})
+
+    def test_append_validation_errors(self, toy_service):
+        svc = toy_service
+        with pytest.raises(ServiceError) as excinfo:
+            svc.append_dataset("nope", {"rows": _toy_batch(1)})
+        assert excinfo.value.status == 404
+        # Built-in in-memory datasets have no chunk store to extend.
+        with pytest.raises(ServiceError, match="on-disk"):
+            svc.append_dataset("census", {"rows": {"age": [1]}})
+        for bad in (
+            {},
+            {"rows": _toy_batch(1), "csv": "region\nx\n"},
+            {"rows": {name: [] for name in _toy_batch(1)}},
+            {"rows": {"region": ["n"], "flavor": ["a", "b"],
+                      "sales": [1.0], "segment": ["t"]}},
+            {"rows": [{"region": "n"}, {"flavor": "a"}]},
+            {"csv": "   "},
+            {"csv": "region,flavor,sales,segment\nn,a,1.0\n"},
+        ):
+            with pytest.raises(ServiceError):
+                svc.append_dataset("toy", bad)
+        # Schema mismatches are caught by the store and surfaced as 400s.
+        with pytest.raises(ServiceError, match="append rejected"):
+            svc.append_dataset("toy", {"rows": {"region": ["n"]}})
+
+    def test_refresh_dataset_is_idempotent(self, toy_service):
+        svc = toy_service
+        svc.create_session({"dataset": "toy"})  # loads the engine
+        result = svc.refresh_dataset("toy")
+        assert result["n_rows"] == 400 and result["engines_refreshed"] == 0
+        # Simulate a sibling worker's append landing in the shared store.
+        from repro.data import registry
+        from repro.db.chunks import append_rows
+
+        append_rows(registry.spec("toy").path, _toy_batch(10))
+        result = svc.refresh_dataset("toy")
+        assert result["n_rows"] == 410 and result["engines_refreshed"] == 1
+        with pytest.raises(ServiceError) as excinfo:
+            svc.refresh_dataset("nope")
+        assert excinfo.value.status == 404
+
+    def test_http_append_and_typed_client(self, tmp_path, clean_registry):
+        from repro.service.api import AppendRequest
+
+        path = _toy_chunk_store(tmp_path)
+        svc = RecommendationService(
+            datasets=("census",), scale="smoke", data_dirs=(str(path),)
+        )
+        server, _ = start_server(svc)
+        address = server.server_address[:2]
+        try:
+            status, body = _call(
+                address, "POST", "/datasets/toy/append", {"rows": _toy_batch(5)}
+            )
+            assert status == 200 and body["n_rows"] == 405
+            with ServiceClient(*address) as client:
+                response = client.append(
+                    "toy", AppendRequest(rows=_toy_batch(3))
+                )
+                assert response.dataset == "toy"
+                assert response.n_rows == 408 and response.appended == 3
+                assert response.digest
+                refreshed = client.refresh_dataset("toy")
+                assert refreshed["n_rows"] == 408
+            status, body = _call(
+                address, "POST", "/datasets/nope/append", {"rows": _toy_batch(1)}
+            )
+            assert status == 404
+            assert body["error"]["code"] == ErrorCode.UNKNOWN_DATASET
+        finally:
+            server.graceful_shutdown(timeout=5)
+
+    def test_concurrent_appends_serialize_cleanly(self, toy_service):
+        """Racing appenders all land; the store totals every batch."""
+        svc = toy_service
+        svc.create_session({"dataset": "toy"})
+        errors = []
+
+        def appender(i):
+            try:
+                svc.append_dataset("toy", {"rows": _toy_batch(2)})
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=appender, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert not errors, errors[0]
+        assert svc.describe_datasets()["datasets"][-1]["n_rows"] == 412

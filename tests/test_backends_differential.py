@@ -37,6 +37,15 @@ Coverage math (the acceptance bar is >= 200 randomized engine runs):
   and distributions to the resident serial path (and match the SQLite
   oracle) — process fan-out may change I/O accounting, never results or
   the number of queries issued.
+* ``test_differential_append_refresh`` adds 5 x 2 x 4 = 40 runs growing
+  the oracle an append leg: an engine with the delta-state cache runs
+  cold over ~90% of the rows, the remaining ~10% are appended to the
+  chunk store on disk, and the refreshed run — which must carry-merge
+  every query's cached partial state and scan **only** the appended rows
+  — has to produce **bitwise**-identical top-k, utilities, and
+  distributions to a resident native run over the full table, and agree
+  with the SQLite oracle.  Delta maintenance changes I/O accounting,
+  never results.
 """
 
 from __future__ import annotations
@@ -75,6 +84,7 @@ def test_coverage_floor():
     assert len(RESULT_CACHE_CASES) * 4 >= 32
     assert len(OUT_OF_CORE_CASES) * 3 >= 48
     assert len(PROCESS_CASES) * 3 >= 24
+    assert len(APPEND_CASES) * 4 >= 40
 
 
 def _random_table(seed: int) -> Table:
@@ -379,6 +389,95 @@ def test_differential_process_pool(tmp_path, seed, strategy):
 
     # And with the independent SQL engine.
     _assert_equivalent(process, sqlite)
+
+
+APPEND_CASES = [
+    (seed, strategy)
+    for seed in range(5)
+    for strategy in ("no_opt", "sharing")
+]
+
+
+@pytest.mark.parametrize("seed,strategy", APPEND_CASES)
+def test_differential_append_refresh(tmp_path, seed, strategy):
+    """The append leg: delta-maintained refresh is bitwise-exact.
+
+    Four runs per table: a cold delta-cache-enabled run over a chunk
+    store holding ~90% of the rows (captures every query's partial
+    aggregation state), the refreshed run on the *same* engine after the
+    remaining ~10% were appended on disk (must restore each snapshot and
+    scan only the new rows), a resident native run over the full table,
+    and the SQLite oracle.  The refreshed run must match the resident
+    run bitwise — selected order, every utility, every distribution
+    array — and agree with the oracle; its scan accounting must prove
+    the base rows were never re-read.
+    """
+    from repro.db.chunks import append_rows, open_table, write_table
+
+    full = _random_table(600 + seed)
+    n_delta = max(full.nrows // 10, 2)
+    base_rows = full.nrows - n_delta
+    write_table(full.slice_rows(0, base_rows), tmp_path / "ds", chunk_rows=16)
+    chunked = open_table(tmp_path / "ds")
+
+    config = EngineConfig(
+        store="col", n_phases=4, backend="native", n_parallel_queries=4
+    ).with_(result_cache=True, delta_cache=True)
+    views = list(ViewSpace.enumerate(TableMeta.of(chunked)))
+    with ExecutionEngine(
+        make_store("col", chunked), get_metric("emd"), config, CostModel()
+    ) as engine:
+
+        def run_once():
+            return engine.run(
+                views,
+                E.eq("part", "t"),
+                k=3,
+                strategy=strategy,  # type: ignore[arg-type]
+                pruner="none",
+                reference_mode="all",
+            )
+
+        cold = run_once()
+        assert engine.delta_cache is not None and len(engine.delta_cache) > 0
+        assert cold.stats.delta_hits == 0
+
+        append_rows(
+            tmp_path / "ds",
+            {
+                col.name: np.asarray(full.column(col.name))[base_rows:]
+                for col in full.schema
+            },
+        )
+        chunked.refresh_from_disk()
+        engine.store.sync_layout()
+        engine.meta = TableMeta.of(chunked)
+        refreshed = run_once()
+
+    # Every query carry-merged its snapshot and scanned only the delta.
+    assert refreshed.stats.delta_hits == refreshed.stats.queries_issued > 0
+    assert refreshed.stats.rows_scanned == (
+        refreshed.stats.queries_issued * n_delta
+    )
+
+    resident = _run(full, "native", strategy, "all")
+    sqlite = _run(full, "sqlite", strategy, "all")
+
+    # Bitwise agreement with the resident full-table path.
+    assert refreshed.selected == resident.selected
+    assert set(refreshed.utilities) == set(resident.utilities)
+    for key, value in resident.utilities.items():
+        assert refreshed.utilities[key] == value  # exact, not approx
+    for key, dists in resident.distributions.items():
+        other = refreshed.distributions[key]
+        assert np.array_equal(dists.keys, other.keys)
+        assert np.array_equal(dists.target, other.target, equal_nan=True)
+        assert np.array_equal(dists.reference, other.reference, equal_nan=True)
+    assert refreshed.stats.queries_issued == resident.stats.queries_issued
+    assert refreshed.phases_executed == resident.phases_executed
+
+    # And with the independent SQL engine.
+    _assert_equivalent(refreshed, sqlite)
 
 
 def test_differential_with_spilling_group_budget():

@@ -346,3 +346,145 @@ class TestIngestCSV:
         run = seedb.run_engine(eq("segment", "t"), k=2, strategy="sharing", pruner="none")
         assert len(run.selected) == 2
         assert table.residency.peak_bytes > 0
+
+
+class TestStrictNumericInference:
+    """Regression: ingestion must use strict decimal parsing, not Python's.
+
+    ``int("1_000")`` and ``float("inf")`` succeed, so a CSV cell like
+    ``"1_0"`` used to be silently ingested as the number 10.  The strict
+    parsers accept plain decimal (and scientific float) notation only;
+    anything else keeps the column a string dimension.
+    """
+
+    def test_strict_int(self):
+        from repro.data.ingest import strict_int
+
+        assert strict_int("12") == 12
+        assert strict_int("+3") == 3
+        assert strict_int("-40") == -40
+        for bad in ("1_000", "0x10", "1.0", "", " 5", "5 ", "1e3", "①"):
+            with pytest.raises(ValueError):
+                strict_int(bad)
+
+    def test_strict_float(self):
+        from repro.data.ingest import strict_float
+
+        assert strict_float("1.5") == 1.5
+        assert strict_float(".5") == 0.5
+        assert strict_float("2.") == 2.0
+        assert strict_float("1e3") == 1000.0
+        assert strict_float("-2.5E-2") == -0.025
+        for bad in ("1_000.5", "inf", "Infinity", "NaN", "nan", "0x10", "", "1 000"):
+            with pytest.raises(ValueError):
+                strict_float(bad)
+
+    def test_underscored_cells_stay_strings(self, tmp_path):
+        """The headline regression: "1_0" is a label, not the number 10."""
+        from repro.data.ingest import ingest_csv
+        from repro.db.chunks import open_table
+
+        path = tmp_path / "toy.csv"
+        path.write_text("code,value\n1_0,1.5\n2_0,2.5\n1_0,3.5\n")
+        ingest_csv(path, tmp_path / "ds")
+        table = open_table(tmp_path / "ds")
+        codes = table.column("code")
+        assert codes.dtype.kind == "U"
+        assert list(codes) == ["1_0", "2_0", "1_0"]
+        assert table.schema["code"].role.value == "dimension"
+
+    def test_inf_and_nan_cells_stay_strings(self, tmp_path):
+        from repro.data.ingest import ingest_csv
+        from repro.db.chunks import open_table
+
+        path = tmp_path / "toy.csv"
+        path.write_text("status,value\ninf,1.5\nNaN,2.5\nok,3.5\n")
+        ingest_csv(path, tmp_path / "ds")
+        table = open_table(tmp_path / "ds")
+        assert table.column("status").dtype.kind == "U"
+        assert list(table.column("status")) == ["inf", "NaN", "ok"]
+
+    def test_empty_cells_still_mean_nan_for_floats(self, tmp_path):
+        from repro.data.ingest import ingest_csv
+        from repro.db.chunks import open_table
+
+        path = tmp_path / "toy.csv"
+        path.write_text("label,value\nx,1.5\ny,\nz,2.5\n")
+        ingest_csv(path, tmp_path / "ds")
+        values = np.asarray(open_table(tmp_path / "ds").column("value"))
+        assert values.dtype == np.float64 and np.isnan(values[1])
+
+    def test_write_pass_detects_file_changed_between_passes(
+        self, tmp_path, monkeypatch
+    ):
+        """The write pass re-checks row widths instead of trusting pass one."""
+        import builtins
+
+        from repro.data.ingest import ingest_csv
+
+        path = tmp_path / "racy.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        real_open = builtins.open
+        opens = {"count": 0}
+
+        def racy_open(file, *args, **kwargs):
+            if str(file) == str(path):
+                opens["count"] += 1
+                if opens["count"] == 2:  # shrink a row between the passes
+                    with real_open(path, "w") as handle:
+                        handle.write("a,b\n1,2\n3\n")
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", racy_open)
+        with pytest.raises(DatasetError, match="changed between passes"):
+            ingest_csv(path, tmp_path / "ds")
+
+
+class TestRegistryAppendRefresh:
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        from repro.data.ingest import ingest_csv
+
+        csv_path = tmp_path / "toy.csv"
+        csv_path.write_text(
+            "region,score\nnorth,1.5\nsouth,2.5\nnorth,3.5\neast,4.0\n"
+        )
+        ingest_csv(csv_path, tmp_path / "ds", name="toyappend", chunk_rows=2)
+        return tmp_path / "ds"
+
+    def test_refresh_on_disk_picks_up_appends(self, store_dir):
+        from repro.db.chunks import append_rows, read_manifest
+
+        entry = registry.register_on_disk(store_dir)
+        try:
+            assert entry.name == "toyappend" and entry.n_rows == 4
+            append_rows(store_dir, {"region": ["west"], "score": [9.9]})
+            # The registry entry is stale until refreshed — by name, no path.
+            assert registry.spec("toyappend").n_rows == 4
+            refreshed = registry.refresh_on_disk("toyappend")
+            assert refreshed.n_rows == 5
+            assert refreshed.digest == read_manifest(store_dir).digest
+            assert registry.spec("toyappend").n_rows == 5
+        finally:
+            registry.unregister_on_disk("toyappend")
+        with pytest.raises(DatasetError, match="no on-disk dataset"):
+            registry.refresh_on_disk("toyappend")
+
+    def test_reregister_same_path_after_append(self, store_dir, tmp_path):
+        from repro.data.ingest import ingest_csv
+        from repro.db.chunks import append_rows
+
+        registry.register_on_disk(store_dir)
+        try:
+            append_rows(store_dir, {"region": ["west"], "score": [9.9]})
+            # Same directory, new digest: updated in place, not rejected.
+            entry = registry.register_on_disk(store_dir)
+            assert entry.n_rows == 5
+            # A *different* directory claiming the name is still an error.
+            other_csv = tmp_path / "other.csv"
+            other_csv.write_text("region,score\nwest,0.5\n")
+            ingest_csv(other_csv, tmp_path / "other", name="toyappend")
+            with pytest.raises(DatasetError, match="different contents"):
+                registry.register_on_disk(tmp_path / "other")
+        finally:
+            registry.unregister_on_disk("toyappend")
