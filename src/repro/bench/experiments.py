@@ -1724,6 +1724,311 @@ def bench_load(
     return table
 
 
+# --------------------------------------------------------------------------- #
+# Chaos — worker kill under load: recovery time, error window, warm cache
+# --------------------------------------------------------------------------- #
+
+
+def _chaos_sessions(scale: str | None = None) -> int:
+    return {"smoke": 4, "small": 8, "full": 16}[scale or current_scale()]
+
+
+def _resilient_drilldown(
+    address: tuple[str, int], dataset: str, n_steps: int, k: int, seed: int
+) -> tuple[list[tuple[float, float]], int]:
+    """One drill-down session through a *retrying* client.
+
+    Returns ``(samples, failures)`` where each sample is
+    ``(perf_counter at completion, latency seconds)`` — the completion
+    stamps let the caller attribute requests to the fault window — and
+    ``failures`` counts requests that errored even after retries (the
+    bench's "non-retryable errors observed by clients" figure, which the
+    acceptance criteria require to be zero).
+    """
+    from repro.data import registry as data_registry
+    from repro.exceptions import ServiceError
+    from repro.service.client import ServiceClient
+    from repro.service.sessions import AnalystDrillDown
+
+    samples: list[tuple[float, float]] = []
+    failures = 0
+    with ServiceClient(*address, retries=6, backoff=0.1) as client:
+        spec = data_registry.spec(dataset)
+        try:
+            session = client.create_session(dataset=dataset)
+        except (ServiceError, ConnectionError, OSError):
+            return samples, 1
+        analyst = AnalystDrillDown(
+            [(spec.split_column, spec.target_value)], k=k, n_steps=n_steps, seed=seed
+        )
+        request = analyst.first_request()
+        while request is not None:
+            started = time.perf_counter()
+            try:
+                response = client.recommend_raw(
+                    session.session_id, request, idempotent=True
+                )
+            except (ServiceError, ConnectionError, OSError):
+                failures += 1
+                break
+            samples.append((time.perf_counter(), time.perf_counter() - started))
+            request = analyst.next_request(response)
+    return samples, failures
+
+
+def bench_chaos(
+    n_workers: int = 2,
+    n_steps: int = 3,
+    k: int = 5,
+    dataset: str = "census",
+    load_threads: int = 2,
+    n_sessions: int | None = None,
+    restart_backoff: float = 0.2,
+    out_path: str | None = "BENCH_chaos.json",
+) -> ResultTable:
+    """Kill the busiest worker mid-load; measure what the clients saw.
+
+    A supervised ``n_workers`` front-end serves closed-loop drill-down
+    sessions over one dataset (pinned by the hash ring to one worker — the
+    *victim*).  A seeded :mod:`repro.testing.faults` rule arms the victim
+    to ``os._exit`` on an early load-phase recommend; the cross-process
+    ledger caps it at one kill fleet-wide, so the respawned worker
+    inherits the same spec but does not re-die.  Three phases land in the
+    table:
+
+    * **warm** — untimed-fault baseline: one session that also populates
+      the shared L2 tier the respawned worker must inherit;
+    * **chaos** — the measured load run during which the kill fires;
+      retrying clients must finish every session with zero failures;
+    * **recovered** — the warm session replayed after the slot is
+      readmitted, pinned (by ring preference) to the *respawned* process.
+
+    The JSON payload adds the recovery timeline (death → slot readmitted,
+    measured by a 5 ms poller), the error window (requests completed and
+    worst latency while the slot was down, plus front-end 5xx deltas), and
+    warm-cache survival (the respawned worker's L2 hit count — its L1
+    died with the old process, so every hit proves the file tier carried
+    the state across the crash).
+    """
+    import json
+    import tempfile
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import start_frontend
+    from repro.service.frontend import HashRing
+    from repro.service.monitor import ProcessMonitor
+    from repro.testing import faults
+
+    n_sessions = n_sessions or _chaos_sessions()
+    n_rows = registry.spec(dataset).rows_by_scale[current_scale()]
+    victim = HashRing(n_workers).lookup(dataset)
+    ledger_path = os.path.join(
+        tempfile.mkdtemp(prefix="seedb-chaos-"), "faults.state"
+    )
+    # Arm before boot: spawned workers inherit the spec via the environment.
+    # The warm phase contributes 1 create + n_steps recommends + 1 stats
+    # fan-out to the victim, so ``after`` clears it and the kill lands on an
+    # early load-phase recommend.
+    saved_env = {
+        key: os.environ.get(key) for key in (faults.ENV_SPEC, faults.ENV_STATE)
+    }
+    os.environ[faults.ENV_SPEC] = (
+        f"kill_worker:on=worker-{victim},route=recommend,"
+        f"after={n_steps + 4},times=1"
+    )
+    os.environ[faults.ENV_STATE] = ledger_path
+
+    table = ResultTable(
+        f"Chaos: kill worker {victim}/{n_workers} mid-load over "
+        f"{dataset.upper()} ({n_sessions} sessions x {n_steps} steps, "
+        f"{load_threads} client threads)",
+        notes="seeded kill_worker fault, ledger-capped at one firing; "
+        "failures = client-visible errors after retries (must be 0)",
+    )
+    monitor = ProcessMonitor([os.getpid()])
+    timeline: dict[str, float | int | None] = {
+        "death": None,
+        "readmitted": None,
+        "generation": None,
+    }
+    stop_watch = threading.Event()
+
+    frontend, _ = start_frontend(
+        n_workers=n_workers,
+        service_kwargs=dict(datasets=(dataset,)),
+        restart_backoff=restart_backoff,
+        supervisor_poll=0.05,
+        on_worker_respawn=lambda handle: monitor.track(handle.pid),
+    )
+
+    def watch() -> None:
+        """Poll the victim slot; stamp death and readmission times."""
+        while not stop_watch.is_set():
+            handle = frontend.workers[victim]
+            if timeline["death"] is None and not handle.alive:
+                timeline["death"] = time.perf_counter()
+            if timeline["death"] is not None:
+                if frontend.slot_up(victim) and handle.generation > 0:
+                    timeline["readmitted"] = time.perf_counter()
+                    timeline["generation"] = handle.generation
+                    return
+            time.sleep(0.005)
+
+    try:
+        for worker in frontend.workers:
+            monitor.track(worker.pid)
+        monitor.sample()  # prime CPU deltas
+        address = frontend.server_address[:2]
+        doomed_pid = frontend.workers[victim].pid
+
+        # Phase 1: warm. Builds the victim's engine and seeds the shared L2.
+        warm_started = time.perf_counter()
+        warm_latencies = sorted(
+            _timed_drilldown(address, dataset, n_steps, k, seed=1)
+        )
+        warm_wall = time.perf_counter() - warm_started
+        pre_stats = frontend.aggregate_stats()
+
+        # Phase 2: chaos. The kill fires inside this closed-loop run.
+        watcher = threading.Thread(target=watch, daemon=True)
+        watcher.start()
+        chaos_started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=load_threads) as pool:
+            futures = [
+                pool.submit(
+                    _resilient_drilldown, address, dataset, n_steps, k, seed
+                )
+                for seed in range(2, 2 + n_sessions)
+            ]
+            outcomes = [future.result() for future in futures]
+        chaos_wall = time.perf_counter() - chaos_started
+        chaos_samples = [s for samples, _ in outcomes for s in samples]
+        chaos_failures = sum(failures for _, failures in outcomes)
+
+        # Wait out the respawn (backoff + boot) before probing the slot.
+        deadline = time.monotonic() + 120.0
+        while timeline["readmitted"] is None and time.monotonic() < deadline:
+            time.sleep(0.02)
+        stop_watch.set()
+        watcher.join(timeout=5)
+        mid_stats = frontend.aggregate_stats()
+
+        # Phase 3: recovered. Ring preference pins this back on the victim
+        # slot — now a fresh process whose only cache state is the L2 dir.
+        recovered_worker = frontend.worker_for_dataset(dataset).index
+        recovered_started = time.perf_counter()
+        recovered_latencies = sorted(
+            _timed_drilldown(address, dataset, n_steps, k, seed=1)
+        )
+        recovered_wall = time.perf_counter() - recovered_started
+        post_stats = frontend.aggregate_stats()
+        process_samples = [s.as_dict() for s in monitor.sample()]
+
+        victim_row = next(
+            w for w in post_stats["workers"] if w["worker"] == victim
+        )
+        victim_tiers = victim_row.get("cache_tiers", {})
+        death, readmitted = timeline["death"], timeline["readmitted"]
+        window = [
+            s
+            for s in chaos_samples
+            if death is not None and s[0] >= death
+            and (readmitted is None or s[0] <= readmitted)
+        ]
+
+        for phase, latencies, wall, failures in (
+            ("warm", warm_latencies, warm_wall, 0),
+            ("chaos", sorted(s[1] for s in chaos_samples), chaos_wall,
+             chaos_failures),
+            ("recovered", recovered_latencies, recovered_wall, 0),
+        ):
+            table.add(
+                phase=phase,
+                requests=len(latencies),
+                failures=failures,
+                wall_s=wall,
+                p50_ms=1e3 * _latency_percentile(latencies, 0.50),
+                p99_ms=1e3 * _latency_percentile(latencies, 0.99),
+            )
+
+        if out_path:
+            try:
+                with open(out_path) as handle:
+                    existing_rows = int(json.load(handle).get("n_rows", 0))
+            except (OSError, ValueError):
+                existing_rows = 0
+            if existing_rows > n_rows:
+                root, ext = os.path.splitext(out_path)
+                out_path = f"{root}.{current_scale()}{ext}"
+            try:
+                with open(ledger_path) as handle:
+                    ledger_lines = handle.read().splitlines()
+            except OSError:
+                ledger_lines = []
+            payload = {
+                "bench": "chaos",
+                "generated_unix": time.time(),
+                "scale": current_scale(),
+                "dataset": dataset,
+                "n_rows": n_rows,
+                "n_steps": n_steps,
+                "k": k,
+                "n_workers": n_workers,
+                "n_sessions": n_sessions,
+                "load_threads": load_threads,
+                "host_cores": os.cpu_count() or 1,
+                "fault_spec": os.environ[faults.ENV_SPEC],
+                "ledger_firings": len(ledger_lines),
+                "kill": {
+                    "victim": victim,
+                    "doomed_pid": doomed_pid,
+                    "respawned_pid": frontend.workers[victim].pid,
+                    "generation": timeline["generation"],
+                    "restart_backoff_s": restart_backoff,
+                },
+                "recovery": {
+                    "detected_to_readmitted_s": (
+                        readmitted - death
+                        if death is not None and readmitted is not None
+                        else None
+                    ),
+                    "recovered_slot_serves_dataset": recovered_worker
+                    == victim,
+                },
+                "error_window": {
+                    "requests_completed": len(window),
+                    "worst_latency_ms": 1e3 * max(
+                        (s[1] for s in window), default=0.0
+                    ),
+                    "client_failures": chaos_failures,
+                    "frontend_5xx": int(mid_stats["errors"])
+                    - int(pre_stats["errors"]),
+                    "sessions_resurrected": int(
+                        mid_stats["sessions_resurrected"]
+                    ),
+                },
+                "warm_cache": {
+                    "respawned_l2_hits": int(victim_tiers.get("l2_hits", 0)),
+                    "respawned_l1_hits": int(victim_tiers.get("l1_hits", 0)),
+                },
+                "process_samples": process_samples,
+                "rows": list(table.rows),
+            }
+            with open(out_path, "w") as handle:
+                json.dump(payload, handle, indent=2)
+    finally:
+        stop_watch.set()
+        frontend.graceful_shutdown(timeout=30)
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        faults.uninstall()
+    return table
+
+
 def bench_backends_compare(
     n_rows: int | None = None, strategy: str = "sharing"
 ) -> ResultTable:

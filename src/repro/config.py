@@ -175,6 +175,13 @@ class EngineConfig:
     #: Only effective together with ``result_cache``; default **off** for
     #: the same ablation-fidelity reason.  The serving layer turns it on.
     delta_cache: bool = False
+    #: ``parallelism="process"`` only: when a worker process dies mid-phase
+    #: and poisons the shared pool (``BrokenProcessPool``), rebuild the
+    #: pool once and re-run the failed batch — bitwise identical, since
+    #: whole queries fan out — then degrade to inline execution if the
+    #: rebuilt pool breaks again.  Off = propagate the exception (the
+    #: pre-recovery behavior, useful when a crash should be loud).
+    pool_recovery: bool = True
     #: Rows per streamed chunk for out-of-core execution.  ``None`` (the
     #: default) defers to the table's own chunk layout: in-memory tables
     #: are single-chunk and keep the classic one-shot path; tables opened

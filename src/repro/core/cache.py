@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.config import ExecutionStats
 from repro.db.query import AggregateQuery, QueryResult
+from repro.testing import faults
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.backends.base import Backend
@@ -559,6 +560,10 @@ _L2_SUFFIX = ".viewcache"
 #: legitimate write takes anywhere near this long) and swept by _prune.
 _TMP_GRACE_SECONDS = 15 * 60
 
+#: Bytes of the integrity trailer appended to every L2 entry file: the
+#: SHA-256 digest of the pickle blob that precedes it.
+_L2_TRAILER_BYTES = 32
+
 
 class FileCacheTier:
     """File-backed cache tier shared by every process pointed at one dir.
@@ -566,12 +571,17 @@ class FileCacheTier:
     Each entry is one file named by the SHA-256 of its cache key, holding
     a pickle of ``(key, QueryResult, ExecutionStats)`` — the key is stored
     inside the payload too, so a (cosmically unlikely) hash collision or a
-    foreign file reads as a miss rather than a wrong answer.  Writes go to
-    a unique temp file first and land via :func:`os.replace`, so
-    concurrent readers in sibling worker processes never observe a torn
-    entry.  All failure modes (missing file, corrupt pickle, full disk)
-    degrade to a miss / dropped write: the tier is an accelerator, never a
-    correctness dependency.
+    foreign file reads as a miss rather than a wrong answer — followed by
+    a 32-byte SHA-256 trailer over the pickle bytes.  Reads verify the
+    trailer before unpickling; an entry that fails (torn write surviving a
+    crash, bit rot, a truncating copy) is **quarantined** — deleted on the
+    spot and counted in :attr:`quarantined` — and reads as a clean miss,
+    never as garbage handed to ``pickle.loads``.  Writes go to a unique
+    temp file first and land via :func:`os.replace`, so concurrent readers
+    in sibling worker processes never observe a torn entry.  All failure
+    modes (missing file, corrupt pickle, full disk) degrade to a miss /
+    dropped write: the tier is an accelerator, never a correctness
+    dependency.
     """
 
     def __init__(
@@ -583,18 +593,51 @@ class FileCacheTier:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
+        self._quarantined = 0
+        self._quarantine_lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
         return self.directory / (
             hashlib.sha256(key.encode()).hexdigest() + _L2_SUFFIX
         )
 
-    def get(self, key: str) -> tuple[QueryResult, ExecutionStats] | None:
-        """Load one entry, or None on miss/corruption/collision."""
+    @property
+    def quarantined(self) -> int:
+        """Entries deleted because their integrity trailer failed."""
+        with self._quarantine_lock:
+            return self._quarantined
+
+    def _quarantine(self, path: Path) -> None:
+        """Delete a corrupt entry so it cannot poison later reads."""
         try:
-            blob = self._path(key).read_bytes()
-            stored_key, result, stats = pickle.loads(blob)
-        except (OSError, pickle.PickleError, ValueError, EOFError):
+            path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - concurrent delete
+            pass
+        with self._quarantine_lock:
+            self._quarantined += 1
+
+    def get(self, key: str) -> tuple[QueryResult, ExecutionStats] | None:
+        """Load one entry, or None on miss/corruption/collision.
+
+        Corruption (trailer mismatch, too-short file, or an undecodable
+        pickle behind a valid-looking trailer) quarantines the entry.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        if len(blob) <= _L2_TRAILER_BYTES:
+            self._quarantine(path)
+            return None
+        body, trailer = blob[:-_L2_TRAILER_BYTES], blob[-_L2_TRAILER_BYTES:]
+        if hashlib.sha256(body).digest() != trailer:
+            self._quarantine(path)
+            return None
+        try:
+            stored_key, result, stats = pickle.loads(body)
+        except (pickle.PickleError, ValueError, EOFError, IndexError, TypeError):
+            self._quarantine(path)
             return None
         if stored_key != key:  # pragma: no cover - hash collision guard
             return None
@@ -608,7 +651,8 @@ class FileCacheTier:
         ``max_bytes`` (best-effort — concurrent pruners may race, and a
         file deleted under us is simply skipped).
         """
-        blob = pickle.dumps((key, result, stats), protocol=pickle.HIGHEST_PROTOCOL)
+        body = pickle.dumps((key, result, stats), protocol=pickle.HIGHEST_PROTOCOL)
+        blob = body + hashlib.sha256(body).digest()
         if len(blob) > self.max_bytes:
             return False
         path = self._path(key)
@@ -624,6 +668,7 @@ class FileCacheTier:
             except OSError:  # pragma: no cover - cleanup best-effort
                 pass
             return False
+        faults.maybe_truncate(path, key)
         self._prune()
         return True
 
@@ -786,6 +831,7 @@ class TieredViewResultCache(ViewResultCache):
                 "l1_misses": self._l1_misses,
                 "l2_hits": self._l2_hits,
                 "l2_misses": self._l2_misses,
+                "l2_quarantined": self.l2.quarantined,
             }
 
 

@@ -303,7 +303,11 @@ class ExecutionEngine:
             else None
         )
         with make_dispatcher(
-            self.backend, parallelism, n_workers, use_batch=config.shared_scan
+            self.backend,
+            parallelism,
+            n_workers,
+            use_batch=config.shared_scan,
+            pool_recovery=config.pool_recovery,
         ) as dispatcher:
             for phase_index, (start, stop) in enumerate(ranges):
                 active_per_phase.append(len(active))

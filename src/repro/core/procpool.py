@@ -43,11 +43,13 @@ import atexit
 import multiprocessing
 import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Sequence
 
 from repro.config import ExecutionStats
 from repro.db.query import AggregateQuery, QueryResult
 from repro.exceptions import RecommendationError
+from repro.testing import faults
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.parallel import ExecutesQueries
@@ -96,7 +98,60 @@ def shutdown_pool() -> None:
         pool.shutdown(wait=True)
 
 
+def _rebuild_pool(broken: ProcessPoolExecutor, n_workers: int) -> ProcessPoolExecutor:
+    """Replace a broken pool with a fresh one (thread-safe, idempotent).
+
+    A ``BrokenProcessPool`` poisons the executor permanently — every
+    later submit raises.  Concurrent phases may hit the same breakage;
+    whichever arrives first swaps the global, the rest see the swap
+    already happened (``_pool is not broken``) and just use the new pool.
+    """
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is broken or _pool is None:
+            _pool = ProcessPoolExecutor(
+                max_workers=max(n_workers, _pool_workers, 1),
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            _pool_workers = max(n_workers, _pool_workers, 1)
+        current = _pool
+    broken.shutdown(wait=False)
+    return current
+
+
 atexit.register(shutdown_pool)
+
+
+# --------------------------------------------------------------------------- #
+# recovery accounting (parent side)
+# --------------------------------------------------------------------------- #
+
+_recovery_lock = threading.Lock()
+_recovery = {"broken_pools": 0, "batches_rerun": 0, "degraded_batches": 0}
+
+
+def _count_recovery(key: str) -> None:
+    with _recovery_lock:
+        _recovery[key] += 1
+
+
+def recovery_counters() -> dict[str, int]:
+    """Lifetime pool-recovery counters for this process.
+
+    ``broken_pools`` — times a phase batch hit ``BrokenProcessPool``;
+    ``batches_rerun`` — batches that succeeded on the rebuilt pool;
+    ``degraded_batches`` — batches that fell back to inline (thread-path)
+    execution because the rebuilt pool broke again.
+    """
+    with _recovery_lock:
+        return dict(_recovery)
+
+
+def reset_recovery_counters() -> None:
+    """Zero the recovery counters (test isolation)."""
+    with _recovery_lock:
+        for key in _recovery:
+            _recovery[key] = 0
 
 
 # --------------------------------------------------------------------------- #
@@ -134,6 +189,7 @@ def _worker_execute(
     store_path: str, store_kind: str, query: AggregateQuery
 ) -> tuple[QueryResult, ExecutionStats]:
     """Execute one whole query in the worker (module-level for pickling)."""
+    faults.maybe_exit("break_pool_worker", store_path)
     return _worker_backend(store_path, store_kind).execute(query)
 
 
@@ -141,6 +197,7 @@ def _worker_execute_batch(
     store_path: str, store_kind: str, queries: list[AggregateQuery]
 ) -> list[tuple[QueryResult, ExecutionStats]]:
     """Execute one shared-scan slice in the worker (one scan per slice)."""
+    faults.maybe_exit("break_pool_worker", store_path)
     return _worker_backend(store_path, store_kind).execute_batch(
         queries, fanout=None
     )
@@ -176,6 +233,18 @@ class ProcessPoolDispatcher(ParallelDispatcher):
     ``close()`` intentionally does **not** shut the process pool down: the
     pool is shared and persistent (see :func:`get_pool`); use
     :func:`shutdown_pool` to reclaim it.
+
+    **Crash recovery** (``pool_recovery=True``, the default): a worker
+    dying mid-phase — OOM kill, segfaulting native code, an injected
+    ``break_pool_worker`` fault — poisons the whole executor with
+    ``BrokenProcessPool``.  The dispatcher then rebuilds the pool once and
+    re-runs the failed phase batch from scratch; whole-query fan-out means
+    the re-run is bitwise identical to an undisturbed run (each query is a
+    complete left-to-right accumulation wherever it executes).  If the
+    rebuilt pool breaks again on the same batch, the batch degrades to
+    inline execution on the parent's own backend — same executor code,
+    same store bytes, still bitwise identical, just without process
+    parallelism.  See :func:`recovery_counters` for the accounting.
     """
 
     def __init__(
@@ -186,23 +255,18 @@ class ProcessPoolDispatcher(ParallelDispatcher):
         *,
         store_path: str,
         store_kind: str,
+        pool_recovery: bool = True,
     ) -> None:
         """Wrap ``executor``; workers re-open ``store_path`` as ``store_kind``."""
         super().__init__(executor, n_workers, use_batch)
         self._store_path = store_path
         self._store_kind = store_kind
+        self.pool_recovery = pool_recovery
 
-    def _run_batch_uncached(
-        self, queries: Sequence[AggregateQuery]
+    def _fan_out(
+        self, pool: ProcessPoolExecutor, batch: list[AggregateQuery]
     ) -> list[tuple[QueryResult, ExecutionStats]]:
-        """Dispatch misses to worker processes (submission-order gather)."""
-        batch = list(queries)
-        if self.n_workers <= 1 or len(batch) <= 1:
-            # Inline on the parent's own backend: same executor code over
-            # the same store bytes, so results are identical and the
-            # single-query case skips a pickle round-trip.
-            return super()._run_batch_uncached(batch)
-        pool = get_pool(self.n_workers)
+        """Submit ``batch`` to ``pool``; gather in submission order."""
         if self.use_batch and hasattr(self.executor, "execute_batch"):
             outcomes: list[tuple[QueryResult, ExecutionStats]] = []
             futures = [
@@ -225,9 +289,41 @@ class ProcessPoolDispatcher(ParallelDispatcher):
         ]
         return [future.result() for future in futures]
 
+    def _run_batch_uncached(
+        self, queries: Sequence[AggregateQuery]
+    ) -> list[tuple[QueryResult, ExecutionStats]]:
+        """Dispatch misses to worker processes (submission-order gather)."""
+        batch = list(queries)
+        if self.n_workers <= 1 or len(batch) <= 1:
+            # Inline on the parent's own backend: same executor code over
+            # the same store bytes, so results are identical and the
+            # single-query case skips a pickle round-trip.
+            return super()._run_batch_uncached(batch)
+        pool = get_pool(self.n_workers)
+        try:
+            return self._fan_out(pool, batch)
+        except BrokenProcessPool:
+            if not self.pool_recovery:
+                raise
+            _count_recovery("broken_pools")
+            fresh = _rebuild_pool(pool, self.n_workers)
+            try:
+                outcomes = self._fan_out(fresh, batch)
+            except BrokenProcessPool:
+                # Rebuild didn't hold (e.g. a deterministic crasher in the
+                # data path): give up on process parallelism for this
+                # batch and run it inline — correctness over speed.
+                _count_recovery("degraded_batches")
+                return super()._run_batch_uncached(batch)
+            _count_recovery("batches_rerun")
+            return outcomes
+
 
 def process_dispatcher(
-    executor: "ExecutesQueries", n_workers: int, use_batch: bool = False
+    executor: "ExecutesQueries",
+    n_workers: int,
+    use_batch: bool = False,
+    pool_recovery: bool = True,
 ) -> ProcessPoolDispatcher:
     """Build a :class:`ProcessPoolDispatcher` for ``executor`` or fail clearly.
 
@@ -259,6 +355,7 @@ def process_dispatcher(
         use_batch=use_batch,
         store_path=str(source_path),
         store_kind=str(getattr(store, "kind", "col")),
+        pool_recovery=pool_recovery,
     )
 
 
@@ -266,5 +363,7 @@ __all__ = [
     "ProcessPoolDispatcher",
     "get_pool",
     "process_dispatcher",
+    "recovery_counters",
+    "reset_recovery_counters",
     "shutdown_pool",
 ]

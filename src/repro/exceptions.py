@@ -70,9 +70,22 @@ class ServiceError(ReproError):
     """
 
     def __init__(
-        self, message: str, status: int = 400, code: str = "invalid_request"
+        self,
+        message: str,
+        status: int = 400,
+        code: str = "invalid_request",
+        retry_after: float | None = None,
+        attempts: int = 1,
     ) -> None:
-        """Record ``message``, the HTTP ``status``, and the envelope ``code``."""
+        """Record ``message``, the HTTP ``status``, and the envelope ``code``.
+
+        ``retry_after`` carries a server-suggested backoff (the
+        ``Retry-After`` header, seconds) when one was sent; ``attempts``
+        is how many tries a retrying client made before surfacing this
+        error (1 = no retries).
+        """
         super().__init__(message)
         self.status = status
         self.code = code
+        self.retry_after = retry_after
+        self.attempts = attempts

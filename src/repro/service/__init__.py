@@ -46,7 +46,11 @@ from repro.service.api import (
     error_envelope,
 )
 from repro.service.client import ServiceClient
-from repro.service.frontend import FrontendServer, start_frontend
+from repro.service.frontend import (
+    FrontendServer,
+    WorkerSupervisor,
+    start_frontend,
+)
 from repro.service.monitor import ProcessMonitor
 from repro.service.server import (
     GracefulHTTPServer,
@@ -82,6 +86,7 @@ __all__ = [
     "SessionStore",
     "TieredViewResultCache",
     "ViewResultCache",
+    "WorkerSupervisor",
     "clauses_from_payload",
     "error_envelope",
     "install_sigterm_handler",

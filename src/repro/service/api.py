@@ -84,6 +84,12 @@ class ErrorCode:
     SHUTTING_DOWN = "shutting_down"
     #: No live worker can serve the request (front-end only).
     NO_WORKER = "no_worker"
+    #: The serving tier is partially down (a worker slot awaiting respawn);
+    #: surfaced by ``GET /v1/healthz`` while degraded, never by data routes.
+    DEGRADED = "degraded"
+    #: Transient refusal — the request hit a worker slot that is mid-respawn;
+    #: retry after the ``Retry-After`` header's delay (seconds).
+    RETRY_LATER = "retry_later"
     #: Unexpected server-side failure (the 500 catch-all).
     INTERNAL = "internal"
 
@@ -98,7 +104,17 @@ class ErrorCode:
         INVALID_PATH,
         SHUTTING_DOWN,
         NO_WORKER,
+        DEGRADED,
+        RETRY_LATER,
         INTERNAL,
+    )
+
+    #: Codes a client may safely retry: the server refused the request (or
+    #: was mid-shutdown/mid-respawn) *before* executing it, so a repeat
+    #: cannot double-apply anything.  Part of the wire contract —
+    #: :class:`repro.service.client.ServiceClient` retries exactly these.
+    RETRYABLE: frozenset[str] = frozenset(
+        {SHUTTING_DOWN, NO_WORKER, DEGRADED, RETRY_LATER}
     )
 
 
@@ -409,13 +425,26 @@ class DatasetInfo:
         )
 
 
-def raise_for_error(status: int, payload: Mapping[str, Any]) -> None:
+def raise_for_error(
+    status: int,
+    payload: Mapping[str, Any],
+    retry_after: float | None = None,
+    attempts: int = 1,
+) -> None:
     """Raise :class:`~repro.exceptions.ServiceError` for a non-2xx response.
 
     The raised error carries the envelope's stable ``code`` so callers can
-    branch without string matching.
+    branch without string matching, plus — when the caller is a retrying
+    client — the server's ``Retry-After`` suggestion and how many attempts
+    were made before giving up.
     """
     if 200 <= status < 300:
         return
     info = ErrorInfo.from_payload(payload)
-    raise ServiceError(info.message, status=status, code=info.code)
+    raise ServiceError(
+        info.message,
+        status=status,
+        code=info.code,
+        retry_after=retry_after,
+        attempts=attempts,
+    )

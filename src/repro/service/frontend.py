@@ -29,6 +29,29 @@ proxies the public ``/v1`` API to them:
   requests (stragglers get 503 with the standard error envelope), then
   SIGTERMs every worker and waits for their own drains.
 
+**Self-healing** (this tier's fault story):
+
+* a :class:`WorkerSupervisor` thread probes worker liveness, respawns a
+  dead worker on its original ring slot with exponential backoff and a
+  per-slot restart budget, and **re-syncs** the replacement before
+  readmitting it to routing (replaying recorded ``POST /v1/datasets``
+  registrations and broadcasting ``refresh`` so appends made while the
+  slot was down are visible);
+* while a slot is down, requests **fail over** to the next live owner on
+  the hash ring (bounded retries, per-request deadline); a session whose
+  pinned worker died is transparently **resurrected** — re-created from
+  its recorded ``POST /v1/sessions`` payload on the failover worker,
+  with the original external session id preserved on the wire (recorded
+  step history restarts from the resurrection point);
+* ``GET /v1/healthz`` answers 503 ``"status": "degraded"`` — with the
+  standard error envelope and a ``Retry-After`` header — whenever any
+  slot is down, and per-slot supervisor state (restarts, backoff) rides
+  along;
+* when every candidate worker for a request is down, the front-end
+  answers 503 ``retry_later`` with ``Retry-After`` rather than hanging:
+  a retrying :class:`~repro.service.client.ServiceClient` rides through
+  the whole respawn window without surfacing an error.
+
 Run it from the command line::
 
     PYTHONPATH=src python -m repro.service.frontend --port 8080 --workers 4
@@ -52,10 +75,10 @@ import signal
 import tempfile
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.exceptions import ServiceError
 from repro.service.api import (
@@ -70,6 +93,7 @@ from repro.service.server import (
     SeeDBHTTPServer,
     install_sigterm_handler,
 )
+from repro.testing import faults
 
 #: Virtual nodes per worker on the hash ring — enough that removing one
 #: worker of four moves ~25% of keys, not 0% or 100%.
@@ -102,6 +126,27 @@ class HashRing:
         index = bisect.bisect(self._hashes, point) % len(self._hashes)
         return self._workers[index]
 
+    def preference(self, key: str) -> list[int]:
+        """Every worker index in ring order starting at ``key``'s owner.
+
+        ``preference(key)[0] == lookup(key)``; the rest is the failover
+        order — walking the ring clockwise yields, for each key, a stable
+        sequence of distinct fallback owners, so one dead worker's keys
+        spread across the survivors instead of piling onto one neighbor.
+        """
+        digest = hashlib.sha256(key.encode()).digest()
+        point = int.from_bytes(digest[:8], "big")
+        start = bisect.bisect(self._hashes, point)
+        total = len(self._hashes)
+        seen: set[int] = set()
+        order: list[int] = []
+        for offset in range(total):
+            worker = self._workers[(start + offset) % total]
+            if worker not in seen:
+                seen.add(worker)
+                order.append(worker)
+        return order
+
 
 def _worker_main(
     index: int, conn, service_kwargs: dict[str, Any], drain_timeout: float
@@ -112,6 +157,10 @@ def _worker_main(
     through ``conn``, installs its own SIGTERM drain (this *is* the
     child's main thread), and serves until told to stop.
     """
+    # Name this process for fault-injection identity filters
+    # (``SEEDB_FAULTS="kill_worker:on=worker-1,..."``): spawned children
+    # inherit the parent's environment, so the spec arrives automatically.
+    faults.set_identity(f"worker-{index}")
     service = RecommendationService(**service_kwargs)
     server = SeeDBHTTPServer(("127.0.0.1", 0), service)
     drained = install_sigterm_handler(server, timeout=drain_timeout)
@@ -132,6 +181,11 @@ class WorkerHandle:
     index: int
     process: multiprocessing.process.BaseProcess
     port: int
+    #: Incremented each time the supervisor respawns this ring slot.  A
+    #: session pinned to generation N of a slot must be resurrected when
+    #: generation N+1 answers there — the replacement process has no
+    #: memory of the old session store.
+    generation: int = 0
 
     @property
     def pid(self) -> int:
@@ -142,6 +196,46 @@ class WorkerHandle:
     def alive(self) -> bool:
         """Whether the worker process is still running."""
         return self.process.is_alive()
+
+    @property
+    def exitcode(self) -> int | None:
+        """The process exit code (None while alive)."""
+        return self.process.exitcode
+
+
+def spawn_worker(
+    index: int,
+    service_kwargs: Mapping[str, Any] | None = None,
+    drain_timeout: float = 10.0,
+    generation: int = 0,
+) -> WorkerHandle:
+    """Spawn one service process on ring slot ``index``; block until booted.
+
+    The supervisor's respawn path: one slot at a time, same arguments the
+    original fleet booted with.  Raises ``RuntimeError`` when the worker
+    fails to report a port within the boot timeout.
+    """
+    context = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_worker_main,
+        args=(index, child_conn, dict(service_kwargs or {}), drain_timeout),
+        name=f"seedb-worker-{index}",
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(_WORKER_BOOT_TIMEOUT):
+            raise RuntimeError(f"worker {index} did not report a port")
+        port = parent_conn.recv()
+    except (RuntimeError, EOFError) as exc:
+        if process.is_alive():
+            process.terminate()
+        raise RuntimeError(f"worker {index} boot failed: {exc}") from exc
+    finally:
+        parent_conn.close()
+    return WorkerHandle(index, process, int(port), generation)
 
 
 def spawn_workers(
@@ -187,6 +281,218 @@ def spawn_workers(
     return handles
 
 
+@dataclass
+class _SessionRecord:
+    """Front-end bookkeeping for one external session id.
+
+    Carries everything needed to transparently re-create the session on
+    another worker after its home died: where it lives now (slot +
+    generation + the worker's internal id) and how it was born (dataset
+    and the original ``POST /v1/sessions`` payload).
+    """
+
+    worker_index: int
+    generation: int
+    internal_id: str
+    dataset: str
+    create_payload: dict[str, Any] = field(default_factory=dict)
+
+
+class WorkerSupervisor(threading.Thread):
+    """Detects dead workers and respawns them on their ring slot.
+
+    Liveness comes from the process table (``Process.is_alive`` — an
+    exitcode, not a timeout heuristic), so a worker that was SIGKILLed,
+    OOM-killed, or ``os._exit``-ed by an injected fault is noticed within
+    one poll interval.  Respawns back off exponentially per slot
+    (``backoff_base * 2**restarts``, capped) and stop for good once the
+    slot's ``max_restarts`` budget is spent — a crash-looping worker must
+    not melt the host.  Before a replacement is readmitted to routing it
+    is **re-synced**: recorded dataset registrations are replayed and a
+    refresh broadcast brings its memmaps to the chunk stores' current
+    manifests, then a liveness probe must answer.
+
+    The supervisor never respawns while the front-end is draining, and
+    :meth:`stop` (called from ``FrontendServer._on_close``) ends the loop.
+    """
+
+    def __init__(
+        self,
+        frontend: "FrontendServer",
+        poll_interval: float = 0.2,
+        max_restarts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 8.0,
+        on_respawn: Callable[[WorkerHandle], None] | None = None,
+    ) -> None:
+        """Supervise ``frontend``'s workers; see the class docstring."""
+        super().__init__(name="seedb-supervisor", daemon=True)
+        self.frontend = frontend
+        self.poll_interval = poll_interval
+        self.max_restarts = max_restarts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.on_respawn = on_respawn
+        self._stop_event = threading.Event()
+        self._lock = threading.Lock()
+        self._slots: dict[int, dict[str, Any]] = {
+            worker.index: {
+                "state": "up",
+                "restarts": 0,
+                "due": 0.0,
+                "last_exitcode": None,
+            }
+            for worker in frontend.workers
+        }
+
+    def stop(self) -> None:
+        """End the supervision loop (idempotent; joins are the caller's)."""
+        self._stop_event.set()
+
+    def status(self) -> dict[int, dict[str, Any]]:
+        """Per-slot supervision state (for healthz and tests)."""
+        with self._lock:
+            return {index: dict(slot) for index, slot in self._slots.items()}
+
+    # -------------------------------------------------------------- #
+    # the loop
+    # -------------------------------------------------------------- #
+
+    def run(self) -> None:
+        """Poll liveness until stopped; respawn dead slots when due."""
+        while not self._stop_event.wait(self.poll_interval):
+            if self.frontend.draining:
+                continue
+            try:
+                self._sweep(time.monotonic())
+            except Exception:  # noqa: BLE001 - supervision must not die
+                # A failed sweep (e.g. transient spawn error) is retried
+                # on the next tick; crashing the supervisor would turn
+                # every later worker death into a permanent outage.
+                continue
+
+    def _sweep(self, now: float) -> None:
+        for worker in list(self.frontend.workers):
+            with self._lock:
+                slot = self._slots[worker.index]
+                state = slot["state"]
+            if state == "up" and not worker.alive:
+                self._mark_dead(worker, now)
+            elif state == "down":
+                with self._lock:
+                    due = slot["due"]
+                if now >= due:
+                    self._respawn(worker)
+
+    def _mark_dead(self, worker: WorkerHandle, now: float) -> None:
+        """Record a detected death; schedule the respawn or give up."""
+        self.frontend.mark_worker_down(worker.index)
+        with self._lock:
+            slot = self._slots[worker.index]
+            slot["last_exitcode"] = worker.exitcode
+            if slot["restarts"] >= self.max_restarts:
+                slot["state"] = "failed"
+            else:
+                delay = min(
+                    self.backoff_base * (2 ** slot["restarts"]),
+                    self.backoff_cap,
+                )
+                slot["state"] = "down"
+                slot["due"] = now + delay
+
+    def _respawn(self, dead: WorkerHandle) -> None:
+        """Spawn a replacement for ``dead``'s slot, re-sync, readmit."""
+        with self._lock:
+            slot = self._slots[dead.index]
+            slot["restarts"] += 1
+            slot["state"] = "respawning"
+        try:
+            handle = spawn_worker(
+                dead.index,
+                self.frontend.service_kwargs,
+                self.frontend.worker_drain_timeout,
+                generation=dead.generation + 1,
+            )
+            self._resync(handle)
+        except Exception:  # noqa: BLE001 - a failed respawn retries/backs off
+            with self._lock:
+                slot = self._slots[dead.index]
+                if slot["restarts"] > self.max_restarts:
+                    slot["state"] = "failed"
+                else:
+                    delay = min(
+                        self.backoff_base * (2 ** slot["restarts"]),
+                        self.backoff_cap,
+                    )
+                    slot["state"] = "down"
+                    slot["due"] = time.monotonic() + delay
+            return
+        self.frontend.adopt_worker(handle)
+        with self._lock:
+            self._slots[dead.index]["state"] = "up"
+        if self.on_respawn is not None:
+            try:
+                self.on_respawn(handle)
+            except Exception:  # noqa: BLE001 - observer errors are not ours
+                pass
+
+    def _resync(self, handle: WorkerHandle) -> None:
+        """Bring a fresh worker up to date before it takes traffic.
+
+        Replays every recorded ``POST /v1/datasets`` registration (the
+        replacement's registry starts from only the boot-time
+        ``service_kwargs``), then refreshes each so appends that landed
+        while the slot was down are memmapped in, and finally demands a
+        healthz answer.  Any failure aborts the readmission — a worker
+        that cannot re-sync must not serve traffic.
+        """
+        for payload in self.frontend.registered_datasets():
+            body = _worker_http(
+                handle.port, "POST", "/v1/datasets", payload,
+                timeout=self.frontend.proxy_timeout,
+            )
+            name = body.get("name")
+            if isinstance(name, str) and name:
+                _worker_http(
+                    handle.port, "POST", f"/v1/datasets/{name}/refresh", None,
+                    timeout=self.frontend.proxy_timeout,
+                )
+        health = _worker_http(
+            handle.port, "GET", "/v1/healthz", None,
+            timeout=self.frontend.proxy_timeout,
+        )
+        if health.get("status") != "ok":
+            raise RuntimeError(
+                f"respawned worker {handle.index} failed its liveness probe"
+            )
+
+
+def _worker_http(
+    port: int,
+    method: str,
+    path: str,
+    payload: Mapping[str, Any] | None,
+    timeout: float = 30.0,
+) -> dict[str, Any]:
+    """One out-of-band JSON request to a worker; raises on any failure."""
+    conn = HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        parsed = json.loads(raw) if raw else {}
+        if response.status >= 400:
+            raise RuntimeError(
+                f"worker on port {port} answered {response.status} for "
+                f"{method} {path}"
+            )
+        return parsed
+    finally:
+        conn.close()
+
+
 class _FrontendHandler(BaseHTTPRequestHandler):
     """Routes public API requests to worker processes."""
 
@@ -205,12 +511,19 @@ class _FrontendHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
-    def _send(self, status: int, payload: Mapping[str, object]) -> None:
+    def _send(
+        self,
+        status: int,
+        payload: Mapping[str, object],
+        retry_after: float | None = None,
+    ) -> None:
         """Write one JSON response with correct framing."""
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
         if self._deprecated:
             for name, value in legacy_deprecation_headers():
                 self.send_header(name, value)
@@ -297,7 +610,19 @@ class _FrontendHandler(BaseHTTPRequestHandler):
                 self._body = self.rfile.read(length)
             server = self.server
             if method == "GET" and parts == ["healthz"]:
-                self._send(200, server.healthz())
+                payload = server.healthz()
+                if payload.get("status") == "ok":
+                    self._send(200, payload)
+                else:
+                    # Degraded is reported with the standard envelope so
+                    # clients branch on the stable code, while the full
+                    # health payload rides along for operators.
+                    body = error_envelope(
+                        ErrorCode.DEGRADED,
+                        "one or more worker slots are down",
+                    )
+                    body.update(payload)
+                    self._send(503, body, retry_after=server.retry_after_hint)
             elif method == "GET" and parts == ["stats"]:
                 self._send(200, server.aggregate_stats())
             elif method == "POST" and parts == ["datasets"]:
@@ -320,7 +645,9 @@ class _FrontendHandler(BaseHTTPRequestHandler):
                 status, body = server.broadcast_refresh(self, parts[1])
                 self._send(status, body)
             elif method == "GET" and parts == ["datasets"]:
-                status, body = self._forward(server.workers[0], method, parts)
+                status, body = self._forward(
+                    server.first_live_worker(), method, parts
+                )
                 self._send(status, body)
             elif method == "POST" and parts == ["sessions"]:
                 self._create_session(parts)
@@ -329,9 +656,7 @@ class _FrontendHandler(BaseHTTPRequestHandler):
                 and len(parts) >= 2
                 and parts[0] == "sessions"
             ):
-                worker = server.worker_for_session(parts[1])
-                status, body = self._forward(worker, method, parts)
-                self._send(status, body)
+                self._forward_session(method, parts)
             else:
                 self._send(
                     404,
@@ -341,7 +666,11 @@ class _FrontendHandler(BaseHTTPRequestHandler):
                     ),
                 )
         except ServiceError as exc:
-            self._send(exc.status, error_envelope(exc.code, str(exc)))
+            self._send(
+                exc.status,
+                error_envelope(exc.code, str(exc)),
+                retry_after=exc.retry_after,
+            )
         except Exception as exc:  # noqa: BLE001 - a serving loop must not die
             self._send(
                 500,
@@ -349,7 +678,12 @@ class _FrontendHandler(BaseHTTPRequestHandler):
             )
 
     def _create_session(self, parts: list[str]) -> None:
-        """Create a session on the dataset's ring-assigned worker."""
+        """Create a session on the dataset's ring-assigned worker.
+
+        Fails over along the ring's preference order when the owner is
+        down — a new session has no worker state yet, so any live worker
+        serves it equally well.
+        """
         server = self.server
         try:
             payload = json.loads(self._body) if self._body else {}
@@ -358,11 +692,73 @@ class _FrontendHandler(BaseHTTPRequestHandler):
         dataset = "census"
         if isinstance(payload, dict):
             dataset = str(payload.get("dataset", "census"))
-        worker = server.worker_for_dataset(dataset)
-        status, body = self._forward(worker, "POST", parts)
-        if status == 201 and isinstance(body, dict) and "session_id" in body:
-            server.record_session(str(body["session_id"]), worker.index)
-        self._send(status, body)
+        deadline = time.monotonic() + server.request_deadline
+        for worker in server.live_workers_for(dataset):
+            try:
+                status, body = self._forward(worker, "POST", parts)
+            except ServiceError as exc:
+                if exc.code != ErrorCode.NO_WORKER:
+                    raise
+                server.note_worker_failure(worker)
+                if time.monotonic() >= deadline:
+                    break
+                continue
+            if status == 201 and isinstance(body, dict) and "session_id" in body:
+                server.record_session(
+                    str(body["session_id"]),
+                    worker,
+                    dataset=dataset,
+                    create_payload=payload if isinstance(payload, dict) else {},
+                )
+            self._send(status, body)
+            return
+        raise ServiceError(
+            f"no live worker for dataset {dataset!r}; retry shortly",
+            status=503,
+            code=ErrorCode.RETRY_LATER,
+            retry_after=server.retry_after_hint,
+        )
+
+    def _forward_session(self, method: str, parts: list[str]) -> None:
+        """Forward a session-pinned request, resurrecting if needed.
+
+        The external session id is rewritten to the worker's internal id
+        on the way in and back to the external id on the way out, so a
+        resurrection (new internal id on a failover worker) is invisible
+        to the client.
+        """
+        server = self.server
+        external = parts[1]
+        deadline = time.monotonic() + server.request_deadline
+        last_error: ServiceError | None = None
+        for _ in range(server.failover_attempts + 1):
+            worker, internal = server.resolve_session(external)
+            try:
+                status, body = self._forward(
+                    worker, method, [parts[0], internal, *parts[2:]]
+                )
+            except ServiceError as exc:
+                if exc.code != ErrorCode.NO_WORKER:
+                    raise
+                server.note_worker_failure(worker)
+                last_error = exc
+                if time.monotonic() >= deadline:
+                    break
+                continue
+            if (
+                isinstance(body, dict)
+                and internal != external
+                and body.get("session_id") == internal
+            ):
+                body["session_id"] = external
+            self._send(status, body)
+            return
+        raise ServiceError(
+            f"session {external!r} temporarily unroutable; retry shortly",
+            status=503,
+            code=ErrorCode.RETRY_LATER,
+            retry_after=server.retry_after_hint,
+        ) from last_error
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
         """Handle GET requests."""
@@ -380,6 +776,11 @@ class FrontendServer(GracefulHTTPServer):
     handles; on :meth:`graceful_shutdown` it drains its own in-flight
     proxied requests first (inherited), then SIGTERMs every worker and
     joins them — each worker runs its own graceful drain.
+
+    Fault-tolerance state lives here too: the down-slot set the
+    supervisor and handlers maintain, the recorded dataset registrations
+    replayed into respawned workers, and the session records that make
+    resurrection possible (see the module docstring).
     """
 
     def __init__(
@@ -389,19 +790,41 @@ class FrontendServer(GracefulHTTPServer):
         verbose: bool = False,
         proxy_timeout: float = 120.0,
         worker_drain_timeout: float = 10.0,
+        service_kwargs: Mapping[str, Any] | None = None,
+        request_deadline: float = 30.0,
+        failover_attempts: int = 2,
+        retry_after_hint: float = 1.0,
     ) -> None:
-        """Bind to ``address`` and route over ``workers``."""
+        """Bind to ``address`` and route over ``workers``.
+
+        ``service_kwargs`` are kept for the supervisor's respawns;
+        ``request_deadline`` bounds one proxied request's total failover
+        time; ``failover_attempts`` bounds how many *additional* workers
+        a session request may try; ``retry_after_hint`` is the
+        ``Retry-After`` value (seconds) sent with 503 ``retry_later`` /
+        ``degraded`` answers — tune it to the supervisor's backoff base.
+        """
         if not workers:
             raise ValueError("FrontendServer needs at least one worker")
         super().__init__(address, _FrontendHandler, verbose)
         self.workers = list(workers)
         self.proxy_timeout = proxy_timeout
         self.worker_drain_timeout = worker_drain_timeout
+        self.service_kwargs = dict(service_kwargs or {})
+        self.request_deadline = request_deadline
+        self.failover_attempts = failover_attempts
+        self.retry_after_hint = retry_after_hint
+        self.supervisor: WorkerSupervisor | None = None
         self._ring = HashRing(len(self.workers))
-        self._sessions: dict[str, int] = {}
+        self._sessions: dict[str, _SessionRecord] = {}
         self._sessions_lock = threading.Lock()
+        self._down: set[int] = set()
+        self._down_lock = threading.Lock()
+        self._registered: list[dict[str, Any]] = []
+        self._registered_lock = threading.Lock()
         self._requests = 0
         self._errors = 0
+        self._resurrections = 0
         self._counter_lock = threading.Lock()
         self._started_unix = time.time()
 
@@ -409,26 +832,160 @@ class FrontendServer(GracefulHTTPServer):
     # routing state
     # -------------------------------------------------------------- #
 
+    def slot_up(self, index: int) -> bool:
+        """Whether ring slot ``index`` should receive traffic."""
+        with self._down_lock:
+            if index in self._down:
+                return False
+        return self.workers[index].alive
+
+    def mark_worker_down(self, index: int) -> None:
+        """Exclude a slot from routing until a replacement is adopted."""
+        with self._down_lock:
+            self._down.add(index)
+
+    def adopt_worker(self, handle: WorkerHandle) -> None:
+        """Swap a (re-synced) replacement into its slot and readmit it."""
+        self.workers[handle.index] = handle
+        with self._down_lock:
+            self._down.discard(handle.index)
+
+    def note_worker_failure(self, worker: WorkerHandle) -> None:
+        """A proxy attempt found ``worker`` unusable; derate if it died.
+
+        Only an actually-dead process is marked down here — a slow or
+        momentarily-unreachable worker is the supervisor's call, not one
+        failed proxy's.
+        """
+        if not worker.alive:
+            self.mark_worker_down(worker.index)
+
+    def live_workers_for(self, dataset: str) -> list[WorkerHandle]:
+        """Ring-preference-ordered live workers for ``dataset`` (bounded)."""
+        order = [
+            self.workers[index]
+            for index in self._ring.preference(dataset)
+            if self.slot_up(index)
+        ]
+        return order[: self.failover_attempts + 1]
+
+    def first_live_worker(self) -> WorkerHandle:
+        """Any live worker (for worker-agnostic reads like the registry)."""
+        for worker in self.workers:
+            if self.slot_up(worker.index):
+                return worker
+        raise ServiceError(
+            "no live workers; retry shortly",
+            status=503,
+            code=ErrorCode.RETRY_LATER,
+            retry_after=self.retry_after_hint,
+        )
+
     def worker_for_dataset(self, dataset: str) -> WorkerHandle:
-        """The ring-assigned worker for ``dataset``."""
-        return self.workers[self._ring.lookup(dataset)]
+        """The preferred live worker for ``dataset`` (ring owner if up)."""
+        for index in self._ring.preference(dataset):
+            if self.slot_up(index):
+                return self.workers[index]
+        raise ServiceError(
+            f"no live worker for dataset {dataset!r}; retry shortly",
+            status=503,
+            code=ErrorCode.RETRY_LATER,
+            retry_after=self.retry_after_hint,
+        )
 
     def worker_for_session(self, session_id: str) -> WorkerHandle:
-        """The worker a session was created on (404 if unknown)."""
+        """The worker a session is currently pinned to (404 if unknown)."""
         with self._sessions_lock:
-            index = self._sessions.get(session_id)
-        if index is None:
+            record = self._sessions.get(session_id)
+        if record is None:
             raise ServiceError(
                 f"unknown session {session_id!r}",
                 status=404,
                 code=ErrorCode.UNKNOWN_SESSION,
             )
-        return self.workers[index]
+        return self.workers[record.worker_index]
 
-    def record_session(self, session_id: str, worker_index: int) -> None:
-        """Pin ``session_id`` to the worker that created it."""
+    def resolve_session(self, session_id: str) -> tuple[WorkerHandle, str]:
+        """Where to send a session request: ``(worker, internal id)``.
+
+        The healthy path is a dict lookup.  When the pinned slot is down
+        — or its process was respawned (generation mismatch), which means
+        the in-memory session store is gone — the session is resurrected:
+        re-created from its recorded create payload on the first live
+        worker in the dataset's ring preference, under a fresh internal
+        id, with the external id unchanged.  Recorded step history
+        restarts from the resurrection point (worker-local state died
+        with the worker).
+        """
         with self._sessions_lock:
-            self._sessions[session_id] = worker_index
+            record = self._sessions.get(session_id)
+        if record is None:
+            raise ServiceError(
+                f"unknown session {session_id!r}",
+                status=404,
+                code=ErrorCode.UNKNOWN_SESSION,
+            )
+        pinned = self.workers[record.worker_index]
+        if self.slot_up(record.worker_index) and pinned.generation == record.generation:
+            return pinned, record.internal_id
+        for index in self._ring.preference(record.dataset):
+            if not self.slot_up(index):
+                continue
+            worker = self.workers[index]
+            try:
+                body = _worker_http(
+                    worker.port,
+                    "POST",
+                    "/v1/sessions",
+                    record.create_payload or {"dataset": record.dataset},
+                    timeout=self.proxy_timeout,
+                )
+                internal = str(body["session_id"])
+            except (RuntimeError, HTTPException, ConnectionError, OSError,
+                    ValueError, KeyError):
+                self.note_worker_failure(worker)
+                continue
+            with self._sessions_lock:
+                record.worker_index = index
+                record.generation = worker.generation
+                record.internal_id = internal
+            with self._counter_lock:
+                self._resurrections += 1
+            return worker, internal
+        raise ServiceError(
+            f"session {session_id!r} temporarily unroutable; retry shortly",
+            status=503,
+            code=ErrorCode.RETRY_LATER,
+            retry_after=self.retry_after_hint,
+        )
+
+    def record_session(
+        self,
+        session_id: str,
+        worker: WorkerHandle | int,
+        dataset: str = "census",
+        create_payload: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Pin ``session_id`` to the worker that created it.
+
+        Also records how the session was created so it can be resurrected
+        elsewhere if that worker dies.
+        """
+        if isinstance(worker, int):
+            worker = self.workers[worker]
+        with self._sessions_lock:
+            self._sessions[session_id] = _SessionRecord(
+                worker_index=worker.index,
+                generation=worker.generation,
+                internal_id=session_id,
+                dataset=dataset,
+                create_payload=dict(create_payload or {}),
+            )
+
+    def registered_datasets(self) -> list[dict[str, Any]]:
+        """Recorded ``POST /v1/datasets`` payloads (for respawn re-sync)."""
+        with self._registered_lock:
+            return [dict(payload) for payload in self._registered]
 
     def count_request(self, ok: bool) -> None:
         """Tally one routed request (``ok=False`` for 4xx/5xx answers)."""
@@ -442,14 +999,38 @@ class FrontendServer(GracefulHTTPServer):
     # -------------------------------------------------------------- #
 
     def healthz(self) -> dict[str, Any]:
-        """Front-end liveness plus per-worker liveness flags."""
+        """Front-end liveness plus per-worker liveness flags.
+
+        ``status`` is ``"ok"`` only when every ring slot is up; any dead
+        or derated slot makes the whole answer ``"degraded"`` (the HTTP
+        layer maps that to 503) — an orchestrator probing this endpoint
+        must see partial outages, not a reassuring lie.
+        """
+        supervision = self.supervisor.status() if self.supervisor else {}
+        rows: list[dict[str, Any]] = []
+        degraded = False
+        for worker in self.workers:
+            up = self.slot_up(worker.index)
+            degraded = degraded or not up
+            row: dict[str, Any] = {
+                "index": worker.index,
+                "pid": worker.pid,
+                "alive": worker.alive,
+                "generation": worker.generation,
+                "state": "up" if up else "down",
+            }
+            slot = supervision.get(worker.index)
+            if slot is not None:
+                row["restarts"] = slot["restarts"]
+                row["supervisor_state"] = slot["state"]
+                if slot["last_exitcode"] is not None:
+                    row["last_exitcode"] = slot["last_exitcode"]
+            rows.append(row)
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             "uptime_seconds": time.time() - self._started_unix,
-            "workers": [
-                {"index": w.index, "pid": w.pid, "alive": w.alive}
-                for w in self.workers
-            ],
+            "supervised": self.supervisor is not None,
+            "workers": rows,
         }
 
     def _worker_get(self, worker: WorkerHandle, path: str) -> dict[str, Any]:
@@ -467,9 +1048,11 @@ class FrontendServer(GracefulHTTPServer):
         """``GET /v1/stats``: front-end counters + merged worker stats."""
         with self._counter_lock:
             requests, errors = self._requests, self._errors
+            resurrections = self._resurrections
         with self._sessions_lock:
             sessions = len(self._sessions)
         per_worker: list[dict[str, Any]] = []
+        unreachable = 0
         tier_totals = {"l1_hits": 0, "l1_misses": 0, "l2_hits": 0, "l2_misses": 0}
         tiered = False
         delta_totals: dict[str, int] = {}
@@ -478,6 +1061,7 @@ class FrontendServer(GracefulHTTPServer):
                 stats = self._worker_get(worker, "/v1/stats")
             except (HTTPException, ConnectionError, OSError, ValueError):
                 stats = {"unreachable": True}
+                unreachable += 1
             stats["worker"] = worker.index
             stats["pid"] = worker.pid
             per_worker.append(stats)
@@ -495,7 +1079,9 @@ class FrontendServer(GracefulHTTPServer):
             "requests": requests,
             "errors": errors,
             "sessions": sessions,
+            "sessions_resurrected": resurrections,
             "n_workers": len(self.workers),
+            "workers_unreachable": unreachable,
             "workers": per_worker,
         }
         if tiered:
@@ -507,21 +1093,52 @@ class FrontendServer(GracefulHTTPServer):
     def broadcast_datasets(
         self, handler: _FrontendHandler
     ) -> tuple[int, dict[str, Any]]:
-        """``POST /v1/datasets``: register on every worker.
+        """``POST /v1/datasets``: register on every live worker.
 
-        Every worker must know the dataset — any of them may own it on the
-        ring.  The first failure short-circuits and is returned verbatim
-        (registration is idempotent on the workers, so a retry converges).
+        Every worker must know the dataset — any of them may own it on
+        the ring.  Down slots are skipped (the supervisor replays
+        recorded registrations into their replacements); a worker that
+        dies mid-broadcast is likewise deferred rather than failing the
+        whole registration.  A *rejection* (4xx from a live worker)
+        still short-circuits verbatim.  The accepted payload is recorded
+        for respawn re-sync.
         """
         first: tuple[int, dict[str, Any]] | None = None
+        deferred: list[int] = []
+        try:
+            payload = json.loads(handler._body) if handler._body else {}
+        except ValueError:
+            payload = {}
         for worker in self.workers:
-            status, body = handler._forward(worker, "POST", ["datasets"])
+            if not self.slot_up(worker.index):
+                deferred.append(worker.index)
+                continue
+            try:
+                status, body = handler._forward(worker, "POST", ["datasets"])
+            except ServiceError as exc:
+                if exc.code != ErrorCode.NO_WORKER:
+                    raise
+                self.note_worker_failure(worker)
+                deferred.append(worker.index)
+                continue
             if status >= 400:
                 return status, body
             if first is None:
                 first = (status, body)
-        assert first is not None
-        return first
+        if first is None:
+            raise ServiceError(
+                "no live worker accepted the registration; retry shortly",
+                status=503,
+                code=ErrorCode.RETRY_LATER,
+                retry_after=self.retry_after_hint,
+            )
+        if isinstance(payload, dict) and payload.get("path"):
+            with self._registered_lock:
+                self._registered.append(dict(payload))
+        status, body = first
+        if deferred:
+            body["deferred_workers"] = sorted(deferred)
+        return status, body
 
     def _worker_post(self, worker: WorkerHandle, path: str) -> dict[str, Any]:
         """One out-of-band bodyless POST to a worker (refresh broadcast)."""
@@ -539,14 +1156,16 @@ class FrontendServer(GracefulHTTPServer):
     ) -> tuple[int, dict[str, Any]]:
         """``POST /v1/datasets/<id>/append``: write once, refresh everywhere.
 
-        The rows are appended exactly once, by the dataset's ring-owner
-        worker (all workers share the chunk-store directory, so
-        broadcasting the append verb itself would duplicate the rows);
+        The rows are appended exactly once, by the dataset's (live)
+        ring-owner worker (all workers share the chunk-store directory,
+        so broadcasting the append verb itself would duplicate the rows);
         the other workers then get a bodyless ``refresh`` broadcast — a
         manifest digest compare plus memmap re-sync — so every worker
         serves the extended table without the rows crossing the wire
         again.  Workers that fail to refresh are reported in
-        ``stale_workers``; they re-sync on the next append or refresh.
+        ``stale_workers``; they re-sync on the next append or refresh
+        (and a supervisor-respawned worker re-opens the current manifest
+        anyway).
         """
         dataset = parts[1]
         owner = self.worker_for_dataset(dataset)
@@ -557,6 +1176,9 @@ class FrontendServer(GracefulHTTPServer):
         stale: list[int] = []
         for worker in self.workers:
             if worker.index == owner.index:
+                continue
+            if not self.slot_up(worker.index):
+                stale.append(worker.index)
                 continue
             try:
                 self._worker_post(worker, f"/v1/datasets/{dataset}/refresh")
@@ -571,21 +1193,40 @@ class FrontendServer(GracefulHTTPServer):
     def broadcast_refresh(
         self, handler: _FrontendHandler, dataset: str
     ) -> tuple[int, dict[str, Any]]:
-        """``POST /v1/datasets/<id>/refresh``: re-sync on every worker."""
+        """``POST /v1/datasets/<id>/refresh``: re-sync every live worker."""
         first: tuple[int, dict[str, Any]] | None = None
         refreshed: list[int] = []
+        stale: list[int] = []
         for worker in self.workers:
-            status, body = handler._forward(
-                worker, "POST", ["datasets", dataset, "refresh"]
-            )
+            if not self.slot_up(worker.index):
+                stale.append(worker.index)
+                continue
+            try:
+                status, body = handler._forward(
+                    worker, "POST", ["datasets", dataset, "refresh"]
+                )
+            except ServiceError as exc:
+                if exc.code != ErrorCode.NO_WORKER:
+                    raise
+                self.note_worker_failure(worker)
+                stale.append(worker.index)
+                continue
             if status >= 400:
                 return status, body
             refreshed.append(worker.index)
             if first is None:
                 first = (status, body)
-        assert first is not None
+        if first is None:
+            raise ServiceError(
+                "no live worker to refresh; retry shortly",
+                status=503,
+                code=ErrorCode.RETRY_LATER,
+                retry_after=self.retry_after_hint,
+            )
         status, body = first
         body["refreshed_workers"] = refreshed
+        if stale:
+            body["stale_workers"] = sorted(stale)
         return status, body
 
     # -------------------------------------------------------------- #
@@ -593,7 +1234,10 @@ class FrontendServer(GracefulHTTPServer):
     # -------------------------------------------------------------- #
 
     def _on_close(self) -> None:
-        """SIGTERM every worker and join them (kill stragglers)."""
+        """Stop supervision, SIGTERM every worker, join (kill stragglers)."""
+        if self.supervisor is not None:
+            self.supervisor.stop()
+            self.supervisor.join(timeout=5.0)
         for worker in self.workers:
             if worker.alive:
                 try:
@@ -616,6 +1260,11 @@ def start_frontend(
     l2_cache_dir: str | None = None,
     verbose: bool = False,
     drain_timeout: float = 10.0,
+    supervise: bool = True,
+    max_restarts: int = 3,
+    restart_backoff: float = 0.5,
+    supervisor_poll: float = 0.2,
+    on_worker_respawn: Callable[[WorkerHandle], None] | None = None,
     **extra_service_kwargs: Any,
 ) -> tuple[FrontendServer, threading.Thread]:
     """Spawn workers and serve the front-end on a daemon thread.
@@ -623,9 +1272,14 @@ def start_frontend(
     ``service_kwargs`` / ``extra_service_kwargs`` are passed to every
     worker's :class:`~repro.service.server.RecommendationService`.  Unless
     overridden, a shared ``l2_cache_dir`` is created under the system temp
-    dir so the workers form one two-tier cache.  Returns ``(frontend,
-    thread)``; stop with ``frontend.graceful_shutdown()`` (which also
-    stops the workers).
+    dir so the workers form one two-tier cache.  ``supervise=True`` (the
+    default) starts a :class:`WorkerSupervisor` that respawns dead workers
+    with exponential backoff starting at ``restart_backoff`` seconds,
+    giving up after ``max_restarts`` respawns per slot;
+    ``on_worker_respawn`` is called with each adopted replacement handle
+    (e.g. to register its pid with a process monitor).  Returns
+    ``(frontend, thread)``; stop with ``frontend.graceful_shutdown()``
+    (which also stops the supervisor and the workers).
     """
     kwargs = dict(service_kwargs or {})
     kwargs.update(extra_service_kwargs)
@@ -639,7 +1293,19 @@ def start_frontend(
         workers,
         verbose=verbose,
         worker_drain_timeout=drain_timeout,
+        service_kwargs=kwargs,
+        retry_after_hint=max(restart_backoff, 0.1),
     )
+    if supervise:
+        supervisor = WorkerSupervisor(
+            frontend,
+            poll_interval=supervisor_poll,
+            max_restarts=max_restarts,
+            backoff_base=restart_backoff,
+            on_respawn=on_worker_respawn,
+        )
+        frontend.supervisor = supervisor
+        supervisor.start()
     thread = threading.Thread(
         target=frontend.serve_forever, name="seedb-frontend", daemon=True
     )
@@ -686,6 +1352,17 @@ def main(argv: Sequence[str] | None = None) -> None:
         default=10.0,
         help="seconds to wait for in-flight requests on SIGTERM",
     )
+    parser.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="disable worker supervision (dead workers stay dead)",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="respawns allowed per worker slot before it is given up on",
+    )
     args = parser.parse_args(argv)
     datasets = (
         tuple(name.strip() for name in args.datasets.split(",") if name.strip())
@@ -699,6 +1376,8 @@ def main(argv: Sequence[str] | None = None) -> None:
         l2_cache_dir=args.l2_cache_dir,
         verbose=True,
         drain_timeout=args.drain_timeout,
+        supervise=not args.no_supervise,
+        max_restarts=args.max_restarts,
         datasets=datasets,
         scale=args.scale,
         result_cache=not args.no_cache,

@@ -91,6 +91,16 @@ class ProcessMonitor:
         self.pids = list(pids)
         self._last: dict[int, tuple[float, float]] = {}
 
+    def track(self, pid: int) -> None:
+        """Add ``pid`` to the tracked set (idempotent).
+
+        The chaos harness hooks this up as the front-end's
+        ``on_worker_respawn`` callback so supervisor-respawned workers
+        show up in resource samples alongside the original fleet.
+        """
+        if pid not in self.pids:
+            self.pids.append(pid)
+
     def sample(self) -> list[ProcessSample]:
         """One sample per live pid (empty where ``/proc`` is unavailable)."""
         if not proc_available():

@@ -100,6 +100,7 @@ from repro.service.sessions import (
     TargetClauses,
     clauses_from_payload,
 )
+from repro.testing import faults
 
 _STRATEGIES = ("no_opt", "sharing", "comb", "comb_early")
 _STORES = ("row", "col")
@@ -823,6 +824,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             )
             return
         try:
+            # Fault points (no-ops unless SEEDB_FAULTS is configured; see
+            # repro.testing.faults): die mid-request, hang up without a
+            # response, or stall — the three ways a real worker fails that
+            # the supervisor/failover/retry layers must absorb.
+            faults.maybe_exit("kill_worker", self.path)
+            if faults.maybe_drop(self.path):
+                self.close_connection = True
+                return
+            faults.maybe_delay(self.path)
             self._handle_routes(method, service, parts)
         finally:
             self.server.request_finished()

@@ -429,6 +429,52 @@ class TestFileCacheTier:
         entry_file.write_bytes(b"not a pickle")
         assert tier.get("k") is None
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        """A bad entry is removed on first read, not re-parsed forever."""
+        from repro.core.cache import FileCacheTier
+
+        tier = FileCacheTier(tmp_path / "l2")
+        tier.put("k", *_entry_payload())
+        entry_file = next((tmp_path / "l2").iterdir())
+        entry_file.write_bytes(b"garbage" * 10)
+        assert tier.get("k") is None
+        assert tier.quarantined == 1
+        assert not entry_file.exists()
+        # Quarantine cleared the slot: the key can be re-cached cleanly.
+        assert tier.put("k", *_entry_payload()) is True
+        assert tier.get("k") is not None
+        assert tier.quarantined == 1
+
+    def test_truncated_entry_fails_the_sha256_trailer(self, tmp_path):
+        """A torn write (partial flush) is caught by the checksum, not
+        by luck in the unpickler."""
+        from repro.core.cache import FileCacheTier
+
+        tier = FileCacheTier(tmp_path / "l2")
+        tier.put("k", *_entry_payload())
+        entry_file = next((tmp_path / "l2").iterdir())
+        blob = entry_file.read_bytes()
+        entry_file.write_bytes(blob[: len(blob) // 2])
+        assert tier.get("k") is None
+        assert tier.quarantined == 1
+        assert not entry_file.exists()
+
+    def test_fault_injected_truncation_end_to_end(self, tmp_path):
+        """The ``truncate_l2_entry`` chaos fault corrupts a fresh write
+        and the tier survives it as a quarantined miss."""
+        from repro.core.cache import FileCacheTier
+        from repro.testing import faults
+
+        tier = FileCacheTier(tmp_path / "l2")
+        faults.install("truncate_l2_entry:arg=0.5")
+        try:
+            assert tier.put("k", *_entry_payload()) is True
+        finally:
+            faults.uninstall()
+        assert tier.get("k") is None
+        assert tier.quarantined == 1
+        assert list((tmp_path / "l2").iterdir()) == []
+
     def test_key_is_verified_inside_payload(self, tmp_path):
         """A renamed/foreign entry file must miss, not answer wrongly."""
         import shutil as sh
@@ -495,6 +541,7 @@ class TestTieredViewResultCache:
         assert entry is not None
         assert reader.tier_counters() == {
             "l1_hits": 0, "l1_misses": 1, "l2_hits": 1, "l2_misses": 0,
+            "l2_quarantined": 0,
         }
         # The overall cache stats count the L2 hit as a hit, not a miss.
         snapshot = reader.snapshot()
@@ -511,6 +558,7 @@ class TestTieredViewResultCache:
         assert cache.get("missing") is None
         assert cache.tier_counters() == {
             "l1_hits": 0, "l1_misses": 1, "l2_hits": 0, "l2_misses": 1,
+            "l2_quarantined": 0,
         }
         snapshot = cache.snapshot()
         assert (snapshot.hits, snapshot.misses) == (0, 1)

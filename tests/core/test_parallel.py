@@ -389,3 +389,117 @@ class TestSharedStructureThreadSafety:
         for codes, cats in results[1:]:
             assert codes is codes0  # one cached encoding shared by all
             assert cats is cats0
+
+class TestPoolCrashRecovery:
+    """BrokenProcessPool self-healing in the process dispatcher."""
+
+    @pytest.fixture(scope="class")
+    def chunked_census(self, census_like, tmp_path_factory):
+        from repro.db.chunks import open_table, write_table
+
+        root = tmp_path_factory.mktemp("procpool_chaos") / "census_like"
+        write_table(census_like, root, chunk_rows=4096)
+        return open_table(root)
+
+    def test_killed_pool_worker_rerun_is_bitwise_identical(
+        self, chunked_census, monkeypatch, tmp_path
+    ):
+        """A pool worker dying mid-batch is invisible in the results.
+
+        The ``break_pool_worker`` fault ``os._exit``s the first pool
+        worker to execute a query, breaking the whole executor; the
+        dispatcher must rebuild the pool and re-run the batch, and —
+        because fan-out ships whole queries — the recovered run must
+        match the serial one bit-for-bit, not approximately.  The shared
+        ledger keeps the respawned pool's workers (which inherit the
+        same ``SEEDB_FAULTS``) from dying again.
+        """
+        from repro.core import procpool
+
+        target = eq("marital", "Unmarried")
+        serial = _engine_run(
+            chunked_census, target,
+            parallelism="modeled", n_parallel=4,
+            strategy="sharing", pruner="none",
+        )
+        monkeypatch.setenv("SEEDB_FAULTS", "break_pool_worker:times=1")
+        monkeypatch.setenv("SEEDB_FAULTS_STATE", str(tmp_path / "ledger"))
+        procpool.shutdown_pool()  # force a pool that inherits the fault env
+        procpool.reset_recovery_counters()
+        try:
+            process = _engine_run(
+                chunked_census, target,
+                parallelism="process", n_parallel=4,
+                strategy="sharing", pruner="none",
+            )
+        finally:
+            monkeypatch.delenv("SEEDB_FAULTS")
+            monkeypatch.delenv("SEEDB_FAULTS_STATE")
+            procpool.shutdown_pool()  # no fault-armed workers leak onward
+        counters = procpool.recovery_counters()
+        assert counters["broken_pools"] == 1
+        assert counters["batches_rerun"] == 1
+        assert counters["degraded_batches"] == 0
+        ledger = (tmp_path / "ledger").read_text()
+        assert "break_pool_worker" in ledger
+        assert process.selected == serial.selected
+        for key, value in serial.utilities.items():
+            assert process.utilities[key] == value  # bitwise, not approx
+        assert process.stats.queries_issued == serial.stats.queries_issued
+
+    def test_degrades_to_threads_when_the_pool_keeps_breaking(
+        self, chunked_census, monkeypatch
+    ):
+        """Rebuild failing too -> the batch finishes inline on threads."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.core import procpool
+
+        backend = NativeBackend(make_store("col", chunked_census))
+        queries = [
+            _count_query("census_like", "sex", i * 1000, i * 1000 + 500)
+            for i in range(6)
+        ]
+        serial = [backend.execute(q) for q in queries]
+
+        def always_broken(self, pool, batch):
+            raise BrokenProcessPool("injected")
+
+        monkeypatch.setattr(
+            procpool.ProcessPoolDispatcher, "_fan_out", always_broken
+        )
+        procpool.reset_recovery_counters()
+        with procpool.process_dispatcher(backend, 2) as dispatcher:
+            outcomes = dispatcher.run_batch(queries)
+        counters = procpool.recovery_counters()
+        assert counters["broken_pools"] == 1
+        assert counters["degraded_batches"] == 1
+        assert counters["batches_rerun"] == 0
+        assert len(outcomes) == len(queries)
+        for (pr, _), (sr, _) in zip(outcomes, serial):
+            assert pr.to_rows() == sr.to_rows()
+
+    def test_pool_recovery_can_be_disabled(self, chunked_census, monkeypatch):
+        """``pool_recovery=False`` preserves the old fail-fast contract."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.core import procpool
+
+        backend = NativeBackend(make_store("col", chunked_census))
+
+        def always_broken(self, pool, batch):
+            raise BrokenProcessPool("injected")
+
+        monkeypatch.setattr(
+            procpool.ProcessPoolDispatcher, "_fan_out", always_broken
+        )
+        with procpool.process_dispatcher(
+            backend, 2, pool_recovery=False
+        ) as dispatcher:
+            with pytest.raises(BrokenProcessPool):
+                dispatcher.run_batch(
+                    [
+                        _count_query("census_like", "sex", i * 500, i * 500 + 400)
+                        for i in range(4)
+                    ]
+                )

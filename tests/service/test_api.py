@@ -69,10 +69,21 @@ class TestErrorEnvelope:
         assert payload["error"]["detail"] == {"k": -1}
 
     def test_catalogue_is_complete_and_distinct(self):
-        assert len(set(ErrorCode.ALL)) == len(ErrorCode.ALL) == 10
+        assert len(set(ErrorCode.ALL)) == len(ErrorCode.ALL) == 12
         assert ErrorCode.INTERNAL in ErrorCode.ALL
         for code in ErrorCode.ALL:
             assert code == code.lower()
+
+    def test_retryable_codes_are_catalogued(self):
+        assert ErrorCode.RETRYABLE <= set(ErrorCode.ALL)
+        # The retryable set is wire contract: the server only answers
+        # these before executing anything, so clients repeat freely.
+        assert ErrorCode.RETRYABLE == {
+            ErrorCode.SHUTTING_DOWN,
+            ErrorCode.NO_WORKER,
+            ErrorCode.DEGRADED,
+            ErrorCode.RETRY_LATER,
+        }
 
     def test_error_info_parses_the_envelope(self):
         info = ErrorInfo.from_payload(
