@@ -1,0 +1,47 @@
+"""Adaptive-optimizer ablations: the workload-level optimizer perf bench.
+
+Runs the same SHARING workload under four optimizer configurations —
+everything off, multi-aggregate fusion only, adaptive dense grouping
+only, all decisions on — and writes ``BENCH_optimizer.json``, the
+durable ablation matrix future PRs diff against (CI uploads it as an
+artifact).  Every variant must return the identical top-k and
+bitwise-equal utilities, so the run doubles as a bench-scale optimizer
+equivalence check; the guaranteed measurable win is fusion's discrete
+query-count reduction, which no timing noise can wash out.
+"""
+
+import glob
+import json
+import os
+
+from repro.bench.experiments import bench_optimizer
+
+
+def test_bench_optimizer(benchmark):
+    table = benchmark.pedantic(bench_optimizer, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    rows = {r["variant"]: r for r in table.rows}
+    assert set(rows) == {"off", "fusion", "grouping", "all_on"}
+    assert all(r["wall_s"] > 0 for r in table.rows)
+    # Fusion's win is discrete: strictly fewer queries than the baseline.
+    assert rows["fusion"]["queries"] < rows["off"]["queries"]
+    assert rows["all_on"]["queries"] < rows["off"]["queries"]
+    assert rows["all_on"]["fused_away"] >= 1
+    # The grouping decision fired: the dense limit was raised above the
+    # static cap to cover the dimension-pair product.
+    assert rows["grouping"]["dense_limit"] is not None
+    assert rows["grouping"]["dense_limit"] > 65_536
+    # The optimizer-off baseline recorded no decisions at all.
+    assert rows["off"]["fused_away"] == 0
+    assert rows["off"]["dense_limit"] is None
+    # The perf-trajectory entry was written; a run smaller than an
+    # existing committed baseline is diverted to a scale-suffixed sibling
+    # instead of clobbering it.
+    candidates = sorted(glob.glob("BENCH_optimizer*.json"), key=os.path.getmtime)
+    assert candidates
+    with open(candidates[-1]) as handle:
+        payload = json.load(handle)
+    assert payload["bench"] == "optimizer"
+    assert payload["queries_all_on"] < payload["queries_off"]
+    assert len(payload["rows"]) == 4

@@ -33,6 +33,7 @@ from repro.core.cache import (
     query_fingerprint,
 )
 from repro.core.difference import ViewDistributions
+from repro.core.optimizer import WorkloadOptimizer
 from repro.core.parallel import ParallelDispatcher, make_dispatcher
 from repro.core.phases import phase_ranges
 from repro.core.pruning import Pruner, make_pruner
@@ -125,6 +126,10 @@ class EngineRun:
     cache_misses: int = 0
     #: Physical bytes the hits avoided re-scanning.
     cache_bytes_saved: int = 0
+    #: Attribution record of the workload optimizer's decisions
+    #: (:meth:`repro.core.optimizer.WorkloadOptimizer.decisions`); empty
+    #: when ``EngineConfig.optimizer.enabled`` was off for this run.
+    optimizer_decisions: dict = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -175,10 +180,14 @@ class ExecutionEngine:
                 else min(effective_chunk_rows, budget_rows)
             )
         # Assigned unconditionally: a store reused by a second engine must
-        # not inherit the previous config's streaming granularity.
-        store.stream_chunk_rows = (
+        # not inherit the previous config's streaming granularity.  The
+        # static value is kept so every run() can start from it before the
+        # workload optimizer (if enabled) retunes mid-run.
+        self._static_chunk_rows = (
             int(effective_chunk_rows) if effective_chunk_rows is not None else None
         )
+        store.stream_chunk_rows = self._static_chunk_rows
+        store.dense_group_limit = None
         self.backend: Backend = make_backend(config.backend, store)
         self.meta = TableMeta.of(store.table)
         # The cache is consulted iff the config knob is on; passing a
@@ -252,6 +261,21 @@ class ExecutionEngine:
         started = time.perf_counter()
 
         config = self._strategy_config(strategy)
+        # Every run starts from the static tuning: a previous run's
+        # optimizer decisions must not leak into an ablation baseline.
+        self.store.stream_chunk_rows = self._static_chunk_rows
+        self.store.dense_group_limit = None
+        # The workload optimizer never touches NO_OPT: that strategy *is*
+        # the no-sharing baseline, and fusing its per-view queries would
+        # reintroduce exactly the sharing it exists to ablate.
+        optimizer: WorkloadOptimizer | None = None
+        if config.optimizer.enabled and strategy != "no_opt":
+            optimizer = WorkloadOptimizer(
+                config.optimizer,
+                self.store,
+                self.meta,
+                config.memory_budget_bytes,
+            )
         use_phases = strategy in ("comb", "comb_early")
         early = strategy == "comb_early" or config.early_return
         align = None
@@ -319,7 +343,9 @@ class ExecutionEngine:
                     reference_mode,
                     reference_predicate,
                 )
-                self._execute_plan(
+                if optimizer is not None:
+                    plan = optimizer.transform(plan)
+                outcomes = self._execute_plan(
                     plan,
                     (start, stop),
                     config,
@@ -331,6 +357,10 @@ class ExecutionEngine:
                     cache,
                     cache_prefix,
                 )
+                if optimizer is not None:
+                    optimizer.observe_phase(
+                        plan, [result for result, _ in outcomes]
+                    )
                 phases_executed += 1
 
                 if use_phases:
@@ -383,6 +413,9 @@ class ExecutionEngine:
             cache_hits=run_stats.cache_hits,
             cache_misses=run_stats.queries_issued if cache is not None else 0,
             cache_bytes_saved=run_stats.cache_bytes_saved,
+            optimizer_decisions=(
+                optimizer.decisions() if optimizer is not None else {}
+            ),
         )
 
     # ------------------------------------------------------------------ #
@@ -423,8 +456,11 @@ class ExecutionEngine:
         dispatcher: ParallelDispatcher,
         cache: ViewResultCache | None = None,
         cache_prefix: str | None = None,
-    ) -> None:
+    ) -> list[tuple[QueryResult, ExecutionStats]]:
         """Run a phase's queries in parallel batches and route the results.
+
+        Returns the per-query outcomes in plan order so the workload
+        optimizer can fold measured statistics back into its tuning.
 
         Each batch is a barrier: the dispatcher returns per-query results in
         submission order, and stats merging plus per-view routing happen on
@@ -485,6 +521,7 @@ class ExecutionEngine:
                 run_stats.merge(query_stats)
                 self._route_result(planned, result, states, reference_mode)
             run_stats.batch_costs.append(batch_costs)
+        return outcomes
 
     def _route_result(
         self,

@@ -1,0 +1,369 @@
+"""Workload-level adaptive optimizer (the rung above §4.1 sharing).
+
+The sharing planner (:mod:`repro.core.sharing`) applies the paper's
+optimizations *statically*; this module optimizes the **whole phase
+workload** from observed statistics.  A :class:`WorkloadOptimizer` sits
+between the planner and the dispatcher and makes four decisions, each with
+its own ablation toggle on :class:`~repro.config.OptimizerConfig` and each
+recorded on :attr:`~repro.core.engine.EngineRun.optimizer_decisions`:
+
+1. **Adaptive dense/sparse grouping** — after the first phase executes, the
+   optimizer knows every query's *measured* group count and its
+   stride-encoded key-domain size, so it can move the dense-grouping cap
+   (:attr:`repro.db.storage.StorageEngine.dense_group_limit`) off the
+   static ``_DENSE_GROUP_LIMIT`` guess: key spaces above the static cap
+   with healthy occupancy switch to the O(n) ``bincount`` plan.  Dense and
+   sparse plans are bitwise-equal (see :mod:`repro.db.groupby` /
+   :mod:`repro.db.streaming`), so the move never changes a result bit.
+2. **Adaptive streaming granularity** — the engine's static formula
+   converts ``memory_budget_bytes`` to ``stream_chunk_rows`` ignoring the
+   per-group aggregation state that shares the budget.  After phase one
+   the optimizer knows that footprint and re-derives the chunk rows from
+   what is actually left.  Streaming granularity is value-identical by the
+   carry-seeded merge, so this too is result-safe.
+3. **Multi-aggregate fusion** — :func:`fuse_plan` merges
+   :class:`~repro.core.sharing.PlannedQuery`'s that share (table, group-by
+   key, predicate, derived columns) into single multi-aggregate passes —
+   §4.1 COMB applied *across* the planner's ``max_aggregates_per_query``
+   chunks.  Per-aggregate computations are independent and the group set
+   depends only on the keys, so each view reads exactly the numbers it
+   would have read from its unfused query.
+4. **Session-model cache prefetch** — :func:`plan_prefetch` scores each
+   recommended view with the §6.2 bookmark model
+   (:func:`repro.study.sessions.bookmark_probability`) and nominates the
+   drill-downs an analyst is statistically likely to request next; the
+   serving layer executes them in the background to warm the shared
+   :class:`~repro.core.cache.ViewResultCache`.
+
+Decisions 1–2 mutate the storage engine's tuning attributes *between*
+phases; decision 3 rewrites the plan before dispatch; decision 4 is a pure
+planning function the service layer consumes.  The differential oracle's
+optimizer leg runs whole engines with every toggle on and off and asserts
+bitwise-identical top-k, utilities, and distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config import OptimizerConfig
+from repro.core.sharing import PlannedQuery, SharingPlan
+from repro.db.groupby import _DENSE_GROUP_LIMIT
+from repro.db.query import AggregateQuery, QueryResult
+from repro.db.storage import StorageEngine
+from repro.study.sessions import bookmark_probability
+
+#: Distinct values a derived flag column can take, by flag kind: the
+#: one-bit flag is {0, 1}; the two-bit flag is {1, 2, 3} (rows matching
+#: neither predicate are filtered out by WHERE).
+_FLAG_CARDINALITY = {"one_bit": 2, "two_bit": 3}
+
+
+# --------------------------------------------------------------------------- #
+# decision 3: multi-aggregate fusion (pure plan rewrite)
+# --------------------------------------------------------------------------- #
+
+
+def _fusion_key(planned: PlannedQuery) -> tuple | None:
+    """Grouping key under which two planned queries are one physical pass.
+
+    Two queries fuse when everything except their aggregate list matches:
+    same table, group-by key set, predicate, derived columns, group budget,
+    and row range.  ``None`` marks a query that must not fuse (unhashable
+    predicate/derived literals — rare, but a cache-key convention shared
+    with :mod:`repro.db.shared_scan`).
+    """
+    query = planned.query
+    try:
+        return (
+            query.table,
+            query.group_by,
+            query.predicate,
+            query.derived,
+            query.group_budget,
+            query.row_range,
+            planned.flag_alias,
+            planned.flag_kind,
+        )
+    except TypeError:  # pragma: no cover - expressions are hashable today
+        return None
+
+
+def fuse_plan(plan: SharingPlan) -> tuple[SharingPlan, int]:
+    """Merge same-key planned queries into multi-aggregate passes.
+
+    Returns the (possibly) rewritten plan and the number of queries fused
+    away.  Result-safe by construction: the fused query's group set is
+    determined by the (unchanged) keys and predicate, each aggregate column
+    is computed independently of the others, and every route still reads
+    its own alias — so each view receives bitwise the numbers its unfused
+    query would have produced, in the same per-view order.
+    """
+    buckets: dict[tuple, int] = {}
+    fused: list[PlannedQuery | None] = []
+    for planned in plan.queries:
+        key = _fusion_key(planned)
+        if key is None:
+            fused.append(planned)
+            continue
+        slot = buckets.get(key)
+        if slot is None:
+            buckets[key] = len(fused)
+            fused.append(planned)
+            continue
+        host = fused[slot]
+        assert host is not None
+        seen = {spec.alias for spec in host.query.aggregates}
+        extra = tuple(
+            spec for spec in planned.query.aggregates if spec.alias not in seen
+        )
+        fused[slot] = PlannedQuery(
+            query=replace(host.query, aggregates=host.query.aggregates + extra),
+            routes=host.routes + planned.routes,
+            flag_alias=host.flag_alias,
+            flag_kind=host.flag_kind,
+        )
+        fused.append(None)
+    queries = tuple(p for p in fused if p is not None)
+    return SharingPlan(queries), len(plan.queries) - len(queries)
+
+
+# --------------------------------------------------------------------------- #
+# decision 4: session-model cache prefetch (pure planning)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PrefetchCandidate:
+    """One drill-down the bookmark model predicts the analyst requests next."""
+
+    dimension: str
+    measure: str
+    func: str
+    #: The view's most deviating group — the drill-down clause value, the
+    #: same handle :class:`repro.service.sessions.AnalystDrillDown` uses.
+    group: object
+    utility: float
+    #: §6.2 bookmark probability of the view that anchors the drill-down.
+    probability: float
+
+
+def plan_prefetch(run, config: OptimizerConfig) -> list[PrefetchCandidate]:
+    """Drill-down views worth pre-warming, best-first.
+
+    Mirrors :class:`~repro.service.sessions.AnalystDrillDown`: an analyst
+    bookmarks a recommended view with probability
+    ``bookmark_probability(utility)`` and then drills into its most
+    deviating group.  Views clearing ``prefetch_min_probability`` are
+    returned in rank order, capped at ``prefetch_limit``.
+    """
+    candidates: list[PrefetchCandidate] = []
+    for key in run.selected:
+        if len(candidates) >= max(config.prefetch_limit, 0):
+            break
+        utility = float(run.utilities.get(key, 0.0))
+        probability = bookmark_probability(utility)
+        if probability < config.prefetch_min_probability:
+            continue
+        dists = run.distributions.get(key)
+        if dists is None or not len(dists.keys):
+            continue
+        index = int(np.argmax(np.abs(dists.target - dists.reference)))
+        candidates.append(
+            PrefetchCandidate(
+                dimension=str(key[0]),
+                measure=str(key[1]),
+                func=str(key[2]),
+                group=dists.keys[index],
+                utility=utility,
+                probability=probability,
+            )
+        )
+    return candidates
+
+
+# --------------------------------------------------------------------------- #
+# decisions 1–2: per-phase store tuning from observed statistics
+# --------------------------------------------------------------------------- #
+
+
+class WorkloadOptimizer:
+    """Per-run adaptive planner: observe phase one, tune the rest.
+
+    One instance serves one engine run.  The engine calls
+    :meth:`transform` on every phase's plan (fusion) and
+    :meth:`observe_phase` after the first phase executes (store tuning);
+    :meth:`decisions` is recorded on the run for attribution.
+
+    Example::
+
+        optimizer = WorkloadOptimizer(config.optimizer, store, meta,
+                                      config.memory_budget_bytes)
+        plan = optimizer.transform(plan_queries(...))
+        outcomes = execute(plan)
+        optimizer.observe_phase(plan, [r for r, _ in outcomes])
+        run.optimizer_decisions = optimizer.decisions()
+    """
+
+    def __init__(
+        self,
+        config: OptimizerConfig,
+        store: StorageEngine,
+        meta,
+        memory_budget_bytes: int | None = None,
+    ) -> None:
+        self.config = config
+        self.store = store
+        self.meta = meta
+        self.memory_budget_bytes = memory_budget_bytes
+        self._observed = False
+        self._flag_kind: str | None = None
+        self._fused_away = 0
+        self._plans_seen = 0
+        self._grouping: dict[str, object] = {
+            "enabled": config.adaptive_grouping,
+            "applied": False,
+            "dense_limit": None,
+        }
+        self._chunking: dict[str, object] = {
+            "enabled": config.adaptive_chunking,
+            "applied": False,
+            "stream_chunk_rows": store.stream_chunk_rows,
+        }
+
+    # -- decision 3 ----------------------------------------------------- #
+
+    def transform(self, plan: SharingPlan) -> SharingPlan:
+        """Apply the plan-level rewrites (currently: aggregate fusion)."""
+        self._plans_seen += 1
+        if not self.config.fuse_aggregates:
+            return plan
+        plan, fused = fuse_plan(plan)
+        self._fused_away += fused
+        return plan
+
+    # -- decisions 1–2 --------------------------------------------------- #
+
+    def _stride_product(self, query: AggregateQuery) -> int:
+        """Size of the query's stride-encoded composite key domain.
+
+        Physical dimensions group on the table's global dictionary, so
+        their cardinality is the catalog's distinct count; derived flag
+        columns factorize to at most :data:`_FLAG_CARDINALITY` values.
+        Unknown derived keys pessimistically contribute their measured
+        group count (handled by the caller via the measured total).
+        """
+        product = 1
+        for name in query.group_by:
+            if name in self.meta.distinct_counts:
+                product *= max(self.meta.distinct_counts[name], 1)
+            else:
+                product *= _FLAG_CARDINALITY.get(self._flag_kind or "", 2)
+        return product
+
+    def observe_phase(
+        self, plan: SharingPlan, results: list[QueryResult]
+    ) -> None:
+        """Fold the first executed phase's measurements into store tuning.
+
+        Only the first observation tunes (later phases inherit); both
+        decisions mutate the store's tuning attributes, which every
+        executor — per-query, shared-scan, and the process-pool workers
+        via shipped overrides — reads on its next dispatch.
+        """
+        if self._observed or not results:
+            return
+        self._observed = True
+        per_query: list[tuple[int, int, int]] = []  # (product, groups, n_aggs)
+        for planned, result in zip(plan.queries, results):
+            if result is None:
+                continue
+            self._flag_kind = planned.flag_kind
+            product = self._stride_product(planned.query)
+            per_query.append(
+                (product, int(result.n_groups), len(planned.query.aggregates))
+            )
+        self._flag_kind = None
+        if not per_query:
+            return
+        if self.config.adaptive_grouping:
+            self._tune_grouping(per_query)
+        if self.config.adaptive_chunking:
+            self._tune_chunking(per_query)
+
+    def _tune_grouping(self, per_query: list[tuple[int, int, int]]) -> None:
+        """Raise the dense cap over key domains measured worth it.
+
+        A key domain above the static ``_DENSE_GROUP_LIMIT`` runs the
+        sparse sort; when its measured occupancy (groups / domain) clears
+        ``dense_occupancy_threshold`` and the domain fits
+        ``dense_limit_max``, the O(domain) dense allocation is cheap
+        relative to the sort and the optimizer raises the cap to cover it.
+        """
+        best: int | None = None
+        measurements = []
+        for product, groups, _ in per_query:
+            occupancy = groups / product if product else 0.0
+            measurements.append(
+                {"domain": product, "groups": groups, "occupancy": round(occupancy, 6)}
+            )
+            if (
+                product > _DENSE_GROUP_LIMIT
+                and product <= self.config.dense_limit_max
+                and occupancy >= self.config.dense_occupancy_threshold
+            ):
+                best = product if best is None else max(best, product)
+        self._grouping["measurements"] = measurements
+        if best is not None:
+            self.store.dense_group_limit = int(best)
+            self._grouping["applied"] = True
+            self._grouping["dense_limit"] = int(best)
+
+    def _tune_chunking(self, per_query: list[tuple[int, int, int]]) -> None:
+        """Re-derive the streaming chunk rows net of group-state bytes.
+
+        The engine's static formula spends the whole memory budget on chunk
+        residency; during a shared-scan phase every query's aggregator state
+        is resident too.  Estimate that footprint from the measured group
+        counts (keys + counts + one float64 partial per aggregate) and
+        re-split the budget.
+        """
+        if self.memory_budget_bytes is None:
+            return
+        state_bytes = sum(
+            groups * (n_aggs + 2) * 8 for _, groups, n_aggs in per_query
+        )
+        per_row = max(self.store.table.physical_row_bytes(), 1)
+        budget_rows = max((self.memory_budget_bytes - state_bytes) // per_row, 1)
+        self._chunking["group_state_bytes"] = int(state_bytes)
+        current = self.store.stream_chunk_rows
+        if current is not None and budget_rows < current:
+            self.store.stream_chunk_rows = int(budget_rows)
+            self._chunking["applied"] = True
+            self._chunking["stream_chunk_rows"] = int(budget_rows)
+
+    # -- attribution ----------------------------------------------------- #
+
+    def decisions(self) -> dict[str, object]:
+        """The attribution record for :attr:`EngineRun.optimizer_decisions`."""
+        return {
+            "enabled": True,
+            "fusion": {
+                "enabled": self.config.fuse_aggregates,
+                "queries_fused_away": self._fused_away,
+                "plans_transformed": self._plans_seen,
+            },
+            "grouping": dict(self._grouping),
+            "chunking": dict(self._chunking),
+            "prefetch": {"enabled": self.config.prefetch},
+        }
+
+
+__all__ = [
+    "PrefetchCandidate",
+    "WorkloadOptimizer",
+    "fuse_plan",
+    "plan_prefetch",
+]

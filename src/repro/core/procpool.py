@@ -185,22 +185,47 @@ def _worker_backend(store_path: str, store_kind: str):
     return backend
 
 
+def _apply_store_overrides(
+    backend, stream_chunk_rows: int | None, dense_group_limit: int | None
+) -> None:
+    """Mirror the parent store's tuning overrides onto the worker's store.
+
+    The workload optimizer adjusts ``stream_chunk_rows`` /
+    ``dense_group_limit`` on the *parent's* store, but workers re-open the
+    store fresh — so every task ships the current values and applies them
+    unconditionally (``None`` resets, keeping reused workers in sync).
+    Both knobs are execution-plan choices that never change a result bit.
+    """
+    backend.store.stream_chunk_rows = stream_chunk_rows
+    backend.store.dense_group_limit = dense_group_limit
+
+
 def _worker_execute(
-    store_path: str, store_kind: str, query: AggregateQuery
+    store_path: str,
+    store_kind: str,
+    query: AggregateQuery,
+    stream_chunk_rows: int | None = None,
+    dense_group_limit: int | None = None,
 ) -> tuple[QueryResult, ExecutionStats]:
     """Execute one whole query in the worker (module-level for pickling)."""
     faults.maybe_exit("break_pool_worker", store_path)
-    return _worker_backend(store_path, store_kind).execute(query)
+    backend = _worker_backend(store_path, store_kind)
+    _apply_store_overrides(backend, stream_chunk_rows, dense_group_limit)
+    return backend.execute(query)
 
 
 def _worker_execute_batch(
-    store_path: str, store_kind: str, queries: list[AggregateQuery]
+    store_path: str,
+    store_kind: str,
+    queries: list[AggregateQuery],
+    stream_chunk_rows: int | None = None,
+    dense_group_limit: int | None = None,
 ) -> list[tuple[QueryResult, ExecutionStats]]:
     """Execute one shared-scan slice in the worker (one scan per slice)."""
     faults.maybe_exit("break_pool_worker", store_path)
-    return _worker_backend(store_path, store_kind).execute_batch(
-        queries, fanout=None
-    )
+    backend = _worker_backend(store_path, store_kind)
+    _apply_store_overrides(backend, stream_chunk_rows, dense_group_limit)
+    return backend.execute_batch(queries, fanout=None)
 
 
 # --------------------------------------------------------------------------- #
@@ -267,6 +292,12 @@ class ProcessPoolDispatcher(ParallelDispatcher):
         self, pool: ProcessPoolExecutor, batch: list[AggregateQuery]
     ) -> list[tuple[QueryResult, ExecutionStats]]:
         """Submit ``batch`` to ``pool``; gather in submission order."""
+        # Ship the parent store's current tuning overrides with every task:
+        # the optimizer may have moved them since the workers opened their
+        # own copies of the store (see :func:`_apply_store_overrides`).
+        store = getattr(self.executor, "store", None)
+        chunk_rows = getattr(store, "stream_chunk_rows", None)
+        dense_limit = getattr(store, "dense_group_limit", None)
         if self.use_batch and hasattr(self.executor, "execute_batch"):
             outcomes: list[tuple[QueryResult, ExecutionStats]] = []
             futures = [
@@ -275,6 +306,8 @@ class ProcessPoolDispatcher(ParallelDispatcher):
                     self._store_path,
                     self._store_kind,
                     part,
+                    chunk_rows,
+                    dense_limit,
                 )
                 for part in _partition(batch, self.n_workers)
             ]
@@ -283,7 +316,12 @@ class ProcessPoolDispatcher(ParallelDispatcher):
             return outcomes
         futures = [
             pool.submit(
-                _worker_execute, self._store_path, self._store_kind, query
+                _worker_execute,
+                self._store_path,
+                self._store_kind,
+                query,
+                chunk_rows,
+                dense_limit,
             )
             for query in batch
         ]

@@ -173,7 +173,12 @@ class QueryExecutor:
             key_columns = self._group_key_columns(query, arrays, start, stop, selector)
             aggregate_inputs = self._aggregate_inputs(query, arrays, selector)
 
-            result = group_aggregate(key_columns, aggregate_inputs, query.group_budget)
+            result = group_aggregate(
+                key_columns,
+                aggregate_inputs,
+                query.group_budget,
+                dense_limit=self.store.dense_group_limit,
+            )
             n_filtered = len(selector) if selector is not None else (stop - start)
 
         tally_aggregation(stats, self.store.table.schema, query, result, n_filtered)
@@ -196,7 +201,9 @@ class QueryExecutor:
         :mod:`repro.db.streaming` for why, including the float ordering).
         """
         aggregator = StreamingGroupAggregator(
-            [spec.func for spec in query.aggregates], query.group_budget
+            [spec.func for spec in query.aggregates],
+            query.group_budget,
+            self.store.dense_group_limit,
         )
         self._stream_into(aggregator, query, ranges, stats)
         return aggregator.finalize(), aggregator.total_rows
@@ -264,7 +271,9 @@ class QueryExecutor:
                 stats.delta_hits += 1
         if aggregator is None:
             aggregator = StreamingGroupAggregator(
-                [spec.func for spec in query.aggregates], query.group_budget
+                [spec.func for spec in query.aggregates],
+                query.group_budget,
+                self.store.dense_group_limit,
             )
         if scan_from < stop:
             ranges = self.store.stream_ranges(scan_from, stop)

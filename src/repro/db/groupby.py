@@ -167,6 +167,7 @@ def group_aggregate(
     budget: int | None = None,
     *,
     allow_dense: bool = True,
+    dense_limit: int | None = None,
 ) -> GroupResult:
     """Group rows by the key columns and compute each aggregate per group.
 
@@ -178,10 +179,13 @@ def group_aggregate(
 
     In-core aggregation picks between two equivalent plans: when the
     stride-encoded composite key space fits the group budget (capped at
-    ``_DENSE_GROUP_LIMIT``) rows are aggregated densely in O(n) with
-    ``np.bincount`` — the common SeeDB case of low-cardinality dimensions —
-    otherwise the sparse ``np.unique`` sort path runs.  ``allow_dense=False``
-    forces the sparse path (regression tests compare the two).
+    ``dense_limit``, defaulting to the static ``_DENSE_GROUP_LIMIT``) rows
+    are aggregated densely in O(n) with ``np.bincount`` — the common SeeDB
+    case of low-cardinality dimensions — otherwise the sparse ``np.unique``
+    sort path runs.  The two plans are bitwise-equal, so the workload
+    optimizer may move ``dense_limit`` from measured cardinalities without
+    changing a result bit.  ``allow_dense=False`` forces the sparse path
+    (regression tests compare the two).
     """
     if not key_columns:
         raise QueryError("grouping requires at least one key column")
@@ -215,11 +219,8 @@ def group_aggregate(
 
     if n_passes == 1:
         product = math.prod(max(kc.n_categories, 1) for kc in key_columns)
-        dense_cap = (
-            min(budget, _DENSE_GROUP_LIMIT)
-            if budget is not None and budget > 0
-            else _DENSE_GROUP_LIMIT
-        )
+        limit = dense_limit if dense_limit is not None and dense_limit > 0 else _DENSE_GROUP_LIMIT
+        dense_cap = min(budget, limit) if budget is not None and budget > 0 else limit
         if allow_dense and product <= dense_cap:
             return _dense_group_result(
                 key_columns, aggregate_inputs, composite, product, estimate

@@ -210,6 +210,7 @@ class SharedScanExecutor:
             i: StreamingGroupAggregator(
                 [spec.func for spec in queries[i].aggregates],
                 queries[i].group_budget,
+                self.store.dense_group_limit,
             )
             for i in indices
         }
@@ -456,7 +457,10 @@ class SharedScanExecutor:
         stats = ExecutionStats()
         started = time.perf_counter()
         result = group_aggregate(
-            prep.key_columns, prep.aggregate_inputs, query.group_budget
+            prep.key_columns,
+            prep.aggregate_inputs,
+            query.group_budget,
+            dense_limit=self.store.dense_group_limit,
         )
         tally_aggregation(
             stats, self.store.table.schema, query, result, prep.n_filtered

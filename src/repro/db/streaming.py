@@ -97,9 +97,17 @@ class StreamingGroupAggregator:
         self,
         funcs: list[AggregateFunction],
         budget: int | None = None,
+        dense_limit: int | None = None,
     ) -> None:
         self.funcs = list(funcs)
         self.budget = budget
+        #: Cap on the dense stride domain; ``None`` = the static
+        #: :data:`~repro.db.groupby._DENSE_GROUP_LIMIT`.  The workload
+        #: optimizer moves this from measured cardinalities — safe at any
+        #: value, since dense and sparse plans are bitwise-equal.
+        self.dense_limit = (
+            dense_limit if dense_limit is not None and dense_limit > 0 else _DENSE_GROUP_LIMIT
+        )
         self.total_rows = 0
         self._key_names: list[str] | None = None
         #: "dense" while the stride-encoded key space fits the dense
@@ -175,7 +183,7 @@ class StreamingGroupAggregator:
 
         if self._mode is None:
             product = math.prod(max(len(kc.categories), 1) for kc in key_columns)
-            if product <= _DENSE_GROUP_LIMIT:
+            if product <= self.dense_limit:
                 self._init_dense(key_columns)
             else:
                 self._mode = "sparse"
@@ -272,7 +280,7 @@ class StreamingGroupAggregator:
                 new_cats.append(union if len(union) != len(cats) else cats)
             new_sizes.append(max(len(new_cats[-1]), 1))
         new_product = math.prod(new_sizes)
-        if new_product > _DENSE_GROUP_LIMIT:
+        if new_product > self.dense_limit:
             return False
         if grew:
             self._rebuild_dense_domain(new_cats, new_sizes, new_product)
@@ -448,6 +456,7 @@ class StreamingGroupAggregator:
         return {
             "funcs": list(self.funcs),
             "budget": self.budget,
+            "dense_limit": self.dense_limit,
             "total_rows": self.total_rows,
             "key_names": None if self._key_names is None else list(self._key_names),
             "mode": self._mode,
@@ -467,7 +476,11 @@ class StreamingGroupAggregator:
     @classmethod
     def from_snapshot(cls, state: dict[str, object]) -> "StreamingGroupAggregator":
         """Rebuild an aggregator mid-stream from a :meth:`snapshot`."""
-        agg = cls(list(state["funcs"]), state["budget"])  # type: ignore[arg-type]
+        agg = cls(
+            list(state["funcs"]),  # type: ignore[arg-type]
+            state["budget"],  # type: ignore[arg-type]
+            state.get("dense_limit"),  # type: ignore[arg-type]
+        )
         agg.total_rows = int(state["total_rows"])  # type: ignore[arg-type]
         key_names = state["key_names"]
         agg._key_names = None if key_names is None else list(key_names)  # type: ignore[arg-type]

@@ -731,8 +731,15 @@ class _FrontendHandler(BaseHTTPRequestHandler):
         external = parts[1]
         deadline = time.monotonic() + server.request_deadline
         last_error: ServiceError | None = None
+        # Workers that already failed THIS request.  ``note_worker_failure``
+        # only derates a slot once the process table agrees it is dead, and
+        # ``Process.is_alive`` can lag the actual death by longer than a
+        # few connection-refused round-trips take — so without this memory
+        # every failover attempt can re-resolve to the same dying worker
+        # and exhaust the loop before the slot is marked down.
+        failed: set[int] = set()
         for _ in range(server.failover_attempts + 1):
-            worker, internal = server.resolve_session(external)
+            worker, internal = server.resolve_session(external, avoid=failed)
             try:
                 status, body = self._forward(
                     worker, method, [parts[0], internal, *parts[2:]]
@@ -740,6 +747,7 @@ class _FrontendHandler(BaseHTTPRequestHandler):
             except ServiceError as exc:
                 if exc.code != ErrorCode.NO_WORKER:
                     raise
+                failed.add(worker.index)
                 server.note_worker_failure(worker)
                 last_error = exc
                 if time.monotonic() >= deadline:
@@ -905,7 +913,9 @@ class FrontendServer(GracefulHTTPServer):
             )
         return self.workers[record.worker_index]
 
-    def resolve_session(self, session_id: str) -> tuple[WorkerHandle, str]:
+    def resolve_session(
+        self, session_id: str, avoid: "set[int] | frozenset[int]" = frozenset()
+    ) -> tuple[WorkerHandle, str]:
         """Where to send a session request: ``(worker, internal id)``.
 
         The healthy path is a dict lookup.  When the pinned slot is down
@@ -916,6 +926,11 @@ class FrontendServer(GracefulHTTPServer):
         id, with the external id unchanged.  Recorded step history
         restarts from the resurrection point (worker-local state died
         with the worker).
+
+        ``avoid`` lists slots the caller already watched fail on this very
+        request; they are skipped even if the process table still calls
+        them alive (a just-killed worker can answer ``is_alive`` for a
+        beat after its socket went away).
         """
         with self._sessions_lock:
             record = self._sessions.get(session_id)
@@ -926,10 +941,14 @@ class FrontendServer(GracefulHTTPServer):
                 code=ErrorCode.UNKNOWN_SESSION,
             )
         pinned = self.workers[record.worker_index]
-        if self.slot_up(record.worker_index) and pinned.generation == record.generation:
+        if (
+            record.worker_index not in avoid
+            and self.slot_up(record.worker_index)
+            and pinned.generation == record.generation
+        ):
             return pinned, record.internal_id
         for index in self._ring.preference(record.dataset):
-            if not self.slot_up(index):
+            if index in avoid or not self.slot_up(index):
                 continue
             worker = self.workers[index]
             try:

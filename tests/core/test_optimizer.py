@@ -1,0 +1,360 @@
+"""Tests for the workload-level adaptive optimizer (repro.core.optimizer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig, OptimizerConfig
+from repro.core.difference import ViewDistributions
+from repro.core.optimizer import (
+    PrefetchCandidate,
+    WorkloadOptimizer,
+    fuse_plan,
+    plan_prefetch,
+)
+from repro.core.recommender import SeeDB
+from repro.core.sharing import FLAG_ALIAS, PlannedQuery, SharingPlan, plan_queries
+from repro.core.view import AggregateView
+from repro.db.catalog import TableMeta
+from repro.db.expressions import eq
+from repro.db.groupby import _DENSE_GROUP_LIMIT
+from repro.db.query import AggregateFunction, AggregateQuery, AggregateSpec, QueryResult
+from repro.db.storage import make_store
+from repro.db.table import Table
+from repro.db.types import ColumnRole
+
+TARGET = eq("marital", "Unmarried")
+
+
+@pytest.fixture()
+def meta(census_like):
+    return TableMeta.of(census_like)
+
+
+@pytest.fixture()
+def views(census_like):
+    meta = TableMeta.of(census_like)
+    return [
+        AggregateView(a, m, AggregateFunction.AVG)
+        for a in meta.dimensions
+        for m in meta.measures
+    ]
+
+
+def _single_aggregate_plan(views, meta):
+    """The planner output fusion targets: one aggregate per query."""
+    config = EngineConfig(
+        max_aggregates_per_query=1,
+        use_binpacking=False,
+        max_group_bys_per_query=1,
+        combine_target_reference=True,
+    )
+    return plan_queries(views, meta, config, TARGET)
+
+
+class TestFusePlan:
+    def test_merges_same_signature_queries(self, meta, views):
+        plan = _single_aggregate_plan(views, meta)
+        assert len(plan) == 4  # 2 dims x 2 single-aggregate chunks
+        fused, fused_away = fuse_plan(plan)
+        assert fused_away == 2
+        assert len(fused) == 2
+        for planned in fused.queries:
+            assert len(planned.query.aggregates) == 2
+            # Aliases stay unique so every route still reads its own column.
+            aliases = [spec.alias for spec in planned.query.aggregates]
+            assert len(aliases) == len(set(aliases))
+
+    def test_routes_are_concatenated_not_dropped(self, meta, views):
+        plan = _single_aggregate_plan(views, meta)
+        fused, _ = fuse_plan(plan)
+        before = sorted(
+            (route.view.dimension, route.view.measure)
+            for planned in plan.queries
+            for route in planned.routes
+        )
+        after = sorted(
+            (route.view.dimension, route.view.measure)
+            for planned in fused.queries
+            for route in planned.routes
+        )
+        assert after == before
+        for planned in fused.queries:
+            for route in planned.routes:
+                assert any(
+                    spec.alias == route.agg_alias
+                    for spec in planned.query.aggregates
+                )
+
+    def test_different_group_bys_do_not_fuse(self, meta, views):
+        plan = _single_aggregate_plan(views, meta)
+        fused, _ = fuse_plan(plan)
+        group_bys = {planned.query.group_by for planned in fused.queries}
+        assert len(group_bys) == len(fused.queries)
+
+    def test_already_fused_plan_is_a_fixpoint(self, meta, views):
+        plan = _single_aggregate_plan(views, meta)
+        once, _ = fuse_plan(plan)
+        twice, fused_away = fuse_plan(once)
+        assert fused_away == 0
+        assert twice.queries == once.queries
+
+    def test_duplicate_alias_not_double_added(self):
+        query = AggregateQuery(
+            table="t",
+            group_by=("d",),
+            aggregates=(AggregateSpec(AggregateFunction.COUNT, None, "c"),),
+        )
+        planned = PlannedQuery(query, (), None, None)
+        fused, fused_away = fuse_plan(SharingPlan((planned, planned)))
+        assert fused_away == 1
+        assert len(fused.queries[0].query.aggregates) == 1
+
+
+class _FakeRun:
+    """Just the EngineRun surface plan_prefetch reads."""
+
+    def __init__(self, selected, utilities, distributions):
+        self.selected = selected
+        self.utilities = utilities
+        self.distributions = distributions
+
+
+def _dists(keys, target, reference):
+    return ViewDistributions(
+        tuple(keys), np.asarray(target, float), np.asarray(reference, float)
+    )
+
+
+class TestPlanPrefetch:
+    KEY_HI = ("sex", "capital", "avg")
+    KEY_LO = ("race", "age", "avg")
+
+    def _run(self):
+        return _FakeRun(
+            selected=[self.KEY_HI, self.KEY_LO],
+            utilities={self.KEY_HI: 0.9, self.KEY_LO: 0.001},
+            distributions={
+                self.KEY_HI: _dists(("F", "M"), [0.8, 0.2], [0.3, 0.7]),
+                self.KEY_LO: _dists(("A", "B"), [0.5, 0.5], [0.5, 0.5]),
+            },
+        )
+
+    def test_filters_by_bookmark_probability(self):
+        candidates = plan_prefetch(self._run(), OptimizerConfig(enabled=True))
+        assert [c.dimension for c in candidates] == ["sex"]
+        only = candidates[0]
+        assert only == PrefetchCandidate(
+            dimension="sex",
+            measure="capital",
+            func="avg",
+            group="F",  # |0.8 - 0.3| beats |0.2 - 0.7|
+            utility=0.9,
+            probability=only.probability,
+        )
+        assert only.probability > 0.99
+
+    def test_limit_caps_candidates(self):
+        run = self._run()
+        run.utilities[self.KEY_LO] = 0.9  # both now clear the bar
+        config = OptimizerConfig(enabled=True, prefetch_limit=1)
+        assert len(plan_prefetch(run, config)) == 1
+
+    def test_skips_views_without_distributions(self):
+        run = self._run()
+        run.distributions.pop(self.KEY_HI)
+        assert plan_prefetch(run, OptimizerConfig(enabled=True)) == []
+
+
+def _hi_card_table(n=4_000, distinct=300):
+    rng = np.random.default_rng(0)
+    return Table(
+        "hi",
+        {
+            "d0": (rng.integers(0, distinct, n)).astype(str),
+            "d1": (rng.integers(0, distinct, n)).astype(str),
+            "part": rng.choice(["t", "r"], n),
+            "m0": rng.gamma(2.0, 10.0, n),
+        },
+        roles={
+            "d0": ColumnRole.DIMENSION,
+            "d1": ColumnRole.DIMENSION,
+            "part": ColumnRole.OTHER,
+            "m0": ColumnRole.MEASURE,
+        },
+    )
+
+
+def _observation(meta, group_by, n_groups, *, flag_kind="two_bit", n_aggs=2):
+    """One (plan, results) pair as the engine hands it to observe_phase."""
+    aggregates = tuple(
+        AggregateSpec(AggregateFunction.COUNT, None, f"a{i}") for i in range(n_aggs)
+    )
+    query = AggregateQuery(table="hi", group_by=group_by, aggregates=aggregates)
+    plan = SharingPlan((PlannedQuery(query, (), FLAG_ALIAS, flag_kind),))
+    return plan, [QueryResult(groups={}, values={}, n_groups=n_groups)]
+
+
+class TestWorkloadOptimizerTuning:
+    def setup_method(self):
+        self.table = _hi_card_table()
+        self.store = make_store("row", self.table)
+        self.meta = TableMeta.of(self.table)
+
+    def _optimizer(self, config=None, budget=None):
+        return WorkloadOptimizer(
+            config or OptimizerConfig(enabled=True), self.store, self.meta, budget
+        )
+
+    def test_raises_dense_limit_on_occupied_big_domain(self):
+        optimizer = self._optimizer()
+        # Domain 300 x 300 x 3 (two-bit flag) = 270_000 > the static cap;
+        # 30_000 measured groups -> occupancy ~0.11 clears the 5% bar.
+        plan, results = _observation(self.meta, ("d0", "d1", FLAG_ALIAS), 30_000)
+        optimizer.observe_phase(plan, results)
+        assert self.store.dense_group_limit == 270_000
+        decisions = optimizer.decisions()
+        assert decisions["grouping"]["applied"] is True
+        assert decisions["grouping"]["dense_limit"] == 270_000
+        assert decisions["grouping"]["measurements"][0]["domain"] == 270_000
+
+    def test_low_occupancy_leaves_limit_alone(self):
+        optimizer = self._optimizer()
+        plan, results = _observation(self.meta, ("d0", "d1", FLAG_ALIAS), 100)
+        optimizer.observe_phase(plan, results)
+        assert self.store.dense_group_limit is None
+        assert optimizer.decisions()["grouping"]["applied"] is False
+
+    def test_domain_over_max_is_never_densified(self):
+        config = OptimizerConfig(enabled=True, dense_limit_max=100_000)
+        optimizer = self._optimizer(config)
+        plan, results = _observation(self.meta, ("d0", "d1", FLAG_ALIAS), 30_000)
+        optimizer.observe_phase(plan, results)
+        assert self.store.dense_group_limit is None
+
+    def test_small_domain_stays_on_static_path(self):
+        optimizer = self._optimizer()
+        # 300 x 2 (one-bit flag) is far under _DENSE_GROUP_LIMIT already.
+        plan, results = _observation(
+            self.meta, ("d0", FLAG_ALIAS), 500, flag_kind="one_bit"
+        )
+        optimizer.observe_phase(plan, results)
+        assert self.store.dense_group_limit is None
+        assert 300 * 2 < _DENSE_GROUP_LIMIT
+
+    def test_grouping_toggle_off(self):
+        config = OptimizerConfig(enabled=True, adaptive_grouping=False)
+        optimizer = self._optimizer(config)
+        plan, results = _observation(self.meta, ("d0", "d1", FLAG_ALIAS), 30_000)
+        optimizer.observe_phase(plan, results)
+        assert self.store.dense_group_limit is None
+        assert optimizer.decisions()["grouping"]["enabled"] is False
+
+    def test_only_first_phase_tunes(self):
+        optimizer = self._optimizer()
+        low_plan, low_results = _observation(self.meta, ("d0", "d1", FLAG_ALIAS), 100)
+        optimizer.observe_phase(low_plan, low_results)
+        hot_plan, hot_results = _observation(
+            self.meta, ("d0", "d1", FLAG_ALIAS), 30_000
+        )
+        optimizer.observe_phase(hot_plan, hot_results)
+        assert self.store.dense_group_limit is None
+
+    def test_chunking_shrinks_chunk_rows_under_group_state(self):
+        self.store.stream_chunk_rows = 2_000
+        optimizer = self._optimizer(budget=64 * 1024)
+        plan, results = _observation(self.meta, ("d0", "d1", FLAG_ALIAS), 5_000)
+        optimizer.observe_phase(plan, results)
+        # state = 5000 groups x (2 aggs + 2) x 8 B = 160 KB > the budget,
+        # so the leftover clamps to the 1-row floor.
+        assert self.store.stream_chunk_rows == 1
+        decisions = optimizer.decisions()
+        assert decisions["chunking"]["applied"] is True
+        assert decisions["chunking"]["group_state_bytes"] == 5_000 * 4 * 8
+
+    def test_chunking_never_grows_chunk_rows(self):
+        self.store.stream_chunk_rows = 10
+        optimizer = self._optimizer(budget=512 * 1024 * 1024)
+        plan, results = _observation(self.meta, ("d0", "d1", FLAG_ALIAS), 10)
+        optimizer.observe_phase(plan, results)
+        assert self.store.stream_chunk_rows == 10
+        assert optimizer.decisions()["chunking"]["applied"] is False
+
+    def test_chunking_requires_memory_budget(self):
+        self.store.stream_chunk_rows = 2_000
+        optimizer = self._optimizer(budget=None)
+        plan, results = _observation(self.meta, ("d0", "d1", FLAG_ALIAS), 5_000)
+        optimizer.observe_phase(plan, results)
+        assert self.store.stream_chunk_rows == 2_000
+
+    def test_transform_counts_fusion(self, meta, views):
+        optimizer = self._optimizer()
+        plan = _single_aggregate_plan(views, meta)
+        fused = optimizer.transform(plan)
+        assert len(fused) == 2
+        decisions = optimizer.decisions()
+        assert decisions["fusion"] == {
+            "enabled": True,
+            "queries_fused_away": 2,
+            "plans_transformed": 1,
+        }
+
+    def test_transform_fusion_toggle_off(self, meta, views):
+        config = OptimizerConfig(enabled=True, fuse_aggregates=False)
+        optimizer = self._optimizer(config)
+        plan = _single_aggregate_plan(views, meta)
+        assert optimizer.transform(plan) is plan
+        assert optimizer.decisions()["fusion"]["queries_fused_away"] == 0
+
+
+class TestEngineIntegration:
+    def _seedb(self, table, **config_overrides):
+        config = EngineConfig(store="row").with_(**config_overrides)
+        return SeeDB.over_table(table, store="row", config=config)
+
+    def test_run_records_decisions_and_resets_tuning(self):
+        # 12K rows over a 200x200 pair: the combined domain overflows the
+        # static dense cap while measured occupancy clears the 5% bar.
+        table = _hi_card_table(n=12_000, distinct=200)
+        seedb = self._seedb(
+            table,
+            optimizer=OptimizerConfig(enabled=True),
+            row_group_budget=300_000,
+            max_group_bys_per_query=2,
+            n_phases=1,
+        )
+        target = eq("part", "t")
+        run = seedb.run_engine(target, k=3, strategy="sharing", pruner="none")
+        assert run.optimizer_decisions["enabled"] is True
+        assert run.optimizer_decisions["grouping"]["applied"] is True
+        assert seedb.engine.store.dense_group_limit is not None
+
+        # A follow-up optimizer-off run on the same engine must start from
+        # (and leave behind) the static tuning: no leakage across runs.
+        baseline = self._seedb(
+            table, row_group_budget=300_000, max_group_bys_per_query=2, n_phases=1
+        )
+        plain = baseline.run_engine(target, k=3, strategy="sharing", pruner="none")
+        assert plain.optimizer_decisions == {}
+        seedb.engine.config = seedb.engine.config.with_(
+            optimizer=OptimizerConfig(enabled=False)
+        )
+        rerun = seedb.engine.run(
+            list(seedb.view_space()), target, k=3, strategy="sharing", pruner="none"
+        )
+        assert seedb.engine.store.dense_group_limit is None
+        assert rerun.selected == plain.selected
+        assert rerun.utilities == plain.utilities
+
+    def test_all_toggles_on_matches_all_off_bitwise(self, census_like):
+        target = eq("marital", "Unmarried")
+        plain = self._seedb(census_like).run_engine(
+            target, k=4, strategy="sharing", pruner="none"
+        )
+        optimized = self._seedb(
+            census_like, optimizer=OptimizerConfig(enabled=True)
+        ).run_engine(target, k=4, strategy="sharing", pruner="none")
+        assert optimized.selected == plain.selected
+        for key, value in plain.utilities.items():
+            assert optimized.utilities[key] == value

@@ -503,3 +503,122 @@ class TestPoolCrashRecovery:
                         for i in range(4)
                     ]
                 )
+
+
+class TestPoolPlumbing:
+    """The pool lifecycle and worker-side plumbing the dispatcher rides on."""
+
+    @pytest.fixture(scope="class")
+    def chunked_census(self, census_like, tmp_path_factory):
+        from repro.db.chunks import open_table, write_table
+
+        root = tmp_path_factory.mktemp("procpool_plumbing") / "census_like"
+        write_table(census_like, root, chunk_rows=4096)
+        return open_table(root)
+
+    def test_get_pool_grows_and_never_shrinks(self):
+        from repro.core import procpool
+
+        procpool.shutdown_pool()
+        try:
+            small = procpool.get_pool(1)
+            assert procpool.get_pool(1) is small  # same size: reused
+            grown = procpool.get_pool(2)
+            assert grown is not small  # grew: replaced
+            assert procpool.get_pool(1) is grown  # smaller ask: kept
+        finally:
+            procpool.shutdown_pool()
+
+    def test_shutdown_pool_is_idempotent(self):
+        from repro.core import procpool
+
+        procpool.get_pool(1)
+        procpool.shutdown_pool()
+        procpool.shutdown_pool()  # second call: nothing to do, no raise
+
+    def test_rebuild_pool_is_idempotent_across_racers(self):
+        from repro.core import procpool
+
+        procpool.shutdown_pool()
+        try:
+            broken = procpool.get_pool(2)
+            first = procpool._rebuild_pool(broken, 2)
+            assert first is not broken
+            # A second racer holding the same broken handle must see the
+            # swap already happened and get the same fresh pool back.
+            second = procpool._rebuild_pool(broken, 2)
+            assert second is first
+        finally:
+            procpool.shutdown_pool()
+
+    def test_partition_contiguous_and_non_empty(self):
+        from repro.core.procpool import _partition
+
+        queries = list(range(7))
+        slices = _partition(queries, 3)
+        assert slices == [[0, 1, 2], [3, 4], [5, 6]]
+        # More slices than queries: one element each, never an empty slice.
+        assert _partition(queries[:2], 5) == [[0], [1]]
+        assert _partition(queries, 1) == [queries]
+
+    def test_worker_applies_and_resets_store_overrides(self, chunked_census):
+        """The optimizer's tuning overrides ride every shipped task.
+
+        ``_worker_execute`` runs in-process here (it only needs the store
+        path), exercising the exact override plumbing a worker process
+        runs: explicit values apply to the re-opened store, and a later
+        task without overrides resets a reused worker back to static.
+        """
+        from repro.core import procpool
+
+        path = str(chunked_census.source_path)
+        query = _count_query("census_like", "sex", 0, 2000)
+        baseline, _ = procpool._worker_execute(path, "col", query)
+
+        tuned, _ = procpool._worker_execute(
+            path, "col", query, stream_chunk_rows=64, dense_group_limit=123
+        )
+        backend = procpool._worker_backends[(path, "col")]
+        assert backend.store.stream_chunk_rows == 64
+        assert backend.store.dense_group_limit == 123
+        assert tuned.to_rows() == baseline.to_rows()
+
+        again, _ = procpool._worker_execute(path, "col", query)
+        assert backend.store.stream_chunk_rows is None
+        assert backend.store.dense_group_limit is None
+        assert again.to_rows() == baseline.to_rows()
+
+    def test_fan_out_ships_parent_store_tuning(self, chunked_census, monkeypatch):
+        """_fan_out reads the parent store's knobs into every submission."""
+        from repro.core import procpool
+
+        backend = NativeBackend(make_store("col", chunked_census))
+        backend.store.stream_chunk_rows = 512
+        backend.store.dense_group_limit = 9999
+        shipped = []
+
+        class _FakeFuture:
+            def __init__(self, value):
+                self._value = value
+
+            def result(self):
+                return self._value
+
+        class _FakePool:
+            def submit(self, fn, *args):
+                shipped.append(args)
+                return _FakeFuture(fn(*args))
+
+        dispatcher = procpool.ProcessPoolDispatcher(
+            backend, 2,
+            store_path=str(chunked_census.source_path), store_kind="col",
+        )
+        queries = [
+            _count_query("census_like", "sex", i * 1000, i * 1000 + 500)
+            for i in range(3)
+        ]
+        outcomes = dispatcher._fan_out(_FakePool(), queries)
+        assert len(outcomes) == len(queries)
+        for args in shipped:
+            assert args[-2:] == (512, 9999)
+        procpool.shutdown_pool()

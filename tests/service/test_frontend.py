@@ -363,3 +363,264 @@ class TestFrontendLifecycle:
         assert all(not worker.alive for worker in server.workers)
         with pytest.raises(OSError):
             _raw_request(address, "GET", "/v1/healthz")
+
+
+# --------------------------------------------------------------------------- #
+# supervisor state machine (fakes: no real worker processes)
+# --------------------------------------------------------------------------- #
+
+
+class _FakeWorker:
+    """Just the WorkerHandle surface the supervisor reads."""
+
+    def __init__(self, index, alive=True, exitcode=None, generation=0, port=0):
+        self.index = index
+        self.alive = alive
+        self.exitcode = exitcode
+        self.generation = generation
+        self.port = port
+
+
+class _FakeFrontend:
+    """Records the supervisor's calls against a controllable worker list."""
+
+    def __init__(self, workers):
+        self.workers = workers
+        self.draining = False
+        self.service_kwargs = {"datasets": ("census",)}
+        self.worker_drain_timeout = 1.0
+        self.proxy_timeout = 1.0
+        self.marked_down: list[int] = []
+        self.adopted: list[object] = []
+        self._registered: list[dict] = []
+
+    def mark_worker_down(self, index):
+        self.marked_down.append(index)
+
+    def adopt_worker(self, handle):
+        self.adopted.append(handle)
+
+    def registered_datasets(self):
+        return list(self._registered)
+
+
+class TestWorkerSupervisorEdges:
+    """The supervisor's state machine, driven tick by tick without processes."""
+
+    def _supervisor(self, frontend, **kwargs):
+        from repro.service.frontend import WorkerSupervisor
+
+        kwargs.setdefault("poll_interval", 0.01)
+        kwargs.setdefault("backoff_base", 0.1)
+        return WorkerSupervisor(frontend, **kwargs)
+
+    def test_death_schedules_backoff_then_respawn(self, monkeypatch):
+        from repro.service import frontend as fe
+
+        dead = _FakeWorker(0, alive=False, exitcode=-9)
+        front = _FakeFrontend([dead])
+        supervisor = self._supervisor(front)
+
+        supervisor._sweep(now=100.0)
+        assert front.marked_down == [0]
+        slot = supervisor.status()[0]
+        assert slot["state"] == "down"
+        assert slot["last_exitcode"] == -9
+        assert slot["due"] == pytest.approx(100.1)
+
+        replacement = _FakeWorker(0, generation=1)
+        monkeypatch.setattr(
+            fe, "spawn_worker", lambda *a, **k: replacement
+        )
+        monkeypatch.setattr(
+            fe.WorkerSupervisor, "_resync", lambda self, handle: None
+        )
+        supervisor._sweep(now=100.05)  # before the backoff deadline: no-op
+        assert front.adopted == []
+        supervisor._sweep(now=100.2)
+        assert front.adopted == [replacement]
+        assert supervisor.status()[0]["state"] == "up"
+        assert supervisor.status()[0]["restarts"] == 1
+
+    def test_restart_budget_exhaustion_fails_the_slot(self):
+        dead = _FakeWorker(0, alive=False, exitcode=1)
+        front = _FakeFrontend([dead])
+        supervisor = self._supervisor(front, max_restarts=2)
+        with supervisor._lock:
+            supervisor._slots[0]["restarts"] = 2
+        supervisor._sweep(now=50.0)
+        assert supervisor.status()[0]["state"] == "failed"
+        # A failed slot is never respawned, however many ticks pass.
+        supervisor._sweep(now=1e9)
+        assert front.adopted == []
+
+    def test_spawn_failure_backs_off_again_then_gives_up(self, monkeypatch):
+        from repro.service import frontend as fe
+
+        dead = _FakeWorker(0, alive=False)
+        front = _FakeFrontend([dead])
+        supervisor = self._supervisor(front, max_restarts=1)
+
+        def boom(*args, **kwargs):
+            raise OSError("spawn failed")
+
+        monkeypatch.setattr(fe, "spawn_worker", boom)
+        supervisor._mark_dead(dead, now=10.0)
+        supervisor._respawn(dead)  # restarts -> 1, spawn fails -> back off
+        slot = supervisor.status()[0]
+        assert slot["state"] == "down" and slot["restarts"] == 1
+        supervisor._respawn(dead)  # restarts -> 2 > budget: slot fails
+        assert supervisor.status()[0]["state"] == "failed"
+        assert front.adopted == []
+
+    def test_resync_failure_aborts_readmission(self, monkeypatch):
+        from repro.service import frontend as fe
+
+        dead = _FakeWorker(0, alive=False)
+        front = _FakeFrontend([dead])
+        supervisor = self._supervisor(front, max_restarts=3)
+        monkeypatch.setattr(
+            fe, "spawn_worker", lambda *a, **k: _FakeWorker(0, generation=1)
+        )
+
+        def unhealthy(port, method, path, payload, timeout):
+            return {"status": "booting"}
+
+        monkeypatch.setattr(fe, "_worker_http", unhealthy)
+        supervisor._mark_dead(dead, now=10.0)
+        supervisor._respawn(dead)
+        # The liveness probe said not-ok, so the worker was never adopted
+        # and the slot went back to waiting instead of serving traffic.
+        assert front.adopted == []
+        assert supervisor.status()[0]["state"] == "down"
+
+    def test_resync_replays_registrations_and_refreshes(self, monkeypatch):
+        from repro.service import frontend as fe
+
+        front = _FakeFrontend([_FakeWorker(0)])
+        front._registered = [{"path": "/data/ds", "name": "ds"}]
+        supervisor = self._supervisor(front)
+        calls = []
+
+        def record(port, method, path, payload, timeout):
+            calls.append((method, path))
+            if path == "/v1/datasets":
+                return {"name": "ds"}
+            return {"status": "ok"}
+
+        monkeypatch.setattr(fe, "_worker_http", record)
+        supervisor._resync(_FakeWorker(0, generation=1, port=1234))
+        assert calls == [
+            ("POST", "/v1/datasets"),
+            ("POST", "/v1/datasets/ds/refresh"),
+            ("GET", "/v1/healthz"),
+        ]
+
+    def test_on_respawn_observer_errors_are_swallowed(self, monkeypatch):
+        from repro.service import frontend as fe
+
+        dead = _FakeWorker(0, alive=False)
+        front = _FakeFrontend([dead])
+
+        def angry_observer(handle):
+            raise RuntimeError("observer bug")
+
+        supervisor = self._supervisor(front, on_respawn=angry_observer)
+        monkeypatch.setattr(
+            fe, "spawn_worker", lambda *a, **k: _FakeWorker(0, generation=1)
+        )
+        monkeypatch.setattr(
+            fe.WorkerSupervisor, "_resync", lambda self, handle: None
+        )
+        supervisor._mark_dead(dead, now=10.0)
+        supervisor._respawn(dead)  # must not raise
+        assert len(front.adopted) == 1
+        assert supervisor.status()[0]["state"] == "up"
+
+    def test_run_loop_skips_sweeps_while_draining_and_survives_errors(
+        self, monkeypatch
+    ):
+        dead = _FakeWorker(0, alive=False)
+        front = _FakeFrontend([dead])
+        supervisor = self._supervisor(front, poll_interval=0.005)
+        sweeps = []
+
+        def flaky_sweep(now):
+            sweeps.append(now)
+            raise RuntimeError("transient")
+
+        monkeypatch.setattr(supervisor, "_sweep", flaky_sweep)
+        front.draining = True
+        supervisor.start()
+        try:
+            time.sleep(0.05)
+            assert sweeps == []  # draining: never swept
+            front.draining = False
+            deadline = time.monotonic() + 2.0
+            while len(sweeps) < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # The loop kept ticking through sweep exceptions.
+            assert len(sweeps) >= 3
+        finally:
+            supervisor.stop()
+            supervisor.join(timeout=2.0)
+        assert not supervisor.is_alive()
+
+
+class TestFailoverAvoidsDyingWorkers:
+    """The session-failover race fix: a worker that failed THIS request is
+    never re-resolved, even while ``Process.is_alive`` still says True.
+    """
+
+    def _frontend(self, monkeypatch, workers):
+        from repro.service.frontend import FrontendServer
+
+        server = FrontendServer(("127.0.0.1", 0), workers)
+        return server
+
+    def test_resolve_session_skips_avoided_slots(self, monkeypatch):
+        from repro.service import frontend as fe
+
+        # Both workers report alive; worker 0 is actually mid-death.
+        workers = [
+            _FakeWorker(0, alive=True, port=1),
+            _FakeWorker(1, alive=True, port=2),
+        ]
+        server = self._frontend(monkeypatch, workers)
+        try:
+            server.record_session("ext-1", workers[0], dataset="census")
+
+            # Healthy path: without avoid, the pinned (dying but
+            # alive-looking) worker is returned — the pre-fix behavior
+            # that let every failover attempt land on the same corpse.
+            worker, internal = server.resolve_session("ext-1")
+            assert worker.index == 0 and internal == "ext-1"
+
+            resurrected = []
+
+            def fake_worker_http(port, method, path, payload, timeout):
+                resurrected.append((port, path))
+                return {"session_id": "int-99"}
+
+            monkeypatch.setattr(fe, "_worker_http", fake_worker_http)
+            worker, internal = server.resolve_session("ext-1", avoid={0})
+            assert worker.index == 1
+            assert internal == "int-99"
+            assert resurrected == [(2, "/v1/sessions")]
+            # The record moved: later calls go straight to the survivor.
+            worker, internal = server.resolve_session("ext-1")
+            assert worker.index == 1 and internal == "int-99"
+        finally:
+            server.server_close()
+
+    def test_all_slots_avoided_is_retry_later(self, monkeypatch):
+        workers = [_FakeWorker(0, alive=True, port=1)]
+        server = self._frontend(monkeypatch, workers)
+        try:
+            server.record_session("ext-1", workers[0], dataset="census")
+            with pytest.raises(ServiceError) as excinfo:
+                server.resolve_session("ext-1", avoid={0})
+            assert excinfo.value.status == 503
+            assert excinfo.value.code == ErrorCode.RETRY_LATER
+        finally:
+            server.server_close()

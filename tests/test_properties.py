@@ -343,3 +343,87 @@ def test_property_phase_count_never_changes_final_utilities(seed, n_phases):
     phased = run(EngineConfig(store="col", n_phases=n_phases))
     for key in base.utilities:
         assert phased.utilities[key] == pytest.approx(base.utilities[key], abs=1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# multi-aggregate fusion
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def _fusion_case(draw):
+    """A table plus a fused multi-aggregate query and its per-aggregate split.
+
+    This is exactly the transformation ``repro.core.optimizer.fuse_plan``
+    performs in reverse: the optimizer merges planned queries sharing a
+    (group-by, predicate) signature into one multi-aggregate pass, so a
+    fused query must be bitwise-equal to executing each aggregate alone.
+    """
+    table = draw(_random_table())
+    dims = list(table.dimension_names())
+    measures = list(table.measure_names())
+    group_by = tuple(
+        draw(
+            st.lists(st.sampled_from(dims), min_size=1, max_size=len(dims), unique=True)
+        )
+    )
+    funcs = draw(
+        st.lists(st.sampled_from(list(AggregateFunction)), min_size=2, max_size=4)
+    )
+    aggregates = []
+    for i, func in enumerate(funcs):
+        argument = None if func is AggregateFunction.COUNT else draw(
+            st.sampled_from(measures)
+        )
+        aggregates.append(AggregateSpec(func, argument, f"agg_{i}"))
+    predicate = None
+    if draw(st.booleans()):
+        dim = draw(st.sampled_from(dims))
+        value = draw(st.sampled_from(sorted(set(table.column(dim).tolist()))))
+        predicate = E.eq(dim, value)
+    fused = AggregateQuery(
+        table="rand",
+        group_by=group_by,
+        aggregates=tuple(aggregates),
+        predicate=predicate,
+    )
+    separate = [
+        AggregateQuery(
+            table="rand",
+            group_by=group_by,
+            aggregates=(spec,),
+            predicate=predicate,
+        )
+        for spec in aggregates
+    ]
+    chunk_rows = draw(st.sampled_from([None, 3, 7, 16]))
+    store = draw(st.sampled_from(["row", "col"]))
+    return table, fused, separate, chunk_rows, store
+
+
+@settings(max_examples=60, deadline=None)
+@given(_fusion_case())
+def test_property_fused_aggregates_match_separate_queries(case):
+    """A fused multi-aggregate pass is bitwise-equal to per-aggregate queries.
+
+    The optimizer's fusion contract: each aggregate's accumulation is
+    independent and the group set is determined by the keys and predicate
+    alone, so merging N single-aggregate queries into one multi-aggregate
+    query may never change a single bit of any result — for any schema,
+    predicate, store layout, or streaming chunk size.
+    """
+    table, fused, separate, chunk_rows, store_kind = case
+    backing = make_store(store_kind, table)
+    backing.stream_chunk_rows = chunk_rows
+    executor = QueryExecutor(backing)
+
+    fused_result, _ = executor.execute(fused)
+    for query in separate:
+        single, _ = executor.execute(query)
+        assert single.n_groups == fused_result.n_groups
+        for dim in fused.group_by:
+            assert np.array_equal(single.groups[dim], fused_result.groups[dim])
+        alias = query.aggregates[0].alias
+        assert np.array_equal(
+            single.values[alias], fused_result.values[alias], equal_nan=True
+        )
