@@ -1,0 +1,68 @@
+"""Cross-request coalescing: shared scans + single-flight under concurrency.
+
+Runs ``repro.bench.experiments.bench_coalesce`` — the same closed-loop
+concurrent drill-down workload against a coalescing-off service, a
+union-batching service, and a union-batching + single-flight service —
+and checks the committed measurements in ``BENCH_coalesce.json``.
+
+The experiment itself asserts the correctness acceptance criteria
+(bitwise-identical per-request top-k and utilities across legs, plus a
+serial differential-oracle replay); this wrapper re-checks the efficiency
+claim on the written payload: at equal concurrency, coalescing-on
+executes strictly fewer queries, rows, and bytes than off.
+"""
+
+import glob
+import json
+import os
+
+from repro.bench.experiments import bench_coalesce
+
+
+def test_bench_coalesce(benchmark):
+    table = benchmark.pedantic(bench_coalesce, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    by_leg = {row["leg"]: row for row in table.rows}
+    assert set(by_leg) == {"off", "coalesce", "coalesce+singleflight"}
+
+    # Equal offered load on every leg; every request completed.
+    requests = {row["requests"] for row in table.rows}
+    assert len(requests) == 1 and requests.pop() > 0
+    for row in table.rows:
+        assert row["p99_ms"] >= row["p50_ms"] > 0
+
+    # The gateway actually coalesced: windows held more than one request,
+    # and single-flight absorbed the identical thundering-herd openers.
+    assert by_leg["coalesce"]["coalesced"] > 0
+    assert by_leg["coalesce"]["occ_mean"] > 1.0
+    assert by_leg["coalesce+singleflight"]["sf_hits"] > 0
+    assert by_leg["off"]["batches"] == 0
+
+    # Strictly less physical work with coalescing on.
+    for leg in ("coalesce", "coalesce+singleflight"):
+        assert by_leg[leg]["queries"] < by_leg["off"]["queries"]
+        assert by_leg[leg]["rows_scanned"] < by_leg["off"]["rows_scanned"]
+        assert by_leg[leg]["mib_scanned"] < by_leg["off"]["mib_scanned"]
+
+    # The committed payload matches the run (a smaller run diverts to a
+    # scale-suffixed sibling instead of clobbering the baseline).
+    candidates = sorted(
+        glob.glob("BENCH_coalesce*.json"), key=os.path.getmtime
+    )
+    assert candidates
+    with open(candidates[-1]) as handle:
+        payload = json.load(handle)
+    assert payload["bench"] == "coalesce"
+    assert payload["bitwise_identical"] is True
+    assert payload["oracle_matches"] is True
+    legs = payload["legs"]
+    assert set(legs) == {"off", "coalesce", "coalesce+singleflight"}
+    off_executed = legs["off"]["executed"]
+    for leg in ("coalesce", "coalesce+singleflight"):
+        executed = legs[leg]["executed"]
+        for counter in ("queries_executed", "rows_scanned", "bytes_scanned"):
+            assert executed[counter] < off_executed[counter]
+        for counter, pct in payload["reductions_pct"][leg].items():
+            assert pct > 0.0, (leg, counter, pct)
+    assert legs["coalesce+singleflight"]["coalesce"]["singleflight_hits"] > 0

@@ -1531,6 +1531,19 @@ def _latency_percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[index]
 
 
+def _fetch_routes(address: tuple[str, int]) -> dict[str, object]:
+    """The server's per-route latency-histogram block (``/v1/stats``).
+
+    Against the sharded front-end this is already merged across workers
+    (:func:`repro.service.monitor.merge_route_payloads`).
+    """
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(*address) as client:
+        routes = client.stats().get("routes")
+        return dict(routes) if isinstance(routes, dict) else {}
+
+
 def bench_load(
     n_workers: int = 2,
     n_steps: int = 3,
@@ -1649,6 +1662,7 @@ def bench_load(
         session_mix = _weighted_session_mix(costs, sessions_per_level)
         session_order = _interleaved_order(session_mix)
         run_topology("single", 1, address, [os.getpid()])
+        route_latency = {"single": _fetch_routes(address)}
         n_rows = sum(
             service.engine(
                 name, service.default_store, service.default_metric
@@ -1672,6 +1686,7 @@ def bench_load(
         pids = [os.getpid()] + [w.pid for w in frontend.workers]
         warm(frontend.server_address[:2])
         run_topology("frontend", n_workers, frontend.server_address[:2], pids)
+        route_latency["frontend"] = _fetch_routes(frontend.server_address[:2])
     finally:
         frontend.graceful_shutdown(timeout=30)
 
@@ -1717,7 +1732,306 @@ def bench_load(
             "saturation": saturation,
             "frontend_speedup": speedup,
             "process_samples": peak_samples,
+            "route_latency": route_latency,
             "rows": all_rows,
+        }
+        with open(out_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Cross-request coalescing — shared scans + single-flight under concurrency
+# --------------------------------------------------------------------------- #
+
+
+def _coalesce_sessions(scale: str | None = None) -> int:
+    return {"smoke": 4, "small": 8, "full": 16}[scale or current_scale()]
+
+
+def _traced_drilldown(
+    address: tuple[str, int],
+    dataset: str,
+    n_steps: int,
+    k: int,
+    seed: int,
+    barrier: "threading.Barrier | None" = None,
+) -> tuple[list[dict[str, object]], list[float]]:
+    """Replay one drill-down session, recording every request/response pair.
+
+    Returns ``(trace, latencies)`` where each trace entry keeps the raw
+    request payload (for the differential-oracle serial replay) and the
+    response fields that must be bitwise identical across execution paths
+    (target, k, and the ranked views with their utilities).  ``barrier``
+    aligns the *first* request of every concurrent session so identical
+    opening steps genuinely race into the coalescing window.
+    """
+    from repro.data import registry as data_registry
+    from repro.service.client import ServiceClient
+    from repro.service.sessions import AnalystDrillDown
+
+    with ServiceClient(*address) as client:
+        spec = data_registry.spec(dataset)
+        session = client.create_session(dataset=dataset)
+        analyst = AnalystDrillDown(
+            [(spec.split_column, spec.target_value)],
+            k=k,
+            n_steps=n_steps,
+            seed=seed,
+        )
+        request = analyst.first_request()
+        if barrier is not None:
+            barrier.wait(timeout=300)
+        trace: list[dict[str, object]] = []
+        latencies: list[float] = []
+        while request is not None:
+            started = time.perf_counter()
+            response = client.recommend_raw(session.session_id, request)
+            latencies.append(time.perf_counter() - started)
+            trace.append(
+                {
+                    "request": request,
+                    "target": response["target"],
+                    "k": response["k"],
+                    "views": response["views"],
+                }
+            )
+            request = analyst.next_request(response)
+        return trace, latencies
+
+
+def bench_coalesce(
+    dataset: str = "census",
+    n_sessions: int | None = None,
+    n_steps: int = 3,
+    k: int = 5,
+    max_wait_ms: float = 50.0,
+    out_path: str | None = "BENCH_coalesce.json",
+) -> ResultTable:
+    """Cross-request coalescing: off vs union batching vs + single-flight.
+
+    Three legs serve the *same* closed-loop concurrent workload —
+    ``n_sessions`` analyst drill-down sessions over one dataset, each
+    starting from the identical default-target step (the thundering-herd
+    shape) and then diverging along seeded per-session drill-downs — on a
+    fresh cache-off service per leg:
+
+    * ``off`` — the direct path (gateway never constructed);
+    * ``coalesce`` — union batching only (``singleflight=False``):
+      concurrent requests co-batch into one shared scan per window, with
+      identical queries deduplicated inside the union;
+    * ``coalesce+singleflight`` — identical concurrent requests
+      additionally collapse onto one in-flight execution.
+
+    Executed work is read from the engines' lifetime ``executed``
+    counters (each physical execution counted exactly once, however many
+    requests shared it), so single-flight shares cannot inflate the
+    numbers.  The bench *asserts* the acceptance criteria: every leg's
+    per-request targets/top-k/utilities are bitwise identical, a serial
+    replay of the coalesced leg's exact requests on an uncoalesced
+    service (the differential oracle) reproduces them bitwise, and both
+    coalescing legs execute strictly fewer queries, rows, and bytes than
+    ``off`` at equal concurrency.
+    """
+    import json
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.config import CoalesceConfig
+    from repro.service import RecommendationService, start_server
+
+    n_sessions = n_sessions or _coalesce_sessions()
+    table = ResultTable(
+        f"Cross-request coalescing on {dataset.upper()}: {n_sessions} "
+        f"concurrent sessions x {n_steps} steps (cache off)",
+        notes="executed counters charge each physical execution once; "
+        "identical results asserted bitwise across legs + serial oracle",
+    )
+    n_rows = 0
+
+    def run_leg(
+        name: str, coalesce: "CoalesceConfig | bool"
+    ) -> dict[str, object]:
+        nonlocal n_rows
+        service = RecommendationService(
+            datasets=(dataset,), result_cache=False, coalesce=coalesce
+        )
+        server, _ = start_server(service)
+        try:
+            address = server.server_address[:2]
+            # Build the engine outside the measured window.
+            service.engine(
+                dataset, service.default_store, service.default_metric
+            )
+            n_rows = service.engine(
+                dataset, service.default_store, service.default_metric
+            ).table.nrows
+            barrier = threading.Barrier(n_sessions)
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=n_sessions) as pool:
+                futures = [
+                    pool.submit(
+                        _traced_drilldown,
+                        address, dataset, n_steps, k, seed + 1, barrier,
+                    )
+                    for seed in range(n_sessions)
+                ]
+                results = [future.result() for future in futures]
+            wall = time.perf_counter() - started
+            stats = service.stats()
+            latencies = sorted(
+                latency for _, session_latencies in results
+                for latency in session_latencies
+            )
+            return {
+                "name": name,
+                "traces": [trace for trace, _ in results],
+                "wall_s": wall,
+                "requests": len(latencies),
+                "rps": len(latencies) / max(wall, 1e-12),
+                "p50_ms": 1e3 * _latency_percentile(latencies, 0.50),
+                "p99_ms": 1e3 * _latency_percentile(latencies, 0.99),
+                "executed": dict(stats["executed"]),  # type: ignore[arg-type]
+                "coalesce": stats.get("coalesce"),
+            }
+        finally:
+            server.graceful_shutdown(timeout=30)
+            service.close()
+
+    legs = [
+        run_leg("off", False),
+        run_leg(
+            "coalesce",
+            CoalesceConfig(
+                enabled=True,
+                max_batch_size=n_sessions,
+                max_wait_ms=max_wait_ms,
+                singleflight=False,
+            ),
+        ),
+        run_leg(
+            "coalesce+singleflight",
+            CoalesceConfig(
+                enabled=True,
+                max_batch_size=n_sessions,
+                max_wait_ms=max_wait_ms,
+                singleflight=True,
+            ),
+        ),
+    ]
+
+    # Bitwise identity across legs: same targets, same top-k, same utilities
+    # for every (session, step) — coalescing only moves the accounting.
+    baseline = legs[0]
+    for leg in legs[1:]:
+        assert leg["traces"] == baseline["traces"], (
+            f"leg {leg['name']!r} diverged from the uncoalesced results"
+        )
+
+    # Differential oracle: serially replay the coalesced leg's exact
+    # requests on a fresh uncoalesced service and compare bitwise.
+    oracle_service = RecommendationService(
+        datasets=(dataset,), result_cache=False
+    )
+    oracle_server, _ = start_server(oracle_service)
+    try:
+        from repro.service.client import ServiceClient
+
+        oracle_address = oracle_server.server_address[:2]
+        for trace in legs[2]["traces"]:  # type: ignore[union-attr]
+            with ServiceClient(*oracle_address) as client:
+                session = client.create_session(dataset=dataset)
+                for step in trace:  # type: ignore[union-attr]
+                    response = client.recommend_raw(
+                        session.session_id, step["request"]
+                    )
+                    observed = {
+                        "request": step["request"],
+                        "target": response["target"],
+                        "k": response["k"],
+                        "views": response["views"],
+                    }
+                    assert observed == step, (
+                        "serial oracle diverged from coalesced results"
+                    )
+    finally:
+        oracle_server.graceful_shutdown(timeout=30)
+        oracle_service.close()
+
+    # Strictly less physical work with coalescing on, at equal concurrency.
+    reductions: dict[str, dict[str, float]] = {}
+    off_executed = baseline["executed"]
+    for leg in legs[1:]:
+        executed = leg["executed"]
+        for counter in ("queries_executed", "rows_scanned", "bytes_scanned"):
+            assert executed[counter] < off_executed[counter], (  # type: ignore[index]
+                f"leg {leg['name']!r}: {counter} not reduced "
+                f"({executed[counter]} vs {off_executed[counter]})"  # type: ignore[index]
+            )
+        reductions[str(leg["name"])] = {
+            counter: round(
+                100.0 * (1.0 - executed[counter] / off_executed[counter]), 1  # type: ignore[index,operator]
+            )
+            for counter in ("queries_executed", "rows_scanned", "bytes_scanned")
+        }
+
+    for leg in legs:
+        block = leg["coalesce"] or {}
+        table.add(
+            leg=leg["name"],
+            requests=leg["requests"],
+            wall_s=round(float(leg["wall_s"]), 3),  # type: ignore[arg-type]
+            rps=round(float(leg["rps"]), 1),  # type: ignore[arg-type]
+            p50_ms=round(float(leg["p50_ms"]), 1),  # type: ignore[arg-type]
+            p99_ms=round(float(leg["p99_ms"]), 1),  # type: ignore[arg-type]
+            queries=leg["executed"]["queries_executed"],  # type: ignore[index]
+            rows_scanned=leg["executed"]["rows_scanned"],  # type: ignore[index]
+            mib_scanned=round(
+                leg["executed"]["bytes_scanned"] / 2**20, 1  # type: ignore[index,operator]
+            ),
+            batches=block.get("batches", 0),  # type: ignore[union-attr]
+            coalesced=block.get("requests_coalesced", 0),  # type: ignore[union-attr]
+            sf_hits=block.get("singleflight_hits", 0),  # type: ignore[union-attr]
+            occ_mean=round(
+                float(block.get("window_occupancy_mean", 0.0)), 2  # type: ignore[arg-type,union-attr]
+            ),
+        )
+
+    if out_path:
+        try:
+            with open(out_path) as handle:
+                existing_rows = int(json.load(handle).get("n_rows", 0))
+        except (OSError, ValueError):
+            existing_rows = 0
+        if existing_rows > n_rows:
+            root, ext = os.path.splitext(out_path)
+            out_path = f"{root}.{current_scale()}{ext}"
+        payload = {
+            "bench": "coalesce",
+            "generated_unix": time.time(),
+            "scale": current_scale(),
+            "dataset": dataset,
+            "n_rows": n_rows,
+            "n_sessions": n_sessions,
+            "n_steps": n_steps,
+            "k": k,
+            "max_wait_ms": max_wait_ms,
+            "host_cores": os.cpu_count() or 1,
+            "bitwise_identical": True,
+            "oracle_matches": True,
+            "reductions_pct": reductions,
+            "legs": {
+                str(leg["name"]): {
+                    "requests": leg["requests"],
+                    "wall_s": leg["wall_s"],
+                    "rps": leg["rps"],
+                    "p50_ms": leg["p50_ms"],
+                    "p99_ms": leg["p99_ms"],
+                    "executed": leg["executed"],
+                    "coalesce": leg["coalesce"],
+                }
+                for leg in legs
+            },
         }
         with open(out_path, "w") as handle:
             json.dump(payload, handle, indent=2)

@@ -149,6 +149,54 @@ class OptimizerConfig:
 
 
 @dataclass(frozen=True)
+class CoalesceConfig:
+    """Knobs of the serving tier's cross-request batching gateway.
+
+    The gateway (:mod:`repro.service.coalesce`) sits between the HTTP
+    handler threads and the engine: handler threads submit their
+    recommendation step and block on a future, a per-(dataset, store,
+    metric) collector drains the queue under a bounded window and executes
+    the union of all pending requests as ONE workload through the shared
+    scan batch path — so one scan serves many users.  Results are
+    bitwise-identical coalesced vs. not (the deterministic batch-barrier
+    semantics are order-independent); only the accounting moves: shared
+    pages are charged once per batch, to the first request that touches
+    them, and deduplicated queries are marked ``coalesced_queries`` on the
+    sharer's :class:`ExecutionStats`.
+
+    Example::
+
+        from repro import CoalesceConfig
+        from repro.service import RecommendationService
+
+        service = RecommendationService(
+            datasets=("census",),
+            coalesce=CoalesceConfig(enabled=True, max_wait_ms=10.0),
+        )
+    """
+
+    #: Master switch.  Default **off**: a disabled gateway is never
+    #: constructed and ``recommend()`` is byte-for-byte the direct path.
+    enabled: bool = False
+    #: Flush a window as soon as this many requests are pending (the
+    #: collector never waits once the batch is full).
+    max_batch_size: int = 16
+    #: Longest time a request may sit in the window waiting for co-batchers,
+    #: in milliseconds.  ``0`` degenerates to pass-through: the collector
+    #: drains whatever is already queued and never waits.
+    max_wait_ms: float = 5.0
+    #: Attach concurrent *identical* in-flight requests (same result-cache
+    #: fingerprint) to one execution: one compute, N responses — the
+    #: thundering-herd case the result cache only fixes for sequential
+    #: repeats.
+    singleflight: bool = True
+
+    def with_(self, **changes: object) -> "CoalesceConfig":
+        """Return a copy with ``changes`` applied (convenience for sweeps)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """SeeDB execution-engine configuration.
 
@@ -319,6 +367,11 @@ class ExecutionStats:
     #: Queries whose execution was seeded from a cached partial-aggregation
     #: state (delta cache), so only rows past the cached prefix were scanned.
     delta_hits: int = 0
+    #: Queries this run shared with another request coalesced into the same
+    #: gateway batch: the owner request carries the execution counters, the
+    #: sharer records only this marker — so summing per-request stats still
+    #: charges each executed query (and each scanned page) exactly once.
+    coalesced_queries: int = 0
     #: Filled in per batch: lists of per-query serial costs, used to model
     #: parallel execution (queries in one batch run concurrently).
     batch_costs: list[list[float]] = field(default_factory=list)
@@ -338,4 +391,5 @@ class ExecutionStats:
         self.cache_hits += other.cache_hits
         self.cache_bytes_saved += other.cache_bytes_saved
         self.delta_hits += other.delta_hits
+        self.coalesced_queries += other.coalesced_queries
         self.batch_costs.extend(other.batch_costs)

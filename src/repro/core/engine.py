@@ -69,6 +69,22 @@ Parallelism = Literal["modeled", "real", "process"]
 _MAX_RECORDED_SQL = 64
 
 
+@dataclass(frozen=True)
+class UnionRequest:
+    """One request's inputs to :meth:`ExecutionEngine.run_union`.
+
+    A frozen snapshot of everything a SHARING-strategy :meth:`run` call
+    would take, so the serving tier's coalescing gateway can collect many
+    concurrent requests and execute their union as one workload.
+    """
+
+    views: tuple[AggregateView, ...]
+    target_predicate: Expression
+    k: int
+    reference_mode: ReferenceMode = "all"
+    reference_predicate: Expression | None = None
+
+
 @dataclass
 class EngineRun:
     """Everything a strategy run produced.
@@ -204,6 +220,16 @@ class ExecutionEngine:
         # aggregator, snapshot their partial state, and — after an append —
         # restore it and scan only the new chunks.  Only the native backend
         # owns a QueryExecutor; external backends (sqlite) ignore the knob.
+        #: Lifetime executed-work counters (queries actually dispatched,
+        #: rows/bytes actually scanned — cache hits and coalesced shares
+        #: excluded).  Unlike per-run stats these count each execution
+        #: exactly once regardless of how many requests shared it, so the
+        #: serving tier and benches can measure total physical work.
+        self.executed_totals: dict[str, int] = {
+            "queries_executed": 0,
+            "rows_scanned": 0,
+            "bytes_scanned": 0,
+        }
         self.delta_cache: DeltaStateCache | None = None
         if config.result_cache and config.delta_cache:
             executor = getattr(self.backend, "executor", None)
@@ -391,6 +417,7 @@ class ExecutionEngine:
         selected, utilities, distributions = self._finalize(
             states, active, pruner_obj, k
         )
+        self._count_executed(run_stats)
         run_stats.wall_seconds = time.perf_counter() - started
         return EngineRun(
             strategy=strategy,
@@ -418,9 +445,235 @@ class ExecutionEngine:
             ),
         )
 
+    def run_union(
+        self,
+        requests: Sequence[UnionRequest],
+        parallelism: Parallelism = "modeled",
+    ) -> list[EngineRun]:
+        """Execute many SHARING requests as ONE dispatcher batch.
+
+        The coalescing entry point (:mod:`repro.service.coalesce`): each
+        request is planned exactly as its own ``run(strategy="sharing")``
+        would plan it — single phase over the full row range, no pruning,
+        per-request optimizer transform — then every request's ranged
+        queries are concatenated into a single shared-scan batch, so the
+        backend does one pass over the table for the whole union.
+
+        Results are bitwise-identical to per-request serial runs: each
+        query's result is computed from the same frozen column data
+        regardless of which batch carried it, and per-request routing
+        happens on this thread in the request's own plan order — the same
+        floating-point accumulation sequence as an uncoalesced run.
+
+        Only the *accounting* moves.  Queries that appear in more than one
+        request (same result-cache fingerprint) execute once: the first
+        request to submit the query owns its executed
+        :class:`~repro.config.ExecutionStats`; every other request routes
+        the same result but records just a ``coalesced_queries`` marker —
+        extending the shared-scan split-charge scheme (pages charged once
+        per batch, to the first toucher) across requests, so summing
+        per-request stats still charges each executed query and each
+        scanned page exactly once.
+        """
+        if not requests:
+            return []
+        for request in requests:
+            if request.k <= 0:
+                raise RecommendationError(f"k must be positive, got {request.k}")
+            if not request.views:
+                raise RecommendationError("no candidate views to evaluate")
+        started = time.perf_counter()
+
+        config = self._strategy_config("sharing")
+        # Same per-run reset as run(): no tuning leaks between runs.
+        self.store.stream_chunk_rows = self._static_chunk_rows
+        self.store.dense_group_limit = None
+        nrows = self.store.nrows
+        cache = self.result_cache
+        cache_prefix = (
+            execution_fingerprint(self.store, self.backend)
+            if cache is not None
+            else None
+        )
+
+        # Plan every request exactly as its solo run would.
+        planned_requests = []
+        for request in requests:
+            optimizer: WorkloadOptimizer | None = None
+            if config.optimizer.enabled:
+                optimizer = WorkloadOptimizer(
+                    config.optimizer,
+                    self.store,
+                    self.meta,
+                    config.memory_budget_bytes,
+                )
+            plan = plan_queries(
+                list(request.views),
+                self.meta,
+                config,
+                request.target_predicate,
+                request.reference_mode,
+                request.reference_predicate,
+            )
+            if optimizer is not None:
+                plan = optimizer.transform(plan)
+            ranged = [planned.query.with_range(0, nrows) for planned in plan.queries]
+            keys = [
+                f"{cache_prefix}|{query_fingerprint(query)}"
+                if cache is not None
+                else query_fingerprint(query)
+                for query in ranged
+            ]
+            planned_requests.append((request, optimizer, plan, ranged, keys))
+
+        # Deduplicate across requests before dispatch: run_batch probes the
+        # cache per query but only memoizes *after* the batch executes, so
+        # identical queries submitted together would each execute.  The
+        # first (request, position) to submit a fingerprint owns it.
+        union_queries: list = []
+        union_keys: list[str] = []
+        first_slot: dict[str, int] = {}
+        slots: list[list[tuple[int, bool]]] = []
+        for _, _, _, ranged, keys in planned_requests:
+            request_slots: list[tuple[int, bool]] = []
+            for query, key in zip(ranged, keys):
+                position = first_slot.get(key)
+                owner = position is None
+                if owner:
+                    position = len(union_queries)
+                    first_slot[key] = position
+                    union_queries.append(query)
+                    union_keys.append(key)
+                request_slots.append((position, owner))
+            slots.append(request_slots)
+
+        n_workers = (
+            config.n_parallel_queries
+            if self.backend.capabilities().parallel_safe
+            else 1
+        )
+        with make_dispatcher(
+            self.backend,
+            parallelism,
+            n_workers,
+            use_batch=config.shared_scan,
+            pool_recovery=config.pool_recovery,
+        ) as dispatcher:
+            if config.shared_scan:
+                outcomes = dispatcher.run_batch(
+                    union_queries, cache, union_keys if cache is not None else None
+                )
+            else:
+                batch_size = max(config.n_parallel_queries, 1)
+                outcomes = []
+                for i in range(0, len(union_queries), batch_size):
+                    outcomes.extend(
+                        dispatcher.run_batch(
+                            union_queries[i : i + batch_size],
+                            cache,
+                            union_keys[i : i + batch_size]
+                            if cache is not None
+                            else None,
+                        )
+                    )
+            # Each outcome is one unique execution — count it exactly once
+            # no matter how many requests share it below.
+            for _, executed_stats in outcomes:
+                self._count_executed(executed_stats)
+            runs: list[EngineRun] = []
+            batch_size = max(config.n_parallel_queries, 1)
+            for (request, optimizer, plan, ranged, _), request_slots in zip(
+                planned_requests, slots
+            ):
+                states: dict[ViewKey, ViewState] = {
+                    v.key: ViewState(v, self.store.table.categories(v.dimension))
+                    for v in request.views
+                }
+                run_stats = ExecutionStats()
+                sql_log: list[str] = []
+                for query in ranged:
+                    if len(sql_log) < _MAX_RECORDED_SQL:
+                        try:
+                            sql_log.append(generate_sql(query))
+                        except QueryError as exc:
+                            sql_log.append(f"-- unrenderable query: {exc}")
+                queries = list(plan.queries)
+                request_outcomes: list[tuple[QueryResult, ExecutionStats]] = []
+                for position, owner in request_slots:
+                    result, executed_stats = outcomes[position]
+                    if owner:
+                        request_outcomes.append((result, executed_stats))
+                    else:
+                        request_outcomes.append(
+                            (result, ExecutionStats(coalesced_queries=1))
+                        )
+                for i in range(0, len(queries), batch_size):
+                    batch_costs: list[float] = []
+                    for planned, (result, query_stats) in zip(
+                        queries[i : i + batch_size],
+                        request_outcomes[i : i + batch_size],
+                    ):
+                        batch_costs.append(self.cost_model.query_seconds(query_stats))
+                        run_stats.merge(query_stats)
+                        self._route_result(
+                            planned, result, states, request.reference_mode
+                        )
+                    run_stats.batch_costs.append(batch_costs)
+                if optimizer is not None:
+                    optimizer.observe_phase(
+                        plan, [result for result, _ in request_outcomes]
+                    )
+                pruner_obj = make_pruner("none")
+                pruner_obj.initialize(
+                    [v.key for v in request.views], request.k, 1
+                )
+                active = {v.key: v for v in request.views}
+                selected, utilities, distributions = self._finalize(
+                    states, active, pruner_obj, request.k
+                )
+                run_stats.wall_seconds = time.perf_counter() - started
+                runs.append(
+                    EngineRun(
+                        strategy="sharing",
+                        pruner_name=pruner_obj.name,
+                        k=request.k,
+                        selected=selected,
+                        utilities=utilities,
+                        distributions=distributions,
+                        stats=run_stats,
+                        modeled_latency=self.cost_model.latency_seconds(run_stats),
+                        wall_seconds=run_stats.wall_seconds,
+                        phases_executed=1,
+                        active_per_phase=[len(request.views)],
+                        sql=sql_log,
+                        parallelism=parallelism,
+                        n_workers=dispatcher.n_workers,
+                        backend=self.backend.name,
+                        shared_scan=config.shared_scan,
+                        result_cache=cache is not None,
+                        cache_hits=run_stats.cache_hits,
+                        cache_misses=(
+                            run_stats.queries_issued if cache is not None else 0
+                        ),
+                        cache_bytes_saved=run_stats.cache_bytes_saved,
+                        optimizer_decisions=(
+                            optimizer.decisions() if optimizer is not None else {}
+                        ),
+                    )
+                )
+        return runs
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+
+    def _count_executed(self, stats: ExecutionStats) -> None:
+        """Fold one execution's physical work into the lifetime totals."""
+        self.executed_totals["queries_executed"] += stats.queries_issued
+        self.executed_totals["rows_scanned"] += stats.rows_scanned
+        self.executed_totals["bytes_scanned"] += (
+            stats.bytes_scanned_miss + stats.bytes_scanned_hit
+        )
 
     def _make_pruner(self, name: str) -> Pruner:
         if name.lower() == "ci":

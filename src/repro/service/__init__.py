@@ -32,6 +32,7 @@ See ``docs/api.md`` for the endpoint reference and client examples, and
 ``examples/service_session.py`` for a full three-step drill-down session.
 """
 
+from repro.config import CoalesceConfig
 from repro.core.cache import (
     CacheEntry,
     CacheStats,
@@ -46,12 +47,18 @@ from repro.service.api import (
     error_envelope,
 )
 from repro.service.client import ServiceClient
+from repro.service.coalesce import CoalesceRequest, CoalescingGateway
 from repro.service.frontend import (
     FrontendServer,
     WorkerSupervisor,
     start_frontend,
 )
-from repro.service.monitor import ProcessMonitor
+from repro.service.monitor import (
+    LatencyHistogram,
+    ProcessMonitor,
+    RouteLatencyRegistry,
+    merge_route_payloads,
+)
 from repro.service.server import (
     GracefulHTTPServer,
     RecommendationService,
@@ -71,13 +78,18 @@ __all__ = [
     "AnalystDrillDown",
     "CacheEntry",
     "CacheStats",
+    "CoalesceConfig",
+    "CoalesceRequest",
+    "CoalescingGateway",
     "ErrorCode",
     "FrontendServer",
     "GracefulHTTPServer",
+    "LatencyHistogram",
     "ProcessMonitor",
     "RecommendRequest",
     "RecommendResponse",
     "RecommendationService",
+    "RouteLatencyRegistry",
     "SeeDBHTTPServer",
     "ServiceClient",
     "Session",
@@ -90,6 +102,7 @@ __all__ = [
     "clauses_from_payload",
     "error_envelope",
     "install_sigterm_handler",
+    "merge_route_payloads",
     "start_frontend",
     "start_server",
 ]

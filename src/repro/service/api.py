@@ -146,6 +146,22 @@ def split_path(path: str) -> tuple[list[str], bool]:
     return parts, False
 
 
+def route_label(method: str, parts: Sequence[str]) -> str:
+    """The normalized label latency histograms aggregate a request under.
+
+    Path parameters collapse to ``{id}`` — ``("POST", ["sessions", "abc",
+    "recommend"])`` becomes ``"POST /v1/sessions/{id}/recommend"`` — so
+    every session/dataset shares one histogram per endpoint instead of
+    fanning out per identifier.
+    """
+    if not parts:
+        return f"{method} /"
+    normalized = list(parts)
+    if len(normalized) >= 2 and normalized[0] in ("sessions", "datasets"):
+        normalized[1] = "{id}"
+    return f"{method} {API_PREFIX}/" + "/".join(normalized)
+
+
 @dataclass(frozen=True)
 class ErrorInfo:
     """Parsed error envelope (the value of the ``"error"`` key)."""
@@ -352,6 +368,9 @@ class StepStats:
     cache_bytes_saved: int
     wall_seconds: float
     modeled_latency_seconds: float
+    #: Queries this step shared with a co-batched request (coalescing
+    #: gateway only; absent — 0 — on uncoalesced services).
+    coalesced_queries: int = 0
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "StepStats":
@@ -367,6 +386,7 @@ class StepStats:
             modeled_latency_seconds=float(
                 payload.get("modeled_latency_seconds", 0.0)
             ),
+            coalesced_queries=int(payload.get("coalesced_queries", 0)),
         )
 
 

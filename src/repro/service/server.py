@@ -79,9 +79,13 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.config import OptimizerConfig
-from repro.core.cache import TieredViewResultCache, ViewResultCache
-from repro.core.engine import EngineRun
+from repro.config import CoalesceConfig, OptimizerConfig
+from repro.core.cache import (
+    TieredViewResultCache,
+    ViewResultCache,
+    execution_fingerprint,
+)
+from repro.core.engine import EngineRun, UnionRequest
 from repro.core.optimizer import plan_prefetch
 from repro.core.recommender import SeeDB, tuned_config
 from repro.data import registry
@@ -95,8 +99,11 @@ from repro.service.api import (
     ErrorCode,
     error_envelope,
     legacy_deprecation_headers,
+    route_label,
     split_path,
 )
+from repro.service.coalesce import CoalesceRequest, CoalescingGateway
+from repro.service.monitor import RouteLatencyRegistry
 from repro.service.sessions import (
     SessionStep,
     SessionStore,
@@ -159,6 +166,7 @@ class RecommendationService:
         l2_cache_dir: str | None = None,
         delta_cache: bool = True,
         optimizer: bool | OptimizerConfig = False,
+        coalesce: bool | CoalesceConfig = False,
     ) -> None:
         """Configure the service; engines are built lazily per dataset.
 
@@ -180,7 +188,13 @@ class RecommendationService:
         optimizer on every engine — including background drill-down
         prefetch into the shared cache via the §6.2 bookmark model
         (:func:`repro.core.optimizer.plan_prefetch`); call
-        :meth:`drain_prefetch` for deterministic cache state in tests.
+        :meth:`drain_prefetch` for deterministic cache state in tests;
+        ``coalesce=True`` (or an explicit
+        :class:`~repro.config.CoalesceConfig`) routes concurrent
+        recommendation steps through the cross-request batching gateway
+        (:mod:`repro.service.coalesce`) so they share one scan — off by
+        default, and when off the request path is byte-for-byte the
+        direct one.
         """
         known = tuple(sorted(registry.DATASETS))
         self.datasets_allowed = tuple(datasets) if datasets else known
@@ -238,6 +252,23 @@ class RecommendationService:
         self._prefetch_futures: list["futures.Future[None]"] = []
         self._prefetch_lock = threading.Lock()
         self._prefetch_counters = {"planned": 0, "completed": 0, "errors": 0}
+        #: Cross-request coalescing gateway (None = the direct path).
+        if isinstance(coalesce, CoalesceConfig):
+            self.coalesce_config: CoalesceConfig | None = (
+                coalesce if coalesce.enabled else None
+            )
+        elif coalesce:
+            self.coalesce_config = CoalesceConfig(enabled=True)
+        else:
+            self.coalesce_config = None
+        self._gateway = (
+            CoalescingGateway(self.coalesce_config)
+            if self.coalesce_config is not None
+            else None
+        )
+        #: Per-route latency histograms, recorded by the HTTP handler and
+        #: served (merged across front-end workers) under ``/v1/stats``.
+        self.route_latency = RouteLatencyRegistry()
 
     # -------------------------------------------------------------- #
     # engine pool
@@ -349,15 +380,21 @@ class RecommendationService:
         pruner = str(payload.get("pruner", "ci" if strategy.startswith("comb") else "none"))
         dimensions = payload.get("dimensions")
         measures = payload.get("measures")
-        run = engine.run_engine(
-            _predicate(clauses),
-            k=k,
-            strategy=strategy,  # type: ignore[arg-type]
-            pruner=pruner,
-            dimensions=dimensions,  # type: ignore[arg-type]
-            measures=measures,  # type: ignore[arg-type]
-            parallelism=parallelism,  # type: ignore[arg-type]
-        )
+        if self._gateway is not None:
+            run = self._coalesced_run(
+                session, engine, clauses, k, strategy, pruner,
+                parallelism, dimensions, measures,
+            )
+        else:
+            run = engine.run_engine(
+                _predicate(clauses),
+                k=k,
+                strategy=strategy,  # type: ignore[arg-type]
+                pruner=pruner,
+                dimensions=dimensions,  # type: ignore[arg-type]
+                measures=measures,  # type: ignore[arg-type]
+                parallelism=parallelism,  # type: ignore[arg-type]
+            )
         views = [
             {
                 "rank": rank,
@@ -399,6 +436,9 @@ class RecommendationService:
         if run.optimizer_decisions:
             response_stats["optimizer"] = run.optimizer_decisions
             response_stats["prefetch_planned"] = prefetch_planned
+        if self._gateway is not None:
+            # Only on coalescing services: the off path stays byte-for-byte.
+            response_stats["coalesced_queries"] = run.stats.coalesced_queries
         return {
             "session_id": session.session_id,
             "step": step.index,
@@ -412,6 +452,81 @@ class RecommendationService:
             "data": session.data_diff(engine.table.nrows),
             "stats": response_stats,
         }
+
+    # -------------------------------------------------------------- #
+    # cross-request coalescing (the batching gateway)
+    # -------------------------------------------------------------- #
+
+    def _coalesced_run(
+        self,
+        session,
+        seedb: SeeDB,
+        clauses: TargetClauses,
+        k: int,
+        strategy: str,
+        pruner: str,
+        parallelism: str,
+        dimensions,
+        measures,
+    ) -> EngineRun:
+        """Route one validated recommend through the coalescing gateway.
+
+        The single-flight fingerprint extends the result cache's execution
+        fingerprint (table identity + version + backend semantics) with
+        every request parameter, so two requests share a flight only when
+        their responses are guaranteed identical.  SHARING-strategy
+        requests carry a :class:`~repro.core.engine.UnionRequest` and
+        co-execute as one shared scan; other strategies still flow through
+        the gateway (for single-flight and window accounting) but execute
+        solo on the collector thread.
+        """
+        key = (session.dataset, session.store, session.metric)
+        fingerprint = "|".join(
+            [
+                session.dataset,
+                session.store,
+                session.metric,
+                execution_fingerprint(seedb.engine.store, seedb.engine.backend),
+                strategy,
+                pruner,
+                parallelism,
+                str(k),
+                repr([(c, _json_scalar(v)) for c, v in clauses]),
+                repr(list(dimensions) if dimensions is not None else None),
+                repr(list(measures) if measures is not None else None),
+            ]
+        )
+        union = None
+        if strategy == "sharing":
+            views = tuple(seedb.view_space(dimensions, measures))
+            if not views:
+                raise ServiceError("empty view space")
+            union = UnionRequest(
+                views=views, target_predicate=_predicate(clauses), k=k
+            )
+
+        def run_solo() -> EngineRun:
+            return seedb.run_engine(
+                _predicate(clauses),
+                k=k,
+                strategy=strategy,  # type: ignore[arg-type]
+                pruner=pruner,
+                dimensions=dimensions,
+                measures=measures,
+                parallelism=parallelism,  # type: ignore[arg-type]
+            )
+
+        assert self._gateway is not None
+        return self._gateway.submit(
+            key,
+            CoalesceRequest(
+                fingerprint=fingerprint,
+                engine=seedb.engine,
+                parallelism=parallelism,
+                run_solo=run_solo,
+                union=union,
+            ),
+        )
 
     # -------------------------------------------------------------- #
     # workload-optimizer prefetch (background cache warming)
@@ -876,6 +991,10 @@ class RecommendationService:
         }
         if isinstance(self.cache, TieredViewResultCache):
             payload["cache_tiers"] = self.cache.tier_counters()
+        if self.route_latency.count:
+            payload["routes"] = self.route_latency.as_dict()
+        if self._gateway is not None:
+            payload["coalesce"] = self._gateway.stats_snapshot()
         if self.optimizer_config is not None:
             payload["optimizer_enabled"] = self.optimizer_config.enabled
             payload["prefetch"] = self.prefetch_counters()
@@ -888,6 +1007,15 @@ class RecommendationService:
                 delta_totals[key] = delta_totals.get(key, 0) + int(value)
         if delta_totals:
             payload["delta_cache"] = delta_totals
+        # Physical work actually executed across every engine: each
+        # execution counted once, however many requests shared it (cache
+        # hits and coalesced/single-flight shares excluded by design).
+        executed: dict[str, int] = {}
+        for seedb in engines.values():
+            for key, value in seedb.engine.executed_totals.items():
+                executed[key] = executed.get(key, 0) + int(value)
+        if executed:
+            payload["executed"] = executed
         return payload
 
     # -------------------------------------------------------------- #
@@ -902,12 +1030,21 @@ class RecommendationService:
                 self._errors += 1
 
     def close(self) -> None:
-        """Release every engine's backend resources.  Idempotent."""
+        """Release every engine's backend resources.  Idempotent.
+
+        Shutdown is deterministic: queued prefetch work is cancelled and
+        the prefetch daemon thread is *joined* (``wait=True``) rather than
+        abandoned mid-run, and the coalescing gateway (when enabled)
+        drains its queues and joins its collector threads — nothing from
+        this service is still executing when ``close()`` returns.
+        """
         with self._prefetch_lock:
             pool, self._prefetch_pool = self._prefetch_pool, None
             self._prefetch_futures.clear()
         if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+            pool.shutdown(wait=True, cancel_futures=True)
+        if self._gateway is not None:
+            self._gateway.close()
         with self._engine_lock:
             for engine in self._engines.values():
                 engine.close()
@@ -991,7 +1128,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self.close_connection = True
                 return
             faults.maybe_delay(self.path)
-            self._handle_routes(method, service, parts)
+            started = time.perf_counter()
+            try:
+                self._handle_routes(method, service, parts)
+            finally:
+                service.route_latency.record(
+                    route_label(method, parts), time.perf_counter() - started
+                )
         finally:
             self.server.request_finished()
 
@@ -1270,18 +1413,53 @@ def main(argv: Sequence[str] | None = None) -> None:
         default=10.0,
         help="seconds to wait for in-flight requests on SIGTERM",
     )
+    parser.add_argument(
+        "--coalesce",
+        action="store_true",
+        help="batch concurrent recommends into shared scans "
+        "(the cross-request coalescing gateway)",
+    )
+    parser.add_argument(
+        "--coalesce-batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="coalescing: flush a window once N requests are pending",
+    )
+    parser.add_argument(
+        "--coalesce-wait-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="coalescing: longest wait for co-batchers (0 = pass-through)",
+    )
+    parser.add_argument(
+        "--no-singleflight",
+        action="store_true",
+        help="coalescing: do not attach identical in-flight requests "
+        "to one execution",
+    )
     args = parser.parse_args(argv)
     datasets = (
         tuple(name.strip() for name in args.datasets.split(",") if name.strip())
         if args.datasets
         else None
     )
+    coalesce: bool | CoalesceConfig = False
+    if args.coalesce:
+        coalesce = CoalesceConfig(
+            enabled=True,
+            max_batch_size=args.coalesce_batch,
+            max_wait_ms=args.coalesce_wait_ms,
+            singleflight=not args.no_singleflight,
+        )
     service = RecommendationService(
         datasets=datasets,
         scale=args.scale,
         result_cache=not args.no_cache,
         data_dirs=tuple(args.data_dir),
         l2_cache_dir=args.l2_cache_dir,
+        coalesce=coalesce,
     )
     server = SeeDBHTTPServer((args.host, args.port), service, verbose=True)
     drained = install_sigterm_handler(server, timeout=args.drain_timeout)
